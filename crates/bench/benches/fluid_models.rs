@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the fluid models: DDE integration speed of the
+//! DCQCN and patched-TIMELY systems, fixed-point solving, and phase-margin
+//! computation (the inner loops of Figures 3 and 11).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use models::dcqcn::{DcqcnFluid, DcqcnParams};
+use models::patched_timely::{PatchedTimelyFluid, PatchedTimelyParams};
+
+fn bench_fluid(c: &mut Criterion) {
+    c.bench_function("dcqcn_fixed_point", |b| {
+        let m = DcqcnFluid::new(DcqcnParams::default_40g(), 10);
+        b.iter(|| black_box(m.fixed_point().p_star))
+    });
+
+    c.bench_function("dcqcn_phase_margin_n10", |b| {
+        let mut p = DcqcnParams::default_40g();
+        p.feedback_delay_us = 85.0;
+        let m = DcqcnFluid::new(p, 10);
+        b.iter(|| black_box(m.margin_report().phase_margin_deg))
+    });
+
+    c.bench_function("dcqcn_dde_integrate_2flows_10ms", |b| {
+        b.iter(|| {
+            let mut m = DcqcnFluid::new(DcqcnParams::default_40g(), 2);
+            black_box(m.simulate(0.01).len())
+        })
+    });
+
+    c.bench_function("patched_timely_dde_integrate_2flows_10ms", |b| {
+        b.iter(|| {
+            let mut m = PatchedTimelyFluid::new(PatchedTimelyParams::default_10g(), 2);
+            black_box(m.simulate(0.01).len())
+        })
+    });
+
+    c.bench_function("patched_timely_phase_margin_n16", |b| {
+        let m = PatchedTimelyFluid::new(PatchedTimelyParams::default_10g(), 16);
+        b.iter(|| black_box(m.margin_report().phase_margin_deg))
+    });
+}
+
+criterion_group!(benches, bench_fluid);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. DCQCN **fast recovery** (F = 5 vs none): how much of the stability /
+//!    ramp behaviour comes from the five gap-halving stages;
+//! 2. the **CNP coalescing timer** τ: reaction granularity vs stability;
+//! 3. TIMELY **burst size** sweep beyond Figure 10's two points;
+//! 4. DCQCN **g** (the α gain): convergence speed vs cut depth.
+
+use desim::{SimDuration, SimTime};
+use ecn_delay_core::write_json;
+use models::dcqcn::{DcqcnFluid, DcqcnParams};
+use netsim::{Engine, EngineConfig, FlowSpec, Pacing, Topology};
+use protocols::{DcqcnCc, DcqcnCcParams, TimelyCc, TimelyCcParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationReport {
+    fast_recovery: Vec<(u32, f64, f64)>,
+    cnp_timer: Vec<(u64, f64, f64)>,
+    burst_size: Vec<(u32, f64)>,
+    alpha_gain: Vec<(f64, f64)>,
+}
+
+fn dcqcn_run(mut mk: impl FnMut(&mut DcqcnCcParams), n: usize) -> (f64, f64) {
+    let (topo, senders, receiver) = Topology::single_switch(n, 10e9, SimDuration::from_micros(1));
+    let mut eng = Engine::new(topo, EngineConfig::default());
+    for &s in &senders {
+        let mut p = DcqcnCcParams::default();
+        mk(&mut p);
+        eng.add_flow(FlowSpec {
+            src: s,
+            dst: receiver,
+            size_bytes: None,
+            start: SimTime::ZERO,
+            pacing: Pacing::PerPacket,
+            cc: Box::new(DcqcnCc::new(p)),
+            ack_chunk_bytes: 64_000,
+        });
+    }
+    let report = eng.run(SimTime::from_millis(80));
+    let goodput = report.delivered_bytes.iter().sum::<u64>() as f64 * 8.0 / 0.08 / 1e9;
+    // Queue variability over the tail.
+    let mut sd = 0.0;
+    for tr in report.queue_traces.values() {
+        let pts: Vec<f64> = tr
+            .points()
+            .iter()
+            .filter(|&&(t, _)| t > 0.04)
+            .map(|&(_, b)| b / 1000.0)
+            .collect();
+        if pts.len() > 2 {
+            let mean = pts.iter().sum::<f64>() / pts.len() as f64;
+            let var = pts.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / pts.len() as f64;
+            sd = f64::max(sd, var.sqrt());
+        }
+    }
+    (goodput, sd)
+}
+
+fn main() {
+    bench::banner("Ablations");
+    let mut report = AblationReport {
+        fast_recovery: Vec::new(),
+        cnp_timer: Vec::new(),
+        burst_size: Vec::new(),
+        alpha_gain: Vec::new(),
+    };
+
+    println!("\n(1) DCQCN fast-recovery stages (4 flows, 10 Gbps):");
+    println!("{:>4} {:>16} {:>18}", "F", "goodput (Gbps)", "queue stddev (KB)");
+    for f in [0u32, 1, 5, 10] {
+        let (g, sd) = dcqcn_run(|p| p.fast_recovery_steps = f, 4);
+        println!("{f:>4} {g:>16.2} {sd:>18.1}");
+        report.fast_recovery.push((f, g, sd));
+    }
+
+    println!("\n(2) CNP coalescing timer τ (4 flows):");
+    println!("{:>8} {:>16} {:>18}", "τ (us)", "goodput (Gbps)", "queue stddev (KB)");
+    for tau in [10u64, 50, 200, 500] {
+        let (g, sd) = dcqcn_run(
+            |p| {
+                p.rate_decrease_interval = SimDuration::from_micros(tau);
+            },
+            4,
+        );
+        println!("{tau:>8} {g:>16.2} {sd:>18.1}");
+        report.cnp_timer.push((tau, g, sd));
+    }
+
+    println!("\n(3) TIMELY burst size (2 flows, tail goodput):");
+    println!("{:>10} {:>16}", "Seg (KB)", "goodput (Gbps)");
+    for seg in [8_000u32, 16_000, 32_000, 64_000] {
+        let (topo, senders, receiver) =
+            Topology::single_switch(2, 10e9, SimDuration::from_micros(1));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        for &s in &senders {
+            let mut p = TimelyCcParams::default();
+            p.seg_bytes = seg;
+            eng.add_flow(FlowSpec {
+                src: s,
+                dst: receiver,
+                size_bytes: None,
+                start: SimTime::ZERO,
+                pacing: Pacing::PerChunk { seg_bytes: seg },
+                cc: Box::new(TimelyCc::new(p)),
+                ack_chunk_bytes: seg,
+            });
+        }
+        let r = eng.run(SimTime::from_millis(150));
+        let g = r.delivered_bytes.iter().sum::<u64>() as f64 * 8.0 / 0.15 / 1e9;
+        println!("{:>10} {g:>16.2}", seg / 1000);
+        report.burst_size.push((seg, g));
+    }
+
+    println!("\n(4) DCQCN α gain g (fluid, 2 flows @ 85 us delay — stability knob):");
+    println!("{:>10} {:>22}", "g", "queue osc (x q*)");
+    for g in [1.0 / 1024.0, 1.0 / 256.0, 1.0 / 64.0, 1.0 / 16.0] {
+        let mut p = DcqcnParams::default_40g();
+        p.feedback_delay_us = 85.0;
+        p.g = g;
+        let mut m = DcqcnFluid::new(p, 10);
+        let fp = m.fixed_point();
+        let tr = m.simulate(0.1);
+        let osc = tr.peak_to_peak_from(0, 0.06) / fp.q_star_pkts.max(1.0);
+        println!("{g:>10.5} {osc:>22.3}");
+        report.alpha_gain.push((g, osc));
+    }
+
+    let path = bench::results_dir().join("ablations.json");
+    write_json(&path, &report).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

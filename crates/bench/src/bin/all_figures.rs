@@ -1,0 +1,25 @@
+//! Regenerate every figure in sequence (paper-scale configurations).
+
+use std::process::Command;
+
+fn main() {
+    let figs = [
+        "eq14", "fig2", "fig3", "fig4", "fig5", "fig6", "thm2", "fig8", "fig9",
+        "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "fig17", "fig18",
+        "fig19", "fig20", "ext_pi_packet", "ext_parking_lot", "ext_pfc",
+        "ablations", "appendix_b",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for f in figs {
+        let bin = exe_dir.join(f);
+        let status = Command::new(&bin)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()));
+        assert!(status.success(), "{f} failed");
+    }
+    println!("\nall figures regenerated; JSON in results/");
+}

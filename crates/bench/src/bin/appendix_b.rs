@@ -1,0 +1,22 @@
+//! Appendix B cross-layer validation: Eq 40 cycle length vs packet sim.
+
+use ecn_delay_core::experiments::appendix_b::{run, AppendixBConfig};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Appendix B: Eq 40 AIMD cycle length vs packet measurement");
+    let res = run(&AppendixBConfig::default());
+    println!(
+        "{:>6} {:>10} {:>20} {:>20} {:>8}",
+        "N", "alpha*", "predicted (us)", "measured (us)", "cuts"
+    );
+    for r in &res.rows {
+        println!(
+            "{:>6} {:>10.4} {:>20.1} {:>20.1} {:>8}",
+            r.n_flows, r.alpha_star, r.predicted_cycle_us, r.measured_cycle_us, r.cuts_measured
+        );
+    }
+    let path = bench::results_dir().join("appendix_b.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

@@ -1,0 +1,28 @@
+//! Eq 14 table: closed-form p* vs the exact Eq 11 root.
+
+use ecn_delay_core::experiments::eq14::{run, Eq14Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Eq 14: p* approximation vs exact fixed point");
+    let res = run(&Eq14Config::default());
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>10} {:>10} {:>6}",
+        "C (Gbps)", "N", "p* exact", "p* approx", "rel err", "q* (KB)", "sat?"
+    );
+    for r in &res.rows {
+        println!(
+            "{:>8} {:>6} {:>12.6} {:>12.6} {:>10.3} {:>10.1} {:>6}",
+            r.capacity_gbps,
+            r.n_flows,
+            r.p_exact,
+            r.p_approx,
+            r.rel_error,
+            r.q_star_kb,
+            if r.saturated { "yes" } else { "no" }
+        );
+    }
+    let path = bench::results_dir().join("eq14.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

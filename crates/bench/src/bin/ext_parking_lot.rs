@@ -1,0 +1,21 @@
+//! Extension: multi-bottleneck parking lot (the paper's future work).
+
+use ecn_delay_core::experiments::ext_parking_lot::{run, ParkingLotConfig};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Extension: DCQCN on a 3-hop parking lot");
+    let res = run(&ParkingLotConfig::default());
+    println!("long flow tail rate : {:.2} Gbps", res.long_tail_gbps);
+    for (h, &c) in res.cross_tail_gbps.iter().enumerate() {
+        println!(
+            "hop {h}: cross flow {:.2} Gbps, utilization {:.3}",
+            c, res.hop_utilization[h]
+        );
+    }
+    println!("\nthe multi-hop flow takes less than the per-hop fair share (classic");
+    println!("parking-lot outcome) but does not starve; every hop stays utilized.");
+    let path = bench::results_dir().join("ext_parking_lot.json");
+    write_json(&path, &res).expect("write results");
+    println!("results -> {}", path.display());
+}

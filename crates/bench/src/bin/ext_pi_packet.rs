@@ -1,0 +1,26 @@
+//! Extension: PI AQM at the packet level (the paper's future work).
+
+use ecn_delay_core::experiments::ext_pi_packet::{run, ExtPiPacketConfig};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Extension: packet-level DCQCN + PI AQM vs RED");
+    let res = run(&ExtPiPacketConfig {
+        duration_s: 0.25,
+        ..Default::default()
+    });
+    println!(
+        "{:>6} {:>18} {:>18} {:>18}",
+        "N", "RED queue (KB)", "PI queue (KB)", "PI worst rate err"
+    );
+    for p in &res.panels {
+        println!(
+            "{:>6} {:>18.1} {:>18.1} {:>18.3}",
+            p.n_flows, p.red_tail_queue_kb, p.pi_tail_queue_kb, p.pi_worst_rate_error
+        );
+    }
+    println!("\nRED's operating queue drifts with N (Eq 14); PI pins it at q_ref = {} KB.", res.q_ref_kb);
+    let path = bench::results_dir().join("ext_pi_packet.json");
+    write_json(&path, &res).expect("write results");
+    println!("results -> {}", path.display());
+}

@@ -1,0 +1,19 @@
+//! Figure 10: TIMELY burst pacing (16 KB vs 64 KB chunks).
+
+use ecn_delay_core::experiments::fig10::{run, Fig10Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Figure 10: impact of per-burst pacing on TIMELY");
+    let res = run(&Fig10Config::default());
+    for p in &res.panels {
+        println!(
+            "Seg = {:>6} B: early (0-50ms) aggregate {:6.2} Gbps | tail aggregate {:6.2} Gbps",
+            p.seg_bytes, p.early_agg_gbps, p.tail_agg_gbps
+        );
+        bench::print_series("queue (KB)", &p.queue_kb, 10);
+    }
+    let path = bench::results_dir().join("fig10.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

@@ -1,0 +1,29 @@
+//! Figure 14: small-flow FCT (median, p90) vs load for the three protocols.
+
+use ecn_delay_core::experiments::fig14::{run, Fig14Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Figure 14: small-flow FCT vs load (dumbbell, 10 Gbps)");
+    let res = run(&Fig14Config::default());
+    println!(
+        "{:<16} {:>6} {:>14} {:>14} {:>8} {:>8}",
+        "protocol", "load", "median (ms)", "p90 (ms)", "flows", "util"
+    );
+    for c in &res.curves {
+        for i in 0..c.median_ms.len() {
+            println!(
+                "{:<16} {:>6} {:>14.3} {:>14.3} {:>8} {:>8.3}",
+                c.protocol,
+                c.median_ms[i].0,
+                c.median_ms[i].1,
+                c.p90_ms[i].1,
+                c.small_counts[i].1,
+                c.utilization[i].1
+            );
+        }
+    }
+    let path = bench::results_dir().join("fig14.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

@@ -1,0 +1,27 @@
+//! Figure 15: CDF of small-flow FCT at load 0.8.
+
+use ecn_delay_core::experiments::fig15::{run, Fig15Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Figure 15: CDF of small-flow FCT, load = 0.8");
+    let res = run(&Fig15Config::default());
+    for (name, cdf) in &res.cdfs {
+        let q = |p: f64| {
+            cdf.iter()
+                .find(|&&(_, cp)| cp >= p)
+                .map(|&(x, _)| x)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{name:<16}: p50={:8.3} ms  p90={:8.3} ms  p99={:8.3} ms  max={:8.3} ms",
+            q(0.5),
+            q(0.9),
+            q(0.99),
+            cdf.last().map(|&(x, _)| x).unwrap_or(f64::NAN)
+        );
+    }
+    let path = bench::results_dir().join("fig15.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

@@ -1,0 +1,22 @@
+//! Figure 16: bottleneck queue at load 0.8.
+
+use ecn_delay_core::experiments::fig16::{run, Fig16Config};
+use ecn_delay_core::{write_json, write_series_csv};
+
+fn main() {
+    bench::banner("Figure 16: bottleneck queue, load = 0.8");
+    let res = run(&Fig16Config::default());
+    for (name, mean, p99, max) in &res.summary {
+        println!("{name:<16}: mean={mean:8.1} KB  p99={p99:8.1} KB  max={max:8.1} KB");
+    }
+    for (name, series) in &res.queues_kb {
+        bench::print_series(&format!("{name} queue (KB)"), series, 10);
+    }
+    let path = bench::results_dir().join("fig16.json");
+    write_json(&path, &res).expect("write results");
+    for (name, series) in &res.queues_kb {
+        let csv = bench::results_dir().join(format!("fig16_{}.csv", name.to_lowercase()));
+        write_series_csv(&csv, "t_s", &[("queue_kb", series.as_slice())]).expect("write csv");
+    }
+    println!("\nresults -> {}", path.display());
+}

@@ -1,0 +1,18 @@
+//! Figure 17: ingress vs egress ECN marking (packet-level DCQCN).
+
+use ecn_delay_core::experiments::fig17::{run, Fig17Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Figure 17: DCQCN with egress vs ingress marking (85 us loop)");
+    let res = run(&Fig17Config::default());
+    println!(
+        "tail queue std-dev: egress {:8.1} KB | ingress {:8.1} KB",
+        res.queue_stddev_kb.0, res.queue_stddev_kb.1
+    );
+    bench::print_series("egress queue (KB)", &res.egress_queue_kb, 10);
+    bench::print_series("ingress queue (KB)", &res.ingress_queue_kb, 10);
+    let path = bench::results_dir().join("fig17.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

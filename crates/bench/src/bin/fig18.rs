@@ -1,0 +1,23 @@
+//! Figure 18: DCQCN with PI marking — pinned queue and fair rates.
+
+use ecn_delay_core::experiments::fig18::{run, Fig18Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Figure 18: DCQCN + PI controller (q_ref = 100 KB)");
+    let res = run(&Fig18Config::default());
+    println!(
+        "{:>6} {:>16} {:>22}",
+        "N", "tail queue (KB)", "worst rate error"
+    );
+    for p in &res.panels {
+        println!(
+            "{:>6} {:>16.1} {:>22.4}",
+            p.n_flows, p.tail_queue_kb, p.worst_rate_error
+        );
+    }
+    println!("\nqueue pinned at q_ref for every N — fair AND fixed delay (ECN can).");
+    let path = bench::results_dir().join("fig18.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

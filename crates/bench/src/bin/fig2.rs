@@ -1,0 +1,40 @@
+//! Figure 2: DCQCN fluid model vs packet-level simulation.
+
+use ecn_delay_core::experiments::fig2::{run, Fig2Config};
+use ecn_delay_core::{write_json, write_series_csv};
+
+fn main() {
+    bench::banner("Figure 2: DCQCN fluid model vs packet simulation (40 Gbps)");
+    let cfg = Fig2Config::default();
+    let res = run(&cfg);
+    for p in &res.panels {
+        println!("\nN = {} flows:", p.n_flows);
+        println!(
+            "  tail flow rate   : fluid {:8.2} Gbps | sim {:8.2} Gbps | fair share {:8.2} Gbps",
+            p.tail_rates_gbps.0,
+            p.tail_rates_gbps.1,
+            cfg.bandwidth_gbps / p.n_flows as f64
+        );
+        println!(
+            "  tail queue       : fluid {:8.1} KB   | sim {:8.1} KB",
+            p.tail_queues_kb.0, p.tail_queues_kb.1
+        );
+        bench::print_series("fluid queue (KB)", &p.fluid_queue_kb, 12);
+        bench::print_series("sim queue (KB)", &p.sim_queue_kb, 12);
+    }
+    let path = bench::results_dir().join("fig2.json");
+    write_json(&path, &res).expect("write results");
+    for p in &res.panels {
+        let csv = bench::results_dir().join(format!("fig2_n{}_queue.csv", p.n_flows));
+        write_series_csv(
+            &csv,
+            "t_s",
+            &[
+                ("fluid_queue_kb", p.fluid_queue_kb.as_slice()),
+                ("sim_queue_kb", p.sim_queue_kb.as_slice()),
+            ],
+        )
+        .expect("write csv");
+    }
+    println!("\nresults -> {} (+ per-N CSV)", path.display());
+}

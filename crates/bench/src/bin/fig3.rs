@@ -1,0 +1,31 @@
+//! Figure 3: DCQCN phase margins — delay, R_AI and K_max sweeps.
+
+use ecn_delay_core::experiments::fig3::{run, Fig3Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Figure 3: DCQCN phase margin (degrees) vs number of flows");
+    let cfg = Fig3Config::default();
+    let res = run(&cfg);
+    let table = |title: &str, curves: &[ecn_delay_core::experiments::fig3::MarginCurve]| {
+        println!("\n{title}");
+        print!("{:>6}", "N");
+        for c in curves {
+            print!("{:>16}", c.label);
+        }
+        println!();
+        for i in 0..curves[0].points.len() {
+            print!("{:>6}", curves[0].points[i].0);
+            for c in curves {
+                print!("{:>16.1}", c.points[i].1);
+            }
+            println!();
+        }
+    };
+    table("(a) by control-loop delay", &res.by_delay);
+    table("(b) by R_AI at 85 us", &res.by_r_ai);
+    table("(c) by K_max at 85 us", &res.by_kmax);
+    let path = bench::results_dir().join("fig3.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

@@ -1,0 +1,25 @@
+//! Figure 4: impact of delay and flow count on DCQCN stability (fluid).
+
+use ecn_delay_core::experiments::fig4::{run, Fig4Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Figure 4: DCQCN fluid stability grid (tau* x N)");
+    let res = run(&Fig4Config::default());
+    println!(
+        "{:>10} {:>6} {:>18} {:>18}",
+        "tau* (us)", "N", "queue osc (q*)", "margin predicts"
+    );
+    for p in &res.panels {
+        println!(
+            "{:>10} {:>6} {:>18.3} {:>18}",
+            p.delay_us,
+            p.n_flows,
+            p.queue_oscillation,
+            if p.predicted_stable { "stable" } else { "UNSTABLE" }
+        );
+    }
+    let path = bench::results_dir().join("fig4.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

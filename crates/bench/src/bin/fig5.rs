@@ -1,0 +1,19 @@
+//! Figure 5: DCQCN packet-level instability at ~85 us feedback delay.
+
+use ecn_delay_core::experiments::fig5::{run, Fig5Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Figure 5: packet-level DCQCN instability (85 us loop)");
+    let res = run(&Fig5Config::default());
+    for p in &res.panels {
+        println!(
+            "N = {:>3}: tail queue peak-to-peak = {:8.1} KB",
+            p.n_flows, p.queue_p2p_kb
+        );
+        bench::print_series("queue (KB)", &p.queue_kb, 10);
+    }
+    let path = bench::results_dir().join("fig5.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

@@ -1,0 +1,25 @@
+//! Figure 8: TIMELY fluid model vs packet-level simulation.
+
+use ecn_delay_core::experiments::fig8::{run, Fig8Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Figure 8: TIMELY fluid model vs packet simulation (10 Gbps)");
+    let res = run(&Fig8Config::default());
+    for p in &res.panels {
+        println!("\nN = {} flows:", p.n_flows);
+        println!(
+            "  tail queue      : fluid {:8.1} KB | sim {:8.1} KB",
+            p.tail_queues_kb.0, p.tail_queues_kb.1
+        );
+        println!(
+            "  aggregate rate  : fluid {:8.2} Gbps | sim {:8.2} Gbps",
+            p.tail_agg_gbps.0, p.tail_agg_gbps.1
+        );
+        bench::print_series("fluid queue (KB)", &p.fluid_queue_kb, 10);
+        bench::print_series("sim queue (KB)", &p.sim_queue_kb, 10);
+    }
+    let path = bench::results_dir().join("fig8.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

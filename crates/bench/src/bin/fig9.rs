@@ -1,0 +1,22 @@
+//! Figure 9: TIMELY under different starting conditions.
+
+use ecn_delay_core::experiments::fig9::{run, Fig9Config};
+use ecn_delay_core::write_json;
+
+fn main() {
+    bench::banner("Figure 9: TIMELY multi-equilibria (2 flows, fluid)");
+    let res = run(&Fig9Config::default());
+    for p in &res.panels {
+        println!(
+            "{:<34} tail share of flow 0 = {:.3}",
+            p.label, p.tail_share_flow0
+        );
+        bench::print_series("flow 0 rate (Gbps)", &p.rate0_gbps, 8);
+        bench::print_series("flow 1 rate (Gbps)", &p.rate1_gbps, 8);
+    }
+    println!("\nNote: identical protocol, different starts, different regimes —");
+    println!("Theorems 3/4: no unique fixed point, arbitrary unfairness.");
+    let path = bench::results_dir().join("fig9.json");
+    write_json(&path, &res).expect("write results");
+    println!("\nresults -> {}", path.display());
+}

@@ -1,0 +1,72 @@
+//! # bench — figure regeneration binaries and criterion benchmarks
+//!
+//! Every table and figure in the paper's evaluation has a binary here that
+//! regenerates its data series:
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig2    # fluid vs packet (DCQCN)
+//! cargo run -p bench --release --bin fig3    # phase margins (a/b/c)
+//! cargo run -p bench --release --bin fig4    # stability grid
+//! cargo run -p bench --release --bin fig5    # packet-level instability
+//! cargo run -p bench --release --bin fig6    # discrete AIMD + Theorem 2
+//! cargo run -p bench --release --bin fig8    # fluid vs packet (TIMELY)
+//! cargo run -p bench --release --bin fig9    # TIMELY multi-equilibria
+//! cargo run -p bench --release --bin fig10   # burst pacing
+//! cargo run -p bench --release --bin fig11   # patched TIMELY margins
+//! cargo run -p bench --release --bin fig12   # patched TIMELY traces
+//! cargo run -p bench --release --bin fig14   # FCT vs load
+//! cargo run -p bench --release --bin fig15   # FCT CDF at load 0.8
+//! cargo run -p bench --release --bin fig16   # bottleneck queue at 0.8
+//! cargo run -p bench --release --bin fig17   # ingress vs egress marking
+//! cargo run -p bench --release --bin fig18   # DCQCN + PI
+//! cargo run -p bench --release --bin fig19   # patched TIMELY + PI
+//! cargo run -p bench --release --bin fig20   # feedback jitter
+//! cargo run -p bench --release --bin eq14    # p* table
+//! cargo run -p bench --release --bin all_figures
+//! ```
+//!
+//! Each binary prints the paper's series to stdout and writes JSON under
+//! `results/`. Criterion benchmarks (`cargo bench`) measure the substrate:
+//! event-queue throughput, DDE integration speed, and packet-simulation
+//! rates.
+
+use std::path::PathBuf;
+
+/// Directory where figure binaries drop their JSON results.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("ECN_DELAY_RESULTS").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// Pretty-print a separator + title for a figure's console output.
+pub fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Format a `(x, y)` series compactly for the console: decimated to at most
+/// `max_points` rows.
+pub fn print_series(name: &str, series: &[(f64, f64)], max_points: usize) {
+    println!("-- {name} ({} points)", series.len());
+    if series.is_empty() {
+        return;
+    }
+    let step = (series.len() / max_points.max(1)).max(1);
+    for (i, (x, y)) in series.iter().enumerate() {
+        if i % step == 0 || i == series.len() - 1 {
+            println!("   {x:12.6}  {y:14.4}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_default() {
+        let d = results_dir();
+        assert!(d.components().count() >= 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Dense complex matrices with partial-pivoted LU solve.
+//!
+//! Transfer-function evaluation reduces to solving
+//! `(sI − A₀ − Σₖ Aₖ e^{−sτₖ}) x = b(s)` for small state dimensions
+//! (3 per flow for DCQCN, 2 for patched TIMELY). A straightforward dense LU
+//! with partial pivoting is exact enough and keeps the dependency footprint
+//! at zero.
+
+use crate::complex::Complex64;
+
+/// A dense, row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Build from a real matrix (row-major rows of equal length).
+    pub fn from_real(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = CMatrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = Complex64::from_re(v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a -= *b;
+        }
+        out
+    }
+
+    /// Scale by a complex factor.
+    pub fn scale(&self, k: Complex64) -> CMatrix {
+        let mut out = self.clone();
+        for a in out.data.iter_mut() {
+            *a *= k;
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(v.len(), self.cols);
+        let mut out = vec![Complex64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex64::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Solve `self * x = b` by partial-pivoted Gaussian elimination.
+    /// Returns `None` when the matrix is numerically singular.
+    pub fn solve(&self, b: &[Complex64]) -> Option<Vec<Complex64>> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let idx = |i: usize, j: usize| i * n + j;
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[idx(col, col)].abs();
+            for r in col + 1..n {
+                let mag = a[idx(r, col)].abs();
+                if mag > best {
+                    best = mag;
+                    pivot = r;
+                }
+            }
+            if best < 1e-300 {
+                return None;
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.swap(idx(col, j), idx(pivot, j));
+                }
+                x.swap(col, pivot);
+            }
+            let inv = a[idx(col, col)].inv();
+            for r in col + 1..n {
+                let factor = a[idx(r, col)] * inv;
+                if factor.abs() == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    let sub = factor * a[idx(col, j)];
+                    a[idx(r, j)] -= sub;
+                }
+                let sub = factor * x[col];
+                x[r] -= sub;
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in col + 1..n {
+                acc -= a[idx(col, j)] * x[j];
+            }
+            x[col] = acc / a[idx(col, col)];
+        }
+        Some(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let m = CMatrix::identity(3);
+        let b = vec![c(1.0, 2.0), c(3.0, 4.0), c(5.0, 6.0)];
+        assert_eq!(m.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_real_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        let m = CMatrix::from_real(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = m.solve(&[c(5.0, 0.0), c(10.0, 0.0)]).unwrap();
+        assert!((x[0] - c(1.0, 0.0)).abs() < 1e-12);
+        assert!((x[1] - c(3.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_complex_system_roundtrip() {
+        let mut m = CMatrix::zeros(3, 3);
+        // A fixed, well-conditioned complex matrix.
+        let vals = [
+            [c(2.0, 1.0), c(0.5, -0.3), c(0.0, 0.2)],
+            [c(-1.0, 0.4), c(3.0, 0.0), c(0.7, 0.7)],
+            [c(0.2, -0.2), c(0.1, 1.0), c(4.0, -1.0)],
+        ];
+        for i in 0..3 {
+            for j in 0..3 {
+                m[(i, j)] = vals[i][j];
+            }
+        }
+        let x_true = vec![c(1.0, -1.0), c(0.5, 2.0), c(-3.0, 0.25)];
+        let b = m.mul_vec(&x_true);
+        let x = m.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((*got - *want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = CMatrix::from_real(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(m.solve(&[c(1.0, 0.0), c(2.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Leading zero requires a row swap.
+        let m = CMatrix::from_real(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = m.solve(&[c(3.0, 0.0), c(7.0, 0.0)]).unwrap();
+        assert!((x[0] - c(7.0, 0.0)).abs() < 1e-12);
+        assert!((x[1] - c(3.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = CMatrix::from_real(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = CMatrix::from_real(&[vec![4.0, 3.0], vec![2.0, 1.0]]);
+        let s = a.add(&b);
+        assert_eq!(s[(0, 0)], c(5.0, 0.0));
+        let d = s.sub(&b);
+        assert_eq!(d[(1, 1)], c(4.0, 0.0));
+        let k = a.scale(c(0.0, 1.0));
+        assert_eq!(k[(0, 1)], c(0.0, 2.0));
+    }
+}

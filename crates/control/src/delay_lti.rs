@@ -1,0 +1,233 @@
+//! Delayed LTI systems and transfer-function evaluation.
+//!
+//! Linearizing a fluid model around its fixed point yields a system
+//!
+//! ```text
+//! δx'(t) = A₀ δx(t) + Σₖ Aₖ δx(t − τₖ) + Σₖ bₖ u(t − τₖ)
+//! y(t)   = cᵀ δx(t) + d·u(t)
+//! ```
+//!
+//! whose transfer function at `s` is
+//!
+//! ```text
+//! H(s) = cᵀ (sI − A₀ − Σₖ Aₖ e^{−sτₖ})⁻¹ (Σₖ bₖ e^{−sτₖ}) + d
+//! ```
+//!
+//! For the paper's protocols the per-flow subsystem is 2–3 dimensional:
+//! DCQCN has state (R_C, R_T, α) driven by the delayed marking probability
+//! `p(t − τ*)`; patched TIMELY has state (R, g) driven by delayed queue
+//! lengths. The loop is closed through the shared queue integrator `N/s` and
+//! the marking slope — assembled in [`crate::margins`].
+
+use crate::cmatrix::CMatrix;
+use crate::complex::Complex64;
+
+/// A single-input single-output delayed LTI system (see module docs).
+#[derive(Debug, Clone)]
+pub struct DelayLti {
+    /// Undelayed state matrix `A₀` (n×n).
+    pub a0: Vec<Vec<f64>>,
+    /// Delayed state couplings `(τₖ, Aₖ)`.
+    pub delayed_a: Vec<(f64, Vec<Vec<f64>>)>,
+    /// Delayed input columns `(τₖ, bₖ)`.
+    pub b: Vec<(f64, Vec<f64>)>,
+    /// Output row `cᵀ`.
+    pub c: Vec<f64>,
+    /// Direct feedthrough `d`.
+    pub d: f64,
+}
+
+impl DelayLti {
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.a0.len()
+    }
+
+    /// Validate shapes; panics with a descriptive message on mismatch.
+    pub fn validate(&self) {
+        let n = self.dim();
+        for row in &self.a0 {
+            assert_eq!(row.len(), n, "A0 must be square");
+        }
+        for (tau, a) in &self.delayed_a {
+            assert!(*tau >= 0.0, "negative delay");
+            assert_eq!(a.len(), n, "Ak row count");
+            for row in a {
+                assert_eq!(row.len(), n, "Ak must be n x n");
+            }
+        }
+        for (tau, b) in &self.b {
+            assert!(*tau >= 0.0, "negative delay");
+            assert_eq!(b.len(), n, "b must be length n");
+        }
+        assert_eq!(self.c.len(), n, "c must be length n");
+    }
+
+    /// Evaluate the transfer function `H(s)`.
+    ///
+    /// Returns `None` when `sI − A(s)` is numerically singular (a pole).
+    pub fn transfer(&self, s: Complex64) -> Option<Complex64> {
+        let n = self.dim();
+        // M = sI - A0 - Σ Ak e^{-s τk}
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = s;
+            for j in 0..n {
+                m[(i, j)] -= Complex64::from_re(self.a0[i][j]);
+            }
+        }
+        for (tau, a) in &self.delayed_a {
+            let e = (-s * *tau).exp();
+            for i in 0..n {
+                for j in 0..n {
+                    let sub = e * a[i][j];
+                    m[(i, j)] -= sub;
+                }
+            }
+        }
+        // rhs = Σ bk e^{-s τk}
+        let mut rhs = vec![Complex64::ZERO; n];
+        for (tau, b) in &self.b {
+            let e = (-s * *tau).exp();
+            for i in 0..n {
+                rhs[i] += e * b[i];
+            }
+        }
+        let x = m.solve(&rhs)?;
+        let mut y = Complex64::from_re(self.d);
+        for i in 0..n {
+            y += Complex64::from_re(self.c[i]) * x[i];
+        }
+        Some(y)
+    }
+
+    /// Evaluate at `s = jω`.
+    pub fn freq_response(&self, omega: f64) -> Option<Complex64> {
+        self.transfer(Complex64::j(omega))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First-order lag: x' = -a x + a u, y = x → H(s) = a/(s+a).
+    fn first_order(a: f64) -> DelayLti {
+        DelayLti {
+            a0: vec![vec![-a]],
+            delayed_a: vec![],
+            b: vec![(0.0, vec![a])],
+            c: vec![1.0],
+            d: 0.0,
+        }
+    }
+
+    #[test]
+    fn first_order_lag_magnitude_and_phase() {
+        let sys = first_order(10.0);
+        sys.validate();
+        // At ω = a, |H| = 1/√2 and phase = -45°.
+        let h = sys.freq_response(10.0).unwrap();
+        assert!((h.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((h.arg().to_degrees() + 45.0).abs() < 1e-9);
+        // DC gain is 1.
+        let dc = sys.freq_response(0.0).unwrap();
+        assert!((dc - Complex64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_delay_in_input_rotates_phase_only() {
+        let tau = 0.01;
+        let mut sys = first_order(10.0);
+        sys.b[0].0 = tau;
+        let without = first_order(10.0).freq_response(5.0).unwrap();
+        let with = sys.freq_response(5.0).unwrap();
+        assert!((with.abs() - without.abs()).abs() < 1e-12);
+        let dphase = with.arg() - without.arg();
+        assert!((dphase + 5.0 * tau).abs() < 1e-12, "phase shift {dphase}");
+    }
+
+    #[test]
+    fn delayed_state_feedback_matches_analytic() {
+        // x' = -x(t - τ), H(s) = e^{-sτ}/(s + e^{-sτ}) for y = x, u → x' += u(t-τ)
+        let tau = 0.5;
+        let sys = DelayLti {
+            a0: vec![vec![0.0]],
+            delayed_a: vec![(tau, vec![vec![-1.0]])],
+            b: vec![(tau, vec![1.0])],
+            c: vec![1.0],
+            d: 0.0,
+        };
+        let w = 2.0;
+        let s = Complex64::j(w);
+        let e = (-s * tau).exp();
+        let expect = e / (s + e);
+        let got = sys.freq_response(w).unwrap();
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrator_pole_detected_at_zero() {
+        // x' = u, y = x → H = 1/s: singular at s = 0.
+        let sys = DelayLti {
+            a0: vec![vec![0.0]],
+            delayed_a: vec![],
+            b: vec![(0.0, vec![1.0])],
+            c: vec![1.0],
+            d: 0.0,
+        };
+        assert!(sys.freq_response(0.0).is_none());
+        let h = sys.freq_response(4.0).unwrap();
+        assert!((h.abs() - 0.25).abs() < 1e-12);
+        assert!((h.arg().to_degrees() + 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_state_resonator() {
+        // x1' = x2; x2' = -ω0² x1 + u; y = x1 → H = 1/(s² + ω0²).
+        let w0 = 3.0;
+        let sys = DelayLti {
+            a0: vec![vec![0.0, 1.0], vec![-w0 * w0, 0.0]],
+            delayed_a: vec![],
+            b: vec![(0.0, vec![0.0, 1.0])],
+            c: vec![1.0, 0.0],
+            d: 0.0,
+        };
+        let h = sys.freq_response(1.0).unwrap();
+        assert!((h.abs() - 1.0 / (w0 * w0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative delay")]
+    fn negative_delay_rejected() {
+        let sys = DelayLti {
+            a0: vec![vec![0.0]],
+            delayed_a: vec![(-0.1, vec![vec![1.0]])],
+            b: vec![],
+            c: vec![1.0],
+            d: 0.0,
+        };
+        sys.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be length n")]
+    fn shape_mismatch_rejected() {
+        let sys = DelayLti {
+            a0: vec![vec![0.0]],
+            delayed_a: vec![],
+            b: vec![],
+            c: vec![1.0, 2.0],
+            d: 0.0,
+        };
+        sys.validate();
+    }
+
+    #[test]
+    fn feedthrough_adds() {
+        let mut sys = first_order(1.0);
+        sys.d = 2.0;
+        let dc = sys.freq_response(0.0).unwrap();
+        assert!((dc.re - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! # control — control-theoretic analysis toolkit
+//!
+//! The paper's stability results (Figures 3 and 11, Appendix A) come from a
+//! classical pipeline: linearize the fluid model around its fixed point,
+//! Laplace-transform the linearized delay system, and compute the **phase
+//! margin** of the open-loop transfer function (Bode stability criterion).
+//!
+//! This crate implements that pipeline numerically, avoiding the paper's
+//! hand algebra while computing the same quantity:
+//!
+//! * [`complex`] — a self-contained `Complex64` (the workspace deliberately
+//!   owns its numerics; the models need a handful of operations);
+//! * [`cmatrix`] — dense complex matrices with LU solve, enough to evaluate
+//!   `(sI − A₀ − Σₖ Aₖ e^{−s τₖ})⁻¹ B(s)` at `s = jω`;
+//! * [`delay_lti`] — delayed LTI state-space systems with multiple discrete
+//!   delays and transfer-function evaluation;
+//! * [`margins`] — Bode sweeps, gain-crossover search and phase margin;
+//! * [`linearize`] — central finite-difference Jacobians of a nonlinear
+//!   vector function (used to linearize fluid models at the fixed point);
+//! * [`roots`] — robust scalar root finding (bisection / Brent) for fixed-
+//!   point equations such as the paper's Eq 11.
+
+#![deny(missing_docs)]
+
+pub mod cmatrix;
+pub mod complex;
+pub mod delay_lti;
+pub mod linearize;
+pub mod margins;
+pub mod roots;
+
+pub use cmatrix::CMatrix;
+pub use complex::Complex64;
+pub use delay_lti::DelayLti;
+pub use margins::{phase_margin, BodePoint, MarginReport};

@@ -1,0 +1,270 @@
+//! Bode sweeps, gain crossover and phase-margin computation.
+//!
+//! The paper's stability figures (3 and 11) plot the **phase margin** of the
+//! linearized control loop: "A stable system must have negative Gain (in dB)
+//! when there is a small oscillation around the fixed point […] Phase Margin
+//! is defined as how far the system is from the 0 dB Gain state."
+//!
+//! Given the open-loop response `L(jω)` (a closure, so callers can assemble
+//! arbitrary loops from [`crate::DelayLti`] blocks, integrators and marking
+//! gains), we sweep a log-spaced frequency grid, **unwrap the phase** (delay
+//! terms wind it through many multiples of −180°), locate every 0 dB
+//! crossing by bisection, and report the minimum phase margin across
+//! crossings — the conservative choice when delays produce multiple
+//! crossovers, which is exactly the regime behind DCQCN's non-monotonic
+//! stability.
+
+use crate::complex::Complex64;
+
+/// One point of a Bode sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct BodePoint {
+    /// Angular frequency (rad/s).
+    pub omega: f64,
+    /// Gain in dB.
+    pub gain_db: f64,
+    /// Unwrapped phase in degrees.
+    pub phase_deg: f64,
+}
+
+/// Result of a margin analysis.
+#[derive(Debug, Clone)]
+pub struct MarginReport {
+    /// Gain-crossover frequencies (rad/s) where |L| falls through 1.
+    pub crossover_omegas: Vec<f64>,
+    /// Phase margin (degrees) at the worst crossover; `None` when the loop
+    /// never reaches 0 dB (then the loop is gain-stable for any phase).
+    pub phase_margin_deg: Option<f64>,
+    /// Gain margin (dB) at the first −180° phase crossing, if any.
+    pub gain_margin_db: Option<f64>,
+    /// Swept Bode points (for figure output).
+    pub bode: Vec<BodePoint>,
+}
+
+impl MarginReport {
+    /// A positive phase margin (or no crossover at all) means stable.
+    pub fn is_stable(&self) -> bool {
+        self.phase_margin_deg.is_none_or(|pm| pm > 0.0)
+    }
+}
+
+/// Sweep `l` over `[omega_min, omega_max]` with `points` log-spaced samples
+/// and compute margins. `l` must be defined (non-pole) on the sweep range.
+///
+/// ```
+/// use control::complex::Complex64;
+/// use control::margins::phase_margin;
+///
+/// // L(s) = 1/(s(s+1)): the classic type-1 loop, PM ≈ 51.8°.
+/// let l = |w: f64| Some(Complex64::ONE / (Complex64::j(w) * (Complex64::j(w) + Complex64::ONE)));
+/// let rep = phase_margin(l, 1e-3, 1e3, 2000);
+/// assert!(rep.is_stable());
+/// assert!((rep.phase_margin_deg.unwrap() - 51.8).abs() < 0.5);
+/// ```
+pub fn phase_margin<F>(l: F, omega_min: f64, omega_max: f64, points: usize) -> MarginReport
+where
+    F: Fn(f64) -> Option<Complex64>,
+{
+    assert!(omega_min > 0.0 && omega_max > omega_min && points >= 16);
+    let log_min = omega_min.ln();
+    let log_max = omega_max.ln();
+    let mut bode = Vec::with_capacity(points);
+    let mut prev_phase_raw: Option<f64> = None;
+    let mut unwrap_offset = 0.0;
+
+    for k in 0..points {
+        let omega = (log_min + (log_max - log_min) * k as f64 / (points - 1) as f64).exp();
+        let Some(z) = l(omega) else { continue };
+        if z.is_nan() {
+            continue;
+        }
+        let gain_db = 20.0 * z.abs().log10();
+        let raw = z.arg().to_degrees();
+        if let Some(prev) = prev_phase_raw {
+            let mut d = raw - prev;
+            while d > 180.0 {
+                d -= 360.0;
+                unwrap_offset -= 360.0;
+            }
+            while d < -180.0 {
+                d += 360.0;
+                unwrap_offset += 360.0;
+            }
+        }
+        prev_phase_raw = Some(raw);
+        bode.push(BodePoint {
+            omega,
+            gain_db,
+            phase_deg: raw + unwrap_offset,
+        });
+    }
+
+    // Locate 0 dB crossings (gain falling or rising through 0).
+    let mut crossover_omegas = Vec::new();
+    let mut pms = Vec::new();
+    for w in bode.windows(2) {
+        let (p0, p1) = (w[0], w[1]);
+        if (p0.gain_db > 0.0) != (p1.gain_db > 0.0) {
+            // Bisect in log-ω for the crossing.
+            let mut lo = p0.omega;
+            let mut hi = p1.omega;
+            for _ in 0..60 {
+                let mid = ((lo.ln() + hi.ln()) / 2.0).exp();
+                let g = l(mid).map(|z| 20.0 * z.abs().log10()).unwrap_or(0.0);
+                if (g > 0.0) == (p0.gain_db > 0.0) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let wc = (lo * hi).sqrt();
+            if let Some(z) = l(wc) {
+                // Phase at crossover: use the unwrapped sweep phase of the
+                // bracketing points plus the local raw offset for precision.
+                let raw = z.arg().to_degrees();
+                // Choose the unwrap branch nearest the interpolated sweep phase.
+                let approx = p0.phase_deg
+                    + (p1.phase_deg - p0.phase_deg) * ((wc.ln() - p0.omega.ln())
+                        / (p1.omega.ln() - p0.omega.ln()));
+                let mut phase = raw;
+                while phase - approx > 180.0 {
+                    phase -= 360.0;
+                }
+                while phase - approx < -180.0 {
+                    phase += 360.0;
+                }
+                crossover_omegas.push(wc);
+                pms.push(180.0 + phase);
+            }
+        }
+    }
+
+    // Gain margin at the first unwrapped -180° phase crossing.
+    let mut gain_margin_db = None;
+    for w in bode.windows(2) {
+        let (p0, p1) = (w[0], w[1]);
+        if (p0.phase_deg + 180.0) * (p1.phase_deg + 180.0) < 0.0 {
+            let f = (-180.0 - p0.phase_deg) / (p1.phase_deg - p0.phase_deg);
+            let g = p0.gain_db + f * (p1.gain_db - p0.gain_db);
+            gain_margin_db = Some(-g);
+            break;
+        }
+    }
+
+    let phase_margin_deg = pms
+        .iter()
+        .copied()
+        .min_by(|a, b| a.partial_cmp(b).expect("NaN phase margin"));
+
+    MarginReport {
+        crossover_omegas,
+        phase_margin_deg,
+        gain_margin_db,
+        bode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+
+    /// L(s) = K / (s (s+1)): classic type-1 loop with analytic margins.
+    fn type1(k: f64) -> impl Fn(f64) -> Option<Complex64> {
+        move |omega: f64| {
+            let s = Complex64::j(omega);
+            Some(Complex64::from_re(k) / (s * (s + Complex64::ONE)))
+        }
+    }
+
+    #[test]
+    fn integrator_lag_phase_margin_matches_analytic() {
+        // For L = 1/(s(s+1)): ω_c solves ω²(ω²+1)=1 → ω_c ≈ 0.7862,
+        // PM = 180 − 90 − atan(ω_c) ≈ 51.83°.
+        let rep = phase_margin(type1(1.0), 1e-3, 1e3, 2000);
+        let pm = rep.phase_margin_deg.unwrap();
+        assert!((pm - 51.83).abs() < 0.1, "pm = {pm}");
+        assert!(rep.is_stable());
+        let wc = rep.crossover_omegas[0];
+        assert!((wc - 0.7862).abs() < 1e-3, "wc = {wc}");
+    }
+
+    #[test]
+    fn high_gain_reduces_margin() {
+        let pm1 = phase_margin(type1(1.0), 1e-3, 1e3, 1500)
+            .phase_margin_deg
+            .unwrap();
+        let pm10 = phase_margin(type1(10.0), 1e-3, 1e3, 1500)
+            .phase_margin_deg
+            .unwrap();
+        assert!(pm10 < pm1);
+        assert!(pm10 > 0.0, "type-1 second-order loop is always stable");
+    }
+
+    #[test]
+    fn delay_destabilizes() {
+        // L = e^{-sT}/(s(s+1)) with big T goes unstable.
+        let with_delay = |t: f64| {
+            move |omega: f64| {
+                let s = Complex64::j(omega);
+                Some((-s * t).exp() / (s * (s + Complex64::ONE)))
+            }
+        };
+        let pm_small = phase_margin(with_delay(0.1), 1e-3, 1e3, 2000)
+            .phase_margin_deg
+            .unwrap();
+        let pm_big = phase_margin(with_delay(5.0), 1e-3, 1e3, 2000)
+            .phase_margin_deg
+            .unwrap();
+        assert!(pm_small > 0.0);
+        assert!(pm_big < 0.0, "pm with 5 s delay = {pm_big}");
+        assert!(!phase_margin(with_delay(5.0), 1e-3, 1e3, 2000).is_stable());
+    }
+
+    #[test]
+    fn no_crossover_reports_none_and_stable() {
+        // |L| = 0.1/(1+ω²)^{1/2} < 1 everywhere.
+        let l = |omega: f64| {
+            Some(Complex64::from_re(0.1) / (Complex64::j(omega) + Complex64::ONE))
+        };
+        let rep = phase_margin(l, 1e-2, 1e2, 500);
+        assert!(rep.phase_margin_deg.is_none());
+        assert!(rep.is_stable());
+        assert!(rep.crossover_omegas.is_empty());
+    }
+
+    #[test]
+    fn gain_margin_of_third_order_loop() {
+        // L = K/(s+1)^3 crosses -180° at ω = √3 where |L| = K/8.
+        let l = |omega: f64| {
+            let den = Complex64::j(omega) + Complex64::ONE;
+            Some(Complex64::from_re(2.0) / (den * den * den))
+        };
+        let rep = phase_margin(l, 1e-3, 1e3, 4000);
+        let gm = rep.gain_margin_db.unwrap();
+        // Expected GM = -20 log10(2/8) = 12.04 dB.
+        assert!((gm - 12.04).abs() < 0.1, "gm = {gm}");
+    }
+
+    #[test]
+    fn phase_unwrapping_is_monotone_for_pure_delay() {
+        // L = e^{-s}/s: phase = -90° - ω·(180/π), strictly decreasing.
+        let l = |omega: f64| Some((-Complex64::j(omega)).exp() / Complex64::j(omega));
+        let rep = phase_margin(l, 1e-2, 1e2, 3000);
+        for w in rep.bode.windows(2) {
+            assert!(w[1].phase_deg <= w[0].phase_deg + 1e-6);
+        }
+        // At ω = 10, unwrapped phase ≈ -90 - 573 = -663°.
+        let p = rep
+            .bode
+            .iter()
+            .min_by(|a, b| {
+                (a.omega - 10.0)
+                    .abs()
+                    .partial_cmp(&(b.omega - 10.0).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        assert!((p.phase_deg + 90.0 + 10.0f64.to_degrees()).abs() < 5.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Eq 14 validation table: the closed-form approximation of the DCQCN
+//! fixed-point marking probability against the exact root of Eq 11, and
+//! the resulting queue length (Eq 9) — the quantitative backbone of
+//! Theorem 1's discussion ("the queue length q* … depends on the number of
+//! flows N").
+
+use models::dcqcn::{DcqcnFluid, DcqcnParams};
+use serde::{Deserialize, Serialize};
+
+/// Configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Eq14Config {
+    /// Flow counts to tabulate.
+    pub flow_counts: Vec<usize>,
+    /// Capacities (Gbps) to tabulate.
+    pub capacities_gbps: Vec<f64>,
+}
+
+impl Default for Eq14Config {
+    fn default() -> Self {
+        Eq14Config {
+            flow_counts: vec![1, 2, 4, 8, 16, 32],
+            capacities_gbps: vec![10.0, 40.0],
+        }
+    }
+}
+
+/// One table row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Eq14Row {
+    /// Capacity (Gbps).
+    pub capacity_gbps: f64,
+    /// Flow count.
+    pub n_flows: usize,
+    /// Exact `p*` from Eq 11.
+    pub p_exact: f64,
+    /// Approximate `p*` from Eq 14.
+    pub p_approx: f64,
+    /// Relative error of the approximation.
+    pub rel_error: f64,
+    /// Queue `q*` (KB) implied by the exact root (Eq 9).
+    pub q_star_kb: f64,
+    /// Whether `p*` exceeds `P_max` (operating point past the RED knee).
+    pub saturated: bool,
+}
+
+/// Result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Eq14Result {
+    /// Table rows.
+    pub rows: Vec<Eq14Row>,
+}
+
+/// Run the table.
+pub fn run(cfg: &Eq14Config) -> Eq14Result {
+    let mut rows = Vec::new();
+    for &c in &cfg.capacities_gbps {
+        for &n in &cfg.flow_counts {
+            let mut params = DcqcnParams::default_40g();
+            params.capacity_gbps = c;
+            let fluid = DcqcnFluid::new(params.clone(), n);
+            let fp = fluid.fixed_point();
+            let approx = params.p_star_approx(n);
+            rows.push(Eq14Row {
+                capacity_gbps: c,
+                n_flows: n,
+                p_exact: fp.p_star,
+                p_approx: approx,
+                rel_error: (approx - fp.p_star).abs() / fp.p_star,
+                q_star_kb: fp.q_star_kb,
+                saturated: fp.saturated,
+            });
+        }
+    }
+    Eq14Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximation_good_in_small_p_regime() {
+        let res = run(&Eq14Config::default());
+        for row in &res.rows {
+            // Where the paper's premise holds (p* close to 0), the Taylor
+            // form is accurate.
+            if row.p_exact < 0.01 {
+                // The O(p⁴) Taylor truncation is good to tens of percent in
+                // this regime (the paper uses it for scaling, not accuracy).
+                assert!(
+                    row.rel_error < 0.35,
+                    "C={} N={}: rel error {:.3}",
+                    row.capacity_gbps,
+                    row.n_flows,
+                    row.rel_error
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p_star_grows_with_n_and_shrinks_with_c() {
+        let res = run(&Eq14Config::default());
+        let get = |c: f64, n: usize| {
+            res.rows
+                .iter()
+                .find(|r| r.capacity_gbps == c && r.n_flows == n)
+                .unwrap()
+                .p_exact
+        };
+        assert!(get(40.0, 2) < get(40.0, 16), "p* increases with N");
+        assert!(get(40.0, 8) < get(10.0, 8), "p* decreases with C");
+    }
+
+    #[test]
+    fn queue_tracks_p_star() {
+        let res = run(&Eq14Config::default());
+        for w in res
+            .rows
+            .iter()
+            .filter(|r| r.capacity_gbps == 40.0)
+            .collect::<Vec<_>>()
+            .windows(2)
+        {
+            assert!(w[1].q_star_kb >= w[0].q_star_kb, "q* monotone in N");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 11: Patched TIMELY phase margin vs number of flows.
+//!
+//! "The phase margin result shows this system is stable until the number
+//! of flows is greater than 40 […] more flows lead to larger queue size
+//! (Eq 31), thus leading to larger feedback delay (Eq 24). This leads to
+//! system instability."
+
+use models::patched_timely::{PatchedTimelyFluid, PatchedTimelyParams};
+use serde::{Deserialize, Serialize};
+
+/// Configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Config {
+    /// Flow counts to sweep.
+    pub flow_counts: Vec<usize>,
+}
+
+impl Default for Fig11Config {
+    fn default() -> Self {
+        Fig11Config {
+            flow_counts: vec![2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64],
+        }
+    }
+}
+
+/// Result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Result {
+    /// `(n_flows, phase margin °, q* KB, feedback delay µs)` per point.
+    pub points: Vec<(usize, f64, f64, f64)>,
+    /// First flow count with a negative margin (the stability limit).
+    pub instability_threshold: Option<usize>,
+}
+
+/// Run the sweep.
+pub fn run(cfg: &Fig11Config) -> Fig11Result {
+    let params = PatchedTimelyParams::default_10g();
+    let mut points = Vec::new();
+    let mut threshold = None;
+    for &n in &cfg.flow_counts {
+        let m = PatchedTimelyFluid::new(params.clone(), n);
+        let pm = m
+            .margin_report()
+            .phase_margin_deg
+            .unwrap_or(180.0);
+        let q_star = params.q_star_kb(n);
+        let delay_us = params
+            .base
+            .tau_feedback(params.q_star_pkts(n))
+            * 1e6;
+        if pm < 0.0 && threshold.is_none() {
+            threshold = Some(n);
+        }
+        points.push((n, pm, q_star, delay_us));
+    }
+    Fig11Result {
+        points,
+        instability_threshold: threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stability_limit_in_plausible_range() {
+        let res = run(&Fig11Config::default());
+        let thr = res
+            .instability_threshold
+            .expect("must go unstable at large N");
+        // The paper reports ~40 with its tuning; our numerically linearized
+        // loop places the crossing in the same regime (tens of flows).
+        assert!(
+            (8..=56).contains(&thr),
+            "instability threshold {thr} out of range"
+        );
+        // Small N stable.
+        assert!(res.points[0].1 > 0.0);
+    }
+
+    #[test]
+    fn feedback_delay_grows_with_flows() {
+        // Eq 31 + Eq 24: the mechanism behind the collapse.
+        let res = run(&Fig11Config::default());
+        for w in res.points.windows(2) {
+            assert!(w[1].3 > w[0].3, "delay must grow with N");
+            assert!(w[1].2 > w[0].2, "q* must grow with N");
+        }
+    }
+}

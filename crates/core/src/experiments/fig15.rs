@@ -1,0 +1,81 @@
+//! Figure 15: CDF of small-flow FCT at load 0.8 — the full distribution
+//! behind Figure 14's quantiles, showing TIMELY's heavy tail.
+
+use crate::experiments::fig14::run_cell;
+use crate::experiments::Series;
+use crate::scenarios::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// Configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig15Config {
+    /// The load factor (0.8 in the paper).
+    pub load: f64,
+    /// Protocols to compare.
+    pub protocols: Vec<Protocol>,
+    /// Arrival horizon (seconds).
+    pub horizon_s: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig15Config {
+    fn default() -> Self {
+        Fig15Config {
+            load: 0.8,
+            protocols: vec![Protocol::Dcqcn, Protocol::Timely, Protocol::PatchedTimely],
+            horizon_s: 0.4,
+            seed: 1,
+        }
+    }
+}
+
+/// Result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig15Result {
+    /// Per protocol: `(fct_ms, cumulative fraction)` CDF of small flows.
+    pub cdfs: Vec<(String, Series)>,
+}
+
+/// Run.
+pub fn run(cfg: &Fig15Config) -> Fig15Result {
+    let mut cdfs = Vec::new();
+    for &proto in &cfg.protocols {
+        let (mut stats, _util) = run_cell(proto, cfg.load, cfg.horizon_s, cfg.seed);
+        let _ = &mut stats;
+        let cdf: Series = stats
+            .small_cdf()
+            .into_iter()
+            .map(|(fct_s, p)| (fct_s * 1e3, p))
+            .collect();
+        cdfs.push((proto.label().to_string(), cdf));
+    }
+    Fig15Result { cdfs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_based_tail_heavier_than_dcqcn() {
+        let cfg = Fig15Config {
+            protocols: vec![Protocol::Dcqcn, Protocol::PatchedTimely],
+            horizon_s: 0.15,
+            seed: 2,
+            load: 0.8,
+        };
+        let res = run(&cfg);
+        let max_fct = |s: &Series| s.iter().map(|&(x, _)| x).fold(0.0, f64::max);
+        let dcqcn_max = max_fct(&res.cdfs[0].1);
+        let patched_max = max_fct(&res.cdfs[1].1);
+        assert!(
+            patched_max > dcqcn_max,
+            "delay-based max FCT {patched_max:.2} ms vs DCQCN {dcqcn_max:.2} ms"
+        );
+        // CDFs are valid distributions.
+        for (_, cdf) in &res.cdfs {
+            assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+    }
+}

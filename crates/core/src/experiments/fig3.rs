@@ -1,0 +1,200 @@
+//! Figure 3: DCQCN phase margins.
+//!
+//! (a) phase margin vs number of flows for several control-loop delays τ*;
+//! (b) the stabilizing effect of smaller `R_AI`; (c) of larger `K_max`.
+//! The headline: the margin is **non-monotonic** in the number of flows —
+//! at high delay it dips (often below zero near N ≈ 10) and recovers for
+//! large N, "very different from TCP's behavior".
+
+use models::dcqcn::{DcqcnFluid, DcqcnParams};
+use serde::{Deserialize, Serialize};
+
+/// Configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Config {
+    /// Flow counts to sweep.
+    pub flow_counts: Vec<usize>,
+    /// Delays (µs) for panel (a).
+    pub delays_us: Vec<f64>,
+    /// `R_AI` values (Mbps) for panel (b), at `panel_bc_delay_us`.
+    pub r_ai_mbps: Vec<f64>,
+    /// `K_max` values (KB) for panel (c), at `panel_bc_delay_us`.
+    pub kmax_kb: Vec<f64>,
+    /// Delay used for panels (b) and (c).
+    pub panel_bc_delay_us: f64,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Fig3Config {
+            flow_counts: vec![2, 4, 6, 8, 10, 14, 18, 24, 32, 48, 64, 100],
+            delays_us: vec![4.0, 20.0, 50.0, 85.0, 100.0],
+            r_ai_mbps: vec![10.0, 40.0, 100.0],
+            kmax_kb: vec![200.0, 1000.0, 5000.0],
+            panel_bc_delay_us: 85.0,
+        }
+    }
+}
+
+/// One margin curve: label plus `(N, phase margin °)` points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarginCurve {
+    /// Curve label (e.g. "τ*=85µs").
+    pub label: String,
+    /// `(n_flows, phase_margin_deg)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Full result: panels (a), (b), (c).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// Panel (a): one curve per delay.
+    pub by_delay: Vec<MarginCurve>,
+    /// Panel (b): one curve per `R_AI`.
+    pub by_r_ai: Vec<MarginCurve>,
+    /// Panel (c): one curve per `K_max`.
+    pub by_kmax: Vec<MarginCurve>,
+}
+
+fn margin(params: &DcqcnParams, n: usize) -> f64 {
+    DcqcnFluid::new(params.clone(), n)
+        .margin_report()
+        .phase_margin_deg
+        .unwrap_or(180.0)
+}
+
+/// Run all three sweeps.
+pub fn run(cfg: &Fig3Config) -> Fig3Result {
+    let base = DcqcnParams::default_40g();
+
+    let by_delay = cfg
+        .delays_us
+        .iter()
+        .map(|&d| {
+            let mut p = base.clone();
+            p.feedback_delay_us = d;
+            MarginCurve {
+                label: format!("tau*={d}us"),
+                points: cfg
+                    .flow_counts
+                    .iter()
+                    .map(|&n| (n, margin(&p, n)))
+                    .collect(),
+            }
+        })
+        .collect();
+
+    let by_r_ai = cfg
+        .r_ai_mbps
+        .iter()
+        .map(|&r| {
+            let mut p = base.clone();
+            p.feedback_delay_us = cfg.panel_bc_delay_us;
+            p.r_ai_mbps = r;
+            MarginCurve {
+                label: format!("R_AI={r}Mbps"),
+                points: cfg
+                    .flow_counts
+                    .iter()
+                    .map(|&n| (n, margin(&p, n)))
+                    .collect(),
+            }
+        })
+        .collect();
+
+    let by_kmax = cfg
+        .kmax_kb
+        .iter()
+        .map(|&k| {
+            let mut p = base.clone();
+            p.feedback_delay_us = cfg.panel_bc_delay_us;
+            p.kmax_kb = k;
+            MarginCurve {
+                label: format!("Kmax={k}KB"),
+                points: cfg
+                    .flow_counts
+                    .iter()
+                    .map(|&n| (n, margin(&p, n)))
+                    .collect(),
+            }
+        })
+        .collect();
+
+    Fig3Result {
+        by_delay,
+        by_r_ai,
+        by_kmax,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> Fig3Config {
+        Fig3Config {
+            flow_counts: vec![2, 10, 64],
+            delays_us: vec![4.0, 85.0],
+            r_ai_mbps: vec![10.0, 40.0],
+            kmax_kb: vec![200.0, 1000.0],
+            panel_bc_delay_us: 85.0,
+        }
+    }
+
+    #[test]
+    fn small_delay_stable_everywhere() {
+        let res = run(&quick_cfg());
+        let small = &res.by_delay[0]; // 4 µs
+        for &(n, pm) in &small.points {
+            assert!(pm > 0.0, "N={n} at 4 µs should be stable, pm={pm:.1}");
+        }
+    }
+
+    #[test]
+    fn nonmonotone_dip_at_high_delay() {
+        let res = run(&quick_cfg());
+        let high = &res.by_delay[1]; // 85 µs
+        let pm: Vec<f64> = high.points.iter().map(|&(_, p)| p).collect();
+        assert!(
+            pm[1] < pm[0] && pm[1] < pm[2],
+            "dip at N=10 expected: {pm:?}"
+        );
+    }
+
+    #[test]
+    fn smaller_rai_has_larger_margin_at_dip() {
+        // Figure 3(b)'s claim targets the unstable dip region (N ≈ 10 at
+        // 85 µs); at very large N the R_AI effect interacts with p* and is
+        // not uniformly monotone.
+        let res = run(&quick_cfg());
+        let small_rai = &res.by_r_ai[0]; // 10 Mbps
+        let default_rai = &res.by_r_ai[1]; // 40 Mbps
+        let dip = 1; // N = 10 in quick_cfg
+        assert!(
+            small_rai.points[dip].1 > default_rai.points[dip].1,
+            "R_AI=10 must stabilize the dip: {:.1} vs {:.1}",
+            small_rai.points[dip].1,
+            default_rai.points[dip].1
+        );
+        // And it must lift the dip out of instability.
+        assert!(
+            small_rai.points[dip].1 > 0.0,
+            "dip should become stable with R_AI=10: {:.1}",
+            small_rai.points[dip].1
+        );
+    }
+
+    #[test]
+    fn larger_kmax_has_larger_margin_at_dip() {
+        let res = run(&quick_cfg());
+        let k200 = &res.by_kmax[0];
+        let k1000 = &res.by_kmax[1];
+        // At the dip (N = 10), the larger K_max must help.
+        assert!(
+            k1000.points[1].1 > k200.points[1].1,
+            "{:.1} vs {:.1}",
+            k1000.points[1].1,
+            k200.points[1].1
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Figure 4: impact of delay and flow count on DCQCN stability, in the
+//! fluid model. Six panels: τ* ∈ {4 µs, 85 µs} × N ∈ {2, 10, 64}; at 85 µs
+//! the N = 10 case oscillates while N = 2 and N = 64 settle.
+
+use crate::experiments::Series;
+use models::dcqcn::{DcqcnFluid, DcqcnParams};
+use serde::{Deserialize, Serialize};
+
+/// Configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Config {
+    /// Delays (µs).
+    pub delays_us: Vec<f64>,
+    /// Flow counts.
+    pub flow_counts: Vec<usize>,
+    /// Duration (seconds).
+    pub duration_s: f64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config {
+            delays_us: vec![4.0, 85.0],
+            flow_counts: vec![2, 10, 64],
+            duration_s: 0.1,
+        }
+    }
+}
+
+/// One panel of the grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Panel {
+    /// Feedback delay in µs.
+    pub delay_us: f64,
+    /// Number of flows.
+    pub n_flows: usize,
+    /// Flow-0 rate (Gbps) over time.
+    pub rate_gbps: Series,
+    /// Queue (KB) over time.
+    pub queue_kb: Series,
+    /// Queue oscillation over the tail window, normalized by q*.
+    pub queue_oscillation: f64,
+    /// Stable per the phase-margin analysis?
+    pub predicted_stable: bool,
+}
+
+/// Full grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// All panels.
+    pub panels: Vec<Fig4Panel>,
+}
+
+/// Run the grid.
+pub fn run(cfg: &Fig4Config) -> Fig4Result {
+    let mut panels = Vec::new();
+    for &d in &cfg.delays_us {
+        for &n in &cfg.flow_counts {
+            let mut params = DcqcnParams::default_40g();
+            params.feedback_delay_us = d;
+            let mut fluid = DcqcnFluid::new(params, n);
+            let fp = fluid.fixed_point();
+            let predicted_stable = fluid.margin_report().is_stable();
+            let trace = fluid.simulate(cfg.duration_s);
+            let tail = cfg.duration_s * 0.6;
+            let osc = trace.peak_to_peak_from(0, tail) / fp.q_star_pkts.max(1.0);
+            panels.push(Fig4Panel {
+                delay_us: d,
+                n_flows: n,
+                rate_gbps: fluid.rates_gbps(&trace, 0),
+                queue_kb: fluid.queue_kb(&trace),
+                queue_oscillation: osc,
+                predicted_stable,
+            });
+        }
+    }
+    Fig4Result { panels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper_story() {
+        let res = run(&Fig4Config {
+            duration_s: 0.08,
+            ..Default::default()
+        });
+        let find = |d: f64, n: usize| {
+            res.panels
+                .iter()
+                .find(|p| p.delay_us == d && p.n_flows == n)
+                .unwrap()
+        };
+        // 4 µs: everything calm.
+        for &n in &[2usize, 10, 64] {
+            let p = find(4.0, n);
+            assert!(
+                p.queue_oscillation < 0.5,
+                "4µs/N={n} should be calm, osc {:.2}",
+                p.queue_oscillation
+            );
+        }
+        // 85 µs: N=10 oscillates much more than N=2 and N=64.
+        let p2 = find(85.0, 2).queue_oscillation;
+        let p10 = find(85.0, 10).queue_oscillation;
+        let p64 = find(85.0, 64).queue_oscillation;
+        assert!(
+            p10 > 2.0 * p2 && p10 > 1.5 * p64,
+            "N=10 must be the unstable one: {p2:.2} / {p10:.2} / {p64:.2}"
+        );
+    }
+
+    #[test]
+    fn time_domain_agrees_with_frequency_domain() {
+        // The phase-margin prediction and observed oscillation must agree
+        // on the paper's grid.
+        let res = run(&Fig4Config {
+            duration_s: 0.08,
+            ..Default::default()
+        });
+        for p in &res.panels {
+            if p.predicted_stable {
+                assert!(
+                    p.queue_oscillation < 1.0,
+                    "predicted stable but oscillating: τ*={} N={} osc={:.2}",
+                    p.delay_us,
+                    p.n_flows,
+                    p.queue_oscillation
+                );
+            } else {
+                assert!(
+                    p.queue_oscillation > 0.5,
+                    "predicted unstable but calm: τ*={} N={} osc={:.2}",
+                    p.delay_us,
+                    p.n_flows,
+                    p.queue_oscillation
+                );
+            }
+        }
+    }
+}

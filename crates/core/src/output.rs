@@ -1,0 +1,80 @@
+//! Result output helpers: JSON dumps and CSV series.
+
+use serde::Serialize;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Serialize `value` as pretty JSON into `path`, creating parent
+/// directories as needed.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    fs::write(path, json)
+}
+
+/// Write one or more named `(x, y)` series as CSV: header `x,name1,name2…`,
+/// one row per x of the first series (series are expected to share x's; a
+/// missing y is left empty).
+pub fn write_series_csv(
+    path: &Path,
+    x_label: &str,
+    series: &[(&str, &[(f64, f64)])],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = fs::File::create(path)?;
+    write!(f, "{x_label}")?;
+    for (name, _) in series {
+        write!(f, ",{name}")?;
+    }
+    writeln!(f)?;
+    let n = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for i in 0..n {
+        let x = series
+            .iter()
+            .find_map(|(_, s)| s.get(i).map(|&(x, _)| x))
+            .unwrap_or(f64::NAN);
+        write!(f, "{x}")?;
+        for (_, s) in series {
+            match s.get(i) {
+                Some(&(_, y)) => write!(f, ",{y}")?,
+                None => write!(f, ",")?,
+            }
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("ecn_delay_test_out");
+        let path = dir.join("x.json");
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let v: Vec<i32> = serde_json::from_str(&body).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn csv_layout() {
+        let dir = std::env::temp_dir().join("ecn_delay_test_out");
+        let path = dir.join("s.csv");
+        let a = [(0.0, 1.0), (1.0, 2.0)];
+        let b = [(0.0, 5.0)];
+        write_series_csv(&path, "t", &[("a", &a), ("b", &b)]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines[0], "t,a,b");
+        assert_eq!(lines[1], "0,1,5");
+        assert_eq!(lines[2], "1,2,");
+    }
+}

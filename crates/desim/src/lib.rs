@@ -1,0 +1,34 @@
+//! # desim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the foundation of the packet-level simulator used to
+//! reproduce the CoNEXT'16 paper *"ECN or Delay: Lessons Learnt from Analysis
+//! of DCQCN and TIMELY"*. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulation time with
+//!   convenient constructors (`SimDuration::micros(50)`) and exact arithmetic,
+//!   so event ordering is never subject to floating-point noise;
+//! * [`EventQueue`] — a calendar queue (binary heap) with a monotonically
+//!   increasing tie-break sequence number, guaranteeing **deterministic**
+//!   FIFO ordering among simultaneous events and O(log n) operations;
+//! * [`rng::SimRng`] — a small, seedable xoshiro256** generator so every
+//!   experiment is exactly reproducible from its seed;
+//! * [`stats`] — online statistics (time-weighted averages, percentile
+//!   estimation over exact samples, histograms) used for queue occupancy and
+//!   flow-completion-time reporting.
+//!
+//! The kernel deliberately contains **no networking concepts**: links,
+//! switches and protocols live in the `netsim` and `protocols` crates. This
+//! mirrors the separation in mature event-driven stacks (cf. smoltcp's
+//! "simplicity and robustness" design goals): the kernel is small enough to
+//! be exhaustively tested, and everything above it is pure library code.
+
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventQueue, EventId};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

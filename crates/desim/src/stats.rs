@@ -1,0 +1,304 @@
+//! Online statistics used by the experiment harness.
+//!
+//! Three collectors cover every measurement in the paper's evaluation:
+//!
+//! * [`TimeWeighted`] — time-weighted mean/max of a piecewise-constant signal
+//!   (queue occupancy between events);
+//! * [`Samples`] — exact sample set with percentile queries (flow completion
+//!   times; the paper reports medians, 90th percentiles and CDFs);
+//! * [`TimeSeries`] — decimated `(t, value)` trace for figures.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Time-weighted statistics of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::update`] *before* changing the signal so the old
+/// value is credited for the elapsed interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    total_time: f64,
+    max: f64,
+    min: f64,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// New, empty collector.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            total_time: 0.0,
+            max: f64::NEG_INFINITY,
+            min: f64::INFINITY,
+            started: false,
+        }
+    }
+
+    /// Record that the signal has held `value` since the previous update (or
+    /// since the first call) and is observed again at time `now`.
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        if self.started {
+            let dt = now.saturating_since(self.last_time).as_secs_f64();
+            self.weighted_sum += self.last_value * dt;
+            self.total_time += dt;
+        }
+        self.started = true;
+        self.last_time = now;
+        self.last_value = value;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Time-weighted mean over the observed interval, or `None` before two
+    /// updates have elapsed.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total_time > 0.0).then(|| self.weighted_sum / self.total_time)
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> Option<f64> {
+        self.started.then_some(self.max)
+    }
+
+    /// Minimum observed value.
+    pub fn min(&self) -> Option<f64> {
+        self.started.then_some(self.min)
+    }
+}
+
+/// Exact sample collector with percentile queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// New, empty collector.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite sample");
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.values.is_empty())
+            .then(|| self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (q in `[0,1]`) by linear interpolation between order
+    /// statistics, matching `numpy.percentile`'s default. `None` if empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.values.len();
+        if n == 1 {
+            return Some(self.values[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Empirical CDF as `(value, cumulative_fraction)` points, one per
+    /// sample, suitable for plotting Figure 15-style curves.
+    pub fn cdf(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.values.len();
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Immutable view of the raw samples (unsorted order not guaranteed).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A decimated `(t_seconds, value)` trace for figure output.
+///
+/// Recording every event would produce unwieldy traces; `TimeSeries` keeps at
+/// most one point per `resolution` of simulated time (always keeping the most
+/// recent value within each bucket, plus the first point).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    resolution_secs: f64,
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// New trace with the given bucket width in seconds (0 keeps everything).
+    pub fn new(resolution_secs: f64) -> Self {
+        assert!(resolution_secs >= 0.0);
+        TimeSeries {
+            resolution_secs,
+            points: Vec::new(),
+        }
+    }
+
+    /// Record `value` at time `now`.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        let t = now.as_secs_f64();
+        if let Some(last) = self.points.last_mut() {
+            if self.resolution_secs > 0.0 && t - last.0 < self.resolution_secs {
+                // Same bucket: keep the latest value.
+                last.1 = value;
+                return;
+            }
+        }
+        self.points.push((t, value));
+    }
+
+    /// The recorded `(t, value)` points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new();
+        tw.update(t(0), 10.0); // 10 for [0, 2us)
+        tw.update(t(2), 20.0); // 20 for [2us, 6us)
+        tw.update(t(6), 0.0);
+        // mean = (10*2 + 20*4) / 6 = 100/6
+        assert!((tw.mean().unwrap() - 100.0 / 6.0).abs() < 1e-9);
+        assert_eq!(tw.max().unwrap(), 20.0);
+        assert_eq!(tw.min().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_single_point_has_no_mean() {
+        let mut tw = TimeWeighted::new();
+        tw.update(t(5), 1.0);
+        assert!(tw.mean().is_none());
+        assert_eq!(tw.max(), Some(1.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut s = Samples::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            s.push(v);
+        }
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(4.0));
+        assert!((s.median().unwrap() - 2.5).abs() < 1e-12);
+        // p90 of [1,2,3,4]: pos = 2.7 -> 3*0.3 + 4*0.7... careful:
+        // pos=0.9*3=2.7, lo=2 (value 3), hi=3 (value 4), frac=0.7 -> 3.7
+        assert!((s.quantile(0.9).unwrap() - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut s = Samples::new();
+        for v in [5.0, 1.0, 3.0] {
+            s.push(v);
+        }
+        let cdf = s.cdf();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
+        assert_eq!(cdf[2], (5.0, 1.0));
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_samples() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.median(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn time_series_decimates() {
+        let mut ts = TimeSeries::new(1e-6); // 1 us buckets
+        for ns in 0..1000u64 {
+            ts.record(SimTime::from_nanos(ns), ns as f64);
+        }
+        // All 1000 points fall within one bucket (plus the initial point).
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.points()[0].1, 999.0, "keeps latest value in bucket");
+        ts.record(t(2), 7.0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn time_series_zero_resolution_keeps_all() {
+        let mut ts = TimeSeries::new(0.0);
+        for i in 0..10u64 {
+            ts.record(SimTime::from_nanos(i), i as f64);
+        }
+        assert_eq!(ts.len(), 10);
+    }
+}

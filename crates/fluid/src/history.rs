@@ -1,0 +1,238 @@
+//! Dense solution history with linear interpolation, for delayed lookups.
+//!
+//! A DDE right-hand side needs `x_c(t − d)` for various components `c` and
+//! delays `d` (possibly state-dependent, as in TIMELY's Eq 24). [`History`]
+//! stores `(t, state)` knots as the integration advances and answers
+//! interpolated queries. Queries before the recorded range fall back to the
+//! *initial function* — a constant pre-history equal to the initial state by
+//! default, which matches both models' initial conditions (constant rates and
+//! empty queue before `t0`).
+
+/// Interpolated solution history for DDE integration.
+#[derive(Debug, Clone)]
+pub struct History {
+    dim: usize,
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+    /// Values returned for queries at `t <= times[0]`.
+    pre: Vec<f64>,
+    /// Index hint for monotone query patterns (typical in integration).
+    cursor: std::cell::Cell<usize>,
+}
+
+impl History {
+    /// New history with the given pre-`t0` constant state.
+    pub fn new(t0: f64, initial: &[f64]) -> Self {
+        History {
+            dim: initial.len(),
+            times: vec![t0],
+            states: vec![initial.to_vec()],
+            pre: initial.to_vec(),
+            cursor: std::cell::Cell::new(0),
+        }
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Append a knot. Times must be non-decreasing.
+    pub fn push(&mut self, t: f64, state: &[f64]) {
+        assert_eq!(state.len(), self.dim);
+        let last = *self.times.last().expect("history never empty");
+        assert!(t >= last, "history times must be non-decreasing");
+        if t == last {
+            // Replace the knot (refinement of the same instant).
+            *self.states.last_mut().unwrap() = state.to_vec();
+        } else {
+            self.times.push(t);
+            self.states.push(state.to_vec());
+        }
+    }
+
+    /// Earliest recorded time.
+    pub fn t_front(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Latest recorded time.
+    pub fn t_back(&self) -> f64 {
+        *self.times.last().unwrap()
+    }
+
+    /// Interpolated value of component `c` at time `t`.
+    ///
+    /// * `t <= t_front()` → pre-history constant.
+    /// * `t >= t_back()`  → latest value (constant extrapolation). This is
+    ///   what makes intra-step stage evaluations well-defined when a delay is
+    ///   smaller than the step size; the integrator keeps steps below the
+    ///   smallest delay, so this path only smooths sub-step lookups.
+    pub fn eval(&self, t: f64, c: usize) -> f64 {
+        assert!(c < self.dim, "component out of range");
+        if t <= self.times[0] {
+            return self.pre[c];
+        }
+        let n = self.times.len();
+        if t >= self.times[n - 1] {
+            return self.states[n - 1][c];
+        }
+        let idx = self.locate(t);
+        let (t0, t1) = (self.times[idx], self.times[idx + 1]);
+        let (v0, v1) = (self.states[idx][c], self.states[idx + 1][c]);
+        if t1 == t0 {
+            return v1;
+        }
+        let w = (t - t0) / (t1 - t0);
+        v0 + w * (v1 - v0)
+    }
+
+    /// Find `idx` with `times[idx] <= t < times[idx+1]`, exploiting monotone
+    /// query locality via a cursor, falling back to binary search.
+    fn locate(&self, t: f64) -> usize {
+        let n = self.times.len();
+        let mut idx = self.cursor.get().min(n - 2);
+        if self.times[idx] <= t {
+            // Walk forward a few steps before giving up to binary search.
+            let mut walked = 0;
+            while idx + 1 < n - 1 && self.times[idx + 1] <= t {
+                idx += 1;
+                walked += 1;
+                if walked > 8 {
+                    idx = self.bsearch(t);
+                    break;
+                }
+            }
+        } else {
+            idx = self.bsearch(t);
+        }
+        self.cursor.set(idx);
+        idx
+    }
+
+    fn bsearch(&self, t: f64) -> usize {
+        match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("NaN time"))
+        {
+            Ok(i) => i.min(self.times.len() - 2),
+            Err(i) => i.saturating_sub(1).min(self.times.len() - 2),
+        }
+    }
+
+    /// Drop knots older than `t_keep` (all strictly earlier than the knot
+    /// preceding `t_keep`), bounding memory for long integrations. The
+    /// pre-history constant is preserved for queries that still reach back
+    /// before the trimmed front (they return the oldest retained knot's
+    /// segment or the pre constant).
+    pub fn trim_before(&mut self, t_keep: f64) {
+        // Keep one knot at or before t_keep so interpolation at t_keep works.
+        let mut first_needed = 0;
+        for (i, &t) in self.times.iter().enumerate() {
+            if t <= t_keep {
+                first_needed = i;
+            } else {
+                break;
+            }
+        }
+        if first_needed > 0 {
+            self.times.drain(..first_needed);
+            self.states.drain(..first_needed);
+            self.pre = self.states[0].clone();
+            self.cursor.set(0);
+        }
+    }
+
+    /// Number of retained knots.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Always false: a history holds at least the initial knot.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_history() -> History {
+        // x(t) = 2t on [0, 10], pre-history x = 0.
+        let mut h = History::new(0.0, &[0.0]);
+        for i in 1..=10 {
+            let t = i as f64;
+            h.push(t, &[2.0 * t]);
+        }
+        h
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let h = linear_history();
+        assert_eq!(h.eval(3.5, 0), 7.0);
+        assert_eq!(h.eval(0.25, 0), 0.5);
+        assert_eq!(h.eval(9.99, 0), 19.98);
+    }
+
+    #[test]
+    fn pre_history_constant() {
+        let h = linear_history();
+        assert_eq!(h.eval(-5.0, 0), 0.0);
+        assert_eq!(h.eval(0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn extrapolates_latest() {
+        let h = linear_history();
+        assert_eq!(h.eval(42.0, 0), 20.0);
+    }
+
+    #[test]
+    fn replacing_same_time_knot() {
+        let mut h = History::new(0.0, &[1.0]);
+        h.push(1.0, &[5.0]);
+        h.push(1.0, &[6.0]); // refine
+        assert_eq!(h.eval(1.0, 0), 6.0);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn monotone_and_random_queries_agree() {
+        let h = linear_history();
+        // Monotone sweep (uses cursor) then random jumps (binary search).
+        for i in 0..100 {
+            let t = i as f64 * 0.1;
+            assert!((h.eval(t, 0) - 2.0 * t).abs() < 1e-12);
+        }
+        for &t in &[9.5, 0.1, 5.5, 2.2, 8.8, 0.9] {
+            assert!((h.eval(t, 0) - 2.0 * t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trim_preserves_interpolation_after_cut() {
+        let mut h = linear_history();
+        h.trim_before(5.0);
+        assert!(h.len() <= 6);
+        assert_eq!(h.eval(7.5, 0), 15.0);
+        assert_eq!(h.eval(5.0, 0), 10.0);
+    }
+
+    #[test]
+    fn multi_component() {
+        let mut h = History::new(0.0, &[1.0, -1.0]);
+        h.push(2.0, &[3.0, -3.0]);
+        assert_eq!(h.eval(1.0, 0), 2.0);
+        assert_eq!(h.eval(1.0, 1), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_time_regression() {
+        let mut h = History::new(0.0, &[0.0]);
+        h.push(2.0, &[1.0]);
+        h.push(1.0, &[1.0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # fluid — ODE and delay-differential-equation integrators
+//!
+//! The fluid models in the CoNEXT'16 *"ECN or Delay"* paper (Figures 1 and 7)
+//! are systems of **delay differential equations** (DDEs): the right-hand
+//! sides reference delayed quantities such as the marking probability
+//! `p(t − τ*)` and delayed queue lengths `q(t − τ′)`, and for TIMELY the
+//! delay itself is state-dependent (`τ′ = q/C + MTU/C + D_prop`, Eq 24).
+//!
+//! This crate provides what those models need and nothing more:
+//!
+//! * [`OdeSystem`] + fixed-step Euler / RK4 and adaptive RKF45 integrators
+//!   for plain ODEs (used by unit tests and the PI-controller analysis);
+//! * [`History`] — a dense, linearly interpolated record of the solution,
+//!   queried by the model for arbitrary delayed lookups;
+//! * [`DdeSystem`] + a fixed-step RK4 DDE integrator using the method of
+//!   steps: delayed values are read from the accumulated history, with the
+//!   pre-`t0` segment supplied by a user initial function (constant initial
+//!   state by default, matching the paper's "flows start at line rate");
+//! * [`Trace`] — a recorded solution with per-component series extraction
+//!   and decimation, the common currency of every figure runner.
+//!
+//! The integrators are deliberately explicit and fixed-step: the models have
+//! modest stiffness, delays of a few microseconds set a natural step-size
+//! bound anyway, and bit-for-bit reproducibility matters more than adaptive
+//! cleverness here.
+
+#![deny(missing_docs)]
+
+pub mod dde;
+pub mod history;
+pub mod ode;
+pub mod trace;
+
+pub use dde::{integrate_dde, DdeSystem};
+pub use history::History;
+pub use ode::{integrate_ode, integrate_ode_adaptive, OdeSystem};
+pub use trace::Trace;

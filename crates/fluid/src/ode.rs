@@ -1,0 +1,297 @@
+//! Plain (non-delayed) ODE integrators: Euler, classic RK4, and adaptive
+//! RKF45. These back the PI-controller fluid analysis and serve as reference
+//! implementations for the DDE stepper's convergence tests.
+
+use crate::trace::Trace;
+
+/// A first-order ODE system `dx/dt = f(t, x)`.
+pub trait OdeSystem {
+    /// State dimension.
+    fn dim(&self) -> usize;
+    /// Evaluate the derivative into `dxdt` (length `dim()`).
+    fn rhs(&mut self, t: f64, x: &[f64], dxdt: &mut [f64]);
+}
+
+/// Blanket impl so closures can be used directly in tests and examples.
+impl<F> OdeSystem for (usize, F)
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    fn dim(&self) -> usize {
+        self.0
+    }
+    fn rhs(&mut self, t: f64, x: &[f64], dxdt: &mut [f64]) {
+        (self.1)(t, x, dxdt)
+    }
+}
+
+/// One explicit Euler step of size `h` (exposed for tests and for models that
+/// need noise-compatible first-order stepping).
+pub fn euler_step<S: OdeSystem>(sys: &mut S, t: f64, x: &mut [f64], h: f64, scratch: &mut [f64]) {
+    sys.rhs(t, x, scratch);
+    for (xi, ki) in x.iter_mut().zip(scratch.iter()) {
+        *xi += h * ki;
+    }
+}
+
+/// One classic RK4 step of size `h`.
+pub fn rk4_step<S: OdeSystem>(sys: &mut S, t: f64, x: &mut [f64], h: f64, work: &mut Rk4Work) {
+    let n = x.len();
+    let Rk4Work { k1, k2, k3, k4, tmp } = work;
+    sys.rhs(t, x, k1);
+    for i in 0..n {
+        tmp[i] = x[i] + 0.5 * h * k1[i];
+    }
+    sys.rhs(t + 0.5 * h, tmp, k2);
+    for i in 0..n {
+        tmp[i] = x[i] + 0.5 * h * k2[i];
+    }
+    sys.rhs(t + 0.5 * h, tmp, k3);
+    for i in 0..n {
+        tmp[i] = x[i] + h * k3[i];
+    }
+    sys.rhs(t + h, tmp, k4);
+    for i in 0..n {
+        x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+/// Reusable scratch buffers for [`rk4_step`].
+#[derive(Debug, Clone)]
+pub struct Rk4Work {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Rk4Work {
+    /// Allocate scratch space for an `n`-dimensional system.
+    pub fn new(n: usize) -> Self {
+        Rk4Work {
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            k4: vec![0.0; n],
+            tmp: vec![0.0; n],
+        }
+    }
+}
+
+/// Integrate `sys` from `t0` to `t1` with fixed step `h` (RK4), recording
+/// every `record_every`-th step into the returned [`Trace`].
+pub fn integrate_ode<S: OdeSystem>(
+    sys: &mut S,
+    x0: &[f64],
+    t0: f64,
+    t1: f64,
+    h: f64,
+    record_every: usize,
+) -> Trace {
+    assert!(h > 0.0 && t1 >= t0, "bad integration window");
+    assert_eq!(x0.len(), sys.dim());
+    let record_every = record_every.max(1);
+    let mut x = x0.to_vec();
+    let mut work = Rk4Work::new(x.len());
+    let mut trace = Trace::new(x.len());
+    trace.push(t0, &x);
+    let steps = ((t1 - t0) / h).ceil() as usize;
+    let mut t = t0;
+    for step in 1..=steps {
+        let hh = (t1 - t).min(h);
+        rk4_step(sys, t, &mut x, hh, &mut work);
+        t += hh;
+        if step % record_every == 0 || step == steps {
+            trace.push(t, &x);
+        }
+    }
+    trace
+}
+
+/// Integrate with the adaptive Runge–Kutta–Fehlberg 4(5) scheme.
+///
+/// `tol` is the per-step absolute error tolerance on the max-norm. Returns
+/// the trace of accepted steps.
+pub fn integrate_ode_adaptive<S: OdeSystem>(
+    sys: &mut S,
+    x0: &[f64],
+    t0: f64,
+    t1: f64,
+    tol: f64,
+    h_init: f64,
+) -> Trace {
+    assert!(tol > 0.0 && h_init > 0.0 && t1 >= t0);
+    let n = sys.dim();
+    assert_eq!(x0.len(), n);
+    let mut x = x0.to_vec();
+    let mut t = t0;
+    let mut h = h_init.min(t1 - t0).max(f64::MIN_POSITIVE);
+    let mut trace = Trace::new(n);
+    trace.push(t, &x);
+
+    // Fehlberg coefficients.
+    const A: [f64; 6] = [0.0, 1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0];
+    const B: [[f64; 5]; 6] = [
+        [0.0, 0.0, 0.0, 0.0, 0.0],
+        [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+        [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+        [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+    ];
+    const C4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+    const C5: [f64; 6] = [
+        16.0 / 135.0,
+        0.0,
+        6656.0 / 12825.0,
+        28561.0 / 56430.0,
+        -9.0 / 50.0,
+        2.0 / 55.0,
+    ];
+
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut tmp = vec![0.0; n];
+    let mut max_iters = 10_000_000usize;
+    while t < t1 && max_iters > 0 {
+        max_iters -= 1;
+        h = h.min(t1 - t);
+        for s in 0..6 {
+            for i in 0..n {
+                tmp[i] = x[i];
+                for (j, kj) in k.iter().enumerate().take(s) {
+                    tmp[i] += h * B[s][j] * kj[i];
+                }
+            }
+            let (t_s, tmp_ref) = (t + A[s] * h, &tmp);
+            // Split borrow: write into k[s].
+            let (head, tail) = k.split_at_mut(s);
+            let _ = head;
+            sys.rhs(t_s, tmp_ref, &mut tail[0]);
+        }
+        // Error estimate = |x5 - x4|
+        let mut err: f64 = 0.0;
+        for i in 0..n {
+            let mut e = 0.0;
+            for s in 0..6 {
+                e += (C5[s] - C4[s]) * k[s][i];
+            }
+            err = err.max((h * e).abs());
+        }
+        if err <= tol || h <= 1e-15 {
+            for i in 0..n {
+                let mut dx = 0.0;
+                for s in 0..6 {
+                    dx += C5[s] * k[s][i];
+                }
+                x[i] += h * dx;
+            }
+            t += h;
+            trace.push(t, &x);
+        }
+        // Step-size control with safety factor and clamped growth.
+        let scale = if err > 0.0 {
+            0.9 * (tol / err).powf(0.2)
+        } else {
+            2.0
+        };
+        h *= scale.clamp(0.2, 2.0);
+    }
+    assert!(max_iters > 0, "adaptive integrator failed to advance");
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dx/dt = -x, x(0) = 1 → x(t) = e^{-t}.
+    fn decay() -> (usize, impl FnMut(f64, &[f64], &mut [f64])) {
+        (1, |_t: f64, x: &[f64], dx: &mut [f64]| dx[0] = -x[0])
+    }
+
+    #[test]
+    fn rk4_matches_exponential() {
+        let mut sys = decay();
+        let tr = integrate_ode(&mut sys, &[1.0], 0.0, 2.0, 0.01, 1);
+        let last = tr.last_state().unwrap()[0];
+        assert!((last - (-2.0f64).exp()).abs() < 1e-8, "got {last}");
+    }
+
+    #[test]
+    fn euler_first_order_convergence() {
+        // Halving h should roughly halve the error for Euler.
+        let run = |h: f64| {
+            let mut sys = decay();
+            let mut x = [1.0];
+            let mut scratch = [0.0];
+            let steps = (1.0 / h) as usize;
+            for s in 0..steps {
+                euler_step(&mut sys, s as f64 * h, &mut x, h, &mut scratch);
+            }
+            (x[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = run(0.01);
+        let e2 = run(0.005);
+        let ratio = e1 / e2;
+        assert!((1.7..2.3).contains(&ratio), "order-1 ratio {ratio}");
+    }
+
+    #[test]
+    fn rk4_fourth_order_convergence() {
+        let run = |h: f64| {
+            let mut sys = decay();
+            let tr = integrate_ode(&mut sys, &[1.0], 0.0, 1.0, h, usize::MAX);
+            (tr.last_state().unwrap()[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = run(0.1);
+        let e2 = run(0.05);
+        let ratio = e1 / e2;
+        assert!(ratio > 12.0, "order-4 ratio {ratio}"); // ideal 16
+    }
+
+    #[test]
+    fn harmonic_oscillator_energy_preserved() {
+        // x'' = -x as a system; RK4 should keep energy within 1e-6 over 10 s.
+        let mut sys = (2usize, |_t: f64, x: &[f64], dx: &mut [f64]| {
+            dx[0] = x[1];
+            dx[1] = -x[0];
+        });
+        let tr = integrate_ode(&mut sys, &[1.0, 0.0], 0.0, 10.0, 0.001, 100);
+        for i in 0..tr.len() {
+            let s = tr.state(i);
+            let energy = s[0] * s[0] + s[1] * s[1];
+            assert!((energy - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_fixed() {
+        let mut sys = decay();
+        let tr = integrate_ode_adaptive(&mut sys, &[1.0], 0.0, 3.0, 1e-10, 0.1);
+        let last = tr.last_state().unwrap()[0];
+        assert!((last - (-3.0f64).exp()).abs() < 1e-7, "got {last}");
+        // Adaptive should take far fewer steps than 1e-10-accurate fixed-step.
+        assert!(tr.len() < 2_000);
+    }
+
+    #[test]
+    fn adaptive_handles_stiff_ramp() {
+        // dx/dt = -50(x - sin t): moderately stiff, solution tracks sin t.
+        let mut sys = (1usize, |t: f64, x: &[f64], dx: &mut [f64]| {
+            dx[0] = -50.0 * (x[0] - t.sin());
+        });
+        let tr = integrate_ode_adaptive(&mut sys, &[0.0], 0.0, 5.0, 1e-8, 0.01);
+        let last = tr.last_state().unwrap()[0];
+        // After transients, x ≈ sin t with O(1/50) phase-lag correction.
+        assert!((last - 5.0f64.sin()).abs() < 0.05, "got {last}");
+    }
+
+    #[test]
+    fn integrate_hits_exact_endpoint() {
+        let mut sys = decay();
+        // 0.3 not divisible by 0.07: final partial step must land on t1.
+        let tr = integrate_ode(&mut sys, &[1.0], 0.0, 0.3, 0.07, 1);
+        assert!((tr.times().last().unwrap() - 0.3).abs() < 1e-12);
+    }
+}

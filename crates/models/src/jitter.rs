@@ -1,0 +1,121 @@
+//! Deterministic feedback-delay jitter (Figure 20).
+//!
+//! The paper injects "uniform random jitter to the feedback delay of DCQCN
+//! (τ*) and TIMELY (τ′)". Inside an RK4 integrator, white per-evaluation
+//! noise would be step-size dependent and irreproducible; instead we use a
+//! **piecewise-constant** jitter process: the extra delay is constant over
+//! windows of `interval` seconds, and the value in window `k` is a pure hash
+//! of `(seed, k)`. The process is therefore a deterministic function of
+//! time — independent of query order, step size, and evaluation count —
+//! while still being "uniform random" across windows.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant uniform jitter process on `[0, amplitude]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Jitter {
+    /// Maximum extra delay in seconds (uniform lower bound is 0).
+    pub amplitude: f64,
+    /// Resampling window in seconds.
+    pub interval: f64,
+    /// Seed for the per-window hash.
+    pub seed: u64,
+}
+
+impl Jitter {
+    /// Uniform jitter on `[0, amplitude]` seconds, resampled every
+    /// `interval` seconds.
+    pub fn uniform(amplitude: f64, interval: f64, seed: u64) -> Self {
+        assert!(amplitude >= 0.0 && interval > 0.0);
+        Jitter {
+            amplitude,
+            interval,
+            seed,
+        }
+    }
+
+    /// The extra delay at time `t` (seconds). Negative `t` is allowed (the
+    /// integrator may query slightly before the origin) and handled by
+    /// flooring the window index.
+    pub fn extra(&self, t: f64) -> f64 {
+        let k = (t / self.interval).floor() as i64;
+        let h = splitmix64(self.seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u * self.amplitude
+    }
+
+    /// Upper bound on the extra delay.
+    pub fn max_extra(&self) -> f64 {
+        self.amplitude
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_independent() {
+        let j = Jitter::uniform(100e-6, 10e-6, 7);
+        let a = j.extra(5e-6);
+        let b = j.extra(42e-6);
+        // Query again in reverse order.
+        assert_eq!(j.extra(42e-6), b);
+        assert_eq!(j.extra(5e-6), a);
+    }
+
+    #[test]
+    fn constant_within_window() {
+        let j = Jitter::uniform(100e-6, 10e-6, 1);
+        let v = j.extra(20e-6);
+        assert_eq!(j.extra(21e-6), v);
+        assert_eq!(j.extra(29.9e-6), v);
+        assert_ne!(j.extra(30.1e-6), v); // overwhelmingly likely
+    }
+
+    #[test]
+    fn bounded_and_roughly_uniform() {
+        let j = Jitter::uniform(100e-6, 1e-6, 3);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for k in 0..n {
+            let v = j.extra(k as f64 * 1e-6);
+            assert!((0.0..=100e-6).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 50e-6).abs() < 3e-6, "mean {mean}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Jitter::uniform(1.0, 1.0, 1);
+        let b = Jitter::uniform(1.0, 1.0, 2);
+        let same = (0..100)
+            .filter(|&k| (a.extra(k as f64) - b.extra(k as f64)).abs() < 1e-12)
+            .count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn zero_amplitude_is_zero() {
+        let j = Jitter::uniform(0.0, 1e-6, 9);
+        for k in 0..100 {
+            assert_eq!(j.extra(k as f64 * 1e-6), 0.0);
+        }
+    }
+
+    #[test]
+    fn negative_time_ok() {
+        let j = Jitter::uniform(1e-4, 1e-6, 5);
+        let v = j.extra(-3.5e-6);
+        assert!((0.0..=1e-4).contains(&v));
+    }
+}

@@ -1,0 +1,45 @@
+//! # models — the paper's fluid models and discrete analysis
+//!
+//! Everything analytical in *"ECN or Delay: Lessons Learnt from Analysis of
+//! DCQCN and TIMELY"* (CoNEXT 2016) lives here:
+//!
+//! * [`dcqcn`] — the DCQCN fluid model of Figure 1 (extended per-flow as in
+//!   §3.1), its unique fixed point (Theorem 1, Eqs 9–13), the closed-form
+//!   approximation of `p*` (Eq 14), and the linearized loop used for the
+//!   phase-margin plots of Figure 3;
+//! * [`timely`] — the TIMELY fluid model of Figure 7 (Eqs 20–24), which has
+//!   no fixed point as published (Theorem 3) and infinitely many under the
+//!   `≤`→`<` modification (Theorem 4);
+//! * [`patched_timely`] — Patched TIMELY (Algorithm 2, Eqs 29–31): unique
+//!   fair fixed point and the linearization behind Figure 11, including the
+//!   queue-dependent feedback delay of Eq 24 that caps its stable range;
+//! * [`pi`] — PI-controller variants (Eq 32): PI marking at the switch for
+//!   DCQCN (Figure 18: fair *and* pinned queue) and end-host PI for patched
+//!   TIMELY (Figure 19: pinned queue, arbitrary fairness — Theorem 6);
+//! * [`discrete`] — the discrete AIMD model of §3.3 (Eqs 15–19, Appendix B)
+//!   proving exponential convergence of DCQCN rates;
+//! * [`jitter`] — deterministic piecewise-constant feedback-delay jitter for
+//!   the resilience comparison of Figure 20;
+//! * [`units`] — conversions between human units (Gbps, KB, µs) and the
+//!   model's internal packet units.
+//!
+//! ## Unit convention
+//!
+//! All fluid state is expressed in **packets**: queue lengths in packets,
+//! rates in packets/second, so the marking exponents `(1−p)^{τ'·R_C}` are
+//! dimensionless exactly as written in the paper. Constructors take human
+//! units and convert once.
+
+#![deny(missing_docs)]
+
+pub mod dcqcn;
+pub mod discrete;
+pub mod jitter;
+pub mod patched_timely;
+pub mod pi;
+pub mod timely;
+pub mod units;
+
+pub use dcqcn::{DcqcnFluid, DcqcnParams};
+pub use patched_timely::{PatchedTimelyFluid, PatchedTimelyParams};
+pub use timely::{TimelyFluid, TimelyParams};

@@ -1,0 +1,69 @@
+//! Unit conversions between human quantities and packet units.
+//!
+//! The fluid models operate in packets and seconds (see the crate docs). All
+//! figures and parameter tables in the paper quote Gbps, KB and µs; these
+//! helpers are the single place where the conversion happens.
+
+/// Bits per byte.
+pub const BITS_PER_BYTE: f64 = 8.0;
+
+/// Convert a bandwidth in Gbps to packets/second for a given packet size.
+pub fn gbps_to_pps(gbps: f64, packet_bytes: f64) -> f64 {
+    assert!(gbps > 0.0 && packet_bytes > 0.0);
+    gbps * 1e9 / (BITS_PER_BYTE * packet_bytes)
+}
+
+/// Convert a bandwidth in Mbps to packets/second.
+pub fn mbps_to_pps(mbps: f64, packet_bytes: f64) -> f64 {
+    gbps_to_pps(mbps / 1e3, packet_bytes)
+}
+
+/// Convert packets/second back to Gbps.
+pub fn pps_to_gbps(pps: f64, packet_bytes: f64) -> f64 {
+    pps * BITS_PER_BYTE * packet_bytes / 1e9
+}
+
+/// Convert kilobytes to packets.
+pub fn kb_to_pkts(kb: f64, packet_bytes: f64) -> f64 {
+    kb * 1000.0 / packet_bytes
+}
+
+/// Convert bytes to packets.
+pub fn bytes_to_pkts(bytes: f64, packet_bytes: f64) -> f64 {
+    bytes / packet_bytes
+}
+
+/// Convert packets to kilobytes.
+pub fn pkts_to_kb(pkts: f64, packet_bytes: f64) -> f64 {
+    pkts * packet_bytes / 1000.0
+}
+
+/// Convert microseconds to seconds.
+pub fn us_to_s(us: f64) -> f64 {
+    us * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_roundtrip() {
+        let pps = gbps_to_pps(10.0, 1000.0);
+        assert!((pps - 1.25e6).abs() < 1e-6);
+        assert!((pps_to_gbps(pps, 1000.0) - 10.0).abs() < 1e-12);
+        assert!((mbps_to_pps(40.0, 1000.0) - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_roundtrip() {
+        assert!((kb_to_pkts(200.0, 1000.0) - 200.0).abs() < 1e-12);
+        assert!((pkts_to_kb(5.0, 1000.0) - 5.0).abs() < 1e-12);
+        assert!((bytes_to_pkts(1500.0, 1500.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_conversion() {
+        assert!((us_to_s(55.0) - 55e-6).abs() < 1e-18);
+    }
+}

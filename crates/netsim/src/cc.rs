@@ -1,0 +1,121 @@
+//! The congestion-control interface between the engine and the protocols.
+//!
+//! The engine owns pacing and packetization; a [`CongestionControl`]
+//! implementation owns the rate. The engine feeds it events (CNP arrival,
+//! RTT completion sample, transmitted bytes, its own timers) and applies the
+//! returned rate and timer requests. This is exactly the division of labour
+//! in RoCEv2 NICs: the rate limiter is hardware, the update rules are the
+//! protocol.
+
+use desim::{SimDuration, SimTime};
+
+/// Events delivered to a congestion-control instance.
+#[derive(Debug, Clone, Copy)]
+pub enum CcEvent {
+    /// A CNP arrived (DCQCN's congestion signal).
+    Cnp,
+    /// A chunk-completion RTT sample (TIMELY's congestion signal).
+    RttSample {
+        /// The measured round-trip time.
+        rtt: SimDuration,
+    },
+    /// The sender transmitted `bytes` more payload bytes (drives DCQCN's
+    /// byte counter).
+    SentBytes {
+        /// Newly transmitted payload bytes.
+        bytes: u64,
+    },
+    /// A timer previously requested via [`CcUpdate::timers`] fired.
+    Timer {
+        /// The protocol-defined timer kind that fired.
+        kind: u8,
+    },
+}
+
+/// The protocol's response to an event.
+#[derive(Debug, Clone, Default)]
+pub struct CcUpdate {
+    /// New sending rate in bits/second, if changed.
+    pub new_rate_bps: Option<f64>,
+    /// Timers to (re)arm: `(kind, fire_at)`. Re-arming a kind replaces any
+    /// pending timer of that kind.
+    pub timers: Vec<(u8, SimTime)>,
+}
+
+impl CcUpdate {
+    /// No action.
+    pub fn none() -> Self {
+        CcUpdate::default()
+    }
+
+    /// Set the rate only.
+    pub fn rate(bps: f64) -> Self {
+        CcUpdate {
+            new_rate_bps: Some(bps),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Add a timer request.
+    pub fn with_timer(mut self, kind: u8, at: SimTime) -> Self {
+        self.timers.push((kind, at));
+        self
+    }
+}
+
+/// A rate-based congestion-control algorithm.
+pub trait CongestionControl: std::fmt::Debug {
+    /// Called once when the flow starts; returns the initial rate (bps) and
+    /// any initial timers.
+    fn on_start(&mut self, now: SimTime, line_rate_bps: f64) -> CcUpdate;
+
+    /// Handle an event.
+    fn on_event(&mut self, now: SimTime, event: CcEvent) -> CcUpdate;
+
+    /// Current rate in bits/second (for tracing).
+    fn current_rate_bps(&self) -> f64;
+}
+
+/// A fixed-rate sender (no congestion control) — the baseline for tests and
+/// for exercising raw queue dynamics.
+#[derive(Debug, Clone)]
+pub struct FixedRate {
+    /// The constant rate in bits/second.
+    pub rate_bps: f64,
+}
+
+impl CongestionControl for FixedRate {
+    fn on_start(&mut self, _now: SimTime, _line_rate_bps: f64) -> CcUpdate {
+        CcUpdate::rate(self.rate_bps)
+    }
+
+    fn on_event(&mut self, _now: SimTime, _event: CcEvent) -> CcUpdate {
+        CcUpdate::none()
+    }
+
+    fn current_rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_never_reacts() {
+        let mut cc = FixedRate { rate_bps: 5e9 };
+        let up = cc.on_start(SimTime::ZERO, 10e9);
+        assert_eq!(up.new_rate_bps, Some(5e9));
+        let up = cc.on_event(SimTime::ZERO, CcEvent::Cnp);
+        assert!(up.new_rate_bps.is_none() && up.timers.is_empty());
+        assert_eq!(cc.current_rate_bps(), 5e9);
+    }
+
+    #[test]
+    fn update_builder() {
+        let up = CcUpdate::rate(1e9).with_timer(2, SimTime::from_micros(55));
+        assert_eq!(up.new_rate_bps, Some(1e9));
+        assert_eq!(up.timers, vec![(2, SimTime::from_micros(55))]);
+    }
+}

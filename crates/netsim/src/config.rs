@@ -1,0 +1,143 @@
+//! Switch and queue configuration: RED/ECN marking, marking point, PFC.
+
+use serde::{Deserialize, Serialize};
+
+/// RED/ECN marking profile (the paper's Eq 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RedConfig {
+    /// Lower threshold in bytes: below this, never mark.
+    pub kmin_bytes: u64,
+    /// Upper threshold in bytes: between `kmin` and `kmax` the probability
+    /// rises linearly to `p_max`; above `kmax`, every packet is marked.
+    pub kmax_bytes: u64,
+    /// Marking probability at `kmax`.
+    pub p_max: f64,
+}
+
+impl RedConfig {
+    /// DCQCN defaults from \[31\]: K_min = 5 KB, K_max = 200 KB, P_max = 1 %.
+    pub fn dcqcn_default() -> Self {
+        RedConfig {
+            kmin_bytes: 5_000,
+            kmax_bytes: 200_000,
+            p_max: 0.01,
+        }
+    }
+
+    /// Marking probability for an instantaneous queue of `q` bytes (Eq 3).
+    pub fn probability(&self, q_bytes: u64) -> f64 {
+        if q_bytes <= self.kmin_bytes {
+            0.0
+        } else if q_bytes <= self.kmax_bytes {
+            (q_bytes - self.kmin_bytes) as f64 / (self.kmax_bytes - self.kmin_bytes) as f64
+                * self.p_max
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Where the marking decision reads the queue (paper §5.2 and Figure 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MarkingMode {
+    /// Mark when the packet *departs*: the mark reflects the queue at that
+    /// instant, so the feedback delay excludes queueing delay. This is how
+    /// modern shared-buffer switches behave and the paper's recommended
+    /// configuration.
+    Egress,
+    /// Mark when the packet *arrives* at the queue: the mark then sits in
+    /// the queue behind earlier packets, adding the queueing delay to the
+    /// control loop — the destabilizing variant of Figure 17.
+    Ingress,
+}
+
+/// PFC (IEEE 802.1Qbb) PAUSE/RESUME emulation. The paper assumes ECN fires
+/// before PFC and ignores it; this is an optional extension, default off.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PfcConfig {
+    /// Ingress-buffer occupancy (bytes) above which PAUSE is sent upstream.
+    pub pause_threshold_bytes: u64,
+    /// Occupancy below which RESUME is sent.
+    pub resume_threshold_bytes: u64,
+}
+
+impl PfcConfig {
+    /// A typical headroom configuration relative to the RED thresholds:
+    /// pause well above `K_max` so ECN acts first.
+    pub fn above_red(red: &RedConfig) -> Self {
+        PfcConfig {
+            pause_threshold_bytes: red.kmax_bytes * 4,
+            resume_threshold_bytes: red.kmax_bytes * 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn red_probability_profile() {
+        let red = RedConfig::dcqcn_default();
+        assert_eq!(red.probability(0), 0.0);
+        assert_eq!(red.probability(5_000), 0.0);
+        let mid = red.probability(102_500);
+        assert!((mid - 0.005).abs() < 1e-12, "mid = {mid}");
+        assert!((red.probability(200_000) - 0.01).abs() < 1e-12);
+        assert_eq!(red.probability(200_001), 1.0);
+    }
+
+    #[test]
+    fn red_monotone() {
+        let red = RedConfig::dcqcn_default();
+        let mut prev = -1.0;
+        for q in (0..300_000).step_by(1_000) {
+            let p = red.probability(q);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn pfc_thresholds_above_red() {
+        let red = RedConfig::dcqcn_default();
+        let pfc = PfcConfig::above_red(&red);
+        assert!(pfc.pause_threshold_bytes > red.kmax_bytes);
+        assert!(pfc.resume_threshold_bytes < pfc.pause_threshold_bytes);
+    }
+}
+
+/// PI-controller AQM (the paper's §5.2 proposal, \[14\]-style): the marking
+/// probability is an explicit controller state driven by the queue error,
+/// updated every `update_interval`. With PI marking, DCQCN achieves a
+/// queue pinned at `q_ref` *and* fairness, for any number of flows —
+/// Figure 18 at the packet level (the paper ran it in the fluid model and
+/// lists a hardware implementation as future work).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PiAqmConfig {
+    /// Queue reference in bytes.
+    pub q_ref_bytes: u64,
+    /// Coefficient `a` of the discrete PI update
+    /// `p += a·(q − q_ref) − b·(q_old − q_ref)` (per byte).
+    pub a_per_byte: f64,
+    /// Coefficient `b` (per byte).
+    pub b_per_byte: f64,
+    /// Controller update interval.
+    pub update_interval: desim::SimDuration,
+}
+
+impl PiAqmConfig {
+    /// Gains matched to the fluid-model PI of `models::pi` (k1 = 5e-5/pkt,
+    /// k2 = 5e-3/pkt·s at 1 KB packets), discretized at 55 µs.
+    pub fn default_for(q_ref_bytes: u64) -> Self {
+        let k1_per_byte = 5e-5 / 1000.0;
+        let k2_per_byte_s = 5e-3 / 1000.0;
+        let t = 55e-6;
+        PiAqmConfig {
+            q_ref_bytes,
+            a_per_byte: k1_per_byte + k2_per_byte_s * t,
+            b_per_byte: k1_per_byte,
+            update_interval: desim::SimDuration::from_micros(55),
+        }
+    }
+}

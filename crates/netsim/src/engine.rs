@@ -1,0 +1,1062 @@
+//! The deterministic event loop: hosts, switches, links, marking, tracing.
+//!
+//! The engine is a single struct owning all state (no shared-pointer
+//! gymnastics), driven off one [`desim::EventQueue`]. The event vocabulary
+//! is deliberately tiny:
+//!
+//! * `FlowStart` — a flow becomes active; its congestion control is started
+//!   and its pacer armed;
+//! * `Pacer` — a flow's rate limiter releases the next packet (or, under
+//!   per-chunk pacing, the next burst) into the host NIC queue;
+//! * `TxDone` — a port finished serializing a packet; it picks the next
+//!   one (control queue first, strict priority);
+//! * `Deliver` — a packet arrives at the far end of a link after
+//!   serialization + propagation; switches forward it, hosts consume it;
+//! * `CcTimer` — a congestion-control timer (DCQCN's α-timer and increase
+//!   timer) fires.
+//!
+//! ECN marking happens either when a data packet **starts transmission**
+//! (egress mode — the queue state at departure, §5.2) or when it is
+//! **enqueued** (ingress mode, Figure 17). CNP generation implements the
+//! NP's τ coalescing timer. Completion ACKs echo the chunk send timestamp
+//! so the sender-side protocol computes RTT samples without global state.
+
+use crate::cc::{CcEvent, CcUpdate};
+use crate::config::{MarkingMode, PfcConfig, RedConfig};
+use crate::flow::{FlowSpec, Pacing, ReceiverFlow, SenderFlow};
+use crate::topology::{LinkId, NodeId, NodeKind, Topology};
+use crate::types::{FlowId, Packet, PacketKind};
+use desim::stats::TimeSeries;
+use desim::{EventQueue, SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Payload bytes per full data packet.
+    pub mtu_bytes: u32,
+    /// Per-packet header overhead added to the wire size.
+    pub header_bytes: u32,
+    /// Wire size of control packets (ACK/CNP).
+    pub control_packet_bytes: u32,
+    /// RED/ECN profile applied at switch egress queues.
+    pub red: RedConfig,
+    /// Marking point (egress vs ingress).
+    pub marking: MarkingMode,
+    /// NP CNP coalescing interval τ (50 µs in the paper).
+    pub cnp_interval: SimDuration,
+    /// Optional PFC emulation (off by default; the paper ignores PFC).
+    pub pfc: Option<PfcConfig>,
+    /// Optional PI-controller AQM; when set, it replaces the RED curve as
+    /// the source of the marking probability (queue pinned at `q_ref`).
+    pub pi_aqm: Option<crate::config::PiAqmConfig>,
+    /// RNG seed (drives probabilistic marking only).
+    pub seed: u64,
+    /// Queue-trace decimation (seconds); traces recorded for every switch
+    /// egress queue.
+    pub queue_trace_resolution: f64,
+    /// Per-flow throughput trace window; `None` disables rate traces.
+    pub rate_trace_window: Option<SimDuration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mtu_bytes: 1000,
+            header_bytes: 48,
+            control_packet_bytes: 64,
+            red: RedConfig::dcqcn_default(),
+            marking: MarkingMode::Egress,
+            cnp_interval: SimDuration::from_micros(50),
+            pfc: None,
+            pi_aqm: None,
+            seed: 1,
+            queue_trace_resolution: 20e-6,
+            rate_trace_window: Some(SimDuration::from_micros(100)),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    FlowStart(FlowId),
+    Pacer(FlowId),
+    TxDone(LinkId),
+    Deliver(LinkId, Packet),
+    CcTimer(FlowId, u8),
+    /// Periodic PI-AQM controller update across all switch ports.
+    AqmTick,
+}
+
+#[derive(Debug, Default)]
+struct Port {
+    data_q: std::collections::VecDeque<Packet>,
+    data_bytes: u64,
+    ctrl_q: std::collections::VecDeque<Packet>,
+    busy: bool,
+    paused: bool,
+    /// PI-AQM controller state (marking probability, previous queue).
+    pi_p: f64,
+    pi_q_old: u64,
+    /// Cumulative time this port spent PAUSEd (PFC statistics).
+    paused_since: Option<SimTime>,
+    paused_total: SimDuration,
+    pauses: u64,
+}
+
+/// One completed flow.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FctRecord {
+    /// Flow index.
+    pub flow: usize,
+    /// Flow size in bytes.
+    pub size_bytes: u64,
+    /// Start time (seconds).
+    pub start_s: f64,
+    /// Completion time minus start time (seconds).
+    pub fct_s: f64,
+}
+
+/// Results of a run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Completed-flow records.
+    pub fcts: Vec<FctRecord>,
+    /// Queue-occupancy traces (bytes) per traced link.
+    pub queue_traces: HashMap<LinkId, TimeSeries>,
+    /// Per-flow delivered-throughput traces (bps), if enabled.
+    pub rate_traces: Vec<Vec<(f64, f64)>>,
+    /// Total payload bytes delivered per flow.
+    pub delivered_bytes: Vec<u64>,
+    /// Packets that were ECN-marked.
+    pub marked_packets: u64,
+    /// Total data packets delivered end-to-end.
+    pub data_packets: u64,
+    /// CNPs generated.
+    pub cnps_sent: u64,
+    /// When the first ECN mark was applied, if any (seconds) — distinguishes
+    /// ingress from egress marking timing.
+    pub first_mark_time_s: Option<f64>,
+    /// Number of PFC PAUSE transitions observed across all ports.
+    pub pfc_pauses: u64,
+    /// Total port-seconds spent paused by PFC.
+    pub pfc_paused_s: f64,
+    /// Simulated time at the end of the run (seconds).
+    pub end_time_s: f64,
+}
+
+/// The packet-level simulator.
+pub struct Engine {
+    topo: Topology,
+    cfg: EngineConfig,
+    events: EventQueue<Ev>,
+    now: SimTime,
+    rng: SimRng,
+    ports: Vec<Port>,
+    senders: Vec<SenderFlow>,
+    receivers: Vec<ReceiverFlow>,
+    /// Expected fire time per (flow, timer-kind): re-arming replaces the
+    /// entry, so stale heap events are ignored when they pop.
+    timer_expect: HashMap<(usize, u8), SimTime>,
+    queue_traces: HashMap<LinkId, TimeSeries>,
+    rate_window_bytes: Vec<u64>,
+    rate_window_start: Vec<SimTime>,
+    rate_traces: Vec<Vec<(f64, f64)>>,
+    delivered_bytes: Vec<u64>,
+    marked_packets: u64,
+    data_packets: u64,
+    cnps_sent: u64,
+    next_packet_id: u64,
+    first_mark_time: Option<SimTime>,
+    fcts: Vec<FctRecord>,
+}
+
+impl Engine {
+    /// Build an engine over a topology.
+    pub fn new(topo: Topology, cfg: EngineConfig) -> Self {
+        let ports = (0..topo.link_count()).map(|_| Port::default()).collect();
+        let mut queue_traces = HashMap::new();
+        for l in 0..topo.link_count() {
+            let link = topo.link(LinkId(l));
+            if matches!(topo.kind(link.src), NodeKind::Switch) {
+                queue_traces.insert(LinkId(l), TimeSeries::new(cfg.queue_trace_resolution));
+            }
+        }
+        let rng = SimRng::new(cfg.seed);
+        Engine {
+            topo,
+            events: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng,
+            ports,
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            timer_expect: HashMap::new(),
+            queue_traces,
+            rate_window_bytes: Vec::new(),
+            rate_window_start: Vec::new(),
+            rate_traces: Vec::new(),
+            delivered_bytes: Vec::new(),
+            marked_packets: 0,
+            data_packets: 0,
+            cnps_sent: 0,
+            next_packet_id: 0,
+            first_mark_time: None,
+            fcts: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Register a flow; it will start at `spec.start`.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(
+            matches!(self.topo.kind(spec.src), NodeKind::Host)
+                && matches!(self.topo.kind(spec.dst), NodeKind::Host),
+            "flows connect hosts"
+        );
+        assert!(spec.src != spec.dst, "flow endpoints must differ");
+        let id = FlowId(self.senders.len());
+        let start = spec.start;
+        self.senders.push(SenderFlow {
+            id,
+            src: spec.src,
+            dst: spec.dst,
+            size_bytes: spec.size_bytes,
+            start,
+            pacing: spec.pacing,
+            cc: spec.cc,
+            rate_bps: 0.0,
+            next_offset: 0,
+            sent_payload: 0,
+            next_tx: start,
+            chunk_remaining: 0,
+            chunk_started: start,
+            since_ack_request: 0,
+            ack_chunk_bytes: spec.ack_chunk_bytes.max(1),
+            completed: None,
+        });
+        self.receivers.push(ReceiverFlow::default());
+        self.rate_window_bytes.push(0);
+        self.rate_window_start.push(start);
+        self.rate_traces.push(Vec::new());
+        self.delivered_bytes.push(0);
+        self.events.schedule(start, Ev::FlowStart(id));
+        id
+    }
+
+    /// The line rate of a host's uplink.
+    fn line_rate(&self, host: NodeId) -> f64 {
+        let l = self.topo.out_links(host)[0];
+        self.topo.link(l).bandwidth_bps
+    }
+
+    /// Run until `end`; returns the report.
+    pub fn run(&mut self, end: SimTime) -> SimReport {
+        if let Some(pi) = &self.cfg.pi_aqm {
+            let at = self.now + pi.update_interval;
+            self.events.schedule(at, Ev::AqmTick);
+        }
+        while let Some(t) = self.events.peek_time() {
+            if t > end {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked event must pop");
+            self.now = t;
+            self.handle(ev);
+        }
+        self.now = end;
+        SimReport {
+            fcts: std::mem::take(&mut self.fcts),
+            queue_traces: std::mem::take(&mut self.queue_traces),
+            rate_traces: std::mem::take(&mut self.rate_traces),
+            delivered_bytes: std::mem::take(&mut self.delivered_bytes),
+            marked_packets: self.marked_packets,
+            data_packets: self.data_packets,
+            cnps_sent: self.cnps_sent,
+            first_mark_time_s: self.first_mark_time.map(SimTime::as_secs_f64),
+            pfc_pauses: self.ports.iter().map(|p| p.pauses).sum(),
+            pfc_paused_s: self
+                .ports
+                .iter()
+                .map(|p| {
+                    let mut d = p.paused_total;
+                    if let Some(since) = p.paused_since {
+                        d += end.saturating_since(since);
+                    }
+                    d.as_secs_f64()
+                })
+                .sum(),
+            end_time_s: end.as_secs_f64(),
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::FlowStart(f) => self.flow_start(f),
+            Ev::Pacer(f) => self.pacer_fire(f),
+            Ev::TxDone(l) => self.tx_done(l),
+            Ev::Deliver(l, p) => self.deliver(l, p),
+            Ev::CcTimer(f, kind) => self.cc_timer(f, kind),
+            Ev::AqmTick => self.aqm_tick(),
+        }
+    }
+
+    /// Discrete PI-AQM update (Hollot-style): for every switch egress queue,
+    /// `p += a·(q − q_ref) − b·(q_old − q_ref)`, clamped to [0, 1].
+    fn aqm_tick(&mut self) {
+        let Some(pi) = self.cfg.pi_aqm.clone() else {
+            return;
+        };
+        for l in 0..self.topo.link_count() {
+            if !matches!(self.topo.kind(self.topo.link(LinkId(l)).src), NodeKind::Switch) {
+                continue;
+            }
+            let port = &mut self.ports[l];
+            let e_now = port.data_bytes as f64 - pi.q_ref_bytes as f64;
+            let e_old = port.pi_q_old as f64 - pi.q_ref_bytes as f64;
+            port.pi_p = (port.pi_p + pi.a_per_byte * e_now - pi.b_per_byte * e_old)
+                .clamp(0.0, 1.0);
+            port.pi_q_old = port.data_bytes;
+        }
+        let at = self.now + pi.update_interval;
+        self.events.schedule(at, Ev::AqmTick);
+    }
+
+
+    fn flow_start(&mut self, f: FlowId) {
+        let line = self.line_rate(self.senders[f.0].src);
+        let now = self.now;
+        let update = self.senders[f.0].cc.on_start(now, line);
+        self.apply_update(f, update);
+        if self.senders[f.0].rate_bps <= 0.0 {
+            self.senders[f.0].rate_bps = line;
+        }
+        self.events.schedule(self.now, Ev::Pacer(f));
+    }
+
+    fn apply_update(&mut self, f: FlowId, update: CcUpdate) {
+        if let Some(r) = update.new_rate_bps {
+            self.senders[f.0].rate_bps = r.max(1e3);
+        }
+        for (kind, at) in update.timers {
+            let at = at.max(self.now);
+            self.timer_expect.insert((f.0, kind), at);
+            self.events.schedule(at, Ev::CcTimer(f, kind));
+        }
+    }
+
+    fn cc_timer(&mut self, f: FlowId, kind: u8) {
+        // A firing is valid only if it matches the most recent arming for
+        // (flow, kind); re-arming replaced the expected time, so stale heap
+        // entries fall through here.
+        let key = (f.0, kind);
+        if self.timer_expect.get(&key) != Some(&self.now) {
+            return;
+        }
+        self.timer_expect.remove(&key);
+        if self.senders[f.0].completed.is_some() {
+            return;
+        }
+        let now = self.now;
+        let update = self.senders[f.0].cc.on_event(now, CcEvent::Timer { kind });
+        self.apply_update(f, update);
+    }
+
+    fn next_packet_id(&mut self) -> u64 {
+        self.next_packet_id += 1;
+        self.next_packet_id
+    }
+
+    /// Pacer: release the next packet (or chunk) of flow `f`.
+    fn pacer_fire(&mut self, f: FlowId) {
+        let (src, fully_sent, completed) = {
+            let s = &self.senders[f.0];
+            (s.src, s.fully_sent(), s.completed.is_some())
+        };
+        if fully_sent || completed {
+            return;
+        }
+        let uplink = self.topo.next_hop(src, self.senders[f.0].dst).expect("route");
+
+        match self.senders[f.0].pacing {
+            Pacing::PerPacket => {
+                let pkt = self.make_data_packet(f);
+                let wire = pkt.size_bytes;
+                self.enqueue(uplink, pkt);
+                let s = &mut self.senders[f.0];
+                let gap = SimDuration::serialization(wire as u64, s.rate_bps.max(1e3));
+                s.next_tx = self.now + gap;
+                let sent = s.next_offset.min(s.size_bytes.unwrap_or(u64::MAX));
+                let _ = sent;
+                if !s.fully_sent() {
+                    let at = s.next_tx;
+                    self.events.schedule(at, Ev::Pacer(f));
+                }
+                let payload = wire.saturating_sub(self.cfg.header_bytes) as u64;
+                self.notify_sent(f, payload);
+            }
+            Pacing::PerChunk { seg_bytes } => {
+                // Release a whole chunk back-to-back (the NIC queue
+                // serializes it at line rate), then idle until the average
+                // rate matches the target.
+                let mut chunk_payload = 0u64;
+                self.senders[f.0].chunk_started = self.now;
+                let seg = seg_bytes.max(self.cfg.mtu_bytes) as u64;
+                while chunk_payload < seg && !self.senders[f.0].fully_sent() {
+                    let last_in_chunk = {
+                        let s = &self.senders[f.0];
+                        let next_payload =
+                            s.remaining().min(self.cfg.mtu_bytes as u64);
+                        chunk_payload + next_payload >= seg
+                            || s.remaining() <= next_payload
+                    };
+                    let pkt = self.make_chunk_packet(f, last_in_chunk);
+                    chunk_payload += pkt.payload_bytes();
+                    self.enqueue(uplink, pkt);
+                }
+                self.notify_sent(f, chunk_payload);
+                let s = &mut self.senders[f.0];
+                if !s.fully_sent() {
+                    let gap = SimDuration::serialization(
+                        chunk_payload + (chunk_payload / self.cfg.mtu_bytes as u64 + 1)
+                            * self.cfg.header_bytes as u64,
+                        s.rate_bps.max(1e3),
+                    );
+                    s.next_tx = self.now + gap;
+                    let at = s.next_tx;
+                    self.events.schedule(at, Ev::Pacer(f));
+                }
+            }
+        }
+    }
+
+    fn notify_sent(&mut self, f: FlowId, payload: u64) {
+        self.senders[f.0].sent_payload += payload;
+        let now = self.now;
+        let update = self.senders[f.0]
+            .cc
+            .on_event(now, CcEvent::SentBytes { bytes: payload });
+        self.apply_update(f, update);
+    }
+
+    /// Build the next per-packet-pacing data packet for `f`, maintaining the
+    /// ACK-request chunking state.
+    fn make_data_packet(&mut self, f: FlowId) -> Packet {
+        let id = self.next_packet_id();
+        let s = &mut self.senders[f.0];
+        let payload = s.remaining().min(self.cfg.mtu_bytes as u64) as u32;
+        let offset = s.next_offset;
+        s.next_offset += payload as u64;
+        let last_of_flow = s.fully_sent();
+        if s.since_ack_request == 0 {
+            s.chunk_started = self.now;
+        }
+        s.since_ack_request += payload;
+        let ack_request = s.since_ack_request >= s.ack_chunk_bytes || last_of_flow;
+        if ack_request {
+            s.since_ack_request = 0;
+        }
+        Packet {
+            id,
+            flow: f,
+            src: s.src,
+            dst: s.dst,
+            size_bytes: payload + self.cfg.header_bytes,
+            kind: PacketKind::Data {
+                offset,
+                payload,
+                ack_request,
+                last_of_flow,
+                // Under per-packet pacing the RTT probe is the ack-requesting
+                // packet itself: hardware timestamps the probe's departure, so
+                // the sender's own pacing gaps do not pollute the sample.
+                chunk_sent_at: self.now,
+            },
+            ecn_marked: false,
+            injected_at: self.now,
+        }
+    }
+
+    /// Build the next packet of a per-chunk burst.
+    fn make_chunk_packet(&mut self, f: FlowId, last_in_chunk: bool) -> Packet {
+        let id = self.next_packet_id();
+        let s = &mut self.senders[f.0];
+        let payload = s.remaining().min(self.cfg.mtu_bytes as u64) as u32;
+        let offset = s.next_offset;
+        s.next_offset += payload as u64;
+        let last_of_flow = s.fully_sent();
+        Packet {
+            id,
+            flow: f,
+            src: s.src,
+            dst: s.dst,
+            size_bytes: payload + self.cfg.header_bytes,
+            kind: PacketKind::Data {
+                offset,
+                payload,
+                ack_request: last_in_chunk || last_of_flow,
+                last_of_flow,
+                chunk_sent_at: s.chunk_started,
+            },
+            ecn_marked: false,
+            injected_at: self.now,
+        }
+    }
+
+    /// Enqueue a packet on a link's egress queue; start transmission if the
+    /// port is idle. Ingress marking happens here.
+    fn enqueue(&mut self, link: LinkId, mut pkt: Packet) {
+        let is_switch = matches!(self.topo.kind(self.topo.link(link).src), NodeKind::Switch);
+        let port = &mut self.ports[link.0];
+        if pkt.is_control() {
+            port.ctrl_q.push_back(pkt);
+        } else {
+            port.data_bytes += pkt.size_bytes as u64;
+            if is_switch && self.cfg.marking == MarkingMode::Ingress {
+                let p = if self.cfg.pi_aqm.is_some() {
+                    port.pi_p
+                } else {
+                    self.cfg.red.probability(port.data_bytes)
+                };
+                if p > 0.0 && self.rng.next_f64() < p {
+                    pkt.ecn_marked = true;
+                    self.marked_packets += 1;
+                    self.first_mark_time.get_or_insert(self.now);
+                }
+            }
+            port.data_q.push_back(pkt);
+            if is_switch {
+                let bytes = port.data_bytes as f64;
+                if let Some(tr) = self.queue_traces.get_mut(&link) {
+                    tr.record(self.now, bytes);
+                }
+            }
+        }
+        self.try_transmit(link);
+    }
+
+    /// If the port is idle (and unpaused), start serializing the next packet.
+    fn try_transmit(&mut self, link: LinkId) {
+        let is_switch = matches!(self.topo.kind(self.topo.link(link).src), NodeKind::Switch);
+        let (bw, prop) = {
+            let l = self.topo.link(link);
+            (l.bandwidth_bps, l.prop_delay)
+        };
+        let port = &mut self.ports[link.0];
+        if port.busy {
+            return;
+        }
+        // Strict priority: control queue first; PAUSE affects data only
+        // (PFC pauses the lossless data class; control rides a separate
+        // priority, as both protocols prioritize feedback).
+        let mut pkt = if let Some(p) = port.ctrl_q.pop_front() {
+            p
+        } else if !port.paused {
+            match port.data_q.pop_front() {
+                Some(p) => p,
+                None => return,
+            }
+        } else {
+            return;
+        };
+
+        if !pkt.is_control() {
+            // Egress marking: the mark reflects the queue at departure time.
+            if is_switch && self.cfg.marking == MarkingMode::Egress {
+                let p = if self.cfg.pi_aqm.is_some() {
+                    port.pi_p
+                } else {
+                    self.cfg.red.probability(port.data_bytes)
+                };
+                if p > 0.0 && self.rng.next_f64() < p {
+                    pkt.ecn_marked = true;
+                    self.marked_packets += 1;
+                    self.first_mark_time.get_or_insert(self.now);
+                }
+            }
+            port.data_bytes -= pkt.size_bytes as u64;
+            if is_switch {
+                let bytes = port.data_bytes as f64;
+                if let Some(tr) = self.queue_traces.get_mut(&link) {
+                    tr.record(self.now, bytes);
+                }
+            }
+        }
+        port.busy = true;
+        let ser = SimDuration::serialization(pkt.size_bytes as u64, bw);
+        self.events.schedule(self.now + ser, Ev::TxDone(link));
+        self.events.schedule(self.now + ser + prop, Ev::Deliver(link, pkt));
+        self.update_pfc(link);
+    }
+
+    fn tx_done(&mut self, link: LinkId) {
+        self.ports[link.0].busy = false;
+        self.try_transmit(link);
+    }
+
+    /// PFC emulation: when this port's data backlog exceeds the pause
+    /// threshold, pause every link feeding this node; resume below the
+    /// resume threshold. (Simplified node-granularity PFC; the paper's
+    /// analysis assumes ECN acts first and ignores PFC entirely.)
+    fn update_pfc(&mut self, link: LinkId) {
+        let Some(pfc) = self.cfg.pfc.clone() else {
+            return;
+        };
+        let node = self.topo.link(link).src;
+        let backlog = self.ports[link.0].data_bytes;
+        let pause = backlog > pfc.pause_threshold_bytes;
+        let resume = backlog < pfc.resume_threshold_bytes;
+        if !pause && !resume {
+            return;
+        }
+        for l in 0..self.topo.link_count() {
+            if self.topo.link(LinkId(l)).dst == node {
+                if pause && !self.ports[l].paused {
+                    self.ports[l].paused = true;
+                    self.ports[l].paused_since = Some(self.now);
+                    self.ports[l].pauses += 1;
+                } else if resume && self.ports[l].paused {
+                    self.ports[l].paused = false;
+                    if let Some(since) = self.ports[l].paused_since.take() {
+                        let d = self.now.saturating_since(since);
+                        self.ports[l].paused_total += d;
+                    }
+                    self.try_transmit(LinkId(l));
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, link: LinkId, pkt: Packet) {
+        let node = self.topo.link(link).dst;
+        if matches!(self.topo.kind(node), NodeKind::Switch) || node != pkt.dst {
+            // Forward toward the destination.
+            let next = self
+                .topo
+                .next_hop(node, pkt.dst)
+                .expect("routable destination");
+            self.enqueue(next, pkt);
+            return;
+        }
+        // Host consumption.
+        match pkt.kind {
+            PacketKind::Data {
+                payload,
+                ack_request,
+                last_of_flow,
+                chunk_sent_at,
+                ..
+            } => {
+                self.data_packets += 1;
+                let f = pkt.flow;
+                self.delivered_bytes[f.0] += payload as u64;
+                self.record_rate_sample(f, payload as u64);
+                let recv = &mut self.receivers[f.0];
+                recv.received += payload as u64;
+                recv.last_byte_at = Some(self.now);
+
+                // DCQCN NP behaviour: CNP on marked packet, coalesced to τ.
+                if pkt.ecn_marked {
+                    let due = match recv.last_cnp {
+                        None => true,
+                        Some(t) => self.now.saturating_since(t) >= self.cfg.cnp_interval,
+                    };
+                    if due {
+                        recv.last_cnp = Some(self.now);
+                        self.cnps_sent += 1;
+                        let cnp = Packet {
+                            id: 0,
+                            flow: f,
+                            src: pkt.dst,
+                            dst: pkt.src,
+                            size_bytes: self.cfg.control_packet_bytes,
+                            kind: PacketKind::Cnp,
+                            ecn_marked: false,
+                            injected_at: self.now,
+                        };
+                        self.send_control(cnp);
+                    }
+                }
+                if ack_request {
+                    let ack = Packet {
+                        id: 0,
+                        flow: f,
+                        src: pkt.dst,
+                        dst: pkt.src,
+                        size_bytes: self.cfg.control_packet_bytes,
+                        kind: PacketKind::Ack {
+                            chunk_sent_at,
+                            chunk_bytes: self.senders[f.0].ack_chunk_bytes,
+                        },
+                        ecn_marked: false,
+                        injected_at: self.now,
+                    };
+                    self.send_control(ack);
+                }
+                if last_of_flow {
+                    let s = &mut self.senders[f.0];
+                    if s.completed.is_none() {
+                        s.completed = Some(self.now);
+                        self.fcts.push(FctRecord {
+                            flow: f.0,
+                            size_bytes: s.size_bytes.unwrap_or(s.next_offset),
+                            start_s: s.start.as_secs_f64(),
+                            fct_s: self.now.saturating_since(s.start).as_secs_f64(),
+                        });
+                    }
+                }
+            }
+            PacketKind::Ack { chunk_sent_at, .. } => {
+                let f = pkt.flow;
+                if self.senders[f.0].completed.is_some() {
+                    return;
+                }
+                let rtt = self.now.saturating_since(chunk_sent_at);
+                let now = self.now;
+                let update = self.senders[f.0].cc.on_event(now, CcEvent::RttSample { rtt });
+                self.apply_update(f, update);
+            }
+            PacketKind::Cnp => {
+                let f = pkt.flow;
+                if self.senders[f.0].completed.is_some() {
+                    return;
+                }
+                let now = self.now;
+                let update = self.senders[f.0].cc.on_event(now, CcEvent::Cnp);
+                self.apply_update(f, update);
+            }
+        }
+    }
+
+    /// Route a control packet from its source host toward its destination.
+    fn send_control(&mut self, pkt: Packet) {
+        let l = self
+            .topo
+            .next_hop(pkt.src, pkt.dst)
+            .expect("control route");
+        self.enqueue(l, pkt);
+    }
+
+    fn record_rate_sample(&mut self, f: FlowId, bytes: u64) {
+        let Some(window) = self.cfg.rate_trace_window else {
+            return;
+        };
+        self.rate_window_bytes[f.0] += bytes;
+        let start = self.rate_window_start[f.0];
+        let elapsed = self.now.saturating_since(start);
+        if elapsed >= window {
+            let bps = self.rate_window_bytes[f.0] as f64 * 8.0 / elapsed.as_secs_f64();
+            self.rate_traces[f.0].push((self.now.as_secs_f64(), bps));
+            self.rate_window_bytes[f.0] = 0;
+            self.rate_window_start[f.0] = self.now;
+        }
+    }
+
+    /// Current simulated time (for tests).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+impl Engine {
+    /// Queue trace for a specific link (test helper).
+    pub fn queue_trace(&self, link: LinkId) -> Option<&TimeSeries> {
+        self.queue_traces.get(&link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::FixedRate;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    fn flow(src: NodeId, dst: NodeId, size: u64, rate: f64) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            size_bytes: Some(size),
+            start: SimTime::ZERO,
+            pacing: Pacing::PerPacket,
+            cc: Box::new(FixedRate { rate_bps: rate }),
+            ack_chunk_bytes: 16_000,
+        }
+    }
+
+    #[test]
+    fn single_flow_delivers_all_bytes() {
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        eng.add_flow(flow(senders[0], receiver, 100_000, 5e9));
+        let report = eng.run(SimTime::from_millis(10));
+        assert_eq!(report.delivered_bytes[0], 100_000);
+        assert_eq!(report.fcts.len(), 1);
+        assert_eq!(report.fcts[0].size_bytes, 100_000);
+    }
+
+    #[test]
+    fn sub_mtu_flow_completes() {
+        // A 1-byte flow: one packet, one completion, exact byte accounting.
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        eng.add_flow(flow(senders[0], receiver, 1, 1e9));
+        let report = eng.run(SimTime::from_millis(1));
+        assert_eq!(report.delivered_bytes[0], 1);
+        assert_eq!(report.fcts.len(), 1);
+        assert_eq!(report.data_packets, 1);
+    }
+
+    #[test]
+    fn exact_mtu_multiple_flow_completes() {
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        eng.add_flow(flow(senders[0], receiver, 3_000, 1e9)); // 3 packets
+        let report = eng.run(SimTime::from_millis(1));
+        assert_eq!(report.delivered_bytes[0], 3_000);
+        assert_eq!(report.data_packets, 3);
+    }
+
+    #[test]
+    fn delayed_start_flow() {
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        let mut spec = flow(senders[0], receiver, 10_000, 5e9);
+        spec.start = SimTime::from_millis(5);
+        eng.add_flow(spec);
+        let report = eng.run(SimTime::from_millis(10));
+        assert_eq!(report.fcts.len(), 1);
+        assert!(
+            report.fcts[0].start_s >= 0.005,
+            "start respected: {}",
+            report.fcts[0].start_s
+        );
+    }
+
+    #[test]
+    fn fct_close_to_ideal_for_uncongested_flow() {
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        // 1 MB at 10 Gbps ≈ 800 µs + small store-and-forward and prop.
+        eng.add_flow(flow(senders[0], receiver, 1_000_000, 10e9));
+        let report = eng.run(SimTime::from_millis(50));
+        let fct = report.fcts[0].fct_s;
+        let ideal = 1_000_000.0 * 8.0 / 10e9;
+        assert!(fct >= ideal, "fct {fct} can't beat serialization {ideal}");
+        assert!(fct < ideal * 1.2 + 20e-6, "fct {fct} too slow vs {ideal}");
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck_queue_grows() {
+        // Two fixed 8 Gbps flows into a 10 Gbps bottleneck must build queue
+        // and eventually mark packets.
+        let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        eng.add_flow(flow(senders[0], receiver, 2_000_000, 8e9));
+        eng.add_flow(flow(senders[1], receiver, 2_000_000, 8e9));
+        let report = eng.run(SimTime::from_millis(20));
+        assert_eq!(report.delivered_bytes[0], 2_000_000);
+        assert_eq!(report.delivered_bytes[1], 2_000_000);
+        assert!(report.marked_packets > 0, "overload must trigger ECN marks");
+        assert!(report.cnps_sent > 0, "marked packets must produce CNPs");
+        // Queue trace for the switch→receiver link must show growth.
+        let (trace_max, _) = report
+            .queue_traces.values().map(|tr| {
+                let max = tr
+                    .points()
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .fold(0.0f64, f64::max);
+                (max, tr.len())
+            })
+            .fold((0.0f64, 0usize), |acc, x| (acc.0.max(x.0), acc.1 + x.1));
+        assert!(trace_max > 10_000.0, "bottleneck queue should exceed 10 KB");
+    }
+
+    #[test]
+    fn conservation_no_loss() {
+        // Without PFC or caps the simulator is lossless: every payload byte
+        // sent is delivered.
+        let (topo, senders, receiver) = Topology::single_switch(4, 10e9, us(2));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        for i in 0..4 {
+            eng.add_flow(flow(senders[i], receiver, 500_000, 9e9));
+        }
+        let report = eng.run(SimTime::from_millis(50));
+        for i in 0..4 {
+            assert_eq!(report.delivered_bytes[i], 500_000, "flow {i} lost bytes");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (topo, senders, receiver) = Topology::single_switch(3, 10e9, us(1));
+            let mut eng = Engine::new(topo, EngineConfig::default());
+            for i in 0..3 {
+                eng.add_flow(flow(senders[i], receiver, 300_000, 7e9));
+            }
+            let r = eng.run(SimTime::from_millis(20));
+            (
+                r.marked_packets,
+                r.cnps_sent,
+                r.fcts.iter().map(|f| f.fct_s.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chunk_pacing_produces_completion_acks_and_rtt() {
+        // Per-chunk pacing with a CC that counts RTT samples.
+        #[derive(Debug)]
+        struct RttCounter {
+            samples: std::rc::Rc<std::cell::Cell<u64>>,
+        }
+        impl crate::cc::CongestionControl for RttCounter {
+            fn on_start(&mut self, _now: SimTime, line: f64) -> CcUpdate {
+                CcUpdate::rate(line / 2.0)
+            }
+            fn on_event(&mut self, _now: SimTime, ev: CcEvent) -> CcUpdate {
+                if matches!(ev, CcEvent::RttSample { .. }) {
+                    self.samples.set(self.samples.get() + 1);
+                }
+                CcUpdate::none()
+            }
+            fn current_rate_bps(&self) -> f64 {
+                5e9
+            }
+        }
+        let samples = std::rc::Rc::new(std::cell::Cell::new(0));
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        eng.add_flow(FlowSpec {
+            src: senders[0],
+            dst: receiver,
+            size_bytes: Some(160_000),
+            start: SimTime::ZERO,
+            pacing: Pacing::PerChunk { seg_bytes: 16_000 },
+            cc: Box::new(RttCounter {
+                samples: samples.clone(),
+            }),
+            ack_chunk_bytes: 16_000,
+        });
+        let report = eng.run(SimTime::from_millis(10));
+        assert_eq!(report.delivered_bytes[0], 160_000);
+        // 160 KB / 16 KB chunks = 10 completion events; the final chunk's
+        // ACK races flow completion (the engine drops samples for completed
+        // flows), so 9 are guaranteed to reach the CC.
+        assert!(samples.get() >= 9, "one RTT sample per chunk, got {}", samples.get());
+    }
+
+    #[test]
+    fn control_packets_prioritized() {
+        // With a deep data backlog, a CNP still crosses quickly: flood the
+        // switch→receiver port and check CNP round trip stays near the
+        // propagation+serialization floor. Indirect check: CNPs are sent
+        // and flows react before the queue drains.
+        let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+        let cfg = EngineConfig::default();
+        let mut eng = Engine::new(topo, cfg);
+        eng.add_flow(flow(senders[0], receiver, 3_000_000, 9e9));
+        eng.add_flow(flow(senders[1], receiver, 3_000_000, 9e9));
+        let report = eng.run(SimTime::from_millis(30));
+        assert!(report.cnps_sent > 5);
+    }
+
+    #[test]
+    fn ingress_vs_egress_marking_differ() {
+        let run = |mode: MarkingMode| {
+            let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+            let mut cfg = EngineConfig::default();
+            cfg.marking = mode;
+            cfg.seed = 42;
+            let mut eng = Engine::new(topo, cfg);
+            eng.add_flow(flow(senders[0], receiver, 1_000_000, 8e9));
+            eng.add_flow(flow(senders[1], receiver, 1_000_000, 8e9));
+            let r = eng.run(SimTime::from_millis(20));
+            (r.marked_packets, r.first_mark_time_s)
+        };
+        let (egress, egress_first) = run(MarkingMode::Egress);
+        let (ingress, ingress_first) = run(MarkingMode::Ingress);
+        assert!(egress > 0 && ingress > 0);
+        // Same seed, different decision points: ingress decides when the
+        // packet joins the queue, egress when it departs — the first mark
+        // cannot land at the same instant.
+        assert_ne!(egress_first, ingress_first);
+    }
+
+    #[test]
+    fn pi_aqm_pins_queue_with_fixed_overload() {
+        // Two fixed flows overloading the port: RED would let the queue sit
+        // wherever the rates put it; PI marks harder until the queue is at
+        // q_ref. Fixed-rate senders ignore marks, so here we only check the
+        // controller state itself rises to full marking.
+        let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+        let mut cfg = EngineConfig::default();
+        cfg.pi_aqm = Some(crate::config::PiAqmConfig::default_for(100_000));
+        let mut eng = Engine::new(topo, cfg);
+        eng.add_flow(flow(senders[0], receiver, 2_000_000, 8e9));
+        eng.add_flow(flow(senders[1], receiver, 2_000_000, 8e9));
+        let report = eng.run(SimTime::from_millis(20));
+        // Persistent overload beyond q_ref → controller saturates → marks.
+        assert!(report.marked_packets > 100, "PI must mark under overload");
+    }
+
+    #[test]
+    fn pfc_statistics_recorded() {
+        let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+        let mut cfg = EngineConfig::default();
+        cfg.pfc = Some(PfcConfig {
+            pause_threshold_bytes: 30_000,
+            resume_threshold_bytes: 20_000,
+        });
+        let mut eng = Engine::new(topo, cfg);
+        eng.add_flow(flow(senders[0], receiver, 1_000_000, 9e9));
+        eng.add_flow(flow(senders[1], receiver, 1_000_000, 9e9));
+        let report = eng.run(SimTime::from_millis(20));
+        assert!(report.pfc_pauses > 0, "overload must trigger PAUSE");
+        assert!(report.pfc_paused_s > 0.0);
+        assert!(report.pfc_paused_s < 0.02 * 6.0, "bounded by port-seconds");
+    }
+
+    #[test]
+    fn no_pfc_no_pause_stats() {
+        let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        eng.add_flow(flow(senders[0], receiver, 500_000, 9e9));
+        eng.add_flow(flow(senders[1], receiver, 500_000, 9e9));
+        let report = eng.run(SimTime::from_millis(10));
+        assert_eq!(report.pfc_pauses, 0);
+        assert_eq!(report.pfc_paused_s, 0.0);
+    }
+
+    #[test]
+    fn pfc_pauses_upstream() {
+        let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+        let mut cfg = EngineConfig::default();
+        cfg.pfc = Some(PfcConfig {
+            pause_threshold_bytes: 30_000,
+            resume_threshold_bytes: 20_000,
+        });
+        let mut eng = Engine::new(topo, cfg);
+        eng.add_flow(flow(senders[0], receiver, 1_000_000, 9e9));
+        eng.add_flow(flow(senders[1], receiver, 1_000_000, 9e9));
+        let report = eng.run(SimTime::from_millis(20));
+        // Lossless even with PFC bounds; everything still delivered.
+        assert_eq!(report.delivered_bytes[0], 1_000_000);
+        assert_eq!(report.delivered_bytes[1], 1_000_000);
+        // The bottleneck queue stays near the pause threshold.
+        let max_q = report
+            .queue_traces
+            .values()
+            .flat_map(|tr| tr.points().iter().map(|&(_, v)| v))
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_q < 120_000.0,
+            "PFC should bound the queue, saw {max_q}"
+        );
+    }
+}

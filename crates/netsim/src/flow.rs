@@ -1,0 +1,165 @@
+//! Sender/receiver flow state and pacing models.
+
+use crate::cc::CongestionControl;
+use crate::topology::NodeId;
+use crate::types::FlowId;
+use desim::{SimDuration, SimTime};
+
+/// How the sender spaces its packets (paper §4.2, "Impact of per-burst
+/// pacing").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Hardware rate limiter: every packet is individually spaced at the
+    /// current rate (DCQCN; also TIMELY's "per-packet pacing" mode used for
+    /// the model validation).
+    PerPacket,
+    /// TIMELY's implementation behaviour: chunks of `seg_bytes` go out
+    /// back-to-back at line rate, with inter-chunk gaps chosen so the
+    /// average equals the target rate.
+    PerChunk {
+        /// Segment size in bytes (16–64 KB in the paper).
+        seg_bytes: u32,
+    },
+}
+
+/// A flow to inject into the simulation.
+#[derive(Debug)]
+pub struct FlowSpec {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Bytes to transfer; `None` = long-lived (runs until sim end).
+    pub size_bytes: Option<u64>,
+    /// Start time.
+    pub start: SimTime,
+    /// Pacing model.
+    pub pacing: Pacing,
+    /// The congestion-control algorithm instance.
+    pub cc: Box<dyn CongestionControl>,
+    /// Completion-ACK interval in bytes: the receiver acks the last packet
+    /// of every `ack_chunk_bytes` window (drives RTT sampling). For DCQCN
+    /// this can be large (RTT unused); TIMELY sets it to the segment size.
+    pub ack_chunk_bytes: u32,
+}
+
+/// Sender-side runtime state (engine-internal).
+#[derive(Debug)]
+pub struct SenderFlow {
+    /// Flow id.
+    pub id: FlowId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Total size, if finite.
+    pub size_bytes: Option<u64>,
+    /// Flow start time.
+    pub start: SimTime,
+    /// Pacing model.
+    pub pacing: Pacing,
+    /// Congestion control.
+    pub cc: Box<dyn CongestionControl>,
+    /// Current rate (bps) as last applied from the CC.
+    pub rate_bps: f64,
+    /// Next payload byte offset to send.
+    pub next_offset: u64,
+    /// Payload bytes acknowledged as transmitted to the CC's byte counter.
+    pub sent_payload: u64,
+    /// Earliest time the next packet/chunk may start.
+    pub next_tx: SimTime,
+    /// Bytes remaining in the current chunk (per-chunk pacing).
+    pub chunk_remaining: u32,
+    /// When the current chunk started (echoed in the completion ACK).
+    pub chunk_started: SimTime,
+    /// Bytes since the last ACK-requested packet.
+    pub since_ack_request: u32,
+    /// ACK chunk size.
+    pub ack_chunk_bytes: u32,
+    /// Completion time (when the last payload byte was acknowledged as
+    /// delivered — the engine uses last-byte arrival at the receiver).
+    pub completed: Option<SimTime>,
+}
+
+impl SenderFlow {
+    /// Remaining payload bytes, `u64::MAX` for long-lived flows.
+    pub fn remaining(&self) -> u64 {
+        match self.size_bytes {
+            Some(sz) => sz.saturating_sub(self.next_offset),
+            None => u64::MAX,
+        }
+    }
+
+    /// True once every payload byte has been handed to the NIC.
+    pub fn fully_sent(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// The inter-packet gap at the current rate for a packet of `bytes`.
+    pub fn packet_gap(&self, bytes: u32) -> SimDuration {
+        SimDuration::serialization(bytes as u64, self.rate_bps.max(1e3))
+    }
+}
+
+/// Receiver-side runtime state (engine-internal).
+#[derive(Debug, Default)]
+pub struct ReceiverFlow {
+    /// Payload bytes received so far.
+    pub received: u64,
+    /// Last time a CNP was generated for this flow (τ coalescing).
+    pub last_cnp: Option<SimTime>,
+    /// Time the last payload byte arrived (FCT endpoint).
+    pub last_byte_at: Option<SimTime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::FixedRate;
+
+    fn sender(rate: f64) -> SenderFlow {
+        SenderFlow {
+            id: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: Some(5_000),
+            start: SimTime::ZERO,
+            pacing: Pacing::PerPacket,
+            cc: Box::new(FixedRate { rate_bps: rate }),
+            rate_bps: rate,
+            next_offset: 0,
+            sent_payload: 0,
+            next_tx: SimTime::ZERO,
+            chunk_remaining: 0,
+            chunk_started: SimTime::ZERO,
+            since_ack_request: 0,
+            ack_chunk_bytes: 16_000,
+            completed: None,
+        }
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut f = sender(1e9);
+        assert_eq!(f.remaining(), 5_000);
+        f.next_offset = 4_000;
+        assert_eq!(f.remaining(), 1_000);
+        f.next_offset = 5_000;
+        assert!(f.fully_sent());
+    }
+
+    #[test]
+    fn long_lived_never_finishes() {
+        let mut f = sender(1e9);
+        f.size_bytes = None;
+        f.next_offset = u64::MAX / 2;
+        assert!(!f.fully_sent());
+    }
+
+    #[test]
+    fn packet_gap_matches_rate() {
+        let f = sender(1e9); // 1 Gbps
+        // 1000 bytes at 1 Gbps = 8 µs.
+        assert_eq!(f.packet_gap(1000), SimDuration::from_micros(8));
+    }
+}

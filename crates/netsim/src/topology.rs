@@ -1,0 +1,374 @@
+//! Topology: nodes, simplex links, and static shortest-path routing.
+
+use desim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Node identifier (host or switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Simplex link identifier; a "cable" is two simplex links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+/// What a node is. Hosts terminate flows; switches forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// End host with a NIC.
+    Host,
+    /// Store-and-forward switch.
+    Switch,
+}
+
+/// One simplex link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Transmitting node (owns the egress queue).
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Line rate in bits per second.
+    pub bandwidth_bps: f64,
+    /// Propagation delay.
+    pub prop_delay: SimDuration,
+}
+
+/// A static network: nodes, links, and precomputed next-hop routing.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<NodeKind>,
+    links: Vec<Link>,
+    /// Outgoing links per node.
+    out_links: Vec<Vec<LinkId>>,
+    /// `route[src][dst]` = first link on a shortest path, or `None`.
+    route: Vec<Vec<Option<LinkId>>>,
+}
+
+impl Topology {
+    /// Build from nodes and links; computes all-pairs next-hop routes by
+    /// BFS (all links weight 1). Panics if any host pair is disconnected —
+    /// a misconfigured experiment should fail loudly at build time.
+    pub fn new(nodes: Vec<NodeKind>, links: Vec<Link>) -> Self {
+        let n = nodes.len();
+        let mut out_links = vec![Vec::new(); n];
+        for (i, l) in links.iter().enumerate() {
+            assert!(l.src.0 < n && l.dst.0 < n, "link endpoint out of range");
+            assert!(l.bandwidth_bps > 0.0, "link bandwidth must be positive");
+            out_links[l.src.0].push(LinkId(i));
+        }
+        let mut route = vec![vec![None; n]; n];
+        // BFS from every destination over reversed edges, recording for each
+        // node the link that moves one hop closer to the destination.
+        for dst in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut queue = VecDeque::from([dst]);
+            while let Some(v) = queue.pop_front() {
+                // Any link u -> v extends the tree to u.
+                for (li, l) in links.iter().enumerate() {
+                    if l.dst.0 == v && dist[l.src.0] == usize::MAX {
+                        dist[l.src.0] = dist[v] + 1;
+                        route[l.src.0][dst] = Some(LinkId(li));
+                        queue.push_back(l.src.0);
+                    }
+                }
+            }
+            for src in 0..n {
+                if src != dst
+                    && matches!(nodes[src], NodeKind::Host)
+                    && matches!(nodes[dst], NodeKind::Host)
+                {
+                    assert!(
+                        route[src][dst].is_some(),
+                        "no route from host {src} to host {dst}"
+                    );
+                }
+            }
+        }
+        Topology {
+            nodes,
+            links,
+            out_links,
+            route,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of simplex links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node kind.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.0]
+    }
+
+    /// Link descriptor.
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l.0]
+    }
+
+    /// The next link from `at` toward `dst`.
+    pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.route[at.0][dst.0]
+    }
+
+    /// Outgoing links of a node.
+    pub fn out_links(&self, n: NodeId) -> &[LinkId] {
+        &self.out_links[n.0]
+    }
+
+    /// All host node ids.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| matches!(self.nodes[i], NodeKind::Host))
+            .map(NodeId)
+            .collect()
+    }
+
+    /// The validation topology of §3.1/§4.1: `n` sender hosts and one
+    /// receiver host around a single switch. Every link has the given rate
+    /// and delay. Returns `(topology, senders, receiver)`.
+    ///
+    /// Node layout: 0..n = senders, n = receiver, n+1 = switch.
+    pub fn single_switch(
+        n_senders: usize,
+        bandwidth_bps: f64,
+        prop_delay: SimDuration,
+    ) -> (Topology, Vec<NodeId>, NodeId) {
+        let mut nodes = vec![NodeKind::Host; n_senders + 1];
+        nodes.push(NodeKind::Switch);
+        let switch = NodeId(n_senders + 1);
+        let receiver = NodeId(n_senders);
+        let mut links = Vec::new();
+        for h in 0..=n_senders {
+            let host = NodeId(h);
+            links.push(Link {
+                src: host,
+                dst: switch,
+                bandwidth_bps,
+                prop_delay,
+            });
+            links.push(Link {
+                src: switch,
+                dst: host,
+                bandwidth_bps,
+                prop_delay,
+            });
+        }
+        let topo = Topology::new(nodes, links);
+        let senders = (0..n_senders).map(NodeId).collect();
+        (topo, senders, receiver)
+    }
+
+    /// The Figure 13 dumbbell: `n` senders on SW1, `n` receivers on SW2,
+    /// one bottleneck link SW1→SW2. All links share the given rate/delay.
+    /// Returns `(topology, senders, receivers, bottleneck_link)` where the
+    /// bottleneck id refers to the SW1→SW2 direction.
+    ///
+    /// Node layout: 0..n = senders, n..2n = receivers, 2n = SW1, 2n+1 = SW2.
+    pub fn dumbbell(
+        n_pairs: usize,
+        bandwidth_bps: f64,
+        prop_delay: SimDuration,
+    ) -> (Topology, Vec<NodeId>, Vec<NodeId>, LinkId) {
+        let mut nodes = vec![NodeKind::Host; 2 * n_pairs];
+        nodes.push(NodeKind::Switch); // SW1
+        nodes.push(NodeKind::Switch); // SW2
+        let sw1 = NodeId(2 * n_pairs);
+        let sw2 = NodeId(2 * n_pairs + 1);
+        let mut links = Vec::new();
+        let duplex = |a: NodeId, b: NodeId, links: &mut Vec<Link>| {
+            links.push(Link {
+                src: a,
+                dst: b,
+                bandwidth_bps,
+                prop_delay,
+            });
+            links.push(Link {
+                src: b,
+                dst: a,
+                bandwidth_bps,
+                prop_delay,
+            });
+        };
+        for s in 0..n_pairs {
+            duplex(NodeId(s), sw1, &mut links);
+        }
+        for r in 0..n_pairs {
+            duplex(NodeId(n_pairs + r), sw2, &mut links);
+        }
+        let bottleneck = LinkId(links.len());
+        duplex(sw1, sw2, &mut links);
+        let topo = Topology::new(nodes, links);
+        let senders = (0..n_pairs).map(NodeId).collect();
+        let receivers = (n_pairs..2 * n_pairs).map(NodeId).collect();
+        (topo, senders, receivers, bottleneck)
+    }
+}
+
+impl Topology {
+    /// A "parking lot" multi-bottleneck chain (the paper's future-work
+    /// scenario): `n_hops` switches in a line; one host pair spans the
+    /// whole chain (the "long" flow path) and one host pair hangs off each
+    /// switch for per-hop cross traffic.
+    ///
+    /// Returns `(topology, long_src, long_dst, cross_pairs)` where
+    /// `cross_pairs[i]` are the (src, dst) hosts whose traffic crosses only
+    /// hop `i → i+1`.
+    ///
+    /// Node layout: 0 = long source, 1 = long destination, then cross hosts
+    /// in pairs, then switches.
+    pub fn parking_lot(
+        n_hops: usize,
+        bandwidth_bps: f64,
+        prop_delay: SimDuration,
+    ) -> (Topology, NodeId, NodeId, Vec<(NodeId, NodeId)>) {
+        assert!(n_hops >= 1, "need at least one bottleneck hop");
+        let n_switches = n_hops + 1;
+        let n_cross = n_hops; // one cross pair per hop
+        let mut nodes = vec![NodeKind::Host; 2 + 2 * n_cross];
+        for _ in 0..n_switches {
+            nodes.push(NodeKind::Switch);
+        }
+        let switch = |i: usize| NodeId(2 + 2 * n_cross + i);
+        let long_src = NodeId(0);
+        let long_dst = NodeId(1);
+        let mut links = Vec::new();
+        let duplex = |a: NodeId, b: NodeId, links: &mut Vec<Link>| {
+            links.push(Link {
+                src: a,
+                dst: b,
+                bandwidth_bps,
+                prop_delay,
+            });
+            links.push(Link {
+                src: b,
+                dst: a,
+                bandwidth_bps,
+                prop_delay,
+            });
+        };
+        duplex(long_src, switch(0), &mut links);
+        duplex(long_dst, switch(n_switches - 1), &mut links);
+        for h in 0..n_hops {
+            duplex(switch(h), switch(h + 1), &mut links);
+        }
+        let mut cross_pairs = Vec::new();
+        for h in 0..n_hops {
+            let src = NodeId(2 + 2 * h);
+            let dst = NodeId(3 + 2 * h);
+            // Cross source enters at switch h, exits at switch h+1.
+            duplex(src, switch(h), &mut links);
+            duplex(dst, switch(h + 1), &mut links);
+            cross_pairs.push((src, dst));
+        }
+        let topo = Topology::new(nodes, links);
+        (topo, long_src, long_dst, cross_pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn single_switch_routes() {
+        let (topo, senders, receiver) = Topology::single_switch(3, 10e9, us(1));
+        assert_eq!(topo.node_count(), 5);
+        for &s in &senders {
+            let l1 = topo.next_hop(s, receiver).unwrap();
+            assert_eq!(topo.link(l1).dst, NodeId(4), "first hop is the switch");
+            let l2 = topo.next_hop(NodeId(4), receiver).unwrap();
+            assert_eq!(topo.link(l2).dst, receiver);
+        }
+        // Reverse path exists too (for ACK/CNP).
+        assert!(topo.next_hop(receiver, senders[0]).is_some());
+    }
+
+    #[test]
+    fn dumbbell_routes_cross_bottleneck() {
+        let (topo, senders, receivers, bottleneck) = Topology::dumbbell(4, 10e9, us(1));
+        assert_eq!(topo.node_count(), 10);
+        let sw1 = NodeId(8);
+        for (&s, &r) in senders.iter().zip(&receivers) {
+            // sender -> SW1 -> SW2 -> receiver
+            let l1 = topo.next_hop(s, r).unwrap();
+            assert_eq!(topo.link(l1).dst, sw1);
+            let l2 = topo.next_hop(sw1, r).unwrap();
+            assert_eq!(l2, bottleneck, "all pairs cross the bottleneck");
+        }
+    }
+
+    #[test]
+    fn cross_pairs_also_routed() {
+        let (topo, senders, receivers, _) = Topology::dumbbell(3, 10e9, us(1));
+        // Any sender to any receiver must be routable (random pairing in
+        // the FCT workload).
+        for &s in &senders {
+            for &r in &receivers {
+                assert!(topo.next_hop(s, r).is_some());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn disconnected_hosts_panic() {
+        let nodes = vec![NodeKind::Host, NodeKind::Host];
+        Topology::new(nodes, vec![]);
+    }
+
+    #[test]
+    fn out_links_indexed() {
+        let (topo, _, _) = Topology::single_switch(2, 10e9, us(1));
+        let switch = NodeId(3);
+        // Switch has one egress link per attached host.
+        assert_eq!(topo.out_links(switch).len(), 3);
+        for &l in topo.out_links(switch) {
+            assert_eq!(topo.link(l).src, switch);
+        }
+    }
+
+    #[test]
+    fn parking_lot_routes_span_hops() {
+        let (topo, long_src, long_dst, cross) = Topology::parking_lot(3, 10e9, us(1));
+        // Long path: src -> sw0 -> sw1 -> sw2 -> sw3 -> dst = 5 hops.
+        let mut at = long_src;
+        let mut hops = 0;
+        while at != long_dst {
+            let l = topo.next_hop(at, long_dst).expect("long route");
+            at = topo.link(l).dst;
+            hops += 1;
+            assert!(hops < 10, "routing loop");
+        }
+        assert_eq!(hops, 5);
+        // Every cross pair is two hops apart (src -> sw_h -> sw_h+1 -> dst).
+        for &(s, d) in &cross {
+            let mut at = s;
+            let mut hops = 0;
+            while at != d {
+                let l = topo.next_hop(at, d).expect("cross route");
+                at = topo.link(l).dst;
+                hops += 1;
+            }
+            assert_eq!(hops, 3);
+        }
+    }
+
+    #[test]
+    fn hosts_listed() {
+        let (topo, _, _) = Topology::single_switch(2, 10e9, us(1));
+        assert_eq!(topo.hosts().len(), 3);
+    }
+}

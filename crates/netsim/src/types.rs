@@ -1,0 +1,122 @@
+//! Core simulator value types: packets and flow identifiers.
+
+use crate::topology::NodeId;
+use desim::SimTime;
+
+/// Flow identifier (index into the engine's flow table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub usize);
+
+/// What a packet is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A data segment carrying `payload` bytes of the flow.
+    Data {
+        /// Cumulative sequence: offset of the first payload byte.
+        offset: u64,
+        /// Payload bytes in this packet.
+        payload: u32,
+        /// True when the receiver should emit a completion ACK after this
+        /// packet (last packet of a pacing chunk — TIMELY's RTT probe).
+        ack_request: bool,
+        /// True on the final packet of a finite flow.
+        last_of_flow: bool,
+        /// When the first byte of this packet's chunk left the sender;
+        /// echoed in the completion ACK so the RTT sample spans the whole
+        /// chunk (hardware encodes this in the WQE; we carry it inline).
+        chunk_sent_at: SimTime,
+    },
+    /// Completion acknowledgement for a chunk (carries the echoed send
+    /// timestamp so the sender can compute the RTT sample).
+    Ack {
+        /// When the first byte of the acknowledged chunk left the sender.
+        chunk_sent_at: SimTime,
+        /// Bytes acknowledged by this completion event.
+        chunk_bytes: u32,
+    },
+    /// Congestion Notification Packet (DCQCN NP → RP).
+    Cnp,
+}
+
+/// A packet in flight or queued.
+///
+/// Simulator luxury: metadata that real hardware would encode in headers
+/// (timestamps, flow ids) is carried directly; only `size_bytes` affects
+/// timing.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Globally unique packet id (diagnostics).
+    pub id: u64,
+    /// The flow this packet belongs to.
+    pub flow: FlowId,
+    /// Origin host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Wire size in bytes (headers included).
+    pub size_bytes: u32,
+    /// Payload kind.
+    pub kind: PacketKind,
+    /// ECN Congestion-Experienced mark.
+    pub ecn_marked: bool,
+    /// When the packet entered the network at its source NIC.
+    pub injected_at: SimTime,
+}
+
+impl Packet {
+    /// True for CNP/ACK control packets (strict-priority, never marked).
+    pub fn is_control(&self) -> bool {
+        matches!(self.kind, PacketKind::Ack { .. } | PacketKind::Cnp)
+    }
+
+    /// Payload bytes carried (0 for control packets).
+    pub fn payload_bytes(&self) -> u64 {
+        match self.kind {
+            PacketKind::Data { payload, .. } => payload as u64,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_packet(payload: u32) -> Packet {
+        Packet {
+            id: 1,
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: payload + 40,
+            kind: PacketKind::Data {
+                offset: 0,
+                payload,
+                ack_request: false,
+                last_of_flow: false,
+                chunk_sent_at: SimTime::ZERO,
+            },
+            ecn_marked: false,
+            injected_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn control_classification() {
+        let d = data_packet(1000);
+        assert!(!d.is_control());
+        assert_eq!(d.payload_bytes(), 1000);
+
+        let mut cnp = d;
+        cnp.kind = PacketKind::Cnp;
+        assert!(cnp.is_control());
+        assert_eq!(cnp.payload_bytes(), 0);
+
+        let mut ack = d;
+        ack.kind = PacketKind::Ack {
+            chunk_sent_at: SimTime::ZERO,
+            chunk_bytes: 16_000,
+        };
+        assert!(ack.is_control());
+    }
+}

@@ -1,0 +1,31 @@
+//! # protocols — DCQCN, TIMELY and Patched TIMELY endpoints
+//!
+//! Packet-level implementations of the three protocols analyzed in the
+//! paper, as [`netsim::CongestionControl`] state machines:
+//!
+//! * [`dcqcn`] — the RP (reaction point) of \[31\]: CNP-driven multiplicative
+//!   decrease with the DCTCP-style α estimator (Eqs 1–2), QCN-style
+//!   recovery through five fast-recovery stages driven by both a byte
+//!   counter and a timer, additive increase `R_AI`, optional hyper
+//!   increase. Flows start at line rate ("DCQCN does not have slow start");
+//! * [`timely`] — Algorithm 1 of \[21\]: per-completion RTT samples, EWMA RTT
+//!   gradient, additive increase below `T_low` / on non-positive gradient,
+//!   gradient-proportional multiplicative decrease, absolute backoff above
+//!   `T_high`, plus the hyperactive-increase (HAI) mode;
+//! * [`patched_timely`] — the paper's Algorithm 2: same shell as TIMELY but
+//!   with the continuous weight `w(g)` and an absolute-RTT error term
+//!   against `RTT_ref` in the gradient band.
+//!
+//! The NP (CNP coalescing with timer τ) and CP (RED marking at egress) live
+//! in `netsim`, mirroring where those functions run in real deployments
+//! (receiver NIC and switch respectively).
+
+#![deny(missing_docs)]
+
+pub mod dcqcn;
+pub mod patched_timely;
+pub mod timely;
+
+pub use dcqcn::{DcqcnCc, DcqcnCcParams};
+pub use patched_timely::{PatchedTimelyCc, PatchedTimelyCcParams};
+pub use timely::{TimelyCc, TimelyCcParams};

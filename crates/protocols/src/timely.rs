@@ -1,0 +1,299 @@
+//! The TIMELY sender (Algorithm 1 of the paper, from \[21\]).
+//!
+//! One RTT sample arrives per completion event (chunk of 16–64 KB). The
+//! sender maintains an EWMA of consecutive RTT differences, normalizes by
+//! `D_minRTT` to get the gradient, and:
+//!
+//! * `newRTT < T_low` → additive increase `δ`;
+//! * `newRTT > T_high` → multiplicative decrease `β·(1 − T_high/newRTT)`;
+//! * otherwise gradient-based: `g ≤ 0` → `+δ` (with HAI after `N`
+//!   consecutive non-positive gradients: `+N·δ`), else `×(1 − β·g)`.
+//!
+//! The engine's RTT sample is measured from the departure of the chunk's
+//! first byte to the completion ACK, so it includes the chunk's own
+//! serialization; TIMELY subtracts the ideal segment serialization time
+//! (\[21\] §4.2), which we replicate via `seg_bytes`.
+
+use desim::{SimDuration, SimTime};
+use netsim::cc::{CcEvent, CcUpdate, CongestionControl};
+use serde::{Deserialize, Serialize};
+
+/// TIMELY parameters (the paper's footnote 4 plus \[21\] defaults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelyCcParams {
+    /// EWMA weight for the RTT difference filter.
+    pub ewma_alpha: f64,
+    /// Additive step `δ` in bps (10 Mbps).
+    pub delta_bps: f64,
+    /// Multiplicative decrease factor `β` (0.8).
+    pub beta: f64,
+    /// Low RTT threshold `T_low`.
+    pub t_low: SimDuration,
+    /// High RTT threshold `T_high`.
+    pub t_high: SimDuration,
+    /// Normalization constant `D_minRTT`.
+    pub min_rtt: SimDuration,
+    /// Segment size used to remove self-serialization from samples.
+    pub seg_bytes: u32,
+    /// Enable hyperactive increase (`N` consecutive non-positive gradients
+    /// → `N·δ` steps, \[21\] Algorithm 1).
+    pub enable_hai: bool,
+    /// HAI threshold `N` (5).
+    pub hai_n: u32,
+    /// Rate floor in bps.
+    pub min_rate_bps: f64,
+    /// Initial rate divisor: a new flow starts at `line_rate / start_div`
+    /// (the paper: `C/(N+1)` with N flows active; callers set this).
+    pub start_rate_divisor: f64,
+}
+
+impl Default for TimelyCcParams {
+    fn default() -> Self {
+        TimelyCcParams {
+            ewma_alpha: 0.875,
+            delta_bps: 10e6,
+            beta: 0.8,
+            t_low: SimDuration::from_micros(50),
+            t_high: SimDuration::from_micros(500),
+            min_rtt: SimDuration::from_micros(20),
+            seg_bytes: 16_000,
+            enable_hai: true,
+            hai_n: 5,
+            min_rate_bps: 10e6,
+            start_rate_divisor: 2.0,
+        }
+    }
+}
+
+/// The TIMELY sender state machine.
+#[derive(Debug, Clone)]
+pub struct TimelyCc {
+    /// Parameters.
+    pub params: TimelyCcParams,
+    rate: f64,
+    line_rate: f64,
+    prev_rtt_s: Option<f64>,
+    rtt_diff_s: f64,
+    consecutive_negative: u32,
+    samples: u64,
+}
+
+impl TimelyCc {
+    /// New sender with the given parameters.
+    pub fn new(params: TimelyCcParams) -> Self {
+        TimelyCc {
+            params,
+            rate: 0.0,
+            line_rate: 0.0,
+            prev_rtt_s: None,
+            rtt_diff_s: 0.0,
+            consecutive_negative: 0,
+            samples: 0,
+        }
+    }
+
+    /// Default-configured sender.
+    pub fn default_cc() -> Self {
+        Self::new(TimelyCcParams::default())
+    }
+
+    /// Number of RTT samples consumed (tests).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The current normalized gradient (tests).
+    pub fn gradient(&self) -> f64 {
+        self.rtt_diff_s / self.params.min_rtt.as_secs_f64()
+    }
+
+    /// Process one RTT sample (Algorithm 1); returns the new rate.
+    pub fn update(&mut self, raw_rtt: SimDuration) -> f64 {
+        self.samples += 1;
+        let p = &self.params;
+        // Remove the segment's own serialization at line rate.
+        let self_ser = SimDuration::serialization(p.seg_bytes as u64, self.line_rate.max(1e3));
+        let new_rtt = raw_rtt
+            .as_secs_f64()
+            .max(self_ser.as_secs_f64())
+            - self_ser.as_secs_f64();
+
+        let new_rtt_diff = match self.prev_rtt_s {
+            Some(prev) => new_rtt - prev,
+            None => 0.0,
+        };
+        self.prev_rtt_s = Some(new_rtt);
+        self.rtt_diff_s =
+            (1.0 - p.ewma_alpha) * self.rtt_diff_s + p.ewma_alpha * new_rtt_diff;
+        let gradient = self.rtt_diff_s / p.min_rtt.as_secs_f64();
+
+        if new_rtt < p.t_low.as_secs_f64() {
+            self.consecutive_negative = 0;
+            self.rate += p.delta_bps;
+        } else if new_rtt > p.t_high.as_secs_f64() {
+            self.consecutive_negative = 0;
+            self.rate *= 1.0 - p.beta * (1.0 - p.t_high.as_secs_f64() / new_rtt);
+        } else if gradient <= 0.0 {
+            self.consecutive_negative += 1;
+            let steps = if p.enable_hai && self.consecutive_negative >= p.hai_n {
+                p.hai_n as f64
+            } else {
+                1.0
+            };
+            self.rate += steps * p.delta_bps;
+        } else {
+            self.consecutive_negative = 0;
+            self.rate *= 1.0 - p.beta * gradient.min(1.0);
+        }
+        self.rate = self.rate.clamp(p.min_rate_bps, self.line_rate);
+        self.rate
+    }
+}
+
+impl CongestionControl for TimelyCc {
+    fn on_start(&mut self, _now: SimTime, line_rate_bps: f64) -> CcUpdate {
+        self.line_rate = line_rate_bps;
+        self.rate = (line_rate_bps / self.params.start_rate_divisor)
+            .clamp(self.params.min_rate_bps, line_rate_bps);
+        CcUpdate::rate(self.rate)
+    }
+
+    fn on_event(&mut self, _now: SimTime, event: CcEvent) -> CcUpdate {
+        match event {
+            CcEvent::RttSample { rtt } => CcUpdate::rate(self.update(rtt)),
+            _ => CcUpdate::none(),
+        }
+    }
+
+    fn current_rate_bps(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    fn started() -> TimelyCc {
+        let mut cc = TimelyCc::default_cc();
+        cc.on_start(SimTime::ZERO, 10e9);
+        cc
+    }
+
+    #[test]
+    fn starts_at_divided_line_rate() {
+        let cc = started();
+        assert_eq!(cc.current_rate_bps(), 5e9);
+    }
+
+    #[test]
+    fn low_rtt_additive_increase() {
+        let mut cc = started();
+        let r0 = cc.current_rate_bps();
+        // Below T_low (50 µs after serialization removal).
+        cc.update(us(30));
+        assert!((cc.current_rate_bps() - (r0 + 10e6)).abs() < 1.0);
+    }
+
+    #[test]
+    fn high_rtt_multiplicative_decrease() {
+        let mut cc = started();
+        let r0 = cc.current_rate_bps();
+        // Far above T_high → decrease toward (1 − β·(1 − T_high/rtt)).
+        cc.update(us(2_000));
+        let seg_ser = 16_000.0 * 8.0 / 10e9;
+        let rtt = 2_000e-6 - seg_ser;
+        let expect = r0 * (1.0 - 0.8 * (1.0 - 500e-6 / rtt));
+        assert!(
+            (cc.current_rate_bps() - expect).abs() < 1.0,
+            "{} vs {expect}",
+            cc.current_rate_bps()
+        );
+    }
+
+    #[test]
+    fn rising_rtt_in_band_decreases_rate() {
+        let mut cc = started();
+        // Establish a baseline inside the band, then a rising sample.
+        cc.update(us(100));
+        let r0 = cc.current_rate_bps();
+        cc.update(us(200));
+        assert!(cc.gradient() > 0.0);
+        assert!(cc.current_rate_bps() < r0, "positive gradient must decrease");
+    }
+
+    #[test]
+    fn falling_rtt_in_band_increases_rate() {
+        let mut cc = started();
+        cc.update(us(300));
+        cc.update(us(200));
+        let r0 = cc.current_rate_bps();
+        cc.update(us(150));
+        assert!(cc.gradient() < 0.0);
+        assert!(cc.current_rate_bps() > r0);
+    }
+
+    #[test]
+    fn hai_quintuples_step_after_n_negative() {
+        let mut cc = started();
+        // Feed steadily falling in-band RTTs; after hai_n consecutive
+        // non-positive gradients, the step becomes N·δ.
+        let mut rtts = vec![400u64, 380, 360, 340, 320, 300, 280];
+        rtts.reverse(); // pop() order
+        let mut last_rate = cc.current_rate_bps();
+        let mut steps = Vec::new();
+        while let Some(r) = rtts.pop() {
+            cc.update(us(r));
+            steps.push(cc.current_rate_bps() - last_rate);
+            last_rate = cc.current_rate_bps();
+        }
+        // Early steps are δ, the tail steps are 5δ.
+        assert!((steps[1] - 10e6).abs() < 1.0, "early step {}", steps[1]);
+        let last = *steps.last().unwrap();
+        assert!((last - 50e6).abs() < 1.0, "HAI step {last}");
+    }
+
+    #[test]
+    fn hai_disabled_keeps_single_delta() {
+        let mut params = TimelyCcParams::default();
+        params.enable_hai = false;
+        let mut cc = TimelyCc::new(params);
+        cc.on_start(SimTime::ZERO, 10e9);
+        for r in [400u64, 380, 360, 340, 320, 300, 280, 260] {
+            cc.update(us(r));
+        }
+        let r0 = cc.current_rate_bps();
+        cc.update(us(240));
+        assert!((cc.current_rate_bps() - (r0 + 10e6)).abs() < 1.0);
+    }
+
+    #[test]
+    fn ewma_smooths_gradient() {
+        let mut cc = started();
+        cc.update(us(100));
+        cc.update(us(100));
+        assert!(cc.gradient().abs() < 1e-9, "flat RTT → zero gradient");
+        cc.update(us(110));
+        let g1 = cc.gradient();
+        cc.update(us(110));
+        let g2 = cc.gradient();
+        assert!(g1 > 0.0 && g2 < g1, "gradient decays when RTT flattens");
+    }
+
+    #[test]
+    fn rate_clamped_to_line_and_floor() {
+        let mut cc = started();
+        for _ in 0..10_000 {
+            cc.update(us(10));
+        }
+        assert!(cc.current_rate_bps() <= 10e9);
+        for _ in 0..10_000 {
+            cc.update(us(100_000));
+        }
+        assert!(cc.current_rate_bps() >= cc.params.min_rate_bps);
+    }
+}

@@ -1,0 +1,111 @@
+//! Poisson flow arrivals calibrated to a bottleneck load.
+//!
+//! "The interarrival time of flows is picked from an exponential
+//! distribution. The load on the bottleneck link is varied by changing the
+//! mean of the distribution" (§5.1). With mean flow size `S̄` bytes and a
+//! target of `load × base_rate` bits/s on the bottleneck, the arrival rate
+//! is `λ = load × base_rate / (8·S̄)` flows per second. The paper's load
+//! factor 1 corresponds to 8 Gbps on the 10 Gbps bottleneck.
+
+use desim::{SimRng, SimTime};
+
+/// A Poisson arrival process.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    /// Mean interarrival time in seconds.
+    pub mean_interarrival_s: f64,
+}
+
+impl PoissonArrivals {
+    /// Directly from a rate (flows/second).
+    pub fn with_rate(lambda: f64) -> Self {
+        assert!(lambda > 0.0);
+        PoissonArrivals {
+            mean_interarrival_s: 1.0 / lambda,
+        }
+    }
+
+    /// Calibrated so that flows of mean size `mean_flow_bytes` produce
+    /// `load_factor × base_rate_bps` bits/s of offered load. The paper's
+    /// scaling: `base_rate_bps = 8 Gbps` on the 10 Gbps bottleneck, and
+    /// "load factor of 1 corresponds to an average of 8 Gbps".
+    pub fn for_load(load_factor: f64, base_rate_bps: f64, mean_flow_bytes: f64) -> Self {
+        assert!(load_factor > 0.0 && base_rate_bps > 0.0 && mean_flow_bytes > 0.0);
+        let lambda = load_factor * base_rate_bps / (8.0 * mean_flow_bytes);
+        Self::with_rate(lambda)
+    }
+
+    /// The arrival rate in flows/second.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.mean_interarrival_s
+    }
+
+    /// Generate arrival times in `[0, horizon_s)`.
+    pub fn times(&self, horizon_s: f64, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(self.mean_interarrival_s);
+            if t >= horizon_s {
+                break;
+            }
+            out.push(SimTime::from_secs_f64(t));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_calibration() {
+        // load 1.0 on 8 Gbps with 1 MB flows → 1000 flows/s.
+        let a = PoissonArrivals::for_load(1.0, 8e9, 1e6);
+        assert!((a.rate() - 1000.0).abs() < 1e-9);
+        // Half load → half rate.
+        let a2 = PoissonArrivals::for_load(0.5, 8e9, 1e6);
+        assert!((a2.rate() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let a = PoissonArrivals::with_rate(2_000.0);
+        let mut rng = SimRng::new(3);
+        let times = a.times(10.0, &mut rng);
+        let rate = times.len() as f64 / 10.0;
+        assert!(
+            (rate - 2_000.0).abs() / 2_000.0 < 0.05,
+            "empirical rate {rate}"
+        );
+    }
+
+    #[test]
+    fn times_sorted_within_horizon() {
+        let a = PoissonArrivals::with_rate(500.0);
+        let mut rng = SimRng::new(9);
+        let times = a.times(2.0, &mut rng);
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(times.iter().all(|t| t.as_secs_f64() < 2.0));
+    }
+
+    #[test]
+    fn interarrival_cv_is_one() {
+        // Exponential interarrivals have coefficient of variation 1.
+        let a = PoissonArrivals::with_rate(1_000.0);
+        let mut rng = SimRng::new(21);
+        let times = a.times(50.0, &mut rng);
+        let gaps: Vec<f64> = times
+            .windows(2)
+            .map(|w| w[1].as_secs_f64() - w[0].as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
+            / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "CV {cv}");
+    }
+}

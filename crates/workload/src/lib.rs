@@ -1,0 +1,32 @@
+//! # workload — traffic generation and FCT metrics
+//!
+//! The paper's FCT case study (§5.1, Figures 13–16) uses "long and
+//! short-lived flows, between pairs of randomly selected sender and receiver
+//! nodes. The flow size distribution is derived from the traffic
+//! distribution reported in \[2\] (DCTCP). The interarrival time of flows is
+//! picked from an exponential distribution. The load on the bottleneck link
+//! is varied by changing the mean of the distribution." This crate
+//! implements exactly that generation model:
+//!
+//! * [`flowsize`] — empirical flow-size CDFs (the DCTCP web-search
+//!   distribution, the data-mining distribution, and custom tables) with
+//!   log-linear interpolation and exact mean computation;
+//! * [`arrivals`] — Poisson arrival processes calibrated to a target load
+//!   on a bottleneck link;
+//! * [`scenario`] — random sender/receiver pairing on the Figure 13
+//!   dumbbell and flow-list generation;
+//! * [`fct`] — flow-completion-time statistics: the paper's median and
+//!   90th-percentile small-flow metrics (small = < 100 KB, following
+//!   pFabric) and full CDFs for Figure 15.
+
+#![deny(missing_docs)]
+
+pub mod arrivals;
+pub mod fct;
+pub mod flowsize;
+pub mod scenario;
+
+pub use arrivals::PoissonArrivals;
+pub use fct::FctStats;
+pub use flowsize::FlowSizeDist;
+pub use scenario::{generate_flows, FlowDescriptor, ScenarioConfig};

@@ -1,0 +1,172 @@
+//! Scenario generation: the Figure 13 dumbbell workload.
+//!
+//! "The topology consists of 20 nodes — 10 senders and 10 receivers. All
+//! traffic flows across the bottleneck link between the two switches […]
+//! The traffic consists of long and short-lived flows, between pairs of
+//! randomly selected sender and receiver nodes."
+
+use crate::arrivals::PoissonArrivals;
+use crate::flowsize::FlowSizeDist;
+use desim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One generated flow (engine-agnostic description).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlowDescriptor {
+    /// Index into the sender host list.
+    pub sender_index: usize,
+    /// Index into the receiver host list.
+    pub receiver_index: usize,
+    /// Flow size in bytes.
+    pub size_bytes: u64,
+    /// Start time.
+    pub start: SimTime,
+}
+
+/// Configuration for the FCT case study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of sender/receiver pairs (10 in Figure 13).
+    pub n_pairs: usize,
+    /// Load factor; 1.0 ≡ `base_rate_bps` of offered load.
+    pub load_factor: f64,
+    /// Offered load at factor 1.0 (8 Gbps in the paper).
+    pub base_rate_bps: f64,
+    /// Simulated horizon for flow arrivals (seconds).
+    pub horizon_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            n_pairs: 10,
+            load_factor: 0.8,
+            base_rate_bps: 8e9,
+            horizon_s: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Generate the flow list: Poisson arrivals, sizes from `dist`, uniformly
+/// random sender→receiver pairs.
+pub fn generate_flows(
+    cfg: &ScenarioConfig,
+    dist: &FlowSizeDist,
+    rng: &mut SimRng,
+) -> Vec<FlowDescriptor> {
+    let arrivals = PoissonArrivals::for_load(
+        cfg.load_factor,
+        cfg.base_rate_bps,
+        dist.mean_bytes(),
+    );
+    let times = arrivals.times(cfg.horizon_s, rng);
+    times
+        .into_iter()
+        .map(|start| FlowDescriptor {
+            sender_index: rng.next_below(cfg.n_pairs as u64) as usize,
+            receiver_index: rng.next_below(cfg.n_pairs as u64) as usize,
+            size_bytes: dist.sample(rng),
+            start,
+        })
+        .collect()
+}
+
+/// The realized offered load (bits/s) of a flow list over the horizon —
+/// used by tests to confirm calibration.
+pub fn offered_load_bps(flows: &[FlowDescriptor], horizon_s: f64) -> f64 {
+    let bytes: u64 = flows.iter().map(|f| f.size_bytes).sum();
+    bytes as f64 * 8.0 / horizon_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offered_load_close_to_target() {
+        let cfg = ScenarioConfig {
+            horizon_s: 20.0,
+            load_factor: 0.8,
+            ..Default::default()
+        };
+        let dist = FlowSizeDist::web_search();
+        let mut rng = SimRng::new(5);
+        let flows = generate_flows(&cfg, &dist, &mut rng);
+        let load = offered_load_bps(&flows, cfg.horizon_s);
+        let target = 0.8 * 8e9;
+        assert!(
+            (load - target).abs() / target < 0.15,
+            "offered {load:.3e} vs target {target:.3e}"
+        );
+    }
+
+    #[test]
+    fn endpoints_in_range_and_spread() {
+        let cfg = ScenarioConfig {
+            horizon_s: 5.0,
+            ..Default::default()
+        };
+        let dist = FlowSizeDist::web_search();
+        let mut rng = SimRng::new(6);
+        let flows = generate_flows(&cfg, &dist, &mut rng);
+        assert!(flows.len() > 100);
+        let mut seen_senders = [false; 10];
+        for f in &flows {
+            assert!(f.sender_index < 10 && f.receiver_index < 10);
+            seen_senders[f.sender_index] = true;
+        }
+        assert!(seen_senders.iter().all(|&s| s), "all senders used");
+    }
+
+    #[test]
+    fn arrivals_sorted() {
+        let cfg = ScenarioConfig::default();
+        let dist = FlowSizeDist::web_search();
+        let mut rng = SimRng::new(7);
+        let flows = generate_flows(&cfg, &dist, &mut rng);
+        for w in flows.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ScenarioConfig::default();
+        let dist = FlowSizeDist::web_search();
+        let a = generate_flows(&cfg, &dist, &mut SimRng::new(42));
+        let b = generate_flows(&cfg, &dist, &mut SimRng::new(42));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.size_bytes, y.size_bytes);
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.sender_index, y.sender_index);
+        }
+    }
+
+    #[test]
+    fn higher_load_more_flows() {
+        let dist = FlowSizeDist::web_search();
+        let lo = generate_flows(
+            &ScenarioConfig {
+                load_factor: 0.2,
+                horizon_s: 10.0,
+                ..Default::default()
+            },
+            &dist,
+            &mut SimRng::new(1),
+        );
+        let hi = generate_flows(
+            &ScenarioConfig {
+                load_factor: 0.8,
+                horizon_s: 10.0,
+                ..Default::default()
+            },
+            &dist,
+            &mut SimRng::new(1),
+        );
+        assert!(hi.len() > lo.len() * 3);
+    }
+}

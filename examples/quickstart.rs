@@ -1,0 +1,72 @@
+//! Quickstart: the paper's core objects in ~60 lines.
+//!
+//! 1. Solve DCQCN's unique fixed point (Theorem 1) and check Eq 14.
+//! 2. Integrate the fluid model (Figure 1) and watch flows converge.
+//! 3. Run the same scenario packet-by-packet and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use desim::{SimDuration, SimTime};
+use ecn_delay::experiments::scenarios::{single_switch_longlived, Protocol};
+use ecn_delay::models::dcqcn::{DcqcnFluid, DcqcnParams};
+use ecn_delay::netsim::EngineConfig;
+
+fn main() {
+    // --- 1. the fixed point -------------------------------------------------
+    let params = DcqcnParams::default_40g();
+    let n_flows = 4;
+    let fluid = DcqcnFluid::new(params.clone(), n_flows);
+    let fp = fluid.fixed_point();
+    println!("DCQCN fixed point for {n_flows} flows on {} Gbps:", params.capacity_gbps);
+    println!("  p*      = {:.6}  (Eq 14 approx: {:.6})", fp.p_star, params.p_star_approx(n_flows));
+    println!("  q*      = {:.1} KB", fp.q_star_kb);
+    println!("  R_C*    = {:.2} Gbps per flow (fair share)",
+        models::units::pps_to_gbps(fp.rate_per_flow, params.packet_bytes));
+    println!("  alpha*  = {:.4}", fp.alpha_star);
+
+    // --- 2. the fluid model -------------------------------------------------
+    let mut fluid = DcqcnFluid::new(params.clone(), n_flows);
+    let trace = fluid.simulate(0.03);
+    let rate_tail = trace.mean_from(fluid.rc_index(0), 0.025);
+    let queue_tail = trace.mean_from(0, 0.025);
+    println!("\nFluid model after 30 ms:");
+    println!("  flow 0 rate = {:.2} Gbps",
+        models::units::pps_to_gbps(rate_tail, params.packet_bytes));
+    println!("  queue       = {:.1} KB",
+        models::units::pkts_to_kb(queue_tail, params.packet_bytes));
+
+    // --- 3. the packet simulator --------------------------------------------
+    let (mut eng, bottleneck) = single_switch_longlived(
+        Protocol::Dcqcn,
+        n_flows,
+        params.capacity_gbps * 1e9,
+        SimDuration::from_micros(1),
+        EngineConfig::default(),
+    );
+    let report = eng.run(SimTime::from_millis(30));
+    let tail_rate: f64 = {
+        let pts: Vec<f64> = report.rate_traces[0]
+            .iter()
+            .filter(|&&(t, _)| t > 0.025)
+            .map(|&(_, bps)| bps)
+            .collect();
+        pts.iter().sum::<f64>() / pts.len().max(1) as f64
+    };
+    let tail_queue: f64 = {
+        let pts: Vec<f64> = report.queue_traces[&bottleneck]
+            .points()
+            .iter()
+            .filter(|&&(t, _)| t > 0.025)
+            .map(|&(_, b)| b)
+            .collect();
+        pts.iter().sum::<f64>() / pts.len().max(1) as f64
+    };
+    println!("\nPacket simulator after 30 ms:");
+    println!("  flow 0 goodput = {:.2} Gbps", tail_rate / 1e9);
+    println!("  queue          = {:.1} KB", tail_queue / 1000.0);
+    println!("  ECN marks      = {}", report.marked_packets);
+    println!("  CNPs           = {}", report.cnps_sent);
+    println!("\nfluid and packets agree — that is Figure 2 of the paper.");
+}
