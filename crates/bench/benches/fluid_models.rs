@@ -1,43 +1,40 @@
-//! Criterion benchmarks for the fluid models: DDE integration speed of the
-//! DCQCN and patched-TIMELY systems, fixed-point solving, and phase-margin
+//! Benchmarks for the fluid models: DDE integration speed of the DCQCN and
+//! patched-TIMELY systems, fixed-point solving, and phase-margin
 //! computation (the inner loops of Figures 3 and 11).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::harness::{bench, black_box};
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
 use models::patched_timely::{PatchedTimelyFluid, PatchedTimelyParams};
 
-fn bench_fluid(c: &mut Criterion) {
-    c.bench_function("dcqcn_fixed_point", |b| {
+fn main() {
+    {
         let m = DcqcnFluid::new(DcqcnParams::default_40g(), 10);
-        b.iter(|| black_box(m.fixed_point().p_star))
-    });
+        bench("dcqcn_fixed_point", || black_box(m.fixed_point().p_star));
+    }
 
-    c.bench_function("dcqcn_phase_margin_n10", |b| {
+    {
         let mut p = DcqcnParams::default_40g();
         p.feedback_delay_us = 85.0;
         let m = DcqcnFluid::new(p, 10);
-        b.iter(|| black_box(m.margin_report().phase_margin_deg))
+        bench("dcqcn_phase_margin_n10", || {
+            black_box(m.margin_report().phase_margin_deg)
+        });
+    }
+
+    bench("dcqcn_dde_integrate_2flows_10ms", || {
+        let mut m = DcqcnFluid::new(DcqcnParams::default_40g(), 2);
+        black_box(m.simulate(0.01).len())
     });
 
-    c.bench_function("dcqcn_dde_integrate_2flows_10ms", |b| {
-        b.iter(|| {
-            let mut m = DcqcnFluid::new(DcqcnParams::default_40g(), 2);
-            black_box(m.simulate(0.01).len())
-        })
+    bench("patched_timely_dde_integrate_2flows_10ms", || {
+        let mut m = PatchedTimelyFluid::new(PatchedTimelyParams::default_10g(), 2);
+        black_box(m.simulate(0.01).len())
     });
 
-    c.bench_function("patched_timely_dde_integrate_2flows_10ms", |b| {
-        b.iter(|| {
-            let mut m = PatchedTimelyFluid::new(PatchedTimelyParams::default_10g(), 2);
-            black_box(m.simulate(0.01).len())
-        })
-    });
-
-    c.bench_function("patched_timely_phase_margin_n16", |b| {
+    {
         let m = PatchedTimelyFluid::new(PatchedTimelyParams::default_10g(), 16);
-        b.iter(|| black_box(m.margin_report().phase_margin_deg))
-    });
+        bench("patched_timely_phase_margin_n16", || {
+            black_box(m.margin_report().phase_margin_deg)
+        });
+    }
 }
-
-criterion_group!(benches, bench_fluid);
-criterion_main!(benches);

@@ -1,72 +1,57 @@
-//! Criterion benchmarks for the discrete-event kernel: event-queue
-//! throughput under FIFO, random and timer-heavy (cancel/re-arm) loads.
+//! Benchmarks for the discrete-event kernel: event-queue throughput under
+//! FIFO, random and timer-heavy (cancel/re-arm) loads.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use bench::harness::{bench, black_box};
 use desim::{EventQueue, SimRng, SimTime};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.throughput(Throughput::Elements(10_000));
-
-    g.bench_function("push_pop_fifo_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_nanos(i), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
+fn main() {
+    bench("event_queue/push_pop_fifo_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_nanos(i), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc)
     });
 
-    g.bench_function("push_pop_random_10k", |b| {
-        b.iter(|| {
-            let mut rng = SimRng::new(1);
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_nanos(rng.next_below(1_000_000)), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
+    bench("event_queue/push_pop_random_10k", || {
+        let mut rng = SimRng::new(1);
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_nanos(rng.next_below(1_000_000)), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc)
     });
 
-    g.bench_function("timer_rearm_10k", |b| {
+    bench("event_queue/timer_rearm_10k", || {
         // The DCQCN pattern: schedule, cancel, re-schedule.
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut pending = Vec::new();
-            for i in 0..10_000u64 {
-                if let Some(id) = pending.pop() {
-                    q.cancel(id);
-                }
-                pending.push(q.schedule(SimTime::from_nanos(i + 100), i));
-                if i % 3 == 0 {
-                    q.pop();
-                }
+        let mut q = EventQueue::new();
+        let mut pending = Vec::new();
+        for i in 0..10_000u64 {
+            if let Some(id) = pending.pop() {
+                q.cancel(id);
             }
-            while q.pop().is_some() {}
-        })
+            pending.push(q.schedule(SimTime::from_nanos(i + 100), i));
+            if i % 3 == 0 {
+                q.pop();
+            }
+        }
+        while q.pop().is_some() {}
     });
-    g.finish();
 
-    c.bench_function("rng_next_f64_1k", |b| {
+    bench("rng_next_f64_1k", || {
         let mut rng = SimRng::new(7);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..1_000 {
-                acc += rng.next_f64();
-            }
-            black_box(acc)
-        })
+        let mut acc = 0.0;
+        for _ in 0..1_000 {
+            acc += rng.next_f64();
+        }
+        black_box(acc)
     });
 }
-
-criterion_group!(benches, bench_event_queue);
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! Criterion benchmarks for the packet-level simulator: events/second on
-//! the validation topology with each protocol (the inner loop of the FCT
+//! Benchmarks for the packet-level simulator: events/second on the
+//! validation topology with each protocol (the inner loop of the FCT
 //! experiments).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::harness::{bench, black_box};
 use desim::{SimDuration, SimTime};
 use ecn_delay_core::scenarios::{single_switch_longlived, Protocol};
 use netsim::EngineConfig;
 
-fn bench_packet_sim(c: &mut Criterion) {
+fn main() {
     let run = |proto: Protocol, n: usize, dur_ms: u64| {
         let (mut eng, _b) = single_switch_longlived(
             proto,
@@ -20,20 +20,13 @@ fn bench_packet_sim(c: &mut Criterion) {
         report.data_packets
     };
 
-    c.bench_function("dcqcn_4flows_5ms_10g", |b| {
-        b.iter(|| black_box(run(Protocol::Dcqcn, 4, 5)))
+    bench("dcqcn_4flows_5ms_10g", || {
+        black_box(run(Protocol::Dcqcn, 4, 5))
     });
-    c.bench_function("timely_4flows_5ms_10g", |b| {
-        b.iter(|| black_box(run(Protocol::Timely, 4, 5)))
+    bench("timely_4flows_5ms_10g", || {
+        black_box(run(Protocol::Timely, 4, 5))
     });
-    c.bench_function("patched_timely_4flows_5ms_10g", |b| {
-        b.iter(|| black_box(run(Protocol::PatchedTimely, 4, 5)))
+    bench("patched_timely_4flows_5ms_10g", || {
+        black_box(run(Protocol::PatchedTimely, 4, 5))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_packet_sim
-}
-criterion_main!(benches);

@@ -11,9 +11,7 @@ use ecn_delay_core::write_json;
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
 use netsim::{Engine, EngineConfig, FlowSpec, Pacing, Topology};
 use protocols::{DcqcnCc, DcqcnCcParams, TimelyCc, TimelyCcParams};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct AblationReport {
     fast_recovery: Vec<(u32, f64, f64)>,
     cnp_timer: Vec<(u64, f64, f64)>,
@@ -67,7 +65,10 @@ fn main() {
     };
 
     println!("\n(1) DCQCN fast-recovery stages (4 flows, 10 Gbps):");
-    println!("{:>4} {:>16} {:>18}", "F", "goodput (Gbps)", "queue stddev (KB)");
+    println!(
+        "{:>4} {:>16} {:>18}",
+        "F", "goodput (Gbps)", "queue stddev (KB)"
+    );
     for f in [0u32, 1, 5, 10] {
         let (g, sd) = dcqcn_run(|p| p.fast_recovery_steps = f, 4);
         println!("{f:>4} {g:>16.2} {sd:>18.1}");
@@ -75,7 +76,10 @@ fn main() {
     }
 
     println!("\n(2) CNP coalescing timer τ (4 flows):");
-    println!("{:>8} {:>16} {:>18}", "τ (us)", "goodput (Gbps)", "queue stddev (KB)");
+    println!(
+        "{:>8} {:>16} {:>18}",
+        "τ (us)", "goodput (Gbps)", "queue stddev (KB)"
+    );
     for tau in [10u64, 50, 200, 500] {
         let (g, sd) = dcqcn_run(
             |p| {
@@ -130,3 +134,10 @@ fn main() {
     write_json(&path, &report).expect("write results");
     println!("\nresults -> {}", path.display());
 }
+
+ecn_delay_core::impl_to_json!(AblationReport {
+    fast_recovery,
+    cnp_timer,
+    burst_size,
+    alpha_gain
+});

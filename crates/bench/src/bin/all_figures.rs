@@ -4,10 +4,30 @@ use std::process::Command;
 
 fn main() {
     let figs = [
-        "eq14", "fig2", "fig3", "fig4", "fig5", "fig6", "thm2", "fig8", "fig9",
-        "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "fig17", "fig18",
-        "fig19", "fig20", "ext_pi_packet", "ext_parking_lot", "ext_pfc",
-        "ablations", "appendix_b",
+        "eq14",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "thm2",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "ext_pi_packet",
+        "ext_parking_lot",
+        "ext_pfc",
+        "ablations",
+        "appendix_b",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current exe")

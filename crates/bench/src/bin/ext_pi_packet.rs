@@ -19,7 +19,10 @@ fn main() {
             p.n_flows, p.red_tail_queue_kb, p.pi_tail_queue_kb, p.pi_worst_rate_error
         );
     }
-    println!("\nRED's operating queue drifts with N (Eq 14); PI pins it at q_ref = {} KB.", res.q_ref_kb);
+    println!(
+        "\nRED's operating queue drifts with N (Eq 14); PI pins it at q_ref = {} KB.",
+        res.q_ref_kb
+    );
     let path = bench::results_dir().join("ext_pi_packet.json");
     write_json(&path, &res).expect("write results");
     println!("results -> {}", path.display());

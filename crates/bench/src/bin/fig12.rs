@@ -10,8 +10,14 @@ fn main() {
         "(a) 7 vs 3 Gbps start -> tail share of flow 0 = {:.3} (0.5 = fair)",
         res.panel_a_share
     );
-    println!("(b) N=16 queue oscillation (x q*) = {:.3}", res.panel_b_oscillation);
-    println!("(c) N=64 queue oscillation (x q*) = {:.3}", res.panel_c_oscillation);
+    println!(
+        "(b) N=16 queue oscillation (x q*) = {:.3}",
+        res.panel_b_oscillation
+    );
+    println!(
+        "(c) N=64 queue oscillation (x q*) = {:.3}",
+        res.panel_c_oscillation
+    );
     bench::print_series("(b) queue KB", &res.panel_b_queue_kb, 10);
     bench::print_series("(c) queue KB", &res.panel_c_queue_kb, 10);
     let path = bench::results_dir().join("fig12.json");

@@ -6,7 +6,10 @@ use ecn_delay_core::write_json;
 fn main() {
     bench::banner("Figure 19: Patched TIMELY + end-host PI (q_ref = 300 KB)");
     let res = run(&Fig19Config::default());
-    println!("tail queue      = {:8.1} KB (target 300)", res.tail_queue_kb);
+    println!(
+        "tail queue      = {:8.1} KB (target 300)",
+        res.tail_queue_kb
+    );
     println!("tail shares     = {:?}", res.tail_shares);
     println!("tail utilization= {:8.3}", res.tail_utilization);
     println!("\nTheorem 6: with delay-only feedback you can pin the queue OR be fair, not both.");

@@ -16,7 +16,11 @@ fn main() {
             p.delay_us,
             p.n_flows,
             p.queue_oscillation,
-            if p.predicted_stable { "stable" } else { "UNSTABLE" }
+            if p.predicted_stable {
+                "stable"
+            } else {
+                "UNSTABLE"
+            }
         );
     }
     let path = bench::results_dir().join("fig4.json");

@@ -9,7 +9,10 @@ fn main() {
     println!("alpha* (Eq 42)              = {:.5}", res.alpha_star);
     println!("contraction bound (1-a*/2)  = {:.5}", res.contraction_bound);
     println!("measured per-cycle decay    = {:.5}", res.measured_decay);
-    println!("\n{:>6} {:>16} {:>10}", "cycle", "rate gap (Gbps)", "mean α");
+    println!(
+        "\n{:>6} {:>16} {:>10}",
+        "cycle", "rate gap (Gbps)", "mean α"
+    );
     for &(k, gap, a) in res.convergence.iter().step_by(5) {
         println!("{k:>6} {gap:>16.4} {a:>10.5}");
     }

@@ -6,7 +6,11 @@ use ecn_delay_core::write_json;
 fn main() {
     bench::banner("Theorem 2: exponential convergence of DCQCN rates");
     let mut rows = Vec::new();
-    for fractions in [vec![0.9, 0.1], vec![0.5, 0.3, 0.2], vec![0.4, 0.3, 0.2, 0.1]] {
+    for fractions in [
+        vec![0.9, 0.1],
+        vec![0.5, 0.3, 0.2],
+        vec![0.4, 0.3, 0.2, 0.1],
+    ] {
         let res = run(&Fig6Config {
             initial_fractions: fractions.clone(),
             cycles: 80,
@@ -18,7 +22,12 @@ fn main() {
             res.contraction_bound,
             res.measured_decay
         );
-        rows.push((fractions.len(), res.alpha_star, res.contraction_bound, res.measured_decay));
+        rows.push((
+            fractions.len(),
+            res.alpha_star,
+            res.contraction_bound,
+            res.measured_decay,
+        ));
     }
     let path = bench::results_dir().join("thm2.json");
     write_json(&path, &rows).expect("write results");

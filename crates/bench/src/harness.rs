@@ -1,0 +1,63 @@
+//! Minimal std-only micro-benchmark harness.
+//!
+//! The container builds offline, so instead of criterion the `[[bench]]`
+//! targets (compiled with `harness = false`) use this module: fixed warmup,
+//! adaptive iteration count targeting a wall-clock budget per benchmark,
+//! and a one-line `min / mean` report. Timing benchmarks live outside the
+//! simulator crates, so wall-clock reads are allowed here (the simulator
+//! itself is forbidden from `Instant::now` by `xtask lint`).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name criterion used.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Run `f` repeatedly and print `name: min .. mean per iteration`.
+///
+/// Two warmup calls, then batches until ~0.5 s of measured time or 200
+/// iterations, whichever comes first. Honors `BENCH_FAST=1` to run a
+/// single measured iteration (used by CI smoke runs).
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let fast = std::env::var_os("BENCH_FAST").is_some();
+    let (budget, max_iters) = if fast {
+        (Duration::ZERO, 1)
+    } else {
+        (Duration::from_millis(500), 200)
+    };
+    for _ in 0..if fast { 0 } else { 2 } {
+        std_black_box(f());
+    }
+    let mut times = Vec::new();
+    let mut total = Duration::ZERO;
+    while times.is_empty() || (total < budget && times.len() < max_iters) {
+        let start = Instant::now();
+        std_black_box(f());
+        let dt = start.elapsed();
+        total += dt;
+        times.push(dt);
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let mean = total / times.len() as u32;
+    println!(
+        "{name:<44} min {:>12} mean {:>12} ({} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        times.len()
+    );
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}

@@ -26,9 +26,13 @@
 //! ```
 //!
 //! Each binary prints the paper's series to stdout and writes JSON under
-//! `results/`. Criterion benchmarks (`cargo bench`) measure the substrate:
-//! event-queue throughput, DDE integration speed, and packet-simulation
-//! rates.
+//! `results/`. Benchmarks (`cargo bench`, driven by [`harness`]) measure
+//! the substrate: event-queue throughput, DDE integration speed, and
+//! packet-simulation rates.
+
+#![warn(missing_docs)]
+
+pub mod harness;
 
 use std::path::PathBuf;
 

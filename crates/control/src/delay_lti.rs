@@ -95,8 +95,8 @@ impl DelayLti {
         }
         let x = m.solve(&rhs)?;
         let mut y = Complex64::from_re(self.d);
-        for i in 0..n {
-            y += Complex64::from_re(self.c[i]) * x[i];
+        for (ci, xi) in self.c.iter().zip(x.iter()).take(n) {
+            y += Complex64::from_re(*ci) * *xi;
         }
         Some(y)
     }

@@ -124,8 +124,8 @@ where
                 let raw = z.arg().to_degrees();
                 // Choose the unwrap branch nearest the interpolated sweep phase.
                 let approx = p0.phase_deg
-                    + (p1.phase_deg - p0.phase_deg) * ((wc.ln() - p0.omega.ln())
-                        / (p1.omega.ln() - p0.omega.ln()));
+                    + (p1.phase_deg - p0.phase_deg)
+                        * ((wc.ln() - p0.omega.ln()) / (p1.omega.ln() - p0.omega.ln()));
                 let mut phase = raw;
                 while phase - approx > 180.0 {
                     phase -= 360.0;
@@ -151,10 +151,7 @@ where
         }
     }
 
-    let phase_margin_deg = pms
-        .iter()
-        .copied()
-        .min_by(|a, b| a.partial_cmp(b).expect("NaN phase margin"));
+    let phase_margin_deg = pms.iter().copied().min_by(|a, b| a.total_cmp(b));
 
     MarginReport {
         crossover_omegas,
@@ -224,9 +221,7 @@ mod tests {
     #[test]
     fn no_crossover_reports_none_and_stable() {
         // |L| = 0.1/(1+ω²)^{1/2} < 1 everywhere.
-        let l = |omega: f64| {
-            Some(Complex64::from_re(0.1) / (Complex64::j(omega) + Complex64::ONE))
-        };
+        let l = |omega: f64| Some(Complex64::from_re(0.1) / (Complex64::j(omega) + Complex64::ONE));
         let rep = phase_margin(l, 1e-2, 1e2, 500);
         assert!(rep.phase_margin_deg.is_none());
         assert!(rep.is_stable());

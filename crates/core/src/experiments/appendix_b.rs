@@ -18,10 +18,9 @@ use desim::{SimDuration, SimTime};
 use models::dcqcn::DcqcnParams;
 use models::discrete::DiscreteAimd;
 use netsim::EngineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppendixBConfig {
     /// Flow counts to test.
     pub flow_counts: Vec<usize>,
@@ -42,7 +41,7 @@ impl Default for AppendixBConfig {
 }
 
 /// One row of the comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppendixBRow {
     /// Flow count.
     pub n_flows: usize,
@@ -57,7 +56,7 @@ pub struct AppendixBRow {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppendixBResult {
     /// Per-N rows.
     pub rows: Vec<AppendixBRow>,
@@ -187,3 +186,17 @@ mod tests {
         assert_eq!(cuts, vec![5.0]);
     }
 }
+
+crate::impl_to_json!(AppendixBConfig {
+    flow_counts,
+    bandwidth_gbps,
+    duration_s
+});
+crate::impl_to_json!(AppendixBRow {
+    n_flows,
+    alpha_star,
+    predicted_cycle_us,
+    measured_cycle_us,
+    cuts_measured
+});
+crate::impl_to_json!(AppendixBResult { rows });

@@ -5,10 +5,9 @@
 //! flows N").
 
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Eq14Config {
     /// Flow counts to tabulate.
     pub flow_counts: Vec<usize>,
@@ -26,7 +25,7 @@ impl Default for Eq14Config {
 }
 
 /// One table row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Eq14Row {
     /// Capacity (Gbps).
     pub capacity_gbps: f64,
@@ -45,7 +44,7 @@ pub struct Eq14Row {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Eq14Result {
     /// Table rows.
     pub rows: Vec<Eq14Row>,
@@ -127,3 +126,18 @@ mod tests {
         }
     }
 }
+
+crate::impl_to_json!(Eq14Config {
+    flow_counts,
+    capacities_gbps
+});
+crate::impl_to_json!(Eq14Row {
+    capacity_gbps,
+    n_flows,
+    p_exact,
+    p_approx,
+    rel_error,
+    q_star_kb,
+    saturated
+});
+crate::impl_to_json!(Eq14Result { rows });

@@ -11,10 +11,9 @@ use crate::experiments::Series;
 use desim::{SimDuration, SimTime};
 use netsim::{Engine, EngineConfig, FlowSpec, Pacing, Topology};
 use protocols::DcqcnCc;
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ParkingLotConfig {
     /// Number of bottleneck hops.
     pub n_hops: usize,
@@ -35,7 +34,7 @@ impl Default for ParkingLotConfig {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ParkingLotResult {
     /// Long-flow throughput (Gbps) over time.
     pub long_flow_gbps: Series,
@@ -129,3 +128,15 @@ mod tests {
         }
     }
 }
+
+crate::impl_to_json!(ParkingLotConfig {
+    n_hops,
+    bandwidth_gbps,
+    duration_s
+});
+crate::impl_to_json!(ParkingLotResult {
+    long_flow_gbps,
+    long_tail_gbps,
+    cross_tail_gbps,
+    hop_utilization
+});

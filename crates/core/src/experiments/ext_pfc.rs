@@ -11,10 +11,9 @@
 use crate::scenarios::{single_switch_longlived, Protocol};
 use desim::{SimDuration, SimTime};
 use netsim::{EngineConfig, PfcConfig, RedConfig};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExtPfcConfig {
     /// Flows at the bottleneck.
     pub n_flows: usize,
@@ -35,7 +34,7 @@ impl Default for ExtPfcConfig {
 }
 
 /// One configuration's outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExtPfcOutcome {
     /// Label.
     pub label: String,
@@ -50,7 +49,7 @@ pub struct ExtPfcOutcome {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExtPfcResult {
     /// ECN+PFC vs PFC-only.
     pub outcomes: Vec<ExtPfcOutcome>,
@@ -137,3 +136,17 @@ mod tests {
         assert!(pfc_only.goodput_gbps > 7.0, "{:.2}", pfc_only.goodput_gbps);
     }
 }
+
+crate::impl_to_json!(ExtPfcConfig {
+    n_flows,
+    pause_threshold_bytes,
+    duration_s
+});
+crate::impl_to_json!(ExtPfcOutcome {
+    label,
+    pauses,
+    paused_s,
+    max_queue_kb,
+    goodput_gbps
+});
+crate::impl_to_json!(ExtPfcResult { outcomes });

@@ -13,10 +13,9 @@ use crate::scenarios::{single_switch_longlived, Protocol};
 use desim::{SimDuration, SimTime};
 use netsim::config::PiAqmConfig;
 use netsim::EngineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExtPiPacketConfig {
     /// Flow counts.
     pub flow_counts: Vec<usize>,
@@ -37,7 +36,7 @@ impl Default for ExtPiPacketConfig {
 }
 
 /// One flow-count panel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExtPiPacketPanel {
     /// Flow count.
     pub n_flows: usize,
@@ -52,7 +51,7 @@ pub struct ExtPiPacketPanel {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExtPiPacketResult {
     /// Per-N panels.
     pub panels: Vec<ExtPiPacketPanel>,
@@ -77,9 +76,7 @@ pub fn run(cfg: &ExtPiPacketConfig) -> ExtPiPacketResult {
         let run_one = |pi: bool| {
             let mut ecfg = EngineConfig::default();
             if pi {
-                ecfg.pi_aqm = Some(PiAqmConfig::default_for(
-                    (cfg.q_ref_kb * 1000.0) as u64,
-                ));
+                ecfg.pi_aqm = Some(PiAqmConfig::default_for((cfg.q_ref_kb * 1000.0) as u64));
             }
             let (mut eng, bottleneck) = single_switch_longlived(
                 Protocol::Dcqcn,
@@ -164,3 +161,17 @@ mod tests {
         );
     }
 }
+
+crate::impl_to_json!(ExtPiPacketConfig {
+    flow_counts,
+    q_ref_kb,
+    duration_s
+});
+crate::impl_to_json!(ExtPiPacketPanel {
+    n_flows,
+    queue_kb,
+    red_tail_queue_kb,
+    pi_tail_queue_kb,
+    pi_worst_rate_error
+});
+crate::impl_to_json!(ExtPiPacketResult { panels, q_ref_kb });

@@ -10,10 +10,9 @@ use crate::experiments::Series;
 use desim::{SimDuration, SimTime};
 use netsim::{Engine, EngineConfig, FlowSpec, Pacing, Topology};
 use protocols::{TimelyCc, TimelyCcParams};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Config {
     /// Chunk sizes to contrast (bytes).
     pub seg_sizes: Vec<u32>,
@@ -31,7 +30,7 @@ impl Default for Fig10Config {
 }
 
 /// One chunk-size panel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Panel {
     /// Segment size in bytes.
     pub seg_bytes: u32,
@@ -47,7 +46,7 @@ pub struct Fig10Panel {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Result {
     /// One panel per segment size.
     pub panels: Vec<Fig10Panel>,
@@ -140,3 +139,16 @@ mod tests {
         );
     }
 }
+
+crate::impl_to_json!(Fig10Config {
+    seg_sizes,
+    duration_s
+});
+crate::impl_to_json!(Fig10Panel {
+    seg_bytes,
+    rates_gbps,
+    queue_kb,
+    tail_agg_gbps,
+    early_agg_gbps
+});
+crate::impl_to_json!(Fig10Result { panels });

@@ -6,10 +6,9 @@
 //! system instability."
 
 use models::patched_timely::{PatchedTimelyFluid, PatchedTimelyParams};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Config {
     /// Flow counts to sweep.
     pub flow_counts: Vec<usize>,
@@ -24,7 +23,7 @@ impl Default for Fig11Config {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Result {
     /// `(n_flows, phase margin °, q* KB, feedback delay µs)` per point.
     pub points: Vec<(usize, f64, f64, f64)>,
@@ -39,15 +38,9 @@ pub fn run(cfg: &Fig11Config) -> Fig11Result {
     let mut threshold = None;
     for &n in &cfg.flow_counts {
         let m = PatchedTimelyFluid::new(params.clone(), n);
-        let pm = m
-            .margin_report()
-            .phase_margin_deg
-            .unwrap_or(180.0);
+        let pm = m.margin_report().phase_margin_deg.unwrap_or(180.0);
         let q_star = params.q_star_kb(n);
-        let delay_us = params
-            .base
-            .tau_feedback(params.q_star_pkts(n))
-            * 1e6;
+        let delay_us = params.base.tau_feedback(params.q_star_pkts(n)) * 1e6;
         if pm < 0.0 && threshold.is_none() {
             threshold = Some(n);
         }
@@ -89,3 +82,9 @@ mod tests {
         }
     }
 }
+
+crate::impl_to_json!(Fig11Config { flow_counts });
+crate::impl_to_json!(Fig11Result {
+    points,
+    instability_threshold
+});

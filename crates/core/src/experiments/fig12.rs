@@ -6,10 +6,9 @@
 
 use crate::experiments::Series;
 use models::patched_timely::{PatchedTimelyFluid, PatchedTimelyParams};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Config {
     /// Duration (seconds) for panel (a).
     pub duration_a_s: f64,
@@ -33,7 +32,7 @@ impl Default for Fig12Config {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Result {
     /// Panel (a): rates of the two flows (Gbps).
     pub panel_a_rates: Vec<Series>,
@@ -114,3 +113,18 @@ mod tests {
         );
     }
 }
+
+crate::impl_to_json!(Fig12Config {
+    duration_a_s,
+    duration_bc_s,
+    n_stable,
+    n_unstable
+});
+crate::impl_to_json!(Fig12Result {
+    panel_a_rates,
+    panel_a_share,
+    panel_b_queue_kb,
+    panel_b_oscillation,
+    panel_c_queue_kb,
+    panel_c_oscillation
+});

@@ -9,11 +9,10 @@
 use crate::scenarios::{dumbbell_fct, Protocol};
 use desim::{SimDuration, SimTime};
 use netsim::EngineConfig;
-use serde::{Deserialize, Serialize};
 use workload::{FctStats, FlowSizeDist, ScenarioConfig};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14Config {
     /// Load factors to sweep.
     pub loads: Vec<f64>,
@@ -38,7 +37,7 @@ impl Default for Fig14Config {
 }
 
 /// One protocol's curve.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14Curve {
     /// Protocol label.
     pub protocol: String,
@@ -53,19 +52,14 @@ pub struct Fig14Curve {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14Result {
     /// One curve per protocol.
     pub curves: Vec<Fig14Curve>,
 }
 
 /// Run one (protocol, load) cell and return its stats.
-pub fn run_cell(
-    protocol: Protocol,
-    load: f64,
-    horizon_s: f64,
-    seed: u64,
-) -> (FctStats, f64) {
+pub fn run_cell(protocol: Protocol, load: f64, horizon_s: f64, seed: u64) -> (FctStats, f64) {
     let scenario = ScenarioConfig {
         n_pairs: 10,
         load_factor: load,
@@ -157,7 +151,11 @@ mod tests {
              util {timely_util:.3} vs {dcqcn_util:.3}"
         );
         for c in &res.curves {
-            assert!(c.small_counts[0].1 > 20, "{} too few completions", c.protocol);
+            assert!(
+                c.small_counts[0].1 > 20,
+                "{} too few completions",
+                c.protocol
+            );
         }
     }
 
@@ -172,6 +170,24 @@ mod tests {
         let res = run(&cfg);
         let lo = res.curves[0].p90_ms[0].1;
         let hi = res.curves[0].p90_ms[1].1;
-        assert!(hi > lo, "p90 at load 0.8 ({hi:.3}) must exceed 0.2 ({lo:.3})");
+        assert!(
+            hi > lo,
+            "p90 at load 0.8 ({hi:.3}) must exceed 0.2 ({lo:.3})"
+        );
     }
 }
+
+crate::impl_to_json!(Fig14Config {
+    loads,
+    protocols,
+    horizon_s,
+    seed
+});
+crate::impl_to_json!(Fig14Curve {
+    protocol,
+    median_ms,
+    p90_ms,
+    small_counts,
+    utilization
+});
+crate::impl_to_json!(Fig14Result { curves });

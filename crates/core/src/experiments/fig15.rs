@@ -4,10 +4,9 @@
 use crate::experiments::fig14::run_cell;
 use crate::experiments::Series;
 use crate::scenarios::Protocol;
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15Config {
     /// The load factor (0.8 in the paper).
     pub load: f64,
@@ -31,7 +30,7 @@ impl Default for Fig15Config {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15Result {
     /// Per protocol: `(fct_ms, cumulative fraction)` CDF of small flows.
     pub cdfs: Vec<(String, Series)>,
@@ -79,3 +78,11 @@ mod tests {
         }
     }
 }
+
+crate::impl_to_json!(Fig15Config {
+    load,
+    protocols,
+    horizon_s,
+    seed
+});
+crate::impl_to_json!(Fig15Result { cdfs });

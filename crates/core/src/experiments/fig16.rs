@@ -9,11 +9,10 @@ use crate::experiments::Series;
 use crate::scenarios::{dumbbell_fct, Protocol};
 use desim::{SimDuration, SimTime};
 use netsim::EngineConfig;
-use serde::{Deserialize, Serialize};
 use workload::{FlowSizeDist, ScenarioConfig};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig16Config {
     /// Load factor (0.8 in the paper).
     pub load: f64,
@@ -37,7 +36,7 @@ impl Default for Fig16Config {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig16Result {
     /// Per protocol: bottleneck queue trace in KB.
     pub queues_kb: Vec<(String, Series)>,
@@ -118,3 +117,11 @@ mod tests {
         assert!(tp99 > 300.0, "delay-based p99 {tp99:.0} KB should be large");
     }
 }
+
+crate::impl_to_json!(Fig16Config {
+    load,
+    protocols,
+    horizon_s,
+    seed
+});
+crate::impl_to_json!(Fig16Result { queues_kb, summary });

@@ -12,10 +12,9 @@ use crate::experiments::Series;
 use crate::scenarios::{single_switch_longlived, Protocol};
 use desim::{SimDuration, SimTime};
 use netsim::{EngineConfig, MarkingMode};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig17Config {
     /// Flows at the bottleneck (2 in the paper).
     pub n_flows: usize,
@@ -41,7 +40,7 @@ impl Default for Fig17Config {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig17Result {
     /// Queue (KB) with egress marking.
     pub egress_queue_kb: Series,
@@ -112,3 +111,15 @@ mod tests {
         );
     }
 }
+
+crate::impl_to_json!(Fig17Config {
+    n_flows,
+    hop_delay_us,
+    bandwidth_gbps,
+    duration_s
+});
+crate::impl_to_json!(Fig17Result {
+    egress_queue_kb,
+    ingress_queue_kb,
+    queue_stddev_kb
+});

@@ -7,10 +7,9 @@
 use crate::experiments::Series;
 use models::dcqcn::DcqcnParams;
 use models::pi::DcqcnPiFluid;
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig18Config {
     /// Flow counts.
     pub flow_counts: Vec<usize>,
@@ -31,7 +30,7 @@ impl Default for Fig18Config {
 }
 
 /// One flow-count panel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig18Panel {
     /// Flow count.
     pub n_flows: usize,
@@ -46,7 +45,7 @@ pub struct Fig18Panel {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig18Result {
     /// Panels.
     pub panels: Vec<Fig18Panel>,
@@ -129,3 +128,17 @@ mod tests {
         assert!(dq < 15.0, "queues should coincide across N: Δ={dq:.1} KB");
     }
 }
+
+crate::impl_to_json!(Fig18Config {
+    flow_counts,
+    q_ref_kb,
+    duration_s
+});
+crate::impl_to_json!(Fig18Panel {
+    n_flows,
+    queue_kb,
+    rate_gbps,
+    tail_queue_kb,
+    worst_rate_error
+});
+crate::impl_to_json!(Fig18Result { panels, q_ref_kb });

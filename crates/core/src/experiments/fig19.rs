@@ -8,10 +8,9 @@
 use crate::experiments::Series;
 use models::patched_timely::PatchedTimelyParams;
 use models::pi::{PatchedTimelyPiFluid, PiGains};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig19Config {
     /// Queue reference in KB (300 in the paper).
     pub q_ref_kb: f64,
@@ -32,7 +31,7 @@ impl Default for Fig19Config {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig19Result {
     /// Queue (KB) over time.
     pub queue_kb: Series,
@@ -57,7 +56,9 @@ pub fn run(cfg: &Fig19Config) -> Fig19Result {
     let tr = m.simulate_with_rates(&rates0, cfg.duration_s);
     let from = cfg.duration_s * 0.8;
 
-    let tail_rates: Vec<f64> = (0..n).map(|i| tr.mean_from(m.rate_index(i), from)).collect();
+    let tail_rates: Vec<f64> = (0..n)
+        .map(|i| tr.mean_from(m.rate_index(i), from))
+        .collect();
     let total: f64 = tail_rates.iter().sum();
     let queue_kb: Series = tr
         .series(0)
@@ -117,3 +118,16 @@ mod tests {
         );
     }
 }
+
+crate::impl_to_json!(Fig19Config {
+    q_ref_kb,
+    initial_fractions,
+    duration_s
+});
+crate::impl_to_json!(Fig19Result {
+    queue_kb,
+    rates_gbps,
+    tail_queue_kb,
+    tail_shares,
+    tail_utilization
+});

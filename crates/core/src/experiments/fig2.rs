@@ -11,10 +11,9 @@ use crate::scenarios::{single_switch_longlived, Protocol};
 use desim::{SimDuration, SimTime};
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
 use netsim::EngineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Config {
     /// Flow counts to run (the paper shows N = 2 and N = 10-style panels).
     pub flow_counts: Vec<usize>,
@@ -38,7 +37,7 @@ impl Default for Fig2Config {
 }
 
 /// Result for one flow count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Panel {
     /// Number of flows.
     pub n_flows: usize,
@@ -57,7 +56,7 @@ pub struct Fig2Panel {
 }
 
 /// Full result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Result {
     /// One panel per flow count.
     pub panels: Vec<Fig2Panel>,
@@ -164,3 +163,20 @@ mod tests {
         );
     }
 }
+
+crate::impl_to_json!(Fig2Config {
+    flow_counts,
+    duration_s,
+    bandwidth_gbps,
+    prop_delay_us
+});
+crate::impl_to_json!(Fig2Panel {
+    n_flows,
+    fluid_rate_gbps,
+    fluid_queue_kb,
+    sim_rate_gbps,
+    sim_queue_kb,
+    tail_rates_gbps,
+    tail_queues_kb
+});
+crate::impl_to_json!(Fig2Result { panels });

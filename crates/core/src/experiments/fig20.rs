@@ -15,10 +15,9 @@ use crate::experiments::Series;
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
 use models::jitter::Jitter;
 use models::patched_timely::{PatchedTimelyFluid, PatchedTimelyParams};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig20Config {
     /// Jitter amplitude (µs); the paper uses 100.
     pub jitter_us: f64,
@@ -39,13 +38,13 @@ impl Default for Fig20Config {
             jitter_window_us: 20.0,
             n_flows: 2,
             duration_s: 0.4,
-        seed: 7,
+            seed: 7,
         }
     }
 }
 
 /// One protocol's jitter contrast.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JitterPanel {
     /// Protocol label.
     pub protocol: String,
@@ -58,7 +57,7 @@ pub struct JitterPanel {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig20Result {
     /// DCQCN and (patched) TIMELY panels.
     pub panels: Vec<JitterPanel>,
@@ -66,11 +65,7 @@ pub struct Fig20Result {
 
 /// Run both protocols with and without jitter.
 pub fn run(cfg: &Fig20Config) -> Fig20Result {
-    let jitter = Jitter::uniform(
-        cfg.jitter_us * 1e-6,
-        cfg.jitter_window_us * 1e-6,
-        cfg.seed,
-    );
+    let jitter = Jitter::uniform(cfg.jitter_us * 1e-6, cfg.jitter_window_us * 1e-6, cfg.seed);
     let tail = cfg.duration_s * 0.6;
     let mut panels = Vec::new();
 
@@ -80,8 +75,7 @@ pub fn run(cfg: &Fig20Config) -> Fig20Result {
         let mut clean = DcqcnFluid::new(params.clone(), cfg.n_flows);
         let fp = clean.fixed_point();
         let tr_clean = clean.simulate(cfg.duration_s);
-        let mut noisy =
-            DcqcnFluid::new(params, cfg.n_flows).with_jitter(jitter.clone());
+        let mut noisy = DcqcnFluid::new(params, cfg.n_flows).with_jitter(jitter.clone());
         let tr_noisy = noisy.simulate(cfg.duration_s);
         panels.push(JitterPanel {
             protocol: "DCQCN".into(),
@@ -100,8 +94,7 @@ pub fn run(cfg: &Fig20Config) -> Fig20Result {
         let q_star = params.q_star_pkts(cfg.n_flows);
         let mut clean = PatchedTimelyFluid::new(params.clone(), cfg.n_flows);
         let tr_clean = clean.simulate(cfg.duration_s);
-        let mut noisy =
-            PatchedTimelyFluid::new(params, cfg.n_flows).with_jitter(jitter);
+        let mut noisy = PatchedTimelyFluid::new(params, cfg.n_flows).with_jitter(jitter);
         let tr_noisy = noisy.simulate(cfg.duration_s);
         panels.push(JitterPanel {
             protocol: "PatchedTIMELY".into(),
@@ -144,3 +137,18 @@ mod tests {
         );
     }
 }
+
+crate::impl_to_json!(Fig20Config {
+    jitter_us,
+    jitter_window_us,
+    n_flows,
+    duration_s,
+    seed
+});
+crate::impl_to_json!(JitterPanel {
+    protocol,
+    queue_clean_kb,
+    queue_jitter_kb,
+    oscillation
+});
+crate::impl_to_json!(Fig20Result { panels });

@@ -7,10 +7,9 @@
 //! large N, "very different from TCP's behavior".
 
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Config {
     /// Flow counts to sweep.
     pub flow_counts: Vec<usize>,
@@ -37,7 +36,7 @@ impl Default for Fig3Config {
 }
 
 /// One margin curve: label plus `(N, phase margin °)` points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MarginCurve {
     /// Curve label (e.g. "τ*=85µs").
     pub label: String,
@@ -46,7 +45,7 @@ pub struct MarginCurve {
 }
 
 /// Full result: panels (a), (b), (c).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Result {
     /// Panel (a): one curve per delay.
     pub by_delay: Vec<MarginCurve>,
@@ -198,3 +197,17 @@ mod tests {
         );
     }
 }
+
+crate::impl_to_json!(Fig3Config {
+    flow_counts,
+    delays_us,
+    r_ai_mbps,
+    kmax_kb,
+    panel_bc_delay_us
+});
+crate::impl_to_json!(MarginCurve { label, points });
+crate::impl_to_json!(Fig3Result {
+    by_delay,
+    by_r_ai,
+    by_kmax
+});

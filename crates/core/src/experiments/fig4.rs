@@ -4,10 +4,9 @@
 
 use crate::experiments::Series;
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Config {
     /// Delays (µs).
     pub delays_us: Vec<f64>,
@@ -28,7 +27,7 @@ impl Default for Fig4Config {
 }
 
 /// One panel of the grid.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Panel {
     /// Feedback delay in µs.
     pub delay_us: f64,
@@ -45,7 +44,7 @@ pub struct Fig4Panel {
 }
 
 /// Full grid.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Result {
     /// All panels.
     pub panels: Vec<Fig4Panel>,
@@ -141,3 +140,18 @@ mod tests {
         }
     }
 }
+
+crate::impl_to_json!(Fig4Config {
+    delays_us,
+    flow_counts,
+    duration_s
+});
+crate::impl_to_json!(Fig4Panel {
+    delay_us,
+    n_flows,
+    rate_gbps,
+    queue_kb,
+    queue_oscillation,
+    predicted_stable
+});
+crate::impl_to_json!(Fig4Result { panels });

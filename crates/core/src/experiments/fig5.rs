@@ -9,10 +9,9 @@ use crate::experiments::Series;
 use crate::scenarios::{single_switch_longlived, Protocol};
 use desim::{SimDuration, SimTime};
 use netsim::EngineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Config {
     /// Flow counts to contrast.
     pub flow_counts: Vec<usize>,
@@ -36,7 +35,7 @@ impl Default for Fig5Config {
 }
 
 /// One packet-level run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Panel {
     /// Number of flows.
     pub n_flows: usize,
@@ -49,7 +48,7 @@ pub struct Fig5Panel {
 }
 
 /// Full result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Result {
     /// One panel per flow count.
     pub panels: Vec<Fig5Panel>,
@@ -114,3 +113,17 @@ mod tests {
         );
     }
 }
+
+crate::impl_to_json!(Fig5Config {
+    flow_counts,
+    hop_delay_us,
+    bandwidth_gbps,
+    duration_s
+});
+crate::impl_to_json!(Fig5Panel {
+    n_flows,
+    queue_kb,
+    rate_gbps,
+    queue_p2p_kb
+});
+crate::impl_to_json!(Fig5Result { panels });

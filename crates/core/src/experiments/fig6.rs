@@ -3,10 +3,9 @@
 
 use models::dcqcn::DcqcnParams;
 use models::discrete::DiscreteAimd;
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Config {
     /// Initial rates as fractions of C (two unequal flows by default).
     pub initial_fractions: Vec<f64>,
@@ -24,7 +23,7 @@ impl Default for Fig6Config {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Result {
     /// Sawtooth: `(time in τ' units, per-flow rates in Gbps)`.
     pub sawtooth: Vec<(f64, Vec<f64>)>,
@@ -127,3 +126,15 @@ mod tests {
         }
     }
 }
+
+crate::impl_to_json!(Fig6Config {
+    initial_fractions,
+    cycles
+});
+crate::impl_to_json!(Fig6Result {
+    sawtooth,
+    convergence,
+    alpha_star,
+    contraction_bound,
+    measured_decay
+});

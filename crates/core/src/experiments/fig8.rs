@@ -10,10 +10,9 @@ use crate::scenarios::{single_switch_longlived, Protocol};
 use desim::{SimDuration, SimTime};
 use models::timely::{TimelyFluid, TimelyParams};
 use netsim::EngineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Config {
     /// Flow counts.
     pub flow_counts: Vec<usize>,
@@ -31,7 +30,7 @@ impl Default for Fig8Config {
 }
 
 /// One panel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Panel {
     /// Number of flows.
     pub n_flows: usize,
@@ -50,7 +49,7 @@ pub struct Fig8Panel {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Result {
     /// One panel per flow count.
     pub panels: Vec<Fig8Panel>,
@@ -107,9 +106,8 @@ pub fn run(cfg: &Fig8Config) -> Fig8Result {
             .map(|&(t, bps)| (t, bps / 1e9))
             .collect();
         let from = cfg.duration_s * 0.7;
-        let sim_agg = report.delivered_bytes.iter().sum::<u64>() as f64 * 8.0
-            / cfg.duration_s
-            / 1e9;
+        let sim_agg =
+            report.delivered_bytes.iter().sum::<u64>() as f64 * 8.0 / cfg.duration_s / 1e9;
 
         panels.push(Fig8Panel {
             n_flows: n,
@@ -150,7 +148,30 @@ mod tests {
             p.tail_agg_gbps.1
         );
         // Both hold a nonzero standing queue (TIMELY's T_low keeps one).
-        assert!(p.tail_queues_kb.0 > 5.0, "fluid queue {:.1}", p.tail_queues_kb.0);
-        assert!(p.tail_queues_kb.1 > 5.0, "sim queue {:.1}", p.tail_queues_kb.1);
+        assert!(
+            p.tail_queues_kb.0 > 5.0,
+            "fluid queue {:.1}",
+            p.tail_queues_kb.0
+        );
+        assert!(
+            p.tail_queues_kb.1 > 5.0,
+            "sim queue {:.1}",
+            p.tail_queues_kb.1
+        );
     }
 }
+
+crate::impl_to_json!(Fig8Config {
+    flow_counts,
+    duration_s
+});
+crate::impl_to_json!(Fig8Panel {
+    n_flows,
+    fluid_queue_kb,
+    sim_queue_kb,
+    fluid_rate_gbps,
+    sim_rate_gbps,
+    tail_queues_kb,
+    tail_agg_gbps
+});
+crate::impl_to_json!(Fig8Result { panels });

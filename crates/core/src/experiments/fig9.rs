@@ -7,10 +7,9 @@
 
 use crate::experiments::Series;
 use models::timely::{TimelyFluid, TimelyParams};
-use serde::{Deserialize, Serialize};
 
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Config {
     /// Duration (seconds).
     pub duration_s: f64,
@@ -23,7 +22,7 @@ impl Default for Fig9Config {
 }
 
 /// One starting-condition panel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Panel {
     /// Panel label matching the paper.
     pub label: String,
@@ -36,18 +35,13 @@ pub struct Fig9Panel {
 }
 
 /// Result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Result {
     /// Panels (a), (b), (c).
     pub panels: Vec<Fig9Panel>,
 }
 
-fn run_case(
-    label: &str,
-    rates0: [f64; 2],
-    starts: [f64; 2],
-    duration: f64,
-) -> Fig9Panel {
+fn run_case(label: &str, rates0: [f64; 2], starts: [f64; 2], duration: f64) -> Fig9Panel {
     let params = TimelyParams::default_10g();
     let mut m = TimelyFluid::new(params, 2).with_start_times(starts.to_vec());
     let tr = m.simulate_with_rates(&rates0, duration);
@@ -120,3 +114,12 @@ mod tests {
         );
     }
 }
+
+crate::impl_to_json!(Fig9Config { duration_s });
+crate::impl_to_json!(Fig9Panel {
+    label,
+    rate0_gbps,
+    rate1_gbps,
+    tail_share_flow0
+});
+crate::impl_to_json!(Fig9Result { panels });

@@ -29,7 +29,9 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod output;
 pub mod scenarios;
 
+pub use json::{Json, ToJson};
 pub use output::{write_json, write_series_csv};

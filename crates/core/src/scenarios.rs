@@ -3,12 +3,13 @@
 use desim::{SimDuration, SimRng, SimTime};
 use netsim::cc::CongestionControl;
 use netsim::{Engine, EngineConfig, FlowSpec, LinkId, Pacing, Topology};
-use protocols::{DcqcnCc, DcqcnCcParams, PatchedTimelyCc, PatchedTimelyCcParams, TimelyCc, TimelyCcParams};
-use serde::{Deserialize, Serialize};
+use protocols::{
+    DcqcnCc, DcqcnCcParams, PatchedTimelyCc, PatchedTimelyCcParams, TimelyCc, TimelyCcParams,
+};
 use workload::{generate_flows, FlowSizeDist, ScenarioConfig};
 
 /// Which protocol drives the senders.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
     /// DCQCN (ECN-based) with per-packet pacing.
     Dcqcn,
@@ -224,7 +225,7 @@ mod tests {
         );
         let report = eng.run(SimTime::from_millis(150));
         assert!(!report.fcts.is_empty(), "flows must complete");
-        assert!(report.queue_traces.contains_key(&bottleneck));
+        assert!(report.queue_traces.contains_key(bottleneck));
         // All FCTs positive and no impossible values.
         for r in &report.fcts {
             let ideal = r.size_bytes as f64 * 8.0 / 10e9;
@@ -232,3 +233,5 @@ mod tests {
         }
     }
 }
+
+crate::impl_to_json_debug!(Protocol);

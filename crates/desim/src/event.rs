@@ -18,8 +18,8 @@
 
 use crate::time::SimTime;
 use std::cmp::{Ordering, Reverse};
+use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Opaque handle to a scheduled event, used for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,7 +75,7 @@ impl<E> std::fmt::Debug for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
     len: usize,
     last_popped: SimTime,
@@ -92,7 +92,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             len: 0,
             last_popped: SimTime::ZERO,
@@ -165,6 +165,7 @@ impl<E> EventQueue<E> {
                 continue;
             }
             self.len -= 1;
+            crate::invariants::monotonic_time("EventQueue::pop", self.last_popped, entry.time);
             self.last_popped = entry.time;
             return Some((entry.time, entry.payload));
         }

@@ -25,10 +25,11 @@
 #![deny(missing_docs)]
 
 pub mod event;
+pub mod invariants;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventQueue, EventId};
+pub use event::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -9,13 +9,12 @@
 //! * [`TimeSeries`] — decimated `(t, value)` trace for figures.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Time-weighted statistics of a piecewise-constant signal.
 ///
 /// Call [`TimeWeighted::update`] *before* changing the signal so the old
 /// value is credited for the elapsed interval.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     last_time: SimTime,
     last_value: f64,
@@ -79,7 +78,7 @@ impl TimeWeighted {
 }
 
 /// Exact sample collector with percentile queries.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Samples {
     values: Vec<f64>,
     sorted: bool,
@@ -116,8 +115,7 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.values.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
     }
@@ -132,7 +130,7 @@ impl Samples {
         self.ensure_sorted();
         let n = self.values.len();
         if n == 1 {
-            return Some(self.values[0]);
+            return Some(self.values[0]); // n == 1 checked above
         }
         let pos = q * (n - 1) as f64;
         let lo = pos.floor() as usize;
@@ -169,7 +167,7 @@ impl Samples {
 /// Recording every event would produce unwieldy traces; `TimeSeries` keeps at
 /// most one point per `resolution` of simulated time (always keeping the most
 /// recent value within each bucket, plus the first point).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     resolution_secs: f64,
     points: Vec<(f64, f64)>,
@@ -201,6 +199,11 @@ impl TimeSeries {
     /// The recorded `(t, value)` points.
     pub fn points(&self) -> &[(f64, f64)] {
         &self.points
+    }
+
+    /// The bucket width in seconds this trace was built with.
+    pub fn resolution(&self) -> f64 {
+        self.resolution_secs
     }
 
     /// Number of retained points.

@@ -6,16 +6,15 @@
 //! arithmetic always land in the same order on every platform, which is a
 //! prerequisite for the reproducibility claims of the experiment harness.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// An absolute point in simulated time, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -146,7 +145,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow")) // simlint: allow(panic) — overflow is a programming error
     }
 }
 
@@ -159,21 +158,21 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration"))
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration")) // simlint: allow(panic) — underflow is a programming error
     }
 }
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow")) // simlint: allow(panic) — underflow is a programming error
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow")) // simlint: allow(panic) — overflow is a programming error
     }
 }
 
@@ -186,7 +185,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration"))
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration")) // simlint: allow(panic) — underflow is a programming error
     }
 }
 
@@ -262,7 +261,10 @@ mod tests {
             SimDuration::from_nanos(800)
         );
         // 1 byte at 3 Gbps = 2.666..ns, must round up to 3.
-        assert_eq!(SimDuration::serialization(1, 3e9), SimDuration::from_nanos(3));
+        assert_eq!(
+            SimDuration::serialization(1, 3e9),
+            SimDuration::from_nanos(3)
+        );
     }
 
     #[test]

@@ -146,6 +146,7 @@ pub fn integrate_dde_with_prehistory<S: DdeSystem>(
         }
         t += h;
         sys.project(t, &mut x);
+        desim::invariants::finite_state("dde integration", t, &x);
         hist.push(t, &x);
         if opts.history_horizon.is_finite() {
             hist.trim_before(t - opts.history_horizon);
@@ -261,8 +262,7 @@ mod tests {
             record_every: 1,
             history_horizon: f64::INFINITY,
         };
-        let tr =
-            integrate_dde_with_prehistory(&mut UnitDelay, &[0.0], &[2.0], 0.0, 0.5, &opts);
+        let tr = integrate_dde_with_prehistory(&mut UnitDelay, &[0.0], &[2.0], 0.0, 0.5, &opts);
         let last = tr.last_state().unwrap()[0];
         assert!((last - (-1.0)).abs() < 1e-6, "got {last}");
     }

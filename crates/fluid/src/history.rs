@@ -40,11 +40,14 @@ impl History {
     /// Append a knot. Times must be non-decreasing.
     pub fn push(&mut self, t: f64, state: &[f64]) {
         assert_eq!(state.len(), self.dim);
+        // simlint: allow(panic) — history is seeded with one knot at construction
         let last = *self.times.last().expect("history never empty");
         assert!(t >= last, "history times must be non-decreasing");
         if t == last {
             // Replace the knot (refinement of the same instant).
-            *self.states.last_mut().unwrap() = state.to_vec();
+            if let Some(s) = self.states.last_mut() {
+                *s = state.to_vec();
+            }
         } else {
             self.times.push(t);
             self.states.push(state.to_vec());
@@ -53,11 +56,12 @@ impl History {
 
     /// Earliest recorded time.
     pub fn t_front(&self) -> f64 {
-        self.times[0]
+        self.times[0] // seeded non-empty at construction
     }
 
     /// Latest recorded time.
     pub fn t_back(&self) -> f64 {
+        // simlint: allow(panic) — seeded non-empty at construction
         *self.times.last().unwrap()
     }
 
@@ -70,6 +74,7 @@ impl History {
     ///   smallest delay, so this path only smooths sub-step lookups.
     pub fn eval(&self, t: f64, c: usize) -> f64 {
         assert!(c < self.dim, "component out of range");
+        // times[0] exists: seeded non-empty at construction.
         if t <= self.times[0] {
             return self.pre[c];
         }
@@ -111,10 +116,7 @@ impl History {
     }
 
     fn bsearch(&self, t: f64) -> usize {
-        match self
-            .times
-            .binary_search_by(|probe| probe.partial_cmp(&t).expect("NaN time"))
-        {
+        match self.times.binary_search_by(|probe| probe.total_cmp(&t)) {
             Ok(i) => i.min(self.times.len() - 2),
             Err(i) => i.saturating_sub(1).min(self.times.len() - 2),
         }
@@ -138,7 +140,7 @@ impl History {
         if first_needed > 0 {
             self.times.drain(..first_needed);
             self.states.drain(..first_needed);
-            self.pre = self.states[0].clone();
+            self.pre = self.states[0].clone(); // drain keeps first_needed.., non-empty
             self.cursor.set(0);
         }
     }

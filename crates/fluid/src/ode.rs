@@ -37,7 +37,13 @@ pub fn euler_step<S: OdeSystem>(sys: &mut S, t: f64, x: &mut [f64], h: f64, scra
 /// One classic RK4 step of size `h`.
 pub fn rk4_step<S: OdeSystem>(sys: &mut S, t: f64, x: &mut [f64], h: f64, work: &mut Rk4Work) {
     let n = x.len();
-    let Rk4Work { k1, k2, k3, k4, tmp } = work;
+    let Rk4Work {
+        k1,
+        k2,
+        k3,
+        k4,
+        tmp,
+    } = work;
     sys.rhs(t, x, k1);
     for i in 0..n {
         tmp[i] = x[i] + 0.5 * h * k1[i];
@@ -138,9 +144,22 @@ pub fn integrate_ode_adaptive<S: OdeSystem>(
         [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
         [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
         [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+        [
+            -8.0 / 27.0,
+            2.0,
+            -3544.0 / 2565.0,
+            1859.0 / 4104.0,
+            -11.0 / 40.0,
+        ],
     ];
-    const C4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+    const C4: [f64; 6] = [
+        25.0 / 216.0,
+        0.0,
+        1408.0 / 2565.0,
+        2197.0 / 4104.0,
+        -1.0 / 5.0,
+        0.0,
+    ];
     const C5: [f64; 6] = [
         16.0 / 135.0,
         0.0,
@@ -167,15 +186,16 @@ pub fn integrate_ode_adaptive<S: OdeSystem>(
             // Split borrow: write into k[s].
             let (head, tail) = k.split_at_mut(s);
             let _ = head;
-            sys.rhs(t_s, tmp_ref, &mut tail[0]);
+            sys.rhs(t_s, tmp_ref, &mut tail[0]); // tail[0] is k[s] after split_at_mut(s)
         }
         // Error estimate = |x5 - x4|
         let mut err: f64 = 0.0;
         for i in 0..n {
-            let mut e = 0.0;
-            for s in 0..6 {
-                e += (C5[s] - C4[s]) * k[s][i];
-            }
+            let e: f64 = k
+                .iter()
+                .enumerate()
+                .map(|(s, ks)| (C5[s] - C4[s]) * ks[i])
+                .sum();
             err = err.max((h * e).abs());
         }
         if err <= tol || h <= 1e-15 {

@@ -1,13 +1,11 @@
 //! Recorded solutions of fluid-model integrations.
 
-use serde::{Deserialize, Serialize};
-
 /// A recorded solution: times plus the full state vector at each time.
 ///
 /// Figure runners extract named components (`queue`, `rate of flow i`) via
 /// [`Trace::series`] and post-process (decimate, window, compare against the
 /// packet simulator's traces).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     times: Vec<f64>,
     states: Vec<Vec<f64>>,
@@ -77,7 +75,10 @@ impl Trace {
 
     /// Extract component `c` restricted to `t >= from`.
     pub fn series_from(&self, c: usize, from: f64) -> Vec<(f64, f64)> {
-        self.series(c).into_iter().filter(|&(t, _)| t >= from).collect()
+        self.series(c)
+            .into_iter()
+            .filter(|&(t, _)| t >= from)
+            .collect()
     }
 
     /// Keep roughly every n-th point (for figure output). Always keeps the
@@ -112,7 +113,10 @@ impl Trace {
         if pts.is_empty() {
             return 0.0;
         }
-        let max = pts.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+        let max = pts
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = pts.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
         max - min
     }
@@ -125,11 +129,12 @@ impl Trace {
         }
         let mut area = 0.0;
         for w in pts.windows(2) {
-            let (t0, v0) = w[0];
-            let (t1, v1) = w[1];
+            let (t0, v0) = w[0]; // windows(2) yields pairs
+            let (t1, v1) = w[1]; // windows(2) yields pairs
             area += 0.5 * (v0 + v1) * (t1 - t0);
         }
-        area / (pts.last().unwrap().0 - pts[0].0)
+        let t_last = pts.last().map_or(0.0, |p| p.0);
+        area / (t_last - pts[0].0) // len >= 2 checked above
     }
 }
 

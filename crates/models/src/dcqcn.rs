@@ -28,11 +28,10 @@ use control::roots;
 use fluid::dde::{integrate_dde_with_prehistory, DdeOptions, DdeSystem};
 use fluid::history::History;
 use fluid::trace::Trace;
-use serde::{Deserialize, Serialize};
 
 /// DCQCN parameters (Table 1), stored in human units and converted to packet
 /// units on demand.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DcqcnParams {
     /// Packet size in bytes (the model's "packet" unit).
     pub packet_bytes: f64,
@@ -206,7 +205,7 @@ fn rate_event_factor(p: f64, e: f64) -> f64 {
 }
 
 /// The unique fixed point of Theorem 1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DcqcnFixedPoint {
     /// Marking probability `p*` solving Eq 11.
     pub p_star: f64,
@@ -379,10 +378,10 @@ impl DcqcnFluid {
         // The LHS is monotone increasing in p (paper, proof of Theorem 1):
         // bracket and bisect via Brent.
         let p_star = roots::brent(|pp| lhs(pp) - rhs, 1e-10, 0.999, 1e-14)
+            // simlint: allow(panic) — Theorem 1 guarantees the bracket; a miss is a model bug
             .expect("Eq 11 must bracket a root: LHS(0) < RHS < LHS(1)");
 
-        let q_star_pkts =
-            p_star / p.p_max * (p.kmax_pkts() - p.kmin_pkts()) + p.kmin_pkts(); // Eq 9
+        let q_star_pkts = p_star / p.p_max * (p.kmax_pkts() - p.kmin_pkts()) + p.kmin_pkts(); // Eq 9
         let alpha_star = one_minus_pow(p_star, tau_prime * rc_star); // Eq 10
         let a = one_minus_pow(p_star, tau * rc_star);
         let b = rate_event_factor(p_star, b_cnt);
@@ -423,6 +422,7 @@ impl DcqcnFluid {
         let p_a0 = p.clone();
         let a0 = linearize::jacobian(
             move |x: &[f64], out: &mut [f64]| {
+                // x = [rc, rt, α]: the per-flow state layout
                 DcqcnFluid::flow_rhs(&p_a0, x[0], x[1], x[2], rcd_star, p_star, out)
             },
             &x_star,
@@ -433,6 +433,7 @@ impl DcqcnFluid {
         let x0 = x_star;
         let a1_col = linearize::derivative_column(
             move |rcd: f64, out: &mut [f64]| {
+                // x0 = [rc, rt, α]: the per-flow state layout
                 DcqcnFluid::flow_rhs(&p_a1, x0[0], x0[1], x0[2], rcd, p_star, out)
             },
             rcd_star,
@@ -440,12 +441,13 @@ impl DcqcnFluid {
         );
         let mut a1 = vec![vec![0.0; 3]; 3];
         for i in 0..3 {
-            a1[i][0] = a1_col[i];
+            a1[i][0] = a1_col[i]; // column 0 = the delayed R_C state
         }
         // b (delay τ*): ∂f/∂p_delayed.
         let p_b = p.clone();
         let b_col = linearize::derivative_column(
             move |pd: f64, out: &mut [f64]| {
+                // x0 = [rc, rt, α]: the per-flow state layout
                 DcqcnFluid::flow_rhs(&p_b, x0[0], x0[1], x0[2], rcd_star, pd, out)
             },
             p_star,
@@ -465,7 +467,7 @@ impl DcqcnFluid {
         move |omega: f64| {
             let h = sys.freq_response(omega)?; // δR_C / δp
             let integ = Complex64::from_re(n) / Complex64::j(omega); // δq/δR_C
-            // Negative-feedback convention: L = −(RED slope)·(N/s)·H.
+                                                                     // Negative-feedback convention: L = −(RED slope)·(N/s)·H.
             Some(-(h * integ).scale(k_red))
         }
     }
@@ -476,19 +478,19 @@ impl DcqcnFluid {
         phase_margin(l, 1e1, 1e7, 3000)
     }
 
-    /// Integrate the fluid model (Eqs 3–7) for `duration` seconds.
+    /// Integrate the fluid model (Eqs 3–7) for `duration_s` seconds.
     ///
     /// Flows start at line rate with `α = 1` and an empty queue, exactly as
     /// the protocol specifies ("DCQCN does not have slow start. Senders
     /// start at line rate."). Returns the full state trace.
-    pub fn simulate(&mut self, duration: f64) -> Trace {
+    pub fn simulate(&mut self, duration_s: f64) -> Trace {
         let step = (self.params.feedback_delay_s() / 4.0).min(1e-6);
-        self.simulate_with_step(duration, step)
+        self.simulate_with_step(duration_s, step)
     }
 
     /// Integrate with an explicit step size (tests use this for convergence
     /// checks).
-    pub fn simulate_with_step(&mut self, duration: f64, step: f64) -> Trace {
+    pub fn simulate_with_step(&mut self, duration_s: f64, step_s: f64) -> Trace {
         let line_rate = self.params.capacity_pps();
         let mut x0 = vec![0.0; self.state_dim()];
         for i in 0..self.n_flows {
@@ -496,18 +498,18 @@ impl DcqcnFluid {
             x0[self.rt_index(i)] = line_rate;
             x0[self.alpha_index(i)] = 1.0;
         }
-        let record_every = ((duration / step) / 4000.0).ceil().max(1.0) as usize;
+        let record_every = ((duration_s / step_s) / 4000.0).ceil().max(1.0) as usize;
         let horizon = (self.params.feedback_delay_s()
             + self.jitter.as_ref().map_or(0.0, Jitter::max_extra))
             * 4.0
-            + 10.0 * step;
+            + 10.0 * step_s;
         let opts = DdeOptions {
-            step,
+            step: step_s,
             record_every,
             history_horizon: horizon,
         };
         let pre = x0.clone();
-        integrate_dde_with_prehistory(self, &x0.clone(), &pre, 0.0, duration, &opts)
+        integrate_dde_with_prehistory(self, &x0.clone(), &pre, 0.0, duration_s, &opts)
     }
 
     /// Convenience: extract per-flow rates in Gbps and queue in KB from a
@@ -547,6 +549,7 @@ impl DdeSystem for DcqcnFluid {
 
         // Eq 4: queue integrates excess arrival rate (projection keeps q ≥ 0).
         let sum_rates: f64 = (0..self.n_flows).map(|i| x[self.rc_index(i)]).sum();
+        // State component 0 is the shared queue.
         dxdt[0] = if x[0] <= 0.0 && sum_rates < cap {
             0.0
         } else {
@@ -560,9 +563,10 @@ impl DdeSystem for DcqcnFluid {
             let alpha = x[self.alpha_index(i)];
             let rc_delayed = hist.eval(td, self.rc_index(i));
             DcqcnFluid::flow_rhs(p, rc, rt, alpha, rc_delayed, p_delayed, &mut out);
-            dxdt[self.rc_index(i)] = out[0];
-            dxdt[self.rt_index(i)] = out[1];
-            dxdt[self.alpha_index(i)] = out[2];
+            let [d_rc, d_rt, d_alpha] = out;
+            dxdt[self.rc_index(i)] = d_rc;
+            dxdt[self.rt_index(i)] = d_rt;
+            dxdt[self.alpha_index(i)] = d_alpha;
         }
     }
 
@@ -574,7 +578,7 @@ impl DdeSystem for DcqcnFluid {
     fn project(&mut self, _t: f64, x: &mut [f64]) {
         let line = self.params.capacity_pps();
         let floor = self.params.min_rate_pps();
-        x[0] = x[0].max(0.0);
+        x[0] = x[0].max(0.0); // component 0 is the queue
         for i in 0..self.n_flows {
             let rc = self.rc_index(i);
             let rt = self.rt_index(i);
@@ -582,6 +586,8 @@ impl DdeSystem for DcqcnFluid {
             x[rc] = x[rc].clamp(floor, line);
             x[rt] = x[rt].clamp(floor, line);
             x[al] = x[al].clamp(0.0, 1.0);
+            desim::invariants::unit_interval("dcqcn fluid alpha", x[al]);
+            desim::invariants::finite_rate("dcqcn fluid rc_pps", x[rc]);
         }
     }
 }
@@ -680,7 +686,11 @@ mod tests {
         // controller in §5.
         let q: Vec<f64> = [2usize, 8, 32]
             .iter()
-            .map(|&n| DcqcnFluid::new(DcqcnParams::default_40g(), n).fixed_point().q_star_pkts)
+            .map(|&n| {
+                DcqcnFluid::new(DcqcnParams::default_40g(), n)
+                    .fixed_point()
+                    .q_star_pkts
+            })
             .collect();
         assert!(q[0] < q[1] && q[1] < q[2], "q* = {q:?}");
     }
@@ -820,7 +830,10 @@ mod tests {
             pm10 < pm2 && pm10 < pm64,
             "non-monotonicity missing: pm2={pm2:.1}, pm10={pm10:.1}, pm64={pm64:.1}"
         );
-        assert!(pm10 < 0.0, "N=10 at 85us should be unstable, pm10={pm10:.1}");
+        assert!(
+            pm10 < 0.0,
+            "N=10 at 85us should be unstable, pm10={pm10:.1}"
+        );
     }
 
     #[test]

@@ -17,10 +17,9 @@
 //!   `(1 − α*/2)` per cycle.
 
 use crate::dcqcn::DcqcnParams;
-use serde::{Deserialize, Serialize};
 
 /// State of one flow in the discrete model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FlowState {
     /// Peak rate `R_C(T_k)` in packets/second.
     pub rate: f64,
@@ -78,8 +77,7 @@ impl DiscreteAimd {
     /// Advance one AIMD cycle (Eqs 15–16). Uses the mean α for the shared
     /// cycle length (flows are synchronized by assumption). Returns `ΔT_k`.
     pub fn step(&mut self) -> f64 {
-        let mean_alpha =
-            self.flows.iter().map(|f| f.alpha).sum::<f64>() / self.flows.len() as f64;
+        let mean_alpha = self.flows.iter().map(|f| f.alpha).sum::<f64>() / self.flows.len() as f64;
         let dt = self.cycle_length(mean_alpha).max(2.0);
         let g = self.params.g;
         let r_ai = self.params.r_ai_pps();
@@ -130,9 +128,8 @@ impl DiscreteAimd {
     /// the series behind Figure 6 / the Theorem 2 decay plots.
     pub fn run(&mut self, cycles: usize) -> Vec<(usize, f64, f64)> {
         let mut out = Vec::with_capacity(cycles + 1);
-        let mean_alpha = |s: &Self| {
-            s.flows.iter().map(|f| f.alpha).sum::<f64>() / s.flows.len() as f64
-        };
+        let mean_alpha =
+            |s: &Self| s.flows.iter().map(|f| f.alpha).sum::<f64>() / s.flows.len() as f64;
         out.push((self.cycle, self.max_rate_gap(), mean_alpha(self)));
         for _ in 0..cycles {
             self.step();
@@ -160,10 +157,7 @@ impl DiscreteAimd {
             out.push((t + 1.0, after_cut.clone()));
             let dt = self.step();
             // Additive climb (record endpoints of the ramp).
-            let climbed: Vec<f64> = after_cut
-                .iter()
-                .map(|&r| r + (dt - 1.0) * r_ai)
-                .collect();
+            let climbed: Vec<f64> = after_cut.iter().map(|&r| r + (dt - 1.0) * r_ai).collect();
             out.push((t + dt, climbed));
             t += dt;
         }

@@ -9,10 +9,8 @@
 //! time — independent of query order, step size, and evaluation count —
 //! while still being "uniform random" across windows.
 
-use serde::{Deserialize, Serialize};
-
 /// A piecewise-constant uniform jitter process on `[0, amplitude]`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Jitter {
     /// Maximum extra delay in seconds (uniform lower bound is 0).
     pub amplitude: f64,
@@ -25,11 +23,11 @@ pub struct Jitter {
 impl Jitter {
     /// Uniform jitter on `[0, amplitude]` seconds, resampled every
     /// `interval` seconds.
-    pub fn uniform(amplitude: f64, interval: f64, seed: u64) -> Self {
-        assert!(amplitude >= 0.0 && interval > 0.0);
+    pub fn uniform(amplitude_s: f64, interval_s: f64, seed: u64) -> Self {
+        assert!(amplitude_s >= 0.0 && interval_s > 0.0);
         Jitter {
-            amplitude,
-            interval,
+            amplitude: amplitude_s,
+            interval: interval_s,
             seed,
         }
     }

@@ -25,7 +25,6 @@ use control::margins::{phase_margin, MarginReport};
 use fluid::dde::{integrate_dde_with_prehistory, DdeOptions, DdeSystem};
 use fluid::history::History;
 use fluid::trace::Trace;
-use serde::{Deserialize, Serialize};
 
 /// Parameters for Patched TIMELY: the TIMELY set with the paper's overrides
 /// (`β = 0.008`, `Seg = 16 KB`) plus the reference queue `q′`.
@@ -38,7 +37,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(p.q_star_pkts(10) > p.q_star_pkts(2));
 /// assert_eq!(PatchedTimelyParams::weight(0.0), 0.5); // Eq 30
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PatchedTimelyParams {
     /// The underlying TIMELY parameter set.
     pub base: TimelyParams,
@@ -139,6 +138,7 @@ impl PatchedTimelyFluid {
         let q_high = base.q_high_pkts();
         let delta = base.delta_pps();
 
+        // out = [dR/dt, dg/dt].
         out[0] = if qd1 < q_low {
             delta / tau
         } else if qd1 > q_high {
@@ -148,13 +148,14 @@ impl PatchedTimelyFluid {
             (1.0 - w) * delta / tau
                 - w * base.beta * r / tau * ((qd1 - p.q_ref_pkts) / p.q_ref_pkts)
         };
-        out[1] = base.ewma_alpha / tau
-            * (-g + (qd1 - qd2) / (base.capacity_pps() * base.d_min_rtt_s()));
+        // out = [dR/dt, dg/dt].
+        out[1] =
+            base.ewma_alpha / tau * (-g + (qd1 - qd2) / (base.capacity_pps() * base.d_min_rtt_s()));
     }
 
     /// Simulate with explicit initial rates (pps); queue starts empty,
     /// gradients at zero.
-    pub fn simulate_with_rates(&mut self, initial_rates_pps: &[f64], duration: f64) -> Trace {
+    pub fn simulate_with_rates(&mut self, initial_rates_pps: &[f64], duration_s: f64) -> Trace {
         assert_eq!(initial_rates_pps.len(), self.n_flows);
         let mut x0 = vec![0.0; self.state_dim()];
         for (i, &r) in initial_rates_pps.iter().enumerate() {
@@ -166,20 +167,20 @@ impl PatchedTimelyFluid {
             + base.tau_star(base.min_rate_pps())
             + self.jitter.as_ref().map_or(0.0, Jitter::max_extra)
             + 10.0 * step;
-        let record_every = ((duration / step) / 4000.0).ceil().max(1.0) as usize;
+        let record_every = ((duration_s / step) / 4000.0).ceil().max(1.0) as usize;
         let opts = DdeOptions {
             step,
             record_every,
             history_horizon: horizon,
         };
-        integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration, &opts)
+        integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration_s, &opts)
     }
 
     /// Simulate from equal shares `C/N`.
-    pub fn simulate(&mut self, duration: f64) -> Trace {
+    pub fn simulate(&mut self, duration_s: f64) -> Trace {
         let r0 = self.params.base.capacity_pps() / self.n_flows as f64;
         let rates = vec![r0; self.n_flows];
-        self.simulate_with_rates(&rates, duration)
+        self.simulate_with_rates(&rates, duration_s)
     }
 
     /// The open-loop transfer `L(jω)` of the linearized system at the
@@ -199,6 +200,7 @@ impl PatchedTimelyFluid {
         let p0 = p.clone();
         let a0 = linearize::jacobian(
             move |x: &[f64], out: &mut [f64]| {
+                // x = [R, g]: the per-flow state layout
                 PatchedTimelyFluid::flow_rhs(&p0, x[0], x[1], q_star, q_star, out)
             },
             &[r_star, g_star],
@@ -271,10 +273,11 @@ impl DdeSystem for PatchedTimelyFluid {
         let base = &self.params.base;
         let c = base.capacity_pps();
         let extra = self.jitter.as_ref().map_or(0.0, |j| j.extra(t));
-        let tau_fb = base.tau_feedback(x[0]) + extra;
+        let tau_fb = base.tau_feedback(x[0]) + extra; // component 0 is the queue
         let qd1 = hist.eval(t - tau_fb, 0).max(0.0);
 
         let sum_rates: f64 = (0..self.n_flows).map(|i| x[self.rate_index(i)]).sum();
+        // State component 0 is the shared queue.
         dxdt[0] = if x[0] <= 0.0 && sum_rates < c {
             0.0
         } else {
@@ -290,8 +293,9 @@ impl DdeSystem for PatchedTimelyFluid {
             let tau_i = base.tau_star(r);
             let qd2 = hist.eval(t - tau_fb - tau_i, 0).max(0.0);
             PatchedTimelyFluid::flow_rhs(&self.params, r, g, qd1, qd2, &mut out);
-            dxdt[ri] = out[0];
-            dxdt[gi] = out[1];
+            let [d_r, d_g] = out;
+            dxdt[ri] = d_r;
+            dxdt[gi] = d_g;
         }
     }
 
@@ -303,7 +307,7 @@ impl DdeSystem for PatchedTimelyFluid {
         let base = &self.params.base;
         let line = base.capacity_pps();
         let floor = base.min_rate_pps();
-        x[0] = x[0].max(0.0);
+        x[0] = x[0].max(0.0); // component 0 is the queue
         for i in 0..self.n_flows {
             let ri = self.rate_index(i);
             x[ri] = x[ri].clamp(floor, line);

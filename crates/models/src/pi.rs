@@ -21,10 +21,9 @@ use crate::units;
 use fluid::dde::{integrate_dde_with_prehistory, DdeOptions, DdeSystem};
 use fluid::history::History;
 use fluid::trace::Trace;
-use serde::{Deserialize, Serialize};
 
 /// Gains and reference for the PI controller (Eq 32).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PiGains {
     /// Proportional-on-derivative gain `K₁` (per packet).
     pub k1: f64,
@@ -91,7 +90,7 @@ impl DcqcnPiFluid {
 
     /// Simulate from line-rate start (DCQCN semantics), queue empty,
     /// marking probability starting at 0.
-    pub fn simulate(&mut self, duration: f64) -> Trace {
+    pub fn simulate(&mut self, duration_s: f64) -> Trace {
         let line = self.params.capacity_pps();
         let mut x0 = vec![0.0; self.state_dim()];
         for i in 0..self.n_flows {
@@ -100,13 +99,13 @@ impl DcqcnPiFluid {
             x0[self.alpha_index(i)] = 1.0;
         }
         let step = (self.params.feedback_delay_s() / 4.0).min(1e-6);
-        let record_every = ((duration / step) / 4000.0).ceil().max(1.0) as usize;
+        let record_every = ((duration_s / step) / 4000.0).ceil().max(1.0) as usize;
         let opts = DdeOptions {
             step,
             record_every,
             history_horizon: self.params.feedback_delay_s() * 4.0 + 10.0 * step,
         };
-        integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration, &opts)
+        integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration_s, &opts)
     }
 }
 
@@ -119,23 +118,25 @@ impl DdeSystem for DcqcnPiFluid {
         let p = &self.params;
         let cap = p.capacity_pps();
         let td = t - p.feedback_delay_s();
-        let p_delayed = hist.eval(td, 1).clamp(0.0, 1.0);
+        let p_delayed = hist.eval(td, 1).clamp(0.0, 1.0); // component 1 is p
 
         let sum_rates: f64 = (0..self.n_flows).map(|i| x[self.rc_index(i)]).sum();
+        // State layout: component 0 is the queue, component 1 is p.
         let dq = if x[0] <= 0.0 && sum_rates < cap {
             0.0
         } else {
             sum_rates - cap
         };
-        dxdt[0] = dq;
-        // Eq 32: PI marking replaces RED. Anti-windup: freeze integration
-        // against the [0,1] bounds.
-        let e = x[0] - self.gains.q_ref_pkts;
+        dxdt[0] = dq; // component 0 is the queue
+                      // Eq 32: PI marking replaces RED. Anti-windup: freeze integration
+                      // against the [0,1] bounds.
+        let e = x[0] - self.gains.q_ref_pkts; // component 0 is the queue
         let mut dp = self.gains.k1 * dq + self.gains.k2 * e;
+        // Component 1 is p.
         if (x[1] >= 1.0 && dp > 0.0) || (x[1] <= 0.0 && dp < 0.0) {
             dp = 0.0;
         }
-        dxdt[1] = dp;
+        dxdt[1] = dp; // component 1 is p
 
         let mut out = [0.0; 3];
         for i in 0..self.n_flows {
@@ -145,9 +146,10 @@ impl DdeSystem for DcqcnPiFluid {
             let rc_delayed = hist.eval(td, self.rc_index(i));
             // Reuse the DCQCN per-flow dynamics with the PI-supplied p.
             DcqcnFluid::flow_rhs_pub(p, rc, rt, alpha, rc_delayed, p_delayed, &mut out);
-            dxdt[self.rc_index(i)] = out[0];
-            dxdt[self.rt_index(i)] = out[1];
-            dxdt[self.alpha_index(i)] = out[2];
+            let [d_rc, d_rt, d_alpha] = out;
+            dxdt[self.rc_index(i)] = d_rc;
+            dxdt[self.rt_index(i)] = d_rt;
+            dxdt[self.alpha_index(i)] = d_alpha;
         }
     }
 
@@ -158,8 +160,8 @@ impl DdeSystem for DcqcnPiFluid {
     fn project(&mut self, _t: f64, x: &mut [f64]) {
         let line = self.params.capacity_pps();
         let floor = self.params.min_rate_pps();
-        x[0] = x[0].max(0.0);
-        x[1] = x[1].clamp(0.0, 1.0);
+        x[0] = x[0].max(0.0); // component 0 is the queue
+        x[1] = x[1].clamp(0.0, 1.0); // component 1 is p
         for i in 0..self.n_flows {
             let rc = self.rc_index(i);
             let rt = self.rt_index(i);
@@ -236,7 +238,7 @@ impl PatchedTimelyPiFluid {
     /// queue error), so the system settles on an unfair member of the
     /// infinite fixed-point family while the queue is still pinned at
     /// `q_ref`.
-    pub fn simulate_with_rates(&mut self, initial_rates_pps: &[f64], duration: f64) -> Trace {
+    pub fn simulate_with_rates(&mut self, initial_rates_pps: &[f64], duration_s: f64) -> Trace {
         assert_eq!(initial_rates_pps.len(), self.n_flows);
         let base = self.params.base.clone();
         let mut x0 = vec![0.0; self.state_dim()];
@@ -249,13 +251,13 @@ impl PatchedTimelyPiFluid {
         let horizon = base.tau_feedback(self.gains.q_ref_pkts * 6.0)
             + base.tau_star(base.min_rate_pps())
             + 10.0 * step;
-        let record_every = ((duration / step) / 4000.0).ceil().max(1.0) as usize;
+        let record_every = ((duration_s / step) / 4000.0).ceil().max(1.0) as usize;
         let opts = DdeOptions {
             step,
             record_every,
             history_horizon: horizon,
         };
-        integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration, &opts)
+        integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration_s, &opts)
     }
 }
 
@@ -268,10 +270,11 @@ impl DdeSystem for PatchedTimelyPiFluid {
         let p = &self.params;
         let base = &p.base;
         let c = base.capacity_pps();
-        let tau_fb = base.tau_feedback(x[0]);
+        let tau_fb = base.tau_feedback(x[0]); // component 0 is the queue
         let qd1 = hist.eval(t - tau_fb, 0).max(0.0);
 
         let sum_rates: f64 = (0..self.n_flows).map(|i| x[self.rate_index(i)]).sum();
+        // State component 0 is the shared queue.
         dxdt[0] = if x[0] <= 0.0 && sum_rates < c {
             0.0
         } else {
@@ -307,8 +310,7 @@ impl DdeSystem for PatchedTimelyPiFluid {
                 let w = PatchedTimelyParams::weight(g);
                 (1.0 - w) * delta / tau_i - w * base.beta * r / tau_i * p_i
             };
-            dxdt[gi] =
-                base.ewma_alpha / tau_i * (-g + (qd1 - qd2) / (c * base.d_min_rtt_s()));
+            dxdt[gi] = base.ewma_alpha / tau_i * (-g + (qd1 - qd2) / (c * base.d_min_rtt_s()));
         }
     }
 
@@ -320,7 +322,7 @@ impl DdeSystem for PatchedTimelyPiFluid {
         let base = &self.params.base;
         let line = base.capacity_pps();
         let floor = base.min_rate_pps();
-        x[0] = x[0].max(0.0);
+        x[0] = x[0].max(0.0); // component 0 is the queue
         for i in 0..self.n_flows {
             let ri = self.rate_index(i);
             x[ri] = x[ri].clamp(floor, line);

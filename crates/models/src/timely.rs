@@ -25,10 +25,9 @@ use crate::units;
 use fluid::dde::{integrate_dde_with_prehistory, DdeOptions, DdeSystem};
 use fluid::history::History;
 use fluid::trace::Trace;
-use serde::{Deserialize, Serialize};
 
 /// TIMELY parameters (Table 2 + the recommended values of footnote 4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimelyParams {
     /// Packet size in bytes (the model's packet unit; also the MTU of Eq 24).
     pub packet_bytes: f64,
@@ -192,7 +191,7 @@ impl TimelyFluid {
 
     /// Simulate with explicit initial rates (packets/second). Gradients
     /// start at 0 and the queue empty.
-    pub fn simulate_with_rates(&mut self, initial_rates_pps: &[f64], duration: f64) -> Trace {
+    pub fn simulate_with_rates(&mut self, initial_rates_pps: &[f64], duration_s: f64) -> Trace {
         assert_eq!(initial_rates_pps.len(), self.n_flows);
         let mut x0 = vec![0.0; self.state_dim()];
         for (i, &r) in initial_rates_pps.iter().enumerate() {
@@ -204,22 +203,22 @@ impl TimelyFluid {
             + self.params.tau_star(self.params.min_rate_pps())
             + self.jitter.as_ref().map_or(0.0, Jitter::max_extra)
             + 10.0 * step;
-        let record_every = ((duration / step) / 4000.0).ceil().max(1.0) as usize;
+        let record_every = ((duration_s / step) / 4000.0).ceil().max(1.0) as usize;
         let opts = DdeOptions {
             step,
             record_every,
             history_horizon: horizon,
         };
-        integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration, &opts)
+        integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration_s, &opts)
     }
 
     /// Simulate with the paper's default start: each flow at `C/N`
     /// ("a new flow starts at rate C/(N+1)"; with N simultaneous flows the
     /// validation uses 1/N of link bandwidth).
-    pub fn simulate(&mut self, duration: f64) -> Trace {
+    pub fn simulate(&mut self, duration_s: f64) -> Trace {
         let r0 = self.params.capacity_pps() / self.n_flows as f64;
         let rates = vec![r0; self.n_flows];
-        self.simulate_with_rates(&rates, duration)
+        self.simulate_with_rates(&rates, duration_s)
     }
 
     /// Per-flow rate series in Gbps.
@@ -281,6 +280,7 @@ impl DdeSystem for TimelyFluid {
                 sum_rates += x[self.rate_index(i)];
             }
         }
+        // State component 0 is the shared queue.
         dxdt[0] = if x[0] <= 0.0 && sum_rates < c {
             0.0
         } else {
@@ -301,8 +301,7 @@ impl DdeSystem for TimelyFluid {
             let qd2 = hist.eval(t - tau_fb - tau_i, 0).max(0.0);
             dxdt[ri] = self.rate_rhs(r, g, qd1);
             // Eq 22: EWMA of the normalized queue (≈ RTT) difference.
-            dxdt[gi] = p.ewma_alpha / tau_i
-                * (-g + (qd1 - qd2) / (c * p.d_min_rtt_s()));
+            dxdt[gi] = p.ewma_alpha / tau_i * (-g + (qd1 - qd2) / (c * p.d_min_rtt_s()));
         }
     }
 
@@ -315,7 +314,7 @@ impl DdeSystem for TimelyFluid {
         let p = &self.params;
         let line = p.capacity_pps();
         let floor = p.min_rate_pps();
-        x[0] = x[0].max(0.0);
+        x[0] = x[0].max(0.0); // component 0 is the queue
         for i in 0..self.n_flows {
             let ri = self.rate_index(i);
             x[ri] = x[ri].clamp(floor, line);
@@ -426,8 +425,7 @@ mod tests {
     fn late_start_flow_is_frozen_then_active() {
         let params = TimelyParams::default_10g();
         let c = params.capacity_pps();
-        let mut m =
-            TimelyFluid::new(params, 2).with_start_times(vec![0.0, 0.01]);
+        let mut m = TimelyFluid::new(params, 2).with_start_times(vec![0.0, 0.01]);
         let tr = m.simulate_with_rates(&[c * 0.5, c * 0.5], 0.03);
         // Before t = 10 ms the second flow's rate must not have moved.
         let early: Vec<(f64, f64)> = tr
@@ -440,7 +438,10 @@ mod tests {
         }
         // After start it evolves (queue pressure from flow 0 exists).
         let late = tr.mean_from(m.rate_index(1), 0.025);
-        assert!((late - c * 0.5).abs() > 1e3, "flow 1 must react after start");
+        assert!(
+            (late - c * 0.5).abs() > 1e3,
+            "flow 1 must react after start"
+        );
     }
 
     #[test]
@@ -469,9 +470,6 @@ mod tests {
         let mut m = TimelyFluid::new(params, 4);
         let tr = m.simulate(0.2);
         let sum: f64 = (0..4).map(|i| tr.mean_from(m.rate_index(i), 0.15)).sum();
-        assert!(
-            (sum - c).abs() / c < 0.1,
-            "aggregate {sum} vs capacity {c}"
-        );
+        assert!((sum - c).abs() / c < 0.1, "aggregate {sum} vs capacity {c}");
     }
 }

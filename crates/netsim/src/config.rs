@@ -1,9 +1,7 @@
 //! Switch and queue configuration: RED/ECN marking, marking point, PFC.
 
-use serde::{Deserialize, Serialize};
-
 /// RED/ECN marking profile (the paper's Eq 3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RedConfig {
     /// Lower threshold in bytes: below this, never mark.
     pub kmin_bytes: u64,
@@ -38,7 +36,7 @@ impl RedConfig {
 }
 
 /// Where the marking decision reads the queue (paper §5.2 and Figure 17).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MarkingMode {
     /// Mark when the packet *departs*: the mark reflects the queue at that
     /// instant, so the feedback delay excludes queueing delay. This is how
@@ -53,7 +51,7 @@ pub enum MarkingMode {
 
 /// PFC (IEEE 802.1Qbb) PAUSE/RESUME emulation. The paper assumes ECN fires
 /// before PFC and ignores it; this is an optional extension, default off.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PfcConfig {
     /// Ingress-buffer occupancy (bytes) above which PAUSE is sent upstream.
     pub pause_threshold_bytes: u64,
@@ -113,7 +111,7 @@ mod tests {
 /// queue pinned at `q_ref` *and* fairness, for any number of flows —
 /// Figure 18 at the packet level (the paper ran it in the fluid model and
 /// lists a hardware implementation as future work).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PiAqmConfig {
     /// Queue reference in bytes.
     pub q_ref_bytes: u64,

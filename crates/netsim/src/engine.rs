@@ -25,10 +25,10 @@ use crate::cc::{CcEvent, CcUpdate};
 use crate::config::{MarkingMode, PfcConfig, RedConfig};
 use crate::flow::{FlowSpec, Pacing, ReceiverFlow, SenderFlow};
 use crate::topology::{LinkId, NodeId, NodeKind, Topology};
+use crate::trace::LinkTraceMap;
 use crate::types::{FlowId, Packet, PacketKind};
 use desim::stats::TimeSeries;
 use desim::{EventQueue, SimDuration, SimRng, SimTime};
-use std::collections::HashMap;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -105,7 +105,7 @@ struct Port {
 }
 
 /// One completed flow.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FctRecord {
     /// Flow index.
     pub flow: usize,
@@ -122,8 +122,9 @@ pub struct FctRecord {
 pub struct SimReport {
     /// Completed-flow records.
     pub fcts: Vec<FctRecord>,
-    /// Queue-occupancy traces (bytes) per traced link.
-    pub queue_traces: HashMap<LinkId, TimeSeries>,
+    /// Queue-occupancy traces (bytes) per traced link, in ascending link
+    /// order (deterministic iteration).
+    pub queue_traces: LinkTraceMap,
     /// Per-flow delivered-throughput traces (bps), if enabled.
     pub rate_traces: Vec<Vec<(f64, f64)>>,
     /// Total payload bytes delivered per flow.
@@ -155,10 +156,12 @@ pub struct Engine {
     ports: Vec<Port>,
     senders: Vec<SenderFlow>,
     receivers: Vec<ReceiverFlow>,
-    /// Expected fire time per (flow, timer-kind): re-arming replaces the
-    /// entry, so stale heap events are ignored when they pop.
-    timer_expect: HashMap<(usize, u8), SimTime>,
-    queue_traces: HashMap<LinkId, TimeSeries>,
+    /// Expected fire time per flow and timer kind (`timer_expect[flow][kind]`):
+    /// re-arming replaces the slot, so stale heap events are ignored when
+    /// they pop. Kinds are tiny dense protocol-defined codes, so a per-flow
+    /// vector keeps the lookup allocation-free and deterministic.
+    timer_expect: Vec<Vec<Option<SimTime>>>,
+    queue_traces: LinkTraceMap,
     rate_window_bytes: Vec<u64>,
     rate_window_start: Vec<SimTime>,
     rate_traces: Vec<Vec<(f64, f64)>>,
@@ -175,7 +178,7 @@ impl Engine {
     /// Build an engine over a topology.
     pub fn new(topo: Topology, cfg: EngineConfig) -> Self {
         let ports = (0..topo.link_count()).map(|_| Port::default()).collect();
-        let mut queue_traces = HashMap::new();
+        let mut queue_traces = LinkTraceMap::new();
         for l in 0..topo.link_count() {
             let link = topo.link(LinkId(l));
             if matches!(topo.kind(link.src), NodeKind::Switch) {
@@ -191,7 +194,7 @@ impl Engine {
             ports,
             senders: Vec::new(),
             receivers: Vec::new(),
-            timer_expect: HashMap::new(),
+            timer_expect: Vec::new(),
             queue_traces,
             rate_window_bytes: Vec::new(),
             rate_window_start: Vec::new(),
@@ -236,6 +239,7 @@ impl Engine {
             completed: None,
         });
         self.receivers.push(ReceiverFlow::default());
+        self.timer_expect.push(Vec::new());
         self.rate_window_bytes.push(0);
         self.rate_window_start.push(start);
         self.rate_traces.push(Vec::new());
@@ -246,7 +250,7 @@ impl Engine {
 
     /// The line rate of a host's uplink.
     fn line_rate(&self, host: NodeId) -> f64 {
-        let l = self.topo.out_links(host)[0];
+        let l = self.topo.out_links(host)[0]; // hosts have exactly one uplink
         self.topo.link(l).bandwidth_bps
     }
 
@@ -260,7 +264,9 @@ impl Engine {
             if t > end {
                 break;
             }
-            let (t, ev) = self.events.pop().expect("peeked event must pop");
+            let Some((t, ev)) = self.events.pop() else {
+                break; // unreachable: peek_time just returned Some
+            };
             self.now = t;
             self.handle(ev);
         }
@@ -308,20 +314,21 @@ impl Engine {
             return;
         };
         for l in 0..self.topo.link_count() {
-            if !matches!(self.topo.kind(self.topo.link(LinkId(l)).src), NodeKind::Switch) {
+            if !matches!(
+                self.topo.kind(self.topo.link(LinkId(l)).src),
+                NodeKind::Switch
+            ) {
                 continue;
             }
             let port = &mut self.ports[l];
             let e_now = port.data_bytes as f64 - pi.q_ref_bytes as f64;
             let e_old = port.pi_q_old as f64 - pi.q_ref_bytes as f64;
-            port.pi_p = (port.pi_p + pi.a_per_byte * e_now - pi.b_per_byte * e_old)
-                .clamp(0.0, 1.0);
+            port.pi_p = (port.pi_p + pi.a_per_byte * e_now - pi.b_per_byte * e_old).clamp(0.0, 1.0);
             port.pi_q_old = port.data_bytes;
         }
         let at = self.now + pi.update_interval;
         self.events.schedule(at, Ev::AqmTick);
     }
-
 
     fn flow_start(&mut self, f: FlowId) {
         let line = self.line_rate(self.senders[f.0].src);
@@ -336,11 +343,17 @@ impl Engine {
 
     fn apply_update(&mut self, f: FlowId, update: CcUpdate) {
         if let Some(r) = update.new_rate_bps {
+            desim::invariants::finite_rate("cc update rate", r);
             self.senders[f.0].rate_bps = r.max(1e3);
         }
         for (kind, at) in update.timers {
             let at = at.max(self.now);
-            self.timer_expect.insert((f.0, kind), at);
+            let slots = &mut self.timer_expect[f.0];
+            let k = kind as usize;
+            if slots.len() <= k {
+                slots.resize(k + 1, None);
+            }
+            slots[k] = Some(at);
             self.events.schedule(at, Ev::CcTimer(f, kind));
         }
     }
@@ -349,11 +362,11 @@ impl Engine {
         // A firing is valid only if it matches the most recent arming for
         // (flow, kind); re-arming replaced the expected time, so stale heap
         // entries fall through here.
-        let key = (f.0, kind);
-        if self.timer_expect.get(&key) != Some(&self.now) {
+        let k = kind as usize;
+        if self.timer_expect[f.0].get(k).copied().flatten() != Some(self.now) {
             return;
         }
-        self.timer_expect.remove(&key);
+        self.timer_expect[f.0][k] = None;
         if self.senders[f.0].completed.is_some() {
             return;
         }
@@ -376,7 +389,11 @@ impl Engine {
         if fully_sent || completed {
             return;
         }
-        let uplink = self.topo.next_hop(src, self.senders[f.0].dst).expect("route");
+        let uplink = self
+            .topo
+            .next_hop(src, self.senders[f.0].dst)
+            // simlint: allow(panic) — add_flow validated both endpoints are connected hosts
+            .expect("route");
 
         match self.senders[f.0].pacing {
             Pacing::PerPacket => {
@@ -405,10 +422,8 @@ impl Engine {
                 while chunk_payload < seg && !self.senders[f.0].fully_sent() {
                     let last_in_chunk = {
                         let s = &self.senders[f.0];
-                        let next_payload =
-                            s.remaining().min(self.cfg.mtu_bytes as u64);
-                        chunk_payload + next_payload >= seg
-                            || s.remaining() <= next_payload
+                        let next_payload = s.remaining().min(self.cfg.mtu_bytes as u64);
+                        chunk_payload + next_payload >= seg || s.remaining() <= next_payload
                     };
                     let pkt = self.make_chunk_packet(f, last_in_chunk);
                     chunk_payload += pkt.payload_bytes();
@@ -418,8 +433,9 @@ impl Engine {
                 let s = &mut self.senders[f.0];
                 if !s.fully_sent() {
                     let gap = SimDuration::serialization(
-                        chunk_payload + (chunk_payload / self.cfg.mtu_bytes as u64 + 1)
-                            * self.cfg.header_bytes as u64,
+                        chunk_payload
+                            + (chunk_payload / self.cfg.mtu_bytes as u64 + 1)
+                                * self.cfg.header_bytes as u64,
                         s.rate_bps.max(1e3),
                     );
                     s.next_tx = self.now + gap;
@@ -527,7 +543,8 @@ impl Engine {
             port.data_q.push_back(pkt);
             if is_switch {
                 let bytes = port.data_bytes as f64;
-                if let Some(tr) = self.queue_traces.get_mut(&link) {
+                desim::invariants::bounded_queue("switch egress queue", bytes, f64::INFINITY);
+                if let Some(tr) = self.queue_traces.get_mut(link) {
                     tr.record(self.now, bytes);
                 }
             }
@@ -577,7 +594,7 @@ impl Engine {
             port.data_bytes -= pkt.size_bytes as u64;
             if is_switch {
                 let bytes = port.data_bytes as f64;
-                if let Some(tr) = self.queue_traces.get_mut(&link) {
+                if let Some(tr) = self.queue_traces.get_mut(link) {
                     tr.record(self.now, bytes);
                 }
             }
@@ -585,7 +602,8 @@ impl Engine {
         port.busy = true;
         let ser = SimDuration::serialization(pkt.size_bytes as u64, bw);
         self.events.schedule(self.now + ser, Ev::TxDone(link));
-        self.events.schedule(self.now + ser + prop, Ev::Deliver(link, pkt));
+        self.events
+            .schedule(self.now + ser + prop, Ev::Deliver(link, pkt));
         self.update_pfc(link);
     }
 
@@ -634,6 +652,7 @@ impl Engine {
             let next = self
                 .topo
                 .next_hop(node, pkt.dst)
+                // simlint: allow(panic) — topology is connected by construction
                 .expect("routable destination");
             self.enqueue(next, pkt);
             return;
@@ -713,7 +732,9 @@ impl Engine {
                 }
                 let rtt = self.now.saturating_since(chunk_sent_at);
                 let now = self.now;
-                let update = self.senders[f.0].cc.on_event(now, CcEvent::RttSample { rtt });
+                let update = self.senders[f.0]
+                    .cc
+                    .on_event(now, CcEvent::RttSample { rtt });
                 self.apply_update(f, update);
             }
             PacketKind::Cnp => {
@@ -733,6 +754,7 @@ impl Engine {
         let l = self
             .topo
             .next_hop(pkt.src, pkt.dst)
+            // simlint: allow(panic) — control packets reverse a validated data route
             .expect("control route");
         self.enqueue(l, pkt);
     }
@@ -761,7 +783,7 @@ impl Engine {
 impl Engine {
     /// Queue trace for a specific link (test helper).
     pub fn queue_trace(&self, link: LinkId) -> Option<&TimeSeries> {
-        self.queue_traces.get(&link)
+        self.queue_traces.get(link)
     }
 }
 
@@ -863,12 +885,10 @@ mod tests {
         assert!(report.cnps_sent > 0, "marked packets must produce CNPs");
         // Queue trace for the switch→receiver link must show growth.
         let (trace_max, _) = report
-            .queue_traces.values().map(|tr| {
-                let max = tr
-                    .points()
-                    .iter()
-                    .map(|&(_, v)| v)
-                    .fold(0.0f64, f64::max);
+            .queue_traces
+            .values()
+            .map(|tr| {
+                let max = tr.points().iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
                 (max, tr.len())
             })
             .fold((0.0f64, 0usize), |acc, x| (acc.0.max(x.0), acc.1 + x.1));
@@ -881,8 +901,8 @@ mod tests {
         // sent is delivered.
         let (topo, senders, receiver) = Topology::single_switch(4, 10e9, us(2));
         let mut eng = Engine::new(topo, EngineConfig::default());
-        for i in 0..4 {
-            eng.add_flow(flow(senders[i], receiver, 500_000, 9e9));
+        for &s in senders.iter().take(4) {
+            eng.add_flow(flow(s, receiver, 500_000, 9e9));
         }
         let report = eng.run(SimTime::from_millis(50));
         for i in 0..4 {
@@ -895,8 +915,8 @@ mod tests {
         let run = || {
             let (topo, senders, receiver) = Topology::single_switch(3, 10e9, us(1));
             let mut eng = Engine::new(topo, EngineConfig::default());
-            for i in 0..3 {
-                eng.add_flow(flow(senders[i], receiver, 300_000, 7e9));
+            for &s in senders.iter().take(3) {
+                eng.add_flow(flow(s, receiver, 300_000, 7e9));
             }
             let r = eng.run(SimTime::from_millis(20));
             (
@@ -948,7 +968,11 @@ mod tests {
         // 160 KB / 16 KB chunks = 10 completion events; the final chunk's
         // ACK races flow completion (the engine drops samples for completed
         // flows), so 9 are guaranteed to reach the CC.
-        assert!(samples.get() >= 9, "one RTT sample per chunk, got {}", samples.get());
+        assert!(
+            samples.get() >= 9,
+            "one RTT sample per chunk, got {}",
+            samples.get()
+        );
     }
 
     #[test]
@@ -1054,9 +1078,6 @@ mod tests {
             .values()
             .flat_map(|tr| tr.points().iter().map(|&(_, v)| v))
             .fold(0.0f64, f64::max);
-        assert!(
-            max_q < 120_000.0,
-            "PFC should bound the queue, saw {max_q}"
-        );
+        assert!(max_q < 120_000.0, "PFC should bound the queue, saw {max_q}");
     }
 }

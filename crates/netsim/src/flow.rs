@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn packet_gap_matches_rate() {
         let f = sender(1e9); // 1 Gbps
-        // 1000 bytes at 1 Gbps = 8 µs.
+                             // 1000 bytes at 1 Gbps = 8 µs.
         assert_eq!(f.packet_gap(1000), SimDuration::from_micros(8));
     }
 }

@@ -35,11 +35,13 @@ pub mod config;
 pub mod engine;
 pub mod flow;
 pub mod topology;
+pub mod trace;
 pub mod types;
 
 pub use cc::{CcEvent, CcUpdate, CongestionControl};
 pub use config::{MarkingMode, PfcConfig, RedConfig};
-pub use engine::{Engine, EngineConfig, SimReport};
+pub use engine::{Engine, EngineConfig, FctRecord, SimReport};
 pub use flow::{FlowSpec, Pacing};
 pub use topology::{LinkId, NodeId, Topology};
+pub use trace::LinkTraceMap;
 pub use types::{Packet, PacketKind};

@@ -1,19 +1,18 @@
 //! Topology: nodes, simplex links, and static shortest-path routing.
 
 use desim::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Node identifier (host or switch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 /// Simplex link identifier; a "cable" is two simplex links.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkId(pub usize);
 
 /// What a node is. Hosts terminate flows; switches forward.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// End host with a NIC.
     Host,
@@ -22,7 +21,7 @@ pub enum NodeKind {
 }
 
 /// One simplex link.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     /// Transmitting node (owns the egress queue).
     pub src: NodeId,

@@ -10,14 +10,13 @@
 
 use desim::{SimDuration, SimTime};
 use netsim::cc::{CcEvent, CcUpdate, CongestionControl};
-use serde::{Deserialize, Serialize};
 
 /// Timer kinds used with the engine.
 const TIMER_ALPHA: u8 = 0;
 const TIMER_INCREASE: u8 = 1;
 
 /// DCQCN RP parameters (defaults from \[31\], as used throughout the paper).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DcqcnCcParams {
     /// DCTCP gain `g` (Eq 1): 1/256.
     pub g: f64,
@@ -148,6 +147,7 @@ impl DcqcnCc {
         self.rt = self.rc;
         self.rc = (self.rc * (1.0 - self.alpha / 2.0)).max(self.params.min_rate_bps);
         self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g;
+        desim::invariants::unit_interval("dcqcn cut alpha", self.alpha);
         self.byte_stage = 0;
         self.time_stage = 0;
         self.bytes_since_stage = 0;
@@ -187,6 +187,7 @@ impl CongestionControl for DcqcnCc {
             CcEvent::Timer { kind: TIMER_ALPHA } => {
                 // Eq 2: no feedback for τ' → α decays.
                 self.alpha *= 1.0 - self.params.g;
+                desim::invariants::unit_interval("dcqcn decay alpha", self.alpha);
                 CcUpdate::none().with_timer(TIMER_ALPHA, now + self.params.alpha_timer)
             }
             CcEvent::Timer {
@@ -194,8 +195,7 @@ impl CongestionControl for DcqcnCc {
             } => {
                 self.time_stage += 1;
                 self.increase_event();
-                CcUpdate::rate(self.rc)
-                    .with_timer(TIMER_INCREASE, now + self.params.increase_timer)
+                CcUpdate::rate(self.rc).with_timer(TIMER_INCREASE, now + self.params.increase_timer)
             }
             CcEvent::SentBytes { bytes } => {
                 self.bytes_since_stage += bytes;

@@ -15,10 +15,9 @@
 use crate::timely::TimelyCcParams;
 use desim::{SimDuration, SimTime};
 use netsim::cc::{CcEvent, CcUpdate, CongestionControl};
-use serde::{Deserialize, Serialize};
 
 /// Patched-TIMELY parameters: the TIMELY set plus `RTT_ref`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PatchedTimelyCcParams {
     /// Base TIMELY parameters (β and Seg are overridden by
     /// [`PatchedTimelyCcParams::default`] to the paper's patched values).
@@ -236,8 +235,8 @@ mod tests {
         assert!((cc.current_rate_bps() - (r0 + 10e6)).abs() < 1.0);
         let r1 = cc.current_rate_bps();
         cc.update(us(5_000)); // far above T_high
-        // With the patched β = 0.008, the decrease factor is
-        // 1 − 0.008·(1 − T_high/rtt) ≈ 0.9928.
+                              // With the patched β = 0.008, the decrease factor is
+                              // 1 − 0.008·(1 − T_high/rtt) ≈ 0.9928.
         let rtt = 5_000e-6 - 16_000.0 * 8.0 / 10e9;
         let expect = r1 * (1.0 - 0.008 * (1.0 - 500e-6 / rtt));
         assert!(

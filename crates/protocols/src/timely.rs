@@ -16,10 +16,9 @@
 
 use desim::{SimDuration, SimTime};
 use netsim::cc::{CcEvent, CcUpdate, CongestionControl};
-use serde::{Deserialize, Serialize};
 
 /// TIMELY parameters (the paper's footnote 4 plus \[21\] defaults).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimelyCcParams {
     /// EWMA weight for the RTT difference filter.
     pub ewma_alpha: f64,
@@ -113,18 +112,14 @@ impl TimelyCc {
         let p = &self.params;
         // Remove the segment's own serialization at line rate.
         let self_ser = SimDuration::serialization(p.seg_bytes as u64, self.line_rate.max(1e3));
-        let new_rtt = raw_rtt
-            .as_secs_f64()
-            .max(self_ser.as_secs_f64())
-            - self_ser.as_secs_f64();
+        let new_rtt = raw_rtt.as_secs_f64().max(self_ser.as_secs_f64()) - self_ser.as_secs_f64();
 
         let new_rtt_diff = match self.prev_rtt_s {
             Some(prev) => new_rtt - prev,
             None => 0.0,
         };
         self.prev_rtt_s = Some(new_rtt);
-        self.rtt_diff_s =
-            (1.0 - p.ewma_alpha) * self.rtt_diff_s + p.ewma_alpha * new_rtt_diff;
+        self.rtt_diff_s = (1.0 - p.ewma_alpha) * self.rtt_diff_s + p.ewma_alpha * new_rtt_diff;
         let gradient = self.rtt_diff_s / p.min_rtt.as_secs_f64();
 
         if new_rtt < p.t_low.as_secs_f64() {
@@ -223,7 +218,10 @@ mod tests {
         let r0 = cc.current_rate_bps();
         cc.update(us(200));
         assert!(cc.gradient() > 0.0);
-        assert!(cc.current_rate_bps() < r0, "positive gradient must decrease");
+        assert!(
+            cc.current_rate_bps() < r0,
+            "positive gradient must decrease"
+        );
     }
 
     #[test]

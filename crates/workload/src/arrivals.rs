@@ -103,8 +103,7 @@ mod tests {
             .map(|w| w[1].as_secs_f64() - w[0].as_secs_f64())
             .collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
-            / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
         let cv = var.sqrt() / mean;
         assert!((cv - 1.0).abs() < 0.05, "CV {cv}");
     }

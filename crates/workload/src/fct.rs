@@ -1,10 +1,9 @@
 //! Flow-completion-time statistics (Figures 14 and 15).
 
 use desim::stats::Samples;
-use serde::{Deserialize, Serialize};
 
 /// A completed flow for FCT accounting.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FctSample {
     /// Flow size in bytes.
     pub size_bytes: u64,

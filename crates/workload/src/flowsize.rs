@@ -7,10 +7,9 @@
 //! linear interpolation would skew small sizes).
 
 use desim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// An empirical CDF over flow sizes: `(size_bytes, cumulative_prob)` knots.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlowSizeDist {
     knots: Vec<(f64, f64)>,
 }
@@ -27,11 +26,9 @@ impl FlowSizeDist {
                 "CDF knots must increase"
             );
         }
+        // simlint: allow(panic) — knot count validated non-empty above
         let last = knots.last().unwrap();
-        assert!(
-            (last.1 - 1.0).abs() < 1e-9,
-            "CDF must end at probability 1"
-        );
+        assert!((last.1 - 1.0).abs() < 1e-9, "CDF must end at probability 1");
         assert!(knots[0].0 > 0.0, "sizes must be positive");
         FlowSizeDist {
             knots: knots.to_vec(),
@@ -102,6 +99,7 @@ impl FlowSizeDist {
                 return (s0.ln() + frac * (s1.ln() - s0.ln())).exp();
             }
         }
+        // simlint: allow(panic) — knots validated non-empty at construction
         self.knots.last().unwrap().0
     }
 
@@ -184,10 +182,7 @@ mod tests {
         let d = FlowSizeDist::web_search();
         let mut rng = SimRng::new(7);
         let n = 100_000;
-        let below = (0..n)
-            .filter(|_| d.sample(&mut rng) < 33_000)
-            .count() as f64
-            / n as f64;
+        let below = (0..n).filter(|_| d.sample(&mut rng) < 33_000).count() as f64 / n as f64;
         // CDF at 33 KB is 0.53.
         assert!((below - 0.53).abs() < 0.01, "empirical {below}");
     }

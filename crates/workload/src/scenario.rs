@@ -8,10 +8,9 @@
 use crate::arrivals::PoissonArrivals;
 use crate::flowsize::FlowSizeDist;
 use desim::{SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One generated flow (engine-agnostic description).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FlowDescriptor {
     /// Index into the sender host list.
     pub sender_index: usize,
@@ -24,7 +23,7 @@ pub struct FlowDescriptor {
 }
 
 /// Configuration for the FCT case study.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioConfig {
     /// Number of sender/receiver pairs (10 in Figure 13).
     pub n_pairs: usize,
@@ -57,11 +56,7 @@ pub fn generate_flows(
     dist: &FlowSizeDist,
     rng: &mut SimRng,
 ) -> Vec<FlowDescriptor> {
-    let arrivals = PoissonArrivals::for_load(
-        cfg.load_factor,
-        cfg.base_rate_bps,
-        dist.mean_bytes(),
-    );
+    let arrivals = PoissonArrivals::for_load(cfg.load_factor, cfg.base_rate_bps, dist.mean_bytes());
     let times = arrivals.times(cfg.horizon_s, rng);
     times
         .into_iter()

@@ -1,0 +1,8 @@
+//! Seeded-bad fixture: simulation state in a `HashMap` (unspecified
+//! iteration order → nondeterministic event ordering).
+
+use std::collections::HashMap;
+
+pub struct QueueState {
+    pub depths: HashMap<u32, f64>,
+}

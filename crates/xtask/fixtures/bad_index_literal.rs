@@ -1,0 +1,5 @@
+//! Seeded-bad fixture: literal index with no bound-justifying comment.
+
+pub fn head(xs: &[u64]) -> u64 {
+    xs[0]
+}

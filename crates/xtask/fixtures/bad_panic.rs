@@ -1,0 +1,5 @@
+//! Seeded-bad fixture: `.unwrap()` in library code.
+
+pub fn first(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}

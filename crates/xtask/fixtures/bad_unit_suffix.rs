@@ -1,0 +1,5 @@
+//! Seeded-bad fixture: dimensioned `f64` parameter with no unit suffix.
+
+pub fn configure(rate: f64, delay: f64) -> f64 {
+    rate * delay
+}

@@ -1,0 +1,5 @@
+//! Seeded-bad fixture: wall-clock time inside simulation logic.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

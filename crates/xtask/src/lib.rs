@@ -1,0 +1,808 @@
+//! # simlint — project-specific static analysis
+//!
+//! Rules clippy cannot express, enforced over the workspace sources (see
+//! DESIGN.md "Correctness & determinism policy"):
+//!
+//! | rule | scope | what it bans |
+//! |---|---|---|
+//! | `hash-collections` | sim crates | `HashMap`/`HashSet` (iteration order is unspecified; use `BTreeMap`/`BTreeSet` or `Vec`-indexed storage) |
+//! | `wall-clock` | sim crates | `Instant::now`, `SystemTime`, `thread_rng`, `rand::` (hidden nondeterminism) |
+//! | `panic` | library crates | `.unwrap()` / `.expect(` outside `#[cfg(test)]` (library code returns typed errors or documents the invariant with an allow) |
+//! | `index-literal` | sim crates | literal indexing `xs[0]` without a bound-justifying comment on the same or preceding line |
+//! | `unit-suffix` | sim crates | `pub fn` parameters of type `f64` with a time/rate/size-flavoured name but no unit suffix (`_s`, `_us`, `_pps`, `_gbps`, `_bytes`, …) |
+//!
+//! Test modules (`#[cfg(test)]`), doc comments, strings, `tests/`,
+//! `benches/`, `examples/` and binary targets are exempt from `panic` and
+//! `index-literal`; determinism rules apply to library *and* test code of
+//! the sim crates (a nondeterministic test is still a flaky test).
+//!
+//! ## Allowlist
+//!
+//! A finding is suppressed by a directive comment on the same line or the
+//! line directly above:
+//!
+//! ```text
+//! let t = a + b; // simlint: allow(panic) — checked-overflow guard, documented
+//! ```
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` in simulation logic.
+    HashCollections,
+    /// Wall-clock or ambient randomness in simulation logic.
+    WallClock,
+    /// `.unwrap()` / `.expect(` in library code.
+    Panic,
+    /// Literal index without a bound comment.
+    IndexLiteral,
+    /// Public `f64` parameter with a dimensioned name but no unit suffix.
+    UnitSuffix,
+}
+
+impl Rule {
+    /// The name used in `simlint: allow(<name>)` directives and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashCollections => "hash-collections",
+            Rule::WallClock => "wall-clock",
+            Rule::Panic => "panic",
+            Rule::IndexLiteral => "index-literal",
+            Rule::UnitSuffix => "unit-suffix",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    /// Determinism rules (`hash-collections`, `wall-clock`, `index-literal`).
+    pub determinism: bool,
+    /// Panic discipline (`panic`).
+    pub panic_discipline: bool,
+    /// Unit-suffix naming on public signatures.
+    pub unit_suffix: bool,
+}
+
+/// Crates whose *logic* must be deterministic and dimensionally sound.
+pub const SIM_CRATES: &[&str] = &["desim", "netsim", "fluid", "protocols", "models"];
+/// Crates held to library panic discipline.
+pub const LIB_CRATES: &[&str] = &[
+    "desim",
+    "netsim",
+    "fluid",
+    "protocols",
+    "models",
+    "workload",
+    "control",
+];
+
+/// Scope for a workspace-relative source path, `None` if the file is not
+/// linted (bins, benches, fixtures, generated code).
+pub fn scope_for(rel: &Path) -> Option<Scope> {
+    let mut comps = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    if comps.next().as_deref() != Some("crates") {
+        return None;
+    }
+    let krate = comps.next()?.to_string();
+    // Only library sources: crates/<name>/src/**, excluding bin targets.
+    if comps.next().as_deref() != Some("src") {
+        return None;
+    }
+    if comps.next().as_deref() == Some("bin") {
+        return None;
+    }
+    if krate == "xtask" {
+        return None;
+    }
+    Some(Scope {
+        determinism: SIM_CRATES.contains(&krate.as_str()),
+        panic_discipline: LIB_CRATES.contains(&krate.as_str()),
+        unit_suffix: SIM_CRATES.contains(&krate.as_str()),
+    })
+}
+
+/// A source line after comment/string scrubbing.
+struct ScrubbedLine {
+    /// Code with comments and string-literal contents blanked out.
+    code: String,
+    /// Text of any `//` comment on the line (empty if none).
+    comment: String,
+}
+
+/// Blank out string literals, char literals and comments, preserving column
+/// positions, and capture the trailing `//` comment text per line.
+///
+/// This is a lexer-lite: good enough for the token-level patterns the rules
+/// use, not a full Rust parser. Raw strings are handled for the common
+/// `r"…"` / `r#"…"#` forms.
+fn scrub(source: &str) -> Vec<ScrubbedLine> {
+    let mut out = Vec::new();
+    let mut in_block_comment = 0usize;
+    for raw in source.lines() {
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            if in_block_comment > 0 {
+                if c == '*' && next == Some('/') {
+                    in_block_comment -= 1;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    in_block_comment += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                code.push(' ');
+                continue;
+            }
+            match c {
+                '/' if next == Some('/') => {
+                    comment = bytes[i..].iter().collect();
+                    break;
+                }
+                '/' if next == Some('*') => {
+                    in_block_comment += 1;
+                    i += 2;
+                    code.push(' ');
+                }
+                '"' => {
+                    code.push('"');
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    code.push('"');
+                }
+                'r' if next == Some('"') || (next == Some('#')) => {
+                    // Possible raw string r"…" or r#"…"#; count hashes.
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        // Scan for closing quote + hashes (single line only;
+                        // multi-line raw strings are rare in this codebase).
+                        let closing: String = std::iter::once('"')
+                            .chain(std::iter::repeat_n('#', hashes))
+                            .collect();
+                        let rest: String = bytes[j + 1..].iter().collect();
+                        if let Some(end) = rest.find(&closing) {
+                            code.push_str("r\"\"");
+                            i = j + 1 + end + closing.len();
+                        } else {
+                            code.push_str("r\"\"");
+                            i = bytes.len();
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal or lifetime; skip 'x' / '\n' forms.
+                    if next == Some('\\') && bytes.get(i + 3) == Some(&'\'') {
+                        code.push_str("' '");
+                        i += 4;
+                    } else if bytes.get(i + 2) == Some(&'\'') {
+                        code.push_str("' '");
+                        i += 3;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(ScrubbedLine { code, comment });
+    }
+    out
+}
+
+/// Does `comment` carry a `simlint: allow(...)` directive naming `rule`?
+fn allows(comment: &str, rule: Rule) -> bool {
+    let Some(pos) = comment.find("simlint: allow(") else {
+        return false;
+    };
+    let rest = &comment[pos + "simlint: allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return false;
+    };
+    rest[..end].split(',').any(|r| r.trim() == rule.name())
+}
+
+/// Track `#[cfg(test)]`-gated regions: returns per-line "is test code".
+fn test_mask(lines: &[ScrubbedLine]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut test_until_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if test_until_depth.is_some() {
+            mask[idx] = true;
+        }
+        if test_until_depth.is_none() && code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        // The item following #[cfg(test)] (mod/fn/impl/use) is test-only.
+        // We only track block items (mod/fn/impl); a `use` is harmless.
+        if pending_cfg_test
+            && (code.trim_start().starts_with("mod ")
+                || code.trim_start().starts_with("pub mod ")
+                || code.trim_start().starts_with("fn ")
+                || code.trim_start().starts_with("pub fn ")
+                || code.trim_start().starts_with("impl "))
+        {
+            mask[idx] = true;
+            test_until_depth = Some(depth);
+            pending_cfg_test = false;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if let Some(d) = test_until_depth {
+                        if depth <= d {
+                            test_until_depth = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+const WALL_CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime", "thread_rng", "rand::"];
+
+/// Approved unit suffixes for dimensioned `f64` parameters.
+pub const UNIT_SUFFIXES: &[&str] = &[
+    "_s", "_us", "_ns", "_ms", "_hz", "_pps", "_bps", "_mbps", "_gbps", "_bytes", "_kb", "_mb",
+    "_pkts", "_frac", "_ratio", "_deg",
+];
+
+/// Name fragments that mark a parameter as carrying a physical dimension.
+const DIMENSIONED: &[&str] = &[
+    "time",
+    "rate",
+    "delay",
+    "rtt",
+    "interval",
+    "duration",
+    "period",
+    "timeout",
+    "bandwidth",
+    "bw",
+    "size",
+    "queue",
+    "thresh",
+    "capacity",
+    "deadline",
+    "horizon",
+];
+
+fn is_dimensioned(name: &str) -> bool {
+    // Exact `_`-separated segment match: `feedback_delay_us` is dimensioned
+    // (segment "delay") but `rc_delayed` is not — "delayed" marks a delayed
+    // *state value*, whose unit is the state's, not a duration.
+    name.split('_').any(|seg| DIMENSIONED.contains(&seg))
+}
+
+fn has_unit_suffix(name: &str) -> bool {
+    UNIT_SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+/// Lint one file's source under the given scope.
+pub fn lint_source(file: &Path, source: &str, scope: Scope) -> Vec<Violation> {
+    let lines = scrub(source);
+    let tests = test_mask(&lines);
+    let mut out = Vec::new();
+
+    let allowed = |idx: usize, rule: Rule| -> bool {
+        if allows(&lines[idx].comment, rule) {
+            return true;
+        }
+        idx > 0 && allows(&lines[idx - 1].comment, rule)
+    };
+    let mut push = |idx: usize, rule: Rule, message: String| {
+        out.push(Violation {
+            file: file.to_path_buf(),
+            line: idx + 1,
+            rule,
+            message,
+        });
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if scope.determinism && !allowed(idx, Rule::HashCollections) {
+            for tok in ["HashMap", "HashSet"] {
+                if code.contains(tok) {
+                    push(
+                        idx,
+                        Rule::HashCollections,
+                        format!(
+                            "{tok} has unspecified iteration order; use BTreeMap/BTreeSet or \
+                             Vec-indexed storage in simulation logic"
+                        ),
+                    );
+                }
+            }
+        }
+        if scope.determinism && !allowed(idx, Rule::WallClock) {
+            for tok in WALL_CLOCK_TOKENS {
+                if code.contains(tok) {
+                    push(
+                        idx,
+                        Rule::WallClock,
+                        format!(
+                            "{tok} injects wall-clock/ambient nondeterminism; use SimTime and \
+                             the seeded SimRng"
+                        ),
+                    );
+                }
+            }
+        }
+        if tests[idx] {
+            continue; // panic/index/unit rules do not apply to test code
+        }
+        if scope.panic_discipline && !allowed(idx, Rule::Panic) {
+            if code.contains(".unwrap()") {
+                push(
+                    idx,
+                    Rule::Panic,
+                    ".unwrap() in library code; return a typed error or document the \
+                     invariant with `// simlint: allow(panic) — why`"
+                        .to_string(),
+                );
+            }
+            if code.contains(".expect(") {
+                push(
+                    idx,
+                    Rule::Panic,
+                    ".expect() in library code; return a typed error or document the \
+                     invariant with `// simlint: allow(panic) — why`"
+                        .to_string(),
+                );
+            }
+        }
+        if scope.determinism && !allowed(idx, Rule::IndexLiteral) {
+            if let Some(col) = find_literal_index(code) {
+                let commented =
+                    !line.comment.is_empty() || (idx > 0 && !lines[idx - 1].comment.is_empty());
+                if !commented {
+                    push(
+                        idx,
+                        Rule::IndexLiteral,
+                        format!(
+                            "literal index at column {} without a bound-justifying comment on \
+                             this or the preceding line",
+                            col + 1
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if scope.unit_suffix {
+        lint_unit_suffixes(file, &lines, &tests, &mut out);
+    }
+    out
+}
+
+/// Find `ident[<digits>]`-style literal indexing; returns the column.
+fn find_literal_index(code: &str) -> Option<usize> {
+    let b: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == '['
+            && i > 0
+            && (b[i - 1].is_alphanumeric() || b[i - 1] == '_' || b[i - 1] == ')' || b[i - 1] == ']')
+        {
+            let mut j = i + 1;
+            let mut digits = 0;
+            while j < b.len() && b[j].is_ascii_digit() {
+                digits += 1;
+                j += 1;
+            }
+            if digits > 0 && b.get(j) == Some(&']') {
+                // `xs[0]` — but not attribute-ish `#[…]` or array types.
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Check `pub fn` parameter names: `f64` params with dimensioned names must
+/// carry a unit suffix.
+fn lint_unit_suffixes(
+    file: &Path,
+    lines: &[ScrubbedLine],
+    tests: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    let mut i = 0;
+    while i < lines.len() {
+        if tests[i] {
+            i += 1;
+            continue;
+        }
+        let code = lines[i].code.trim_start().to_string();
+        if !(code.starts_with("pub fn ") || code.starts_with("pub const fn ")) {
+            i += 1;
+            continue;
+        }
+        if allows(&lines[i].comment, Rule::UnitSuffix)
+            || (i > 0 && allows(&lines[i - 1].comment, Rule::UnitSuffix))
+        {
+            i += 1;
+            continue;
+        }
+        // Accumulate the signature until the parameter list closes.
+        let mut sig = String::new();
+        let mut depth = 0i64;
+        let mut started = false;
+        let mut j = i;
+        'outer: while j < lines.len() {
+            for c in lines[j].code.chars() {
+                if c == '(' {
+                    depth += 1;
+                    started = true;
+                }
+                sig.push(c);
+                if c == ')' {
+                    depth -= 1;
+                    if started && depth == 0 {
+                        break 'outer;
+                    }
+                }
+            }
+            sig.push(' ');
+            j += 1;
+        }
+        for (name, col_line) in f64_params(&sig) {
+            if is_dimensioned(&name) && !has_unit_suffix(&name) {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: i + 1,
+                    rule: Rule::UnitSuffix,
+                    message: format!(
+                        "pub fn parameter `{name}: f64` carries a dimension but no unit \
+                         suffix; rename with one of {:?} (keep conversions in models::units)",
+                        UNIT_SUFFIXES
+                    ),
+                });
+                let _ = col_line;
+            }
+        }
+        i = j + 1;
+    }
+}
+
+/// Extract `name` for every parameter of type exactly `f64` from a flattened
+/// signature string.
+fn f64_params(sig: &str) -> Vec<(String, usize)> {
+    let Some(open) = sig.find('(') else {
+        return Vec::new();
+    };
+    let mut depth = 0i64;
+    let mut end = sig.len();
+    for (k, c) in sig.char_indices().skip(open) {
+        if c == '(' {
+            depth += 1;
+        } else if c == ')' {
+            depth -= 1;
+            if depth == 0 {
+                end = k;
+                break;
+            }
+        }
+    }
+    let params = &sig[open + 1..end];
+    let mut out = Vec::new();
+    // Split on top-level commas (no generics with commas in plain f64 params).
+    let mut level = 0i64;
+    let mut cur = String::new();
+    let mut parts = Vec::new();
+    for c in params.chars() {
+        match c {
+            '(' | '<' | '[' => {
+                level += 1;
+                cur.push(c);
+            }
+            ')' | '>' | ']' => {
+                level -= 1;
+                cur.push(c);
+            }
+            ',' if level == 0 => {
+                parts.push(cur.clone());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    for p in parts {
+        let Some((name, ty)) = p.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_start_matches("mut ").trim();
+        if ty.trim() == "f64" && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            out.push((name.to_string(), 0));
+        }
+    }
+    out
+}
+
+/// Recursively lint every `.rs` file under `root/crates/*/src`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let rel = f.strip_prefix(root).unwrap_or(&f);
+        let Some(scope) = scope_for(rel) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(&f)?;
+        out.extend(lint_source(rel, &src, scope));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint a single file as if it were sim-crate library code (used for
+/// fixture self-tests and ad-hoc checks).
+pub fn lint_path_strict(path: &Path) -> std::io::Result<Vec<Violation>> {
+    let src = std::fs::read_to_string(path)?;
+    Ok(lint_source(
+        path,
+        &src,
+        Scope {
+            determinism: true,
+            panic_discipline: true,
+            unit_suffix: true,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict(src: &str) -> Vec<Violation> {
+        lint_source(
+            Path::new("test.rs"),
+            src,
+            Scope {
+                determinism: true,
+                panic_discipline: true,
+                unit_suffix: true,
+            },
+        )
+    }
+
+    #[test]
+    fn flags_hash_collections() {
+        let v = strict("use std::collections::HashMap;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::HashCollections);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_line() {
+        let v = strict("use std::collections::HashMap; // simlint: allow(hash-collections)\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_directive_suppresses_next_line() {
+        let v = strict(
+            "// simlint: allow(hash-collections) — no iteration happens here\nuse std::collections::HashMap;\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_of_other_rule_does_not_suppress() {
+        let v = strict("use std::collections::HashMap; // simlint: allow(panic)\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn flags_wall_clock_tokens() {
+        let v = strict("let t = std::time::Instant::now();\nlet r = rand::random();\n");
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::WallClock));
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_outside_tests() {
+        let v = strict("fn f() { x.unwrap(); y.expect(\"msg\"); }\n");
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::Panic));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let v = strict("fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_panic_rule() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        let v = strict(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\nfn g() { y.unwrap(); }\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn hash_rule_applies_even_in_tests() {
+        // A nondeterministic test is a flaky test.
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::HashCollections);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let v = strict("fn f() { let s = \"HashMap .unwrap()\"; } // HashMap in prose\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn literal_index_without_comment_fires() {
+        let v = strict("fn f() { let x = xs[0]; }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::IndexLiteral);
+    }
+
+    #[test]
+    fn literal_index_with_bound_comment_ok() {
+        let v = strict("fn f() { let x = xs[0]; } // non-empty by construction\n");
+        assert!(v.is_empty(), "{v:?}");
+        let v = strict("// hosts have exactly one uplink\nfn f() { let x = xs[0]; }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn variable_index_is_not_flagged() {
+        let v = strict("fn f(i: usize) { let x = xs[i]; }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn attribute_is_not_literal_index() {
+        let v = strict("#[derive(Debug)]\nstruct S;\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unit_suffix_flags_dimensioned_f64() {
+        let v = strict("pub fn set(rate: f64) {}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnitSuffix);
+    }
+
+    #[test]
+    fn unit_suffix_ok_with_suffix() {
+        let v = strict("pub fn set(rate_bps: f64, delay_us: f64, size_bytes: f64) {}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unit_suffix_ignores_dimensionless_and_non_f64() {
+        let v = strict("pub fn set(alpha: f64, rate: u64, p: f64) {}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unit_suffix_handles_multiline_signatures() {
+        let v = strict("pub fn set(\n    rate: f64,\n    n: usize,\n) {}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnitSuffix);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn private_fns_are_not_unit_checked() {
+        let v = strict("fn set(rate: f64) {}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn scope_routing() {
+        assert!(scope_for(Path::new("crates/netsim/src/engine.rs"))
+            .is_some_and(|s| s.determinism && s.panic_discipline));
+        assert!(scope_for(Path::new("crates/workload/src/fct.rs"))
+            .is_some_and(|s| !s.determinism && s.panic_discipline));
+        assert!(scope_for(Path::new("crates/bench/src/bin/fig2.rs")).is_none());
+        assert!(scope_for(Path::new("crates/xtask/src/lib.rs")).is_none());
+        assert!(scope_for(Path::new("examples/quickstart.rs")).is_none());
+        assert!(scope_for(Path::new("crates/core/src/output.rs"))
+            .is_some_and(|s| !s.determinism && !s.panic_discipline && !s.unit_suffix));
+    }
+}

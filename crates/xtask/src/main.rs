@@ -1,0 +1,176 @@
+//! `cargo run -p xtask -- <command>` — workspace tooling.
+//!
+//! Commands:
+//!
+//! * `lint [PATH...]` — run the simlint pass over `crates/*/src` (or over
+//!   the given files, linted with every rule enabled). Exits non-zero if
+//!   any violation is found.
+//! * `selftest` — lint the seeded bad fixtures under `crates/xtask/fixtures`
+//!   and verify each triggers exactly the rule named in its file name.
+//! * `determinism` — run the packet simulator twice with the same seed and
+//!   verify the rendered traces are byte-identical.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use desim::SimDuration;
+use desim::SimTime;
+use ecn_delay_core::scenarios::{single_switch_longlived, Protocol};
+use netsim::EngineConfig;
+use xtask::{lint_path_strict, lint_workspace, Rule};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("selftest") => cmd_selftest(),
+        Some("determinism") => cmd_determinism(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <lint [PATH...] | selftest | determinism>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Locate the workspace root: walk up from CWD until a dir containing
+/// `crates/` and `Cargo.toml` is found.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn cmd_lint(paths: &[String]) -> ExitCode {
+    let violations = if paths.is_empty() {
+        match lint_workspace(&workspace_root()) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("simlint: io error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut out = Vec::new();
+        for p in paths {
+            match lint_path_strict(Path::new(p)) {
+                Ok(v) => out.extend(v),
+                Err(e) => {
+                    eprintln!("simlint: {p}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        out
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("simlint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("simlint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Each fixture file is named `bad_<rule>.rs` and must trigger its rule at
+/// least once when linted strictly.
+fn cmd_selftest() -> ExitCode {
+    let dir = workspace_root().join("crates/xtask/fixtures");
+    let cases = [
+        ("bad_hash_collections.rs", Rule::HashCollections),
+        ("bad_wall_clock.rs", Rule::WallClock),
+        ("bad_panic.rs", Rule::Panic),
+        ("bad_index_literal.rs", Rule::IndexLiteral),
+        ("bad_unit_suffix.rs", Rule::UnitSuffix),
+    ];
+    let mut failed = false;
+    for (name, rule) in cases {
+        let path = dir.join(name);
+        match lint_path_strict(&path) {
+            Ok(vs) => {
+                let hits = vs.iter().filter(|v| v.rule == rule).count();
+                if hits == 0 {
+                    eprintln!("selftest FAIL: {name} did not trigger {}", rule.name());
+                    failed = true;
+                } else {
+                    println!("selftest ok: {name} -> {} x{hits}", rule.name());
+                }
+            }
+            Err(e) => {
+                eprintln!("selftest FAIL: {name}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("selftest: all fixtures trigger their rules");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Render a run's observable outputs into a canonical byte string.
+fn trace_bytes() -> String {
+    use std::fmt::Write as _;
+    let (mut eng, bottleneck) = single_switch_longlived(
+        Protocol::Dcqcn,
+        4,
+        10e9,
+        SimDuration::from_micros(4),
+        EngineConfig::default(),
+    );
+    let report = eng.run(SimTime::from_millis(4));
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "packets={} marked={} cnps={} pauses={}",
+        report.data_packets, report.marked_packets, report.cnps_sent, report.pfc_pauses
+    );
+    for f in &report.fcts {
+        let _ = writeln!(
+            s,
+            "fct flow={} size={} start={:.12e} fct={:.12e}",
+            f.flow, f.size_bytes, f.start_s, f.fct_s
+        );
+    }
+    for (i, d) in report.delivered_bytes.iter().enumerate() {
+        let _ = writeln!(s, "delivered[{i}]={d}");
+    }
+    for (link, trace) in report.queue_traces.iter() {
+        for (t, q) in trace.points() {
+            let _ = writeln!(s, "q link={} t={t:.12e} bytes={q:.12e}", link.0);
+        }
+    }
+    let _ = writeln!(s, "bottleneck={}", bottleneck.0);
+    s
+}
+
+fn cmd_determinism() -> ExitCode {
+    let a = trace_bytes();
+    let b = trace_bytes();
+    if a == b {
+        println!(
+            "determinism: two runs byte-identical ({} trace bytes)",
+            a.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+            if la != lb {
+                eprintln!("determinism: first divergence at trace line {i}:\n  A: {la}\n  B: {lb}");
+                break;
+            }
+        }
+        eprintln!("determinism: FAIL — two identically-seeded runs diverged");
+        ExitCode::FAILURE
+    }
+}

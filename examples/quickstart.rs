@@ -19,11 +19,20 @@ fn main() {
     let n_flows = 4;
     let fluid = DcqcnFluid::new(params.clone(), n_flows);
     let fp = fluid.fixed_point();
-    println!("DCQCN fixed point for {n_flows} flows on {} Gbps:", params.capacity_gbps);
-    println!("  p*      = {:.6}  (Eq 14 approx: {:.6})", fp.p_star, params.p_star_approx(n_flows));
+    println!(
+        "DCQCN fixed point for {n_flows} flows on {} Gbps:",
+        params.capacity_gbps
+    );
+    println!(
+        "  p*      = {:.6}  (Eq 14 approx: {:.6})",
+        fp.p_star,
+        params.p_star_approx(n_flows)
+    );
     println!("  q*      = {:.1} KB", fp.q_star_kb);
-    println!("  R_C*    = {:.2} Gbps per flow (fair share)",
-        models::units::pps_to_gbps(fp.rate_per_flow, params.packet_bytes));
+    println!(
+        "  R_C*    = {:.2} Gbps per flow (fair share)",
+        models::units::pps_to_gbps(fp.rate_per_flow, params.packet_bytes)
+    );
     println!("  alpha*  = {:.4}", fp.alpha_star);
 
     // --- 2. the fluid model -------------------------------------------------
@@ -32,10 +41,14 @@ fn main() {
     let rate_tail = trace.mean_from(fluid.rc_index(0), 0.025);
     let queue_tail = trace.mean_from(0, 0.025);
     println!("\nFluid model after 30 ms:");
-    println!("  flow 0 rate = {:.2} Gbps",
-        models::units::pps_to_gbps(rate_tail, params.packet_bytes));
-    println!("  queue       = {:.1} KB",
-        models::units::pkts_to_kb(queue_tail, params.packet_bytes));
+    println!(
+        "  flow 0 rate = {:.2} Gbps",
+        models::units::pps_to_gbps(rate_tail, params.packet_bytes)
+    );
+    println!(
+        "  queue       = {:.1} KB",
+        models::units::pkts_to_kb(queue_tail, params.packet_bytes)
+    );
 
     // --- 3. the packet simulator --------------------------------------------
     let (mut eng, bottleneck) = single_switch_longlived(

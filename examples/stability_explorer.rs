@@ -50,7 +50,9 @@ fn main() {
 
     let (pm, r, k) = best.expect("swept at least one cell");
     println!("\nmost stable swept setting: R_AI = {r} Mbps, K_max = {k} KB (margin {pm:.1} deg)");
-    println!("note the trade-off (paper §3.2): smaller R_AI ramps slower, larger K_max queues more.\n");
+    println!(
+        "note the trade-off (paper §3.2): smaller R_AI ramps slower, larger K_max queues more.\n"
+    );
 
     // Time-domain confirmation at defaults vs the best setting.
     for (label, r_ai, kmax) in [("defaults", 40.0, 200.0), ("tuned", r, k)] {

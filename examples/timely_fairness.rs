@@ -33,7 +33,11 @@ fn main() {
         let share = r0 / (r0 + r1);
         println!(
             "{label:<8} {share:>18.3} {:>14}",
-            if (share - 0.5).abs() < 0.05 { "yes" } else { "NO" }
+            if (share - 0.5).abs() < 0.05 {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     println!("→ the final split tracks the starting conditions: infinitely many");
@@ -56,7 +60,11 @@ fn main() {
         let q_kb = models::units::pkts_to_kb(tr.mean_from(0, 0.35), p.base.packet_bytes);
         println!(
             "{label:<8} {share:>18.3} {:>14} {:>10.1}/{:<5.1}",
-            if (share - 0.5).abs() < 0.05 { "yes" } else { "NO" },
+            if (share - 0.5).abs() < 0.05 {
+                "yes"
+            } else {
+                "NO"
+            },
             q_kb,
             q_star_kb
         );
