@@ -2,7 +2,8 @@
 //! patched-TIMELY systems, fixed-point solving, and phase-margin
 //! computation (the inner loops of Figures 3 and 11).
 
-use bench::harness::{bench, black_box};
+use bench::harness::{bench, black_box, write_report};
+use ecn_delay_core::experiments::fig3;
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
 use models::patched_timely::{PatchedTimelyFluid, PatchedTimelyParams};
 
@@ -37,4 +38,26 @@ fn main() {
             black_box(m.margin_report().phase_margin_deg)
         });
     }
+
+    // The N-flow hot path the History flat buffer targets: one eval_all per
+    // delayed time across 31 state components.
+    bench("dcqcn_dde_integrate_10flows_10ms", || {
+        let mut m = DcqcnFluid::new(DcqcnParams::default_40g(), 10);
+        black_box(m.simulate(0.01).len())
+    });
+
+    // Sweep-level benchmark: the Figure 3 margin grid (reduced) through the
+    // deterministic parallel executor, as run by CI.
+    bench("fig3_margin_grid_quick", || {
+        let cfg = fig3::Fig3Config {
+            flow_counts: vec![2, 10, 64],
+            delays_us: vec![4.0, 85.0],
+            r_ai_mbps: vec![10.0],
+            kmax_kb: vec![200.0],
+            panel_bc_delay_us: 85.0,
+        };
+        black_box(fig3::run(&cfg).by_delay.len())
+    });
+
+    write_report("BENCH_fluid.json");
 }

@@ -1,7 +1,7 @@
 //! Benchmarks for the discrete-event kernel: event-queue throughput under
 //! FIFO, random and timer-heavy (cancel/re-arm) loads.
 
-use bench::harness::{bench, black_box};
+use bench::harness::{bench, black_box, write_report};
 use desim::{EventQueue, SimRng, SimTime};
 
 fn main() {
@@ -54,4 +54,10 @@ fn main() {
         }
         black_box(acc)
     });
+
+    bench("par_map_overhead_64jobs", || {
+        black_box(desim::par::par_map((0u64..64).collect(), |i| i * i).len())
+    });
+
+    write_report("BENCH_kernel.json");
 }

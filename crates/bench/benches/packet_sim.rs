@@ -2,7 +2,7 @@
 //! validation topology with each protocol (the inner loop of the FCT
 //! experiments).
 
-use bench::harness::{bench, black_box};
+use bench::harness::{bench, black_box, write_report};
 use desim::{SimDuration, SimTime};
 use ecn_delay_core::scenarios::{single_switch_longlived, Protocol};
 use netsim::EngineConfig;
@@ -29,4 +29,6 @@ fn main() {
     bench("patched_timely_4flows_5ms_10g", || {
         black_box(run(Protocol::PatchedTimely, 4, 5))
     });
+
+    write_report("BENCH_packet.json");
 }

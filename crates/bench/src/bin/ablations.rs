@@ -19,7 +19,7 @@ struct AblationReport {
     alpha_gain: Vec<(f64, f64)>,
 }
 
-fn dcqcn_run(mut mk: impl FnMut(&mut DcqcnCcParams), n: usize) -> (f64, f64) {
+fn dcqcn_run(mk: impl Fn(&mut DcqcnCcParams), n: usize) -> (f64, f64) {
     let (topo, senders, receiver) = Topology::single_switch(n, 10e9, SimDuration::from_micros(1));
     let mut eng = Engine::new(topo, EngineConfig::default());
     for &s in &senders {
@@ -64,15 +64,20 @@ fn main() {
         alpha_gain: Vec::new(),
     };
 
+    // Every configuration within a section is an independent simulation:
+    // run each section through the deterministic parallel executor and
+    // print the ordered results afterwards.
     println!("\n(1) DCQCN fast-recovery stages (4 flows, 10 Gbps):");
     println!(
         "{:>4} {:>16} {:>18}",
         "F", "goodput (Gbps)", "queue stddev (KB)"
     );
-    for f in [0u32, 1, 5, 10] {
+    report.fast_recovery = desim::par::par_map(vec![0u32, 1, 5, 10], |f| {
         let (g, sd) = dcqcn_run(|p| p.fast_recovery_steps = f, 4);
+        (f, g, sd)
+    });
+    for &(f, g, sd) in &report.fast_recovery {
         println!("{f:>4} {g:>16.2} {sd:>18.1}");
-        report.fast_recovery.push((f, g, sd));
     }
 
     println!("\n(2) CNP coalescing timer τ (4 flows):");
@@ -80,20 +85,22 @@ fn main() {
         "{:>8} {:>16} {:>18}",
         "τ (us)", "goodput (Gbps)", "queue stddev (KB)"
     );
-    for tau in [10u64, 50, 200, 500] {
+    report.cnp_timer = desim::par::par_map(vec![10u64, 50, 200, 500], |tau| {
         let (g, sd) = dcqcn_run(
             |p| {
                 p.rate_decrease_interval = SimDuration::from_micros(tau);
             },
             4,
         );
+        (tau, g, sd)
+    });
+    for &(tau, g, sd) in &report.cnp_timer {
         println!("{tau:>8} {g:>16.2} {sd:>18.1}");
-        report.cnp_timer.push((tau, g, sd));
     }
 
     println!("\n(3) TIMELY burst size (2 flows, tail goodput):");
     println!("{:>10} {:>16}", "Seg (KB)", "goodput (Gbps)");
-    for seg in [8_000u32, 16_000, 32_000, 64_000] {
+    report.burst_size = desim::par::par_map(vec![8_000u32, 16_000, 32_000, 64_000], |seg| {
         let (topo, senders, receiver) =
             Topology::single_switch(2, 10e9, SimDuration::from_micros(1));
         let mut eng = Engine::new(topo, EngineConfig::default());
@@ -112,22 +119,29 @@ fn main() {
         }
         let r = eng.run(SimTime::from_millis(150));
         let g = r.delivered_bytes.iter().sum::<u64>() as f64 * 8.0 / 0.15 / 1e9;
+        (seg, g)
+    });
+    for &(seg, g) in &report.burst_size {
         println!("{:>10} {g:>16.2}", seg / 1000);
-        report.burst_size.push((seg, g));
     }
 
     println!("\n(4) DCQCN α gain g (fluid, 2 flows @ 85 us delay — stability knob):");
     println!("{:>10} {:>22}", "g", "queue osc (x q*)");
-    for g in [1.0 / 1024.0, 1.0 / 256.0, 1.0 / 64.0, 1.0 / 16.0] {
-        let mut p = DcqcnParams::default_40g();
-        p.feedback_delay_us = 85.0;
-        p.g = g;
-        let mut m = DcqcnFluid::new(p, 10);
-        let fp = m.fixed_point();
-        let tr = m.simulate(0.1);
-        let osc = tr.peak_to_peak_from(0, 0.06) / fp.q_star_pkts.max(1.0);
+    report.alpha_gain = desim::par::par_map(
+        vec![1.0 / 1024.0, 1.0 / 256.0, 1.0 / 64.0, 1.0 / 16.0],
+        |g| {
+            let mut p = DcqcnParams::default_40g();
+            p.feedback_delay_us = 85.0;
+            p.g = g;
+            let mut m = DcqcnFluid::new(p, 10);
+            let fp = m.fixed_point();
+            let tr = m.simulate(0.1);
+            let osc = tr.peak_to_peak_from(0, 0.06) / fp.q_star_pkts.max(1.0);
+            (g, osc)
+        },
+    );
+    for &(g, osc) in &report.alpha_gain {
         println!("{g:>10.5} {osc:>22.3}");
-        report.alpha_gain.push((g, osc));
     }
 
     let path = bench::results_dir().join("ablations.json");

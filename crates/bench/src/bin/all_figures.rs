@@ -1,4 +1,11 @@
-//! Regenerate every figure in sequence (paper-scale configurations).
+//! Regenerate every figure (paper-scale configurations).
+//!
+//! The figure binaries are independent processes, so they run as a bounded
+//! parallel job pool via [`desim::par::par_map`]. Each child is pinned to
+//! `SIM_THREADS=1` — the parallelism budget is spent at the process level,
+//! and nesting would oversubscribe the machine. Captured stdout/stderr are
+//! replayed in the fixed figure order once everything finishes, so the
+//! output (and the `results/` JSON) is identical to the serial run.
 
 use std::process::Command;
 
@@ -34,12 +41,24 @@ fn main() {
         .parent()
         .expect("exe dir")
         .to_path_buf();
-    for f in figs {
+    let outputs = desim::par::par_map(figs.to_vec(), |f| {
         let bin = exe_dir.join(f);
-        let status = Command::new(&bin)
-            .status()
+        let out = Command::new(&bin)
+            .env("SIM_THREADS", "1")
+            .output()
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()));
-        assert!(status.success(), "{f} failed");
+        (f, out)
+    });
+    let mut failed = Vec::new();
+    for (f, out) in &outputs {
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+        if !out.stderr.is_empty() {
+            eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        }
+        if !out.status.success() {
+            failed.push(*f);
+        }
     }
+    assert!(failed.is_empty(), "figures failed: {failed:?}");
     println!("\nall figures regenerated; JSON in results/");
 }

@@ -3,11 +3,25 @@
 //! The container builds offline, so instead of criterion the `[[bench]]`
 //! targets (compiled with `harness = false`) use this module: fixed warmup,
 //! adaptive iteration count targeting a wall-clock budget per benchmark,
-//! and a one-line `min / mean` report. Timing benchmarks live outside the
-//! simulator crates, so wall-clock reads are allowed here (the simulator
-//! itself is forbidden from `Instant::now` by `xtask lint`).
+//! and a one-line `min / median / mean` report. Timing benchmarks live
+//! outside the simulator crates, so wall-clock reads are allowed here (the
+//! simulator itself is forbidden from `Instant::now` by `xtask lint`).
+//!
+//! Every [`bench`] call is also recorded in a process-global registry;
+//! [`write_report`] serializes the registry to a machine-readable JSON
+//! baseline (`BENCH_fluid.json` / `BENCH_packet.json` / `BENCH_kernel.json`
+//! at the repo root). Each record carries the git commit it was measured
+//! at, so successive runs build up a per-commit performance history:
+//!
+//! ```json
+//! [
+//!   {"name": "...", "min_ns": 1, "mean_ns": 2, "median_ns": 1,
+//!    "iters": 100, "sha": "abcdef0"}
+//! ]
+//! ```
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`] under the name criterion used.
@@ -15,19 +29,38 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
-/// Run `f` repeatedly and print `name: min .. mean per iteration`.
+/// One measured benchmark, as serialized into `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark name as passed to [`bench`].
+    pub name: String,
+    /// Fastest iteration (nanoseconds).
+    pub min_ns: u128,
+    /// Mean over all measured iterations (nanoseconds).
+    pub mean_ns: u128,
+    /// Median over all measured iterations (nanoseconds).
+    pub median_ns: u128,
+    /// Number of measured iterations.
+    pub iters: usize,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Run `f` repeatedly and print `name: min / median / mean per iteration`;
+/// the measurement is also appended to the in-process registry consumed by
+/// [`write_report`].
 ///
 /// Two warmup calls, then batches until ~0.5 s of measured time or 200
-/// iterations, whichever comes first. Honors `BENCH_FAST=1` to run a
-/// single measured iteration (used by CI smoke runs).
+/// iterations, whichever comes first. Honors `BENCH_FAST=1` to skip warmup
+/// and run a single measured iteration (used by CI smoke runs).
 pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     let fast = std::env::var_os("BENCH_FAST").is_some();
-    let (budget, max_iters) = if fast {
-        (Duration::ZERO, 1)
+    let (budget, max_iters, warmups) = if fast {
+        (Duration::ZERO, 1, 0)
     } else {
-        (Duration::from_millis(500), 200)
+        (Duration::from_millis(500), 200, 2)
     };
-    for _ in 0..if fast { 0 } else { 2 } {
+    for _ in 0..warmups {
         std_black_box(f());
     }
     let mut times = Vec::new();
@@ -39,14 +72,92 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
         total += dt;
         times.push(dt);
     }
-    let min = times.iter().min().copied().unwrap_or_default();
+    times.sort_unstable();
+    let min = times.first().copied().unwrap_or_default();
+    let median = times[times.len() / 2];
     let mean = total / times.len() as u32;
     println!(
-        "{name:<44} min {:>12} mean {:>12} ({} iters)",
+        "{name:<44} min {:>12} med {:>12} mean {:>12} ({} iters)",
         fmt_ns(min),
+        fmt_ns(median),
         fmt_ns(mean),
         times.len()
     );
+    let rec = Record {
+        name: name.to_string(),
+        min_ns: min.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        median_ns: median.as_nanos(),
+        iters: times.len(),
+    };
+    RECORDS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(rec);
+}
+
+/// Append every measurement taken so far to `file` (e.g.
+/// `"BENCH_fluid.json"`), creating it if absent, and clear the registry.
+/// The file is a JSON array of records; existing entries (from earlier
+/// commits) are preserved by splicing before the closing bracket, so no
+/// JSON parser is needed.
+pub fn write_report(file: &str) {
+    let records: Vec<Record> = std::mem::take(
+        &mut RECORDS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    if records.is_empty() {
+        return;
+    }
+    let sha = git_sha();
+    let entries: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"name\": {:?}, \"min_ns\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"iters\": {}, \"sha\": {:?}}}",
+                r.name, r.min_ns, r.mean_ns, r.median_ns, r.iters, sha
+            )
+        })
+        .collect();
+    let path = report_path(file);
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let body = match existing.trim_end().strip_suffix(']') {
+        // Splice new entries before the closing bracket of the existing
+        // array (an empty array `[]` degenerates to a fresh one).
+        Some(head) if head.trim_end().ends_with(['}']) => {
+            format!("{},\n{}\n]\n", head.trim_end(), entries.join(",\n"))
+        }
+        _ => format!("[\n{}\n]\n", entries.join(",\n")),
+    };
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("bench report -> {}", path.display());
+}
+
+/// Resolve `file` relative to the workspace root (where `Cargo.lock`
+/// lives), so `cargo bench` run from any crate directory appends to the
+/// same baseline files.
+fn report_path(file: &str) -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join(file);
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from(file);
+        }
+    }
+}
+
+/// Short git commit hash, or `"unknown"` outside a repository.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn fmt_ns(d: Duration) -> String {

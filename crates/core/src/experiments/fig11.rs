@@ -31,21 +31,19 @@ pub struct Fig11Result {
     pub instability_threshold: Option<usize>,
 }
 
-/// Run the sweep.
+/// Run the sweep: margins are independent per flow count, so they run
+/// through [`desim::par::par_map`]; the threshold scan stays a serial pass
+/// over the ordered results.
 pub fn run(cfg: &Fig11Config) -> Fig11Result {
     let params = PatchedTimelyParams::default_10g();
-    let mut points = Vec::new();
-    let mut threshold = None;
-    for &n in &cfg.flow_counts {
+    let points = desim::par::par_map(cfg.flow_counts.clone(), |n| {
         let m = PatchedTimelyFluid::new(params.clone(), n);
         let pm = m.margin_report().phase_margin_deg.unwrap_or(180.0);
         let q_star = params.q_star_kb(n);
         let delay_us = params.base.tau_feedback(params.q_star_pkts(n)) * 1e6;
-        if pm < 0.0 && threshold.is_none() {
-            threshold = Some(n);
-        }
-        points.push((n, pm, q_star, delay_us));
-    }
+        (n, pm, q_star, delay_us)
+    });
+    let threshold = points.iter().find(|p| p.1 < 0.0).map(|p| p.0);
     Fig11Result {
         points,
         instability_threshold: threshold,

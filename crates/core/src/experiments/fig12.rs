@@ -61,16 +61,18 @@ pub fn run(cfg: &Fig12Config) -> Fig12Result {
     let r1 = tra.mean_from(ma.rate_index(1), from_a);
     let panel_a_rates = vec![ma.rates_gbps(&tra, 0), ma.rates_gbps(&tra, 1)];
 
-    // (b)/(c) stability contrast.
-    let osc_run = |n: usize, dur: f64| -> (Series, f64) {
+    // (b)/(c) stability contrast: the two integrations are independent, so
+    // run them as parallel jobs with ordered results.
+    let dur = cfg.duration_bc_s;
+    let mut osc = desim::par::par_map(vec![cfg.n_stable, cfg.n_unstable], |n| {
         let mut m = PatchedTimelyFluid::new(params.clone(), n);
         let tr = m.simulate(dur);
         let q_star = params.q_star_pkts(n);
         let osc = tr.peak_to_peak_from(0, dur * 0.6) / q_star.max(1.0);
         (m.queue_kb(&tr), osc)
-    };
-    let (panel_b_queue_kb, panel_b_oscillation) = osc_run(cfg.n_stable, cfg.duration_bc_s);
-    let (panel_c_queue_kb, panel_c_oscillation) = osc_run(cfg.n_unstable, cfg.duration_bc_s);
+    });
+    let (panel_c_queue_kb, panel_c_oscillation) = osc.pop().unwrap_or_default();
+    let (panel_b_queue_kb, panel_b_oscillation) = osc.pop().unwrap_or_default();
 
     Fig12Result {
         panel_a_rates,

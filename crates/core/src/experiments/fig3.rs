@@ -63,64 +63,58 @@ fn margin(params: &DcqcnParams, n: usize) -> f64 {
 }
 
 /// Run all three sweeps.
+///
+/// Every `(curve, N)` grid point is an independent margin computation, so
+/// the whole figure is one flat [`desim::par::par_map`] job list; curves are
+/// reassembled from the ordered results, making the output byte-identical
+/// to the serial sweep regardless of `SIM_THREADS`.
 pub fn run(cfg: &Fig3Config) -> Fig3Result {
     let base = DcqcnParams::default_40g();
 
-    let by_delay = cfg
-        .delays_us
-        .iter()
-        .map(|&d| {
-            let mut p = base.clone();
-            p.feedback_delay_us = d;
-            MarginCurve {
-                label: format!("tau*={d}us"),
-                points: cfg
-                    .flow_counts
-                    .iter()
-                    .map(|&n| (n, margin(&p, n)))
-                    .collect(),
-            }
+    let mut labels: Vec<String> = Vec::new();
+    let mut jobs: Vec<(DcqcnParams, usize)> = Vec::new();
+    let mut push_curve = |p: DcqcnParams, label: String| {
+        labels.push(label);
+        jobs.extend(cfg.flow_counts.iter().map(|&n| (p.clone(), n)));
+    };
+    for &d in &cfg.delays_us {
+        let mut p = base.clone();
+        p.feedback_delay_us = d;
+        push_curve(p, format!("tau*={d}us"));
+    }
+    for &r in &cfg.r_ai_mbps {
+        let mut p = base.clone();
+        p.feedback_delay_us = cfg.panel_bc_delay_us;
+        p.r_ai_mbps = r;
+        push_curve(p, format!("R_AI={r}Mbps"));
+    }
+    for &k in &cfg.kmax_kb {
+        let mut p = base.clone();
+        p.feedback_delay_us = cfg.panel_bc_delay_us;
+        p.kmax_kb = k;
+        push_curve(p, format!("Kmax={k}KB"));
+    }
+
+    let margins = desim::par::par_map(jobs, |(p, n)| margin(&p, n));
+
+    let mut curves: Vec<MarginCurve> = labels
+        .into_iter()
+        .zip(margins.chunks(cfg.flow_counts.len()))
+        .map(|(label, ms)| MarginCurve {
+            label,
+            points: cfg
+                .flow_counts
+                .iter()
+                .copied()
+                .zip(ms.iter().copied())
+                .collect(),
         })
         .collect();
 
-    let by_r_ai = cfg
-        .r_ai_mbps
-        .iter()
-        .map(|&r| {
-            let mut p = base.clone();
-            p.feedback_delay_us = cfg.panel_bc_delay_us;
-            p.r_ai_mbps = r;
-            MarginCurve {
-                label: format!("R_AI={r}Mbps"),
-                points: cfg
-                    .flow_counts
-                    .iter()
-                    .map(|&n| (n, margin(&p, n)))
-                    .collect(),
-            }
-        })
-        .collect();
-
-    let by_kmax = cfg
-        .kmax_kb
-        .iter()
-        .map(|&k| {
-            let mut p = base.clone();
-            p.feedback_delay_us = cfg.panel_bc_delay_us;
-            p.kmax_kb = k;
-            MarginCurve {
-                label: format!("Kmax={k}KB"),
-                points: cfg
-                    .flow_counts
-                    .iter()
-                    .map(|&n| (n, margin(&p, n)))
-                    .collect(),
-            }
-        })
-        .collect();
-
+    let by_kmax = curves.split_off(cfg.delays_us.len() + cfg.r_ai_mbps.len());
+    let by_r_ai = curves.split_off(cfg.delays_us.len());
     Fig3Result {
-        by_delay,
+        by_delay: curves,
         by_r_ai,
         by_kmax,
     }

@@ -50,29 +50,33 @@ pub struct Fig4Result {
     pub panels: Vec<Fig4Panel>,
 }
 
-/// Run the grid.
+/// Run the grid: each `(delay, N)` panel is an independent DDE integration,
+/// run through [`desim::par::par_map`] with ordered results.
 pub fn run(cfg: &Fig4Config) -> Fig4Result {
-    let mut panels = Vec::new();
+    let mut jobs: Vec<(f64, usize)> = Vec::new();
     for &d in &cfg.delays_us {
         for &n in &cfg.flow_counts {
-            let mut params = DcqcnParams::default_40g();
-            params.feedback_delay_us = d;
-            let mut fluid = DcqcnFluid::new(params, n);
-            let fp = fluid.fixed_point();
-            let predicted_stable = fluid.margin_report().is_stable();
-            let trace = fluid.simulate(cfg.duration_s);
-            let tail = cfg.duration_s * 0.6;
-            let osc = trace.peak_to_peak_from(0, tail) / fp.q_star_pkts.max(1.0);
-            panels.push(Fig4Panel {
-                delay_us: d,
-                n_flows: n,
-                rate_gbps: fluid.rates_gbps(&trace, 0),
-                queue_kb: fluid.queue_kb(&trace),
-                queue_oscillation: osc,
-                predicted_stable,
-            });
+            jobs.push((d, n));
         }
     }
+    let panels = desim::par::par_map(jobs, |(d, n)| {
+        let mut params = DcqcnParams::default_40g();
+        params.feedback_delay_us = d;
+        let mut fluid = DcqcnFluid::new(params, n);
+        let fp = fluid.fixed_point();
+        let predicted_stable = fluid.margin_report().is_stable();
+        let trace = fluid.simulate(cfg.duration_s);
+        let tail = cfg.duration_s * 0.6;
+        let osc = trace.peak_to_peak_from(0, tail) / fp.q_star_pkts.max(1.0);
+        Fig4Panel {
+            delay_us: d,
+            n_flows: n,
+            rate_gbps: fluid.rates_gbps(&trace, 0),
+            queue_kb: fluid.queue_kb(&trace),
+            queue_oscillation: osc,
+            predicted_stable,
+        }
+    });
     Fig4Result { panels }
 }
 

@@ -54,10 +54,10 @@ pub struct Fig5Result {
     pub panels: Vec<Fig5Panel>,
 }
 
-/// Run the packet-level stability contrast.
+/// Run the packet-level stability contrast: one independent engine per flow
+/// count, in parallel with ordered results.
 pub fn run(cfg: &Fig5Config) -> Fig5Result {
-    let mut panels = Vec::new();
-    for &n in &cfg.flow_counts {
+    let panels = desim::par::par_map(cfg.flow_counts.clone(), |n| {
         let (mut eng, bottleneck) = single_switch_longlived(
             Protocol::Dcqcn,
             n,
@@ -83,13 +83,13 @@ pub fn run(cfg: &Fig5Config) -> Fig5Result {
             .collect();
         let p2p = tail_pts.iter().cloned().fold(f64::MIN, f64::max)
             - tail_pts.iter().cloned().fold(f64::MAX, f64::min);
-        panels.push(Fig5Panel {
+        Fig5Panel {
             n_flows: n,
             queue_kb,
             rate_gbps,
             queue_p2p_kb: p2p,
-        });
-    }
+        }
+    });
     Fig5Result { panels }
 }
 

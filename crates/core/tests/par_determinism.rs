@@ -1,0 +1,88 @@
+//! Cross-thread-count determinism: every sweep routed through
+//! `desim::par::par_map` must render byte-identical JSON whether it ran
+//! serially (`SIM_THREADS=1`) or on a multi-worker pool. This is the
+//! contract the parallel executor exists to uphold — thread interleaving
+//! may change wall-clock, never output.
+//!
+//! The thread count is pinned with `desim::par::with_threads` rather than
+//! by mutating `SIM_THREADS`, so concurrently-running tests cannot race on
+//! process-global environment.
+
+use desim::par::with_threads;
+use ecn_delay_core::experiments::{fig11, fig12, fig3, fig4};
+use ecn_delay_core::ToJson;
+
+fn quick_fig3() -> fig3::Fig3Config {
+    fig3::Fig3Config {
+        flow_counts: vec![2, 10, 64],
+        delays_us: vec![4.0, 85.0],
+        r_ai_mbps: vec![10.0, 40.0],
+        kmax_kb: vec![200.0, 1000.0],
+        panel_bc_delay_us: 85.0,
+    }
+}
+
+#[test]
+fn fig3_byte_identical_across_thread_counts() {
+    let serial = with_threads(1, || fig3::run(&quick_fig3()))
+        .to_json()
+        .render_pretty();
+    let par4 = with_threads(4, || fig3::run(&quick_fig3()))
+        .to_json()
+        .render_pretty();
+    assert!(!serial.is_empty());
+    assert_eq!(serial, par4, "fig3 JSON differs between 1 and 4 workers");
+}
+
+#[test]
+fn fig4_trace_byte_identical_across_thread_counts() {
+    // Full DDE integrations per panel — exercises the flat-buffer History
+    // hot path under both execution modes.
+    let cfg = fig4::Fig4Config {
+        delays_us: vec![85.0],
+        flow_counts: vec![2, 10],
+        duration_s: 0.02,
+    };
+    let serial = with_threads(1, || fig4::run(&cfg))
+        .to_json()
+        .render_pretty();
+    let par3 = with_threads(3, || fig4::run(&cfg))
+        .to_json()
+        .render_pretty();
+    assert_eq!(serial, par3, "fig4 JSON differs between 1 and 3 workers");
+}
+
+#[test]
+fn fig11_byte_identical_across_thread_counts() {
+    let cfg = fig11::Fig11Config {
+        flow_counts: vec![2, 16, 40, 64],
+    };
+    let serial = with_threads(1, || fig11::run(&cfg))
+        .to_json()
+        .render_pretty();
+    let par4 = with_threads(4, || fig11::run(&cfg))
+        .to_json()
+        .render_pretty();
+    assert_eq!(serial, par4, "fig11 JSON differs between 1 and 4 workers");
+    // The threshold scan over ordered results must agree too.
+    let a = with_threads(1, || fig11::run(&cfg)).instability_threshold;
+    let b = with_threads(4, || fig11::run(&cfg)).instability_threshold;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fig12_byte_identical_across_thread_counts() {
+    let cfg = fig12::Fig12Config {
+        duration_a_s: 0.05,
+        duration_bc_s: 0.05,
+        n_stable: 4,
+        n_unstable: 16,
+    };
+    let serial = with_threads(1, || fig12::run(&cfg))
+        .to_json()
+        .render_pretty();
+    let par2 = with_threads(2, || fig12::run(&cfg))
+        .to_json()
+        .render_pretty();
+    assert_eq!(serial, par2, "fig12 JSON differs between 1 and 2 workers");
+}

@@ -14,7 +14,11 @@
 //!   experiment is exactly reproducible from its seed;
 //! * [`stats`] — online statistics (time-weighted averages, percentile
 //!   estimation over exact samples, histograms) used for queue occupancy and
-//!   flow-completion-time reporting.
+//!   flow-completion-time reporting;
+//! * [`par`] — deterministic ordered fork-join (`par_map` over scoped
+//!   threads) for embarrassingly-parallel sweeps; the only sanctioned use of
+//!   `std::thread` in the simulation crates (`SIM_THREADS` pins the worker
+//!   count, results always come back in input order).
 //!
 //! The kernel deliberately contains **no networking concepts**: links,
 //! switches and protocols live in the `netsim` and `protocols` crates. This
@@ -26,6 +30,7 @@
 
 pub mod event;
 pub mod invariants;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;

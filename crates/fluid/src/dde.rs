@@ -55,6 +55,23 @@ impl Default for DdeOptions {
     }
 }
 
+/// `tmp = x + coeff·k`: the RK intermediate-stage state.
+#[inline]
+fn stage_state(tmp: &mut [f64], x: &[f64], coeff: f64, k: &[f64]) {
+    for ((t, &xi), &ki) in tmp.iter_mut().zip(x).zip(k) {
+        *t = xi + coeff * ki;
+    }
+}
+
+/// `x += h/6 · (k1 + 2k2 + 2k3 + k4)`: the classic RK4 combination.
+#[inline]
+fn rk4_combine(x: &mut [f64], h: f64, k1: &[f64], k2: &[f64], k3: &[f64], k4: &[f64]) {
+    let w = h / 6.0;
+    for i in 0..x.len() {
+        x[i] += w * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
 /// Integrate the DDE from `t0` to `t1` starting at `x0`, with constant
 /// pre-history equal to `x0`.
 ///
@@ -101,7 +118,7 @@ pub fn integrate_dde_with_prehistory<S: DdeSystem>(
     assert!(opts.step > 0.0 && t1 >= t0, "bad integration window");
     let min_delay = sys.min_delay();
     assert!(
-        min_delay.is_infinite() || opts.step <= min_delay * 1.0 + 1e-18,
+        min_delay.is_infinite() || opts.step <= min_delay,
         "step {} exceeds smallest delay {min_delay}; results would be inconsistent",
         opts.step
     );
@@ -129,21 +146,13 @@ pub fn integrate_dde_with_prehistory<S: DdeSystem>(
     for step in 1..=steps {
         let h = (t1 - t).min(opts.step);
         sys.rhs(t, &x, &hist, &mut k1);
-        for i in 0..n {
-            tmp[i] = x[i] + 0.5 * h * k1[i];
-        }
+        stage_state(&mut tmp, &x, 0.5 * h, &k1);
         sys.rhs(t + 0.5 * h, &tmp, &hist, &mut k2);
-        for i in 0..n {
-            tmp[i] = x[i] + 0.5 * h * k2[i];
-        }
+        stage_state(&mut tmp, &x, 0.5 * h, &k2);
         sys.rhs(t + 0.5 * h, &tmp, &hist, &mut k3);
-        for i in 0..n {
-            tmp[i] = x[i] + h * k3[i];
-        }
+        stage_state(&mut tmp, &x, h, &k3);
         sys.rhs(t + h, &tmp, &hist, &mut k4);
-        for i in 0..n {
-            x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
-        }
+        rk4_combine(&mut x, h, &k1, &k2, &k3, &k4);
         t += h;
         sys.project(t, &mut x);
         desim::invariants::finite_state("dde integration", t, &x);

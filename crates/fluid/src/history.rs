@@ -7,16 +7,30 @@
 //! *initial function* — a constant pre-history equal to the initial state by
 //! default, which matches both models' initial conditions (constant rates and
 //! empty queue before `t0`).
+//!
+//! Storage is a single flat `Vec<f64>` with stride `dim`, so [`History::push`]
+//! is one `extend_from_slice` (no per-knot allocation) and a whole-state
+//! lookup ([`History::eval_all`]) locates the bracketing knot pair **once**
+//! and interpolates every component from the two rows — the N-flow DCQCN RHS
+//! needs the queue plus all N delayed rates at the same delayed time, which
+//! would otherwise pay N+1 independent searches. [`History::trim_before`]
+//! advances a logical front offset and only compacts the buffers once the
+//! dead prefix dominates, amortizing the `drain` that used to run every step.
 
 /// Interpolated solution history for DDE integration.
 #[derive(Debug, Clone)]
 pub struct History {
     dim: usize,
+    /// Knot times; indices `< front` are trimmed (logically dead).
     times: Vec<f64>,
-    states: Vec<Vec<f64>>,
-    /// Values returned for queries at `t <= times[0]`.
+    /// Flat knot states, stride `dim`, same logical front as `times`.
+    states: Vec<f64>,
+    /// Physical index of the first live knot.
+    front: usize,
+    /// Values returned for queries at `t <= times[front]`.
     pre: Vec<f64>,
-    /// Index hint for monotone query patterns (typical in integration).
+    /// Physical index hint for monotone query patterns (typical in
+    /// integration).
     cursor: std::cell::Cell<usize>,
 }
 
@@ -26,7 +40,8 @@ impl History {
         History {
             dim: initial.len(),
             times: vec![t0],
-            states: vec![initial.to_vec()],
+            states: initial.to_vec(),
+            front: 0,
             pre: initial.to_vec(),
             cursor: std::cell::Cell::new(0),
         }
@@ -37,6 +52,12 @@ impl History {
         self.dim
     }
 
+    /// Row `idx` (physical) of the flat state buffer.
+    #[inline]
+    fn row(&self, idx: usize) -> &[f64] {
+        &self.states[idx * self.dim..(idx + 1) * self.dim]
+    }
+
     /// Append a knot. Times must be non-decreasing.
     pub fn push(&mut self, t: f64, state: &[f64]) {
         assert_eq!(state.len(), self.dim);
@@ -45,18 +66,17 @@ impl History {
         assert!(t >= last, "history times must be non-decreasing");
         if t == last {
             // Replace the knot (refinement of the same instant).
-            if let Some(s) = self.states.last_mut() {
-                *s = state.to_vec();
-            }
+            let off = self.states.len() - self.dim;
+            self.states[off..].copy_from_slice(state);
         } else {
             self.times.push(t);
-            self.states.push(state.to_vec());
+            self.states.extend_from_slice(state);
         }
     }
 
-    /// Earliest recorded time.
+    /// Earliest retained time.
     pub fn t_front(&self) -> f64 {
-        self.times[0] // seeded non-empty at construction
+        self.times[self.front] // front < times.len() by construction
     }
 
     /// Latest recorded time.
@@ -74,17 +94,18 @@ impl History {
     ///   smallest delay, so this path only smooths sub-step lookups.
     pub fn eval(&self, t: f64, c: usize) -> f64 {
         assert!(c < self.dim, "component out of range");
-        // times[0] exists: seeded non-empty at construction.
-        if t <= self.times[0] {
+        if t <= self.times[self.front] {
+            // front < times.len() by construction
             return self.pre[c];
         }
         let n = self.times.len();
         if t >= self.times[n - 1] {
-            return self.states[n - 1][c];
+            // non-empty by construction
+            return self.row(n - 1)[c];
         }
         let idx = self.locate(t);
         let (t0, t1) = (self.times[idx], self.times[idx + 1]);
-        let (v0, v1) = (self.states[idx][c], self.states[idx + 1][c]);
+        let (v0, v1) = (self.row(idx)[c], self.row(idx + 1)[c]);
         if t1 == t0 {
             return v1;
         }
@@ -92,11 +113,41 @@ impl History {
         v0 + w * (v1 - v0)
     }
 
-    /// Find `idx` with `times[idx] <= t < times[idx+1]`, exploiting monotone
-    /// query locality via a cursor, falling back to binary search.
+    /// Interpolate **every** component at time `t` into `out` (length
+    /// `dim`), locating the bracketing knot pair once. Bit-identical to
+    /// calling [`History::eval`] per component — the interpolation arithmetic
+    /// is the same — at a single search instead of `dim`.
+    pub fn eval_all(&self, t: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "output slice dimension mismatch");
+        if t <= self.times[self.front] {
+            // front < times.len() by construction
+            out.copy_from_slice(&self.pre);
+            return;
+        }
+        let n = self.times.len();
+        if t >= self.times[n - 1] {
+            // non-empty by construction
+            out.copy_from_slice(self.row(n - 1));
+            return;
+        }
+        let idx = self.locate(t);
+        let (t0, t1) = (self.times[idx], self.times[idx + 1]);
+        let (r0, r1) = (self.row(idx), self.row(idx + 1));
+        if t1 == t0 {
+            out.copy_from_slice(r1);
+            return;
+        }
+        let w = (t - t0) / (t1 - t0);
+        for ((o, &v0), &v1) in out.iter_mut().zip(r0).zip(r1) {
+            *o = v0 + w * (v1 - v0);
+        }
+    }
+
+    /// Find physical `idx` with `times[idx] <= t < times[idx+1]`, exploiting
+    /// monotone query locality via a cursor, falling back to binary search.
     fn locate(&self, t: f64) -> usize {
         let n = self.times.len();
-        let mut idx = self.cursor.get().min(n - 2);
+        let mut idx = self.cursor.get().clamp(self.front, n - 2);
         if self.times[idx] <= t {
             // Walk forward a few steps before giving up to binary search.
             let mut walked = 0;
@@ -116,9 +167,10 @@ impl History {
     }
 
     fn bsearch(&self, t: f64) -> usize {
-        match self.times.binary_search_by(|probe| probe.total_cmp(&t)) {
-            Ok(i) => i.min(self.times.len() - 2),
-            Err(i) => i.saturating_sub(1).min(self.times.len() - 2),
+        let hi = self.times.len() - 2;
+        match self.times[self.front..].binary_search_by(|probe| probe.total_cmp(&t)) {
+            Ok(i) => (self.front + i).min(hi),
+            Err(i) => (self.front + i).saturating_sub(1).clamp(self.front, hi),
         }
     }
 
@@ -127,27 +179,38 @@ impl History {
     /// pre-history constant is preserved for queries that still reach back
     /// before the trimmed front (they return the oldest retained knot's
     /// segment or the pre constant).
+    ///
+    /// Trimming only advances the logical front; the buffers are compacted
+    /// in chunks once the dead prefix outgrows the live suffix, so the cost
+    /// of the copy is amortized O(1) per retired knot.
     pub fn trim_before(&mut self, t_keep: f64) {
-        // Keep one knot at or before t_keep so interpolation at t_keep works.
-        let mut first_needed = 0;
-        for (i, &t) in self.times.iter().enumerate() {
-            if t <= t_keep {
-                first_needed = i;
-            } else {
-                break;
-            }
+        // Keep one knot at or before t_keep so interpolation at t_keep works:
+        // partition_point gives the first index with t > t_keep; the knot
+        // before it is the last one at or before t_keep.
+        let live = &self.times[self.front..];
+        let first_needed = live.partition_point(|&t| t <= t_keep).saturating_sub(1);
+        if first_needed == 0 {
+            return;
         }
-        if first_needed > 0 {
-            self.times.drain(..first_needed);
-            self.states.drain(..first_needed);
-            self.pre = self.states[0].clone(); // drain keeps first_needed.., non-empty
-            self.cursor.set(0);
+        self.front += first_needed;
+        self.pre
+            .copy_from_slice(&self.states[self.front * self.dim..(self.front + 1) * self.dim]);
+        if self.cursor.get() < self.front {
+            self.cursor.set(self.front);
+        }
+        // Compact once the dead prefix dominates (and is big enough for the
+        // copy to be worth it).
+        if self.front > 256 && self.front * 2 > self.times.len() {
+            self.times.drain(..self.front);
+            self.states.drain(..self.front * self.dim);
+            self.cursor.set(self.cursor.get() - self.front);
+            self.front = 0;
         }
     }
 
     /// Number of retained knots.
     pub fn len(&self) -> usize {
-        self.times.len()
+        self.times.len() - self.front
     }
 
     /// Always false: a history holds at least the initial knot.
@@ -223,11 +286,90 @@ mod tests {
     }
 
     #[test]
+    fn trim_then_query_before_front_returns_new_pre() {
+        let mut h = linear_history();
+        h.trim_before(5.0);
+        // Queries at or before the new front return the oldest retained knot.
+        assert_eq!(h.eval(1.0, 0), 10.0);
+        assert_eq!(h.t_front(), 5.0);
+    }
+
+    #[test]
     fn multi_component() {
         let mut h = History::new(0.0, &[1.0, -1.0]);
         h.push(2.0, &[3.0, -3.0]);
         assert_eq!(h.eval(1.0, 0), 2.0);
         assert_eq!(h.eval(1.0, 1), -2.0);
+    }
+
+    #[test]
+    fn eval_all_matches_eval_per_component() {
+        let mut h = History::new(0.0, &[1.0, -1.0, 0.5]);
+        for i in 1..=20 {
+            let t = i as f64 * 0.5;
+            h.push(t, &[1.0 + t, -1.0 - t * t, 0.5 * t]);
+        }
+        let mut out = vec![0.0; 3];
+        for i in -4..30 {
+            let t = i as f64 * 0.37;
+            h.eval_all(t, &mut out);
+            for (c, &o) in out.iter().enumerate() {
+                assert_eq!(o, h.eval(t, c), "t={t} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_all_matches_eval_on_random_knots() {
+        // Random (sorted) knot times and random states: eval_all must agree
+        // with per-component eval to the last bit, including after trims.
+        let mut rng = desim::SimRng::new(0xB0B);
+        let dim = 7;
+        let init: Vec<f64> = (0..dim).map(|_| rng.next_f64()).collect();
+        let mut h = History::new(0.0, &init);
+        let mut t = 0.0;
+        let mut out = vec![0.0; dim];
+        for step in 0..500 {
+            t += rng.next_f64() * 0.1;
+            let state: Vec<f64> = (0..dim).map(|_| rng.next_f64() * 100.0 - 50.0).collect();
+            h.push(t, &state);
+            if step % 97 == 0 {
+                h.trim_before(t - 1.0);
+            }
+            // Query a batch of random times straddling the whole range.
+            for _ in 0..4 {
+                let tq = rng.next_f64() * (t + 1.0) - 0.5;
+                h.eval_all(tq, &mut out);
+                for (c, &o) in out.iter().enumerate() {
+                    let direct = h.eval(tq, c);
+                    assert!(
+                        o.to_bits() == direct.to_bits(),
+                        "t={tq} c={c}: {o} vs {direct}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_run_trim_compacts_storage() {
+        // Push far more knots than the horizon retains; the physical buffers
+        // must stay bounded (compaction) while interpolation stays correct.
+        let mut h = History::new(0.0, &[0.0]);
+        for i in 1..=20_000 {
+            let t = i as f64 * 1e-3;
+            h.push(t, &[2.0 * t]);
+            h.trim_before(t - 0.5);
+        }
+        assert!(h.len() < 600, "live window bounded, len = {}", h.len());
+        // Physical storage is at most ~2x the live window after compaction.
+        assert!(
+            h.times.capacity() < 20_000,
+            "storage must not grow with total pushes: cap {}",
+            h.times.capacity()
+        );
+        let t = 19.75;
+        assert!((h.eval(t, 0) - 2.0 * t).abs() < 1e-9);
     }
 
     #[test]

@@ -248,6 +248,10 @@ pub struct DcqcnFluid {
     pub n_flows: usize,
     /// Optional feedback-delay jitter process (Figure 20).
     pub jitter: Option<Jitter>,
+    /// Scratch row for whole-state delayed lookups (`History::eval_all`):
+    /// the RHS needs the queue plus every flow's rate at the same delayed
+    /// time, and this buffer keeps that one-locate lookup allocation-free.
+    scratch: Vec<f64>,
 }
 
 impl DcqcnFluid {
@@ -258,6 +262,7 @@ impl DcqcnFluid {
             params,
             n_flows,
             jitter: None,
+            scratch: vec![0.0; 1 + 3 * n_flows],
         }
     }
 
@@ -538,13 +543,17 @@ impl DdeSystem for DcqcnFluid {
     }
 
     fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+        // All delayed quantities (queue + every flow's rate) live at the same
+        // delayed time, so fetch the whole state row with one knot search.
+        let mut delayed = std::mem::take(&mut self.scratch);
         let p = &self.params;
         let cap = p.capacity_pps();
         let extra = self.jitter.as_ref().map_or(0.0, |j| j.extra(t));
         let delay = p.feedback_delay_s() + extra;
         let td = t - delay;
 
-        let q_delayed = hist.eval(td, 0).max(0.0);
+        hist.eval_all(td, &mut delayed);
+        let q_delayed = delayed[0].max(0.0); // component 0 is the queue
         let p_delayed = p.red_probability(q_delayed);
 
         // Eq 4: queue integrates excess arrival rate (projection keeps q ≥ 0).
@@ -561,13 +570,14 @@ impl DdeSystem for DcqcnFluid {
             let rc = x[self.rc_index(i)];
             let rt = x[self.rt_index(i)];
             let alpha = x[self.alpha_index(i)];
-            let rc_delayed = hist.eval(td, self.rc_index(i));
+            let rc_delayed = delayed[self.rc_index(i)];
             DcqcnFluid::flow_rhs(p, rc, rt, alpha, rc_delayed, p_delayed, &mut out);
             let [d_rc, d_rt, d_alpha] = out;
             dxdt[self.rc_index(i)] = d_rc;
             dxdt[self.rt_index(i)] = d_rt;
             dxdt[self.alpha_index(i)] = d_alpha;
         }
+        self.scratch = delayed;
     }
 
     fn min_delay(&self) -> f64 {

@@ -45,6 +45,9 @@ pub struct DcqcnPiFluid {
     pub gains: PiGains,
     /// Number of flows.
     pub n_flows: usize,
+    /// Scratch buffer for the delayed state in `rhs` (one `eval_all` instead
+    /// of one `eval` per component).
+    scratch: Vec<f64>,
 }
 
 impl DcqcnPiFluid {
@@ -65,6 +68,7 @@ impl DcqcnPiFluid {
             params,
             gains,
             n_flows,
+            scratch: vec![0.0; 2 + 3 * n_flows],
         }
     }
 
@@ -115,10 +119,14 @@ impl DdeSystem for DcqcnPiFluid {
     }
 
     fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+        // All delayed lookups share the time `td`: fetch the whole delayed
+        // state with one `locate` instead of one per component.
+        let mut delayed = std::mem::take(&mut self.scratch);
         let p = &self.params;
         let cap = p.capacity_pps();
         let td = t - p.feedback_delay_s();
-        let p_delayed = hist.eval(td, 1).clamp(0.0, 1.0); // component 1 is p
+        hist.eval_all(td, &mut delayed);
+        let p_delayed = delayed[1].clamp(0.0, 1.0); // component 1 is p
 
         let sum_rates: f64 = (0..self.n_flows).map(|i| x[self.rc_index(i)]).sum();
         // State layout: component 0 is the queue, component 1 is p.
@@ -143,7 +151,7 @@ impl DdeSystem for DcqcnPiFluid {
             let rc = x[self.rc_index(i)];
             let rt = x[self.rt_index(i)];
             let alpha = x[self.alpha_index(i)];
-            let rc_delayed = hist.eval(td, self.rc_index(i));
+            let rc_delayed = delayed[self.rc_index(i)];
             // Reuse the DCQCN per-flow dynamics with the PI-supplied p.
             DcqcnFluid::flow_rhs_pub(p, rc, rt, alpha, rc_delayed, p_delayed, &mut out);
             let [d_rc, d_rt, d_alpha] = out;
@@ -151,6 +159,7 @@ impl DdeSystem for DcqcnPiFluid {
             dxdt[self.rt_index(i)] = d_rt;
             dxdt[self.alpha_index(i)] = d_alpha;
         }
+        self.scratch = delayed;
     }
 
     fn min_delay(&self) -> f64 {
@@ -285,6 +294,10 @@ impl DdeSystem for PatchedTimelyPiFluid {
         let q_high = base.q_high_pkts();
         let delta = base.delta_pps();
 
+        // Flows at equal rates share the same delayed lookup time; cache the
+        // last one so the common symmetric case does one `locate` per
+        // distinct delayed time instead of one per flow.
+        let mut qd2_cache = (f64::NAN, 0.0);
         for i in 0..self.n_flows {
             let ri = self.rate_index(i);
             let gi = self.grad_index(i);
@@ -293,7 +306,14 @@ impl DdeSystem for PatchedTimelyPiFluid {
             let g = x[gi];
             let p_i = x[pi];
             let tau_i = base.tau_star(r);
-            let qd2 = hist.eval(t - tau_fb - tau_i, 0).max(0.0);
+            let t2 = t - tau_fb - tau_i;
+            let qd2 = if t2 == qd2_cache.0 {
+                qd2_cache.1
+            } else {
+                let v = hist.eval(t2, 0).max(0.0);
+                qd2_cache = (t2, v);
+                v
+            };
 
             // End-host PI on the measured delay (Eq 32 with e from delayed
             // queue observations; de/dt estimated from successive samples).

@@ -287,6 +287,10 @@ impl DdeSystem for TimelyFluid {
             sum_rates - c
         };
 
+        // Flows at equal rates share the same delayed lookup time; cache the
+        // last one so the common symmetric case does one `locate` per
+        // distinct delayed time instead of one per flow.
+        let mut qd2_cache = (f64::NAN, 0.0);
         for i in 0..self.n_flows {
             let ri = self.rate_index(i);
             let gi = self.grad_index(i);
@@ -298,7 +302,14 @@ impl DdeSystem for TimelyFluid {
             let r = x[ri];
             let g = x[gi];
             let tau_i = p.tau_star(r);
-            let qd2 = hist.eval(t - tau_fb - tau_i, 0).max(0.0);
+            let t2 = t - tau_fb - tau_i;
+            let qd2 = if t2 == qd2_cache.0 {
+                qd2_cache.1
+            } else {
+                let v = hist.eval(t2, 0).max(0.0);
+                qd2_cache = (t2, v);
+                v
+            };
             dxdt[ri] = self.rate_rhs(r, g, qd1);
             // Eq 22: EWMA of the normalized queue (≈ RTT) difference.
             dxdt[gi] = p.ewma_alpha / tau_i * (-g + (qd1 - qd2) / (c * p.d_min_rtt_s()));

@@ -1,0 +1,10 @@
+//! Seeded-bad fixture: ad-hoc threading outside `desim::par` (result order
+//! would depend on OS scheduling).
+
+pub fn sweep(jobs: Vec<u64>) -> Vec<u64> {
+    let mut handles = Vec::new();
+    for j in jobs {
+        handles.push(std::thread::spawn(move || j * j));
+    }
+    handles.into_iter().map(|h| h.join().unwrap_or(0)).collect()
+}

@@ -10,6 +10,7 @@
 //! | `panic` | library crates | `.unwrap()` / `.expect(` outside `#[cfg(test)]` (library code returns typed errors or documents the invariant with an allow) |
 //! | `index-literal` | sim crates | literal indexing `xs[0]` without a bound-justifying comment on the same or preceding line |
 //! | `unit-suffix` | sim crates | `pub fn` parameters of type `f64` with a time/rate/size-flavoured name but no unit suffix (`_s`, `_us`, `_pps`, `_gbps`, `_bytes`, …) |
+//! | `thread-spawn` | sim crates | raw `thread::spawn` / `thread::scope` outside `desim::par` (ad-hoc threading breaks the ordered-results determinism contract; use `desim::par::par_map`) |
 //!
 //! Test modules (`#[cfg(test)]`), doc comments, strings, `tests/`,
 //! `benches/`, `examples/` and binary targets are exempt from `panic` and
@@ -41,6 +42,8 @@ pub enum Rule {
     IndexLiteral,
     /// Public `f64` parameter with a dimensioned name but no unit suffix.
     UnitSuffix,
+    /// Raw `thread::spawn`/`thread::scope` outside `desim::par`.
+    ThreadSpawn,
 }
 
 impl Rule {
@@ -52,6 +55,7 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::IndexLiteral => "index-literal",
             Rule::UnitSuffix => "unit-suffix",
+            Rule::ThreadSpawn => "thread-spawn",
         }
     }
 }
@@ -91,6 +95,9 @@ pub struct Scope {
     pub panic_discipline: bool,
     /// Unit-suffix naming on public signatures.
     pub unit_suffix: bool,
+    /// Thread-spawn discipline (`thread-spawn`): `desim::par` is the only
+    /// sanctioned fork-join surface in the simulation crates.
+    pub thread_spawn: bool,
 }
 
 /// Crates whose *logic* must be deterministic and dimensionally sound.
@@ -124,10 +131,12 @@ pub fn scope_for(rel: &Path) -> Option<Scope> {
     if krate == "xtask" {
         return None;
     }
+    let is_par_executor = rel == Path::new("crates/desim/src/par.rs");
     Some(Scope {
         determinism: SIM_CRATES.contains(&krate.as_str()),
         panic_discipline: LIB_CRATES.contains(&krate.as_str()),
         unit_suffix: SIM_CRATES.contains(&krate.as_str()),
+        thread_spawn: SIM_CRATES.contains(&krate.as_str()) && !is_par_executor,
     })
 }
 
@@ -304,6 +313,11 @@ fn test_mask(lines: &[ScrubbedLine]) -> Vec<bool> {
 
 const WALL_CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime", "thread_rng", "rand::"];
 
+/// Tokens that indicate ad-hoc threading. `thread::spawn`/`thread::scope`
+/// also match their `std::thread::`-qualified forms; `Builder::new` is the
+/// escape hatch `std::thread::Builder` would need, so it is listed too.
+const THREAD_SPAWN_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+
 /// Approved unit suffixes for dimensioned `f64` parameters.
 pub const UNIT_SUFFIXES: &[&str] = &[
     "_s", "_us", "_ns", "_ms", "_hz", "_pps", "_bps", "_mbps", "_gbps", "_bytes", "_kb", "_mb",
@@ -387,6 +401,21 @@ pub fn lint_source(file: &Path, source: &str, scope: Scope) -> Vec<Violation> {
                         format!(
                             "{tok} injects wall-clock/ambient nondeterminism; use SimTime and \
                              the seeded SimRng"
+                        ),
+                    );
+                }
+            }
+        }
+        if scope.thread_spawn && !allowed(idx, Rule::ThreadSpawn) {
+            for tok in THREAD_SPAWN_TOKENS {
+                if code.contains(tok) {
+                    push(
+                        idx,
+                        Rule::ThreadSpawn,
+                        format!(
+                            "{tok} outside desim::par breaks the ordered-results determinism \
+                             contract; use desim::par::par_map (SIM_THREADS-aware, input-order \
+                             results)"
                         ),
                     );
                 }
@@ -634,6 +663,7 @@ pub fn lint_path_strict(path: &Path) -> std::io::Result<Vec<Violation>> {
             determinism: true,
             panic_discipline: true,
             unit_suffix: true,
+            thread_spawn: true,
         },
     ))
 }
@@ -650,6 +680,7 @@ mod tests {
                 determinism: true,
                 panic_discipline: true,
                 unit_suffix: true,
+                thread_spawn: true,
             },
         )
     }
@@ -791,6 +822,40 @@ mod tests {
     fn private_fns_are_not_unit_checked() {
         let v = strict("fn set(rate: f64) {}\n");
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_thread_spawn_and_scope() {
+        let v = strict("fn f() { std::thread::spawn(|| {}); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ThreadSpawn);
+        let v = strict("fn f() { thread::scope(|s| { s.spawn(|| {}); }); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ThreadSpawn);
+    }
+
+    #[test]
+    fn thread_spawn_applies_even_in_tests() {
+        // An ad-hoc thread in a test is still nondeterministic test code.
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
+        let v = strict(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ThreadSpawn);
+    }
+
+    #[test]
+    fn thread_spawn_allow_directive() {
+        let v = strict("std::thread::scope(|s| {}); // simlint: allow(thread-spawn) — executor\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn par_executor_file_is_exempt_from_thread_spawn() {
+        let scope = scope_for(Path::new("crates/desim/src/par.rs")).unwrap();
+        assert!(!scope.thread_spawn);
+        assert!(scope.determinism, "other rules still apply to par.rs");
+        let scope = scope_for(Path::new("crates/desim/src/event.rs")).unwrap();
+        assert!(scope.thread_spawn);
     }
 
     #[test]

@@ -90,6 +90,7 @@ fn cmd_selftest() -> ExitCode {
         ("bad_panic.rs", Rule::Panic),
         ("bad_index_literal.rs", Rule::IndexLiteral),
         ("bad_unit_suffix.rs", Rule::UnitSuffix),
+        ("bad_thread_spawn.rs", Rule::ThreadSpawn),
     ];
     let mut failed = false;
     for (name, rule) in cases {
