@@ -2,7 +2,7 @@
 //! patched-TIMELY systems, fixed-point solving, and phase-margin
 //! computation (the inner loops of Figures 3 and 11).
 
-use bench::harness::{bench, black_box, write_report};
+use bench::harness::{bench, black_box, record_spans, write_report};
 use ecn_delay_core::experiments::fig3;
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
 use models::patched_timely::{PatchedTimelyFluid, PatchedTimelyParams};
@@ -48,16 +48,49 @@ fn main() {
 
     // Sweep-level benchmark: the Figure 3 margin grid (reduced) through the
     // deterministic parallel executor, as run by CI.
+    let quick_cfg = || fig3::Fig3Config {
+        flow_counts: vec![2, 10, 64],
+        delays_us: vec![4.0, 85.0],
+        r_ai_mbps: vec![10.0],
+        kmax_kb: vec![200.0],
+        panel_bc_delay_us: 85.0,
+    };
     bench("fig3_margin_grid_quick", || {
-        let cfg = fig3::Fig3Config {
-            flow_counts: vec![2, 10, 64],
-            delays_us: vec![4.0, 85.0],
-            r_ai_mbps: vec![10.0],
-            kmax_kb: vec![200.0],
-            panel_bc_delay_us: 85.0,
-        };
-        black_box(fig3::run(&cfg).by_delay.len())
+        black_box(fig3::run(&quick_cfg()).by_delay.len())
     });
+
+    // Observability overhead guard: the two benches above repeated with the
+    // full obs layer recording (metrics + trace). The driver compares these
+    // against their plain counterparts; the *plain* runs above double as the
+    // "disabled ≤ 1%" check against the pre-obs baseline in
+    // BENCH_fluid.json, since instrumentation is compiled in but off there.
+    obs::metrics::reset();
+    obs::metrics::enable();
+    obs::trace::reset();
+    obs::trace::enable();
+    bench("dcqcn_dde_integrate_10flows_10ms/obs_on", || {
+        obs::trace::reset();
+        let mut m = DcqcnFluid::new(DcqcnParams::default_40g(), 10);
+        black_box(m.simulate(0.01).len())
+    });
+    bench("fig3_margin_grid_quick/obs_on", || {
+        obs::trace::reset();
+        black_box(fig3::run(&quick_cfg()).by_delay.len())
+    });
+    obs::trace::disable();
+    obs::trace::reset();
+    obs::metrics::disable();
+    obs::metrics::reset();
+
+    // Wall-clock phase attribution: rerun the 10-flow DDE with span timers
+    // on and splice the per-phase totals into the report.
+    obs::span::enable();
+    {
+        let mut m = DcqcnFluid::new(DcqcnParams::default_40g(), 10);
+        black_box(m.simulate(0.01).len());
+    }
+    obs::span::disable();
+    record_spans("dcqcn_dde_integrate_10flows_10ms");
 
     write_report("BENCH_fluid.json");
 }

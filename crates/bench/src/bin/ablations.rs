@@ -56,6 +56,7 @@ fn dcqcn_run(mk: impl Fn(&mut DcqcnCcParams), n: usize) -> (f64, f64) {
 }
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Ablations");
     let mut report = AblationReport {
         fast_recovery: Vec::new(),
@@ -147,6 +148,7 @@ fn main() {
     let path = bench::results_dir().join("ablations.json");
     write_json(&path, &report).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }
 
 ecn_delay_core::impl_to_json!(AblationReport {

@@ -6,10 +6,37 @@
 //! and nesting would oversubscribe the machine. Captured stdout/stderr are
 //! replayed in the fixed figure order once everything finishes, so the
 //! output (and the `results/` JSON) is identical to the serial run.
+//!
+//! `--trace <dir>` / `--metrics <dir>` are accepted like in the individual
+//! figure binaries, but interpreted as *directories*: each child figure is
+//! launched with `--trace <dir>/<fig>_trace.jsonl` and/or
+//! `--metrics <dir>/<fig>_metrics.json`.
 
+use std::path::PathBuf;
 use std::process::Command;
 
+/// Parse `--trace <dir>` / `--metrics <dir>` and create the directories.
+fn obs_dirs() -> (Option<PathBuf>, Option<PathBuf>) {
+    let mut argv = std::env::args().skip(1);
+    let mut trace_dir = None;
+    let mut metrics_dir = None;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--trace" => trace_dir = Some(PathBuf::from(argv.next().expect("--trace needs a dir"))),
+            "--metrics" => {
+                metrics_dir = Some(PathBuf::from(argv.next().expect("--metrics needs a dir")));
+            }
+            _ => {}
+        }
+    }
+    for d in [&trace_dir, &metrics_dir].into_iter().flatten() {
+        std::fs::create_dir_all(d).unwrap_or_else(|e| panic!("create {}: {e}", d.display()));
+    }
+    (trace_dir, metrics_dir)
+}
+
 fn main() {
+    let (trace_dir, metrics_dir) = obs_dirs();
     let figs = [
         "eq14",
         "fig2",
@@ -43,8 +70,16 @@ fn main() {
         .to_path_buf();
     let outputs = desim::par::par_map(figs.to_vec(), |f| {
         let bin = exe_dir.join(f);
-        let out = Command::new(&bin)
-            .env("SIM_THREADS", "1")
+        let mut cmd = Command::new(&bin);
+        cmd.env("SIM_THREADS", "1");
+        if let Some(d) = &trace_dir {
+            cmd.arg("--trace").arg(d.join(format!("{f}_trace.jsonl")));
+        }
+        if let Some(d) = &metrics_dir {
+            cmd.arg("--metrics")
+                .arg(d.join(format!("{f}_metrics.json")));
+        }
+        let out = cmd
             .output()
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()));
         (f, out)

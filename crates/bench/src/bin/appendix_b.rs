@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::appendix_b::{run, AppendixBConfig};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Appendix B: Eq 40 AIMD cycle length vs packet measurement");
     let res = run(&AppendixBConfig::default());
     println!(
@@ -19,4 +20,5 @@ fn main() {
     let path = bench::results_dir().join("appendix_b.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::eq14::{run, Eq14Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Eq 14: p* approximation vs exact fixed point");
     let res = run(&Eq14Config::default());
     println!(
@@ -25,4 +26,5 @@ fn main() {
     let path = bench::results_dir().join("eq14.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::ext_parking_lot::{run, ParkingLotConfig};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Extension: DCQCN on a 3-hop parking lot");
     let res = run(&ParkingLotConfig::default());
     println!("long flow tail rate : {:.2} Gbps", res.long_tail_gbps);
@@ -18,4 +19,5 @@ fn main() {
     let path = bench::results_dir().join("ext_parking_lot.json");
     write_json(&path, &res).expect("write results");
     println!("results -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::ext_pfc::{run, ExtPfcConfig};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Extension: ECN-before-PFC vs PFC-only (4 flows, 10 Gbps)");
     let res = run(&ExtPfcConfig::default());
     println!(
@@ -21,4 +22,5 @@ fn main() {
     let path = bench::results_dir().join("ext_pfc.json");
     write_json(&path, &res).expect("write results");
     println!("results -> {}", path.display());
+    obs.finish();
 }

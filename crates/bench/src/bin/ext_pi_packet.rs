@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::ext_pi_packet::{run, ExtPiPacketConfig};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Extension: packet-level DCQCN + PI AQM vs RED");
     let res = run(&ExtPiPacketConfig {
         duration_s: 0.25,
@@ -26,4 +27,5 @@ fn main() {
     let path = bench::results_dir().join("ext_pi_packet.json");
     write_json(&path, &res).expect("write results");
     println!("results -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig10::{run, Fig10Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 10: impact of per-burst pacing on TIMELY");
     let res = run(&Fig10Config::default());
     for p in &res.panels {
@@ -16,4 +17,5 @@ fn main() {
     let path = bench::results_dir().join("fig10.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

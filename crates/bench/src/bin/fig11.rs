@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig11::{run, Fig11Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 11: Patched TIMELY phase margin vs N");
     let res = run(&Fig11Config::default());
     println!(
@@ -20,4 +21,5 @@ fn main() {
     let path = bench::results_dir().join("fig11.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

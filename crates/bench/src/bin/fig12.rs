@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig12::{run, Fig12Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 12: Patched TIMELY convergence and stability");
     let res = run(&Fig12Config::default());
     println!(
@@ -23,4 +24,5 @@ fn main() {
     let path = bench::results_dir().join("fig12.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

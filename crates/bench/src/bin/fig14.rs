@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig14::{run, Fig14Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 14: small-flow FCT vs load (dumbbell, 10 Gbps)");
     let res = run(&Fig14Config::default());
     println!(
@@ -26,4 +27,5 @@ fn main() {
     let path = bench::results_dir().join("fig14.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig15::{run, Fig15Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 15: CDF of small-flow FCT, load = 0.8");
     let res = run(&Fig15Config::default());
     for (name, cdf) in &res.cdfs {
@@ -24,4 +25,5 @@ fn main() {
     let path = bench::results_dir().join("fig15.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

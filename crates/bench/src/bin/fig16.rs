@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig16::{run, Fig16Config};
 use ecn_delay_core::{write_json, write_series_csv};
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 16: bottleneck queue, load = 0.8");
     let res = run(&Fig16Config::default());
     for (name, mean, p99, max) in &res.summary {
@@ -19,4 +20,5 @@ fn main() {
         write_series_csv(&csv, "t_s", &[("queue_kb", series.as_slice())]).expect("write csv");
     }
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

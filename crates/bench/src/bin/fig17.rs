@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig17::{run, Fig17Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 17: DCQCN with egress vs ingress marking (85 us loop)");
     let res = run(&Fig17Config::default());
     println!(
@@ -15,4 +16,5 @@ fn main() {
     let path = bench::results_dir().join("fig17.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig18::{run, Fig18Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 18: DCQCN + PI controller (q_ref = 100 KB)");
     let res = run(&Fig18Config::default());
     println!(
@@ -20,4 +21,5 @@ fn main() {
     let path = bench::results_dir().join("fig18.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig19::{run, Fig19Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 19: Patched TIMELY + end-host PI (q_ref = 300 KB)");
     let res = run(&Fig19Config::default());
     println!(
@@ -16,4 +17,5 @@ fn main() {
     let path = bench::results_dir().join("fig19.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

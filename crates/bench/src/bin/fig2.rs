@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig2::{run, Fig2Config};
 use ecn_delay_core::{write_json, write_series_csv};
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 2: DCQCN fluid model vs packet simulation (40 Gbps)");
     let cfg = Fig2Config::default();
     let res = run(&cfg);
@@ -37,4 +38,5 @@ fn main() {
         .expect("write csv");
     }
     println!("\nresults -> {} (+ per-N CSV)", path.display());
+    obs.finish();
 }

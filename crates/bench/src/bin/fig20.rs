@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig20::{run, Fig20Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 20: uniform [0,100us] feedback jitter");
     let res = run(&Fig20Config::default());
     for p in &res.panels {
@@ -16,4 +17,5 @@ fn main() {
     let path = bench::results_dir().join("fig20.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

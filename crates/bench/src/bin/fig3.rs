@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig3::{run, Fig3Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 3: DCQCN phase margin (degrees) vs number of flows");
     let cfg = Fig3Config::default();
     let res = run(&cfg);
@@ -28,4 +29,8 @@ fn main() {
     let path = bench::results_dir().join("fig3.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    // Fig 3 itself is pure frequency-domain analysis; give traces/metrics
+    // the packet-level dynamics at the figure's operating point.
+    obs.dcqcn_companion_run();
+    obs.finish();
 }

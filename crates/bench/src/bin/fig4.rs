@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig4::{run, Fig4Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 4: DCQCN fluid stability grid (tau* x N)");
     let res = run(&Fig4Config::default());
     println!(
@@ -26,4 +27,5 @@ fn main() {
     let path = bench::results_dir().join("fig4.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

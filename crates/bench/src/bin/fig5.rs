@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig5::{run, Fig5Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 5: packet-level DCQCN instability (85 us loop)");
     let res = run(&Fig5Config::default());
     for p in &res.panels {
@@ -16,4 +17,5 @@ fn main() {
     let path = bench::results_dir().join("fig5.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig6::{run, Fig6Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 6 / Theorem 2: discrete AIMD convergence");
     let res = run(&Fig6Config::default());
     println!("alpha* (Eq 42)              = {:.5}", res.alpha_star);
@@ -19,4 +20,5 @@ fn main() {
     let path = bench::results_dir().join("fig6.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig8::{run, Fig8Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 8: TIMELY fluid model vs packet simulation (10 Gbps)");
     let res = run(&Fig8Config::default());
     for p in &res.panels {
@@ -22,4 +23,5 @@ fn main() {
     let path = bench::results_dir().join("fig8.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig9::{run, Fig9Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Figure 9: TIMELY multi-equilibria (2 flows, fluid)");
     let res = run(&Fig9Config::default());
     for p in &res.panels {
@@ -19,4 +20,5 @@ fn main() {
     let path = bench::results_dir().join("fig9.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

@@ -4,6 +4,7 @@ use ecn_delay_core::experiments::fig6::{run, Fig6Config};
 use ecn_delay_core::write_json;
 
 fn main() {
+    let obs = bench::obs_cli::init();
     bench::banner("Theorem 2: exponential convergence of DCQCN rates");
     let mut rows = Vec::new();
     for fractions in [
@@ -32,4 +33,5 @@ fn main() {
     let path = bench::results_dir().join("thm2.json");
     write_json(&path, &rows).expect("write results");
     println!("\nresults -> {}", path.display());
+    obs.finish();
 }

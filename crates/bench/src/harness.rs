@@ -96,6 +96,36 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
         .push(rec);
 }
 
+/// Drain the `obs::span` per-phase wall-clock accumulators into the bench
+/// registry as `<prefix>/span:<phase>` rows, so [`write_report`] splices
+/// per-phase attribution into the same `BENCH_*.json` schema. For a span
+/// row, `min/mean/median` all carry the *average* nanoseconds per span and
+/// `iters` the span count (spans are aggregated, not sampled). Call after a
+/// bench that ran with `obs::span::enable()`.
+pub fn record_spans(prefix: &str) {
+    for (phase, count, total_ns) in obs::span::drain() {
+        let avg = u128::from(total_ns) / u128::from(count.max(1));
+        let rec = Record {
+            name: format!("{prefix}/span:{}", phase.name()),
+            min_ns: avg,
+            mean_ns: avg,
+            median_ns: avg,
+            iters: count as usize,
+        };
+        println!(
+            "{:<44} avg {:>12} over {} spans (total {})",
+            rec.name,
+            fmt_ns(Duration::from_nanos(total_ns / count.max(1))),
+            count,
+            fmt_ns(Duration::from_nanos(total_ns)),
+        );
+        RECORDS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(rec);
+    }
+}
+
 /// Append every measurement taken so far to `file` (e.g.
 /// `"BENCH_fluid.json"`), creating it if absent, and clear the registry.
 /// The file is a JSON array of records; existing entries (from earlier

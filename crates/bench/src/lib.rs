@@ -29,10 +29,17 @@
 //! `results/`. Benchmarks (`cargo bench`, driven by [`harness`]) measure
 //! the substrate: event-queue throughput, DDE integration speed, and
 //! packet-simulation rates.
+//!
+//! Every binary additionally accepts `--trace <path>` and
+//! `--metrics <path>` (both off by default; see [`obs_cli`]) to export the
+//! run's sim-time event trace as JSONL and its counter/gauge/histogram
+//! snapshot as JSON. `all_figures` treats both as directories and fans
+//! them out per child figure.
 
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod obs_cli;
 
 use std::path::PathBuf;
 

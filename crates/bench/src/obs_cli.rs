@@ -1,0 +1,113 @@
+//! `--trace <path>` / `--metrics <path>` support shared by every figure
+//! binary.
+//!
+//! Both flags are **off by default** — a figure run without them never
+//! enables the `obs` layer, so the hot paths pay only the disabled-check
+//! load. With `--trace`, sim-time events captured during the run are written
+//! as JSONL (sorted by `(ctx, seq)`; byte-identical across `SIM_THREADS`
+//! settings). With `--metrics`, the deterministic name-sorted counter /
+//! gauge / histogram snapshot is written as JSON.
+//!
+//! `all_figures` interprets the same flags as *directories* and fans them
+//! out per child figure (`<dir>/<fig>_trace.jsonl`, `<dir>/<fig>_metrics.json`).
+
+use std::path::PathBuf;
+
+/// Parsed observability flags for a figure binary.
+pub struct ObsCli {
+    trace_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+}
+
+/// Parse `--trace` / `--metrics` from the process arguments and enable the
+/// corresponding `obs` subsystems (resetting any prior state so the output
+/// reflects exactly this run). Unknown arguments are ignored — figure
+/// binaries take no other flags.
+pub fn init() -> ObsCli {
+    let mut argv = std::env::args().skip(1);
+    let mut trace_path = None;
+    let mut metrics_path = None;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--trace" => {
+                trace_path = Some(PathBuf::from(
+                    argv.next().expect("--trace requires a file path"),
+                ));
+            }
+            "--metrics" => {
+                metrics_path = Some(PathBuf::from(
+                    argv.next().expect("--metrics requires a file path"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    if trace_path.is_some() {
+        obs::trace::reset();
+        obs::trace::enable();
+    }
+    if metrics_path.is_some() {
+        obs::metrics::reset();
+        obs::metrics::enable();
+    }
+    ObsCli {
+        trace_path,
+        metrics_path,
+    }
+}
+
+impl ObsCli {
+    /// True when either flag was given (instrumentation is recording).
+    pub fn active(&self) -> bool {
+        self.trace_path.is_some() || self.metrics_path.is_some()
+    }
+
+    /// Disable recording and write the requested artifacts.
+    pub fn finish(self) {
+        if let Some(p) = &self.trace_path {
+            obs::trace::disable();
+            let jsonl = obs::trace::export_jsonl();
+            std::fs::write(p, &jsonl).unwrap_or_else(|e| panic!("write {}: {e}", p.display()));
+            let dropped = obs::trace::dropped_events();
+            println!(
+                "trace -> {} ({} events{})",
+                p.display(),
+                jsonl.lines().count(),
+                if dropped > 0 {
+                    format!(", {dropped} dropped by ring wrap")
+                } else {
+                    String::new()
+                }
+            );
+        }
+        if let Some(p) = &self.metrics_path {
+            obs::metrics::disable();
+            std::fs::write(p, obs::metrics::snapshot_json())
+                .unwrap_or_else(|e| panic!("write {}: {e}", p.display()));
+            println!("metrics -> {}", p.display());
+        }
+    }
+
+    /// For analysis-only figures (frequency-domain sweeps that never touch
+    /// the packet engine): when instrumentation is on, additionally run a
+    /// short fully-instrumented packet-level DCQCN scenario at the paper's
+    /// validation operating point (10 long-lived flows through one switch),
+    /// so the trace/metrics show the ECN-mark / CNP / rate-update cadence
+    /// the frequency-domain analysis summarizes. A no-op when neither flag
+    /// was given.
+    pub fn dcqcn_companion_run(&self) {
+        if !self.active() {
+            return;
+        }
+        use ecn_delay_core::scenarios::{single_switch_longlived, Protocol};
+        let (mut eng, _bottleneck) = single_switch_longlived(
+            Protocol::Dcqcn,
+            10,
+            10e9,
+            desim::SimDuration::from_micros(20),
+            netsim::EngineConfig::default(),
+        );
+        let _ = eng.run(desim::SimTime::from_millis(4));
+        println!("instrumented DCQCN companion run: 10 flows, 10 Gbps, 4 ms");
+    }
+}

@@ -125,6 +125,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { time, seq, payload }));
         self.len += 1;
+        obs::metrics::counter_inc("desim.events_scheduled");
         EventId(seq)
     }
 
@@ -145,6 +146,7 @@ impl<E> EventQueue<E> {
         // is the safe general entry point.
         if self.cancelled.insert(id.0) {
             self.len = self.len.saturating_sub(1);
+            obs::metrics::counter_inc("desim.events_cancelled");
             true
         } else {
             false
@@ -167,6 +169,7 @@ impl<E> EventQueue<E> {
             self.len -= 1;
             crate::invariants::monotonic_time("EventQueue::pop", self.last_popped, entry.time);
             self.last_popped = entry.time;
+            obs::metrics::counter_inc("desim.events_popped");
             return Some((entry.time, entry.payload));
         }
     }

@@ -247,6 +247,27 @@ mod tests {
     }
 
     #[test]
+    fn time_weighted_empty_has_no_extrema() {
+        // Regression: before the Option API, an un-started collector leaked
+        // its ±INFINITY sentinels (which render as `null` and poison
+        // downstream aggregation). Empty must mean `None` across the board.
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.max(), None);
+        assert_eq!(tw.min(), None);
+        assert_eq!(tw.mean(), None);
+    }
+
+    #[test]
+    fn time_weighted_min_tracks_negative_values() {
+        let mut tw = TimeWeighted::new();
+        tw.update(t(0), -3.0);
+        tw.update(t(1), 2.0);
+        tw.update(t(2), -1.0);
+        assert_eq!(tw.min(), Some(-3.0));
+        assert_eq!(tw.max(), Some(2.0));
+    }
+
+    #[test]
     fn quantiles_interpolate() {
         let mut s = Samples::new();
         for v in [4.0, 1.0, 3.0, 2.0] {
@@ -281,6 +302,43 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.median(), None);
         assert_eq!(s.mean(), None);
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(1.0), None);
+        assert!(s.cdf().is_empty());
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_the_sample() {
+        let mut s = Samples::new();
+        s.push(42.0);
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(s.quantile(q), Some(42.0), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn duplicate_samples_interpolate_flat() {
+        let mut s = Samples::new();
+        for v in [7.0, 7.0, 7.0, 7.0] {
+            s.push(v);
+        }
+        assert_eq!(s.quantile(0.3), Some(7.0));
+        assert_eq!(s.median(), Some(7.0));
+        // A mixed set with a duplicated extreme still pins p0/p100 exactly.
+        let mut s = Samples::new();
+        for v in [1.0, 1.0, 2.0, 9.0] {
+            s.push(v);
+        }
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_above_one_panics() {
+        let mut s = Samples::new();
+        s.push(1.0);
+        let _ = s.quantile(1.5);
     }
 
     #[test]

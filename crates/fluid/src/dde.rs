@@ -143,6 +143,7 @@ pub fn integrate_dde_with_prehistory<S: DdeSystem>(
     let mut k4 = vec![0.0; n];
     let mut tmp = vec![0.0; n];
 
+    let _span = obs::span::enter(obs::Phase::Integrate);
     for step in 1..=steps {
         let h = (t1 - t).min(opts.step);
         sys.rhs(t, &x, &hist, &mut k1);
@@ -162,6 +163,16 @@ pub fn integrate_dde_with_prehistory<S: DdeSystem>(
         }
         if step % record_every == 0 || step == steps {
             trace.push(t, &x);
+        }
+        obs::metrics::counter_inc("fluid.dde_steps");
+        if obs::trace::enabled() {
+            obs::trace::record(
+                t,
+                obs::Event::DdeStep {
+                    step: step as u64,
+                    dim: n as u64,
+                },
+            );
         }
     }
     trace

@@ -119,6 +119,7 @@ impl History {
     /// is the same — at a single search instead of `dim`.
     pub fn eval_all(&self, t: f64, out: &mut [f64]) {
         assert_eq!(out.len(), self.dim, "output slice dimension mismatch");
+        let _span = obs::span::enter(obs::Phase::Locate);
         if t <= self.times[self.front] {
             // front < times.len() by construction
             out.copy_from_slice(&self.pre);
@@ -201,10 +202,20 @@ impl History {
         // Compact once the dead prefix dominates (and is big enough for the
         // copy to be worth it).
         if self.front > 256 && self.front * 2 > self.times.len() {
+            let _span = obs::span::enter(obs::Phase::Compact);
+            let dropped = self.front;
             self.times.drain(..self.front);
             self.states.drain(..self.front * self.dim);
             self.cursor.set(self.cursor.get() - self.front);
             self.front = 0;
+            obs::metrics::counter_inc("fluid.history_compactions");
+            obs::trace::record(
+                t_keep,
+                obs::Event::HistoryCompaction {
+                    dropped_rows: dropped as u64,
+                    retained_rows: self.times.len() as u64,
+                },
+            );
         }
     }
 

@@ -2,13 +2,19 @@
 
 /// A recorded solution: times plus the full state vector at each time.
 ///
+/// Storage mirrors [`crate::history::History`]'s flat strided layout: one
+/// contiguous `Vec<f64>` holding row-major `dim`-wide state rows, so a
+/// 10-flow DCQCN run records into two allocations instead of one `Vec` per
+/// recorded point. Row `i` lives at `states[i*dim .. (i+1)*dim]`.
+///
 /// Figure runners extract named components (`queue`, `rate of flow i`) via
 /// [`Trace::series`] and post-process (decimate, window, compare against the
 /// packet simulator's traces).
 #[derive(Debug, Clone)]
 pub struct Trace {
     times: Vec<f64>,
-    states: Vec<Vec<f64>>,
+    /// Flat row-major state storage, stride `dim`.
+    states: Vec<f64>,
     dim: usize,
 }
 
@@ -30,7 +36,7 @@ impl Trace {
             "trace times must be non-decreasing"
         );
         self.times.push(t);
-        self.states.push(state.to_vec());
+        self.states.extend_from_slice(state);
     }
 
     /// The state dimension.
@@ -53,14 +59,19 @@ impl Trace {
         &self.times
     }
 
-    /// State vector at index `i`.
+    /// State vector at index `i` (a `dim`-wide slice of the flat buffer).
     pub fn state(&self, i: usize) -> &[f64] {
-        &self.states[i]
+        assert!(i < self.times.len(), "trace index out of range");
+        &self.states[i * self.dim..(i + 1) * self.dim]
     }
 
     /// Final recorded state, if any.
     pub fn last_state(&self) -> Option<&[f64]> {
-        self.states.last().map(Vec::as_slice)
+        if self.times.is_empty() {
+            None
+        } else {
+            Some(self.state(self.times.len() - 1))
+        }
     }
 
     /// Extract component `c` as a `(t, value)` series.
@@ -68,8 +79,8 @@ impl Trace {
         assert!(c < self.dim, "component out of range");
         self.times
             .iter()
-            .zip(&self.states)
-            .map(|(&t, s)| (t, s[c]))
+            .zip(self.states.chunks_exact(self.dim.max(1)))
+            .map(|(&t, row)| (t, row[c]))
             .collect()
     }
 
@@ -89,7 +100,7 @@ impl Trace {
         let n = self.times.len();
         for i in 0..n {
             if i % keep_every == 0 || i == n - 1 {
-                out.push(self.times[i], &self.states[i]);
+                out.push(self.times[i], self.state(i));
             }
         }
         out
@@ -202,5 +213,88 @@ mod tests {
     fn dimension_checked() {
         let mut tr = Trace::new(2);
         tr.push(0.0, &[1.0]);
+    }
+
+    #[test]
+    fn empty_trace_accessors() {
+        let tr = Trace::new(3);
+        assert!(tr.is_empty());
+        assert_eq!(tr.len(), 0);
+        assert!(tr.last_state().is_none());
+        assert!(tr.series(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "trace index out of range")]
+    fn state_index_checked() {
+        let tr = Trace::new(1);
+        let _ = tr.state(0);
+    }
+
+    /// The pre-flattening representation, kept as a reference oracle: the
+    /// flat strided buffer must reproduce its outputs **bit for bit**.
+    struct NestedTrace {
+        times: Vec<f64>,
+        states: Vec<Vec<f64>>,
+    }
+
+    impl NestedTrace {
+        fn push(&mut self, t: f64, state: &[f64]) {
+            self.times.push(t);
+            self.states.push(state.to_vec());
+        }
+        fn series(&self, c: usize) -> Vec<(f64, f64)> {
+            self.times
+                .iter()
+                .zip(&self.states)
+                .map(|(&t, s)| (t, s[c]))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn bit_identity_with_nested_representation() {
+        // Push an irrational-flavoured sequence through both layouts and
+        // compare every accessor output by exact bit pattern.
+        let dim = 4;
+        let mut flat = Trace::new(dim);
+        let mut nested = NestedTrace {
+            times: Vec::new(),
+            states: Vec::new(),
+        };
+        let mut row = vec![0.0; dim];
+        for i in 0..257 {
+            let t = i as f64 * 0.3331;
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = ((i * 31 + c * 7) as f64).sin() * 1e9 / (c as f64 + 0.5);
+            }
+            flat.push(t, &row);
+            nested.push(t, &row);
+        }
+        assert_eq!(flat.len(), nested.times.len());
+        for i in 0..flat.len() {
+            assert_eq!(flat.times()[i].to_bits(), nested.times[i].to_bits());
+            for c in 0..dim {
+                assert_eq!(
+                    flat.state(i)[c].to_bits(),
+                    nested.states[i][c].to_bits(),
+                    "row {i} component {c}"
+                );
+            }
+        }
+        for c in 0..dim {
+            let fs = flat.series(c);
+            let ns = nested.series(c);
+            assert_eq!(fs.len(), ns.len());
+            for (f, n) in fs.iter().zip(&ns) {
+                assert_eq!(f.0.to_bits(), n.0.to_bits());
+                assert_eq!(f.1.to_bits(), n.1.to_bits());
+            }
+        }
+        // Derived probes agree bit-for-bit too (same fold order).
+        let last = flat.last_state().unwrap();
+        for (c, v) in last.iter().enumerate() {
+            assert_eq!(v.to_bits(), nested.states.last().unwrap()[c].to_bits());
+        }
     }
 }

@@ -297,6 +297,7 @@ impl Engine {
     }
 
     fn handle(&mut self, ev: Ev) {
+        let _span = obs::span::enter(obs::Phase::EventDispatch);
         match ev {
             Ev::FlowStart(f) => self.flow_start(f),
             Ev::Pacer(f) => self.pacer_fire(f),
@@ -345,6 +346,16 @@ impl Engine {
         if let Some(r) = update.new_rate_bps {
             desim::invariants::finite_rate("cc update rate", r);
             self.senders[f.0].rate_bps = r.max(1e3);
+            obs::metrics::counter_inc("netsim.rate_updates");
+            if obs::trace::enabled() {
+                obs::trace::record(
+                    self.now.as_secs_f64(),
+                    obs::Event::RateUpdate {
+                        flow: f.0 as u64,
+                        rate_bps: self.senders[f.0].rate_bps,
+                    },
+                );
+            }
         }
         for (kind, at) in update.timers {
             let at = at.max(self.now);
@@ -538,6 +549,17 @@ impl Engine {
                     pkt.ecn_marked = true;
                     self.marked_packets += 1;
                     self.first_mark_time.get_or_insert(self.now);
+                    obs::metrics::counter_inc("netsim.ecn_marks");
+                    if obs::trace::enabled() {
+                        obs::trace::record(
+                            self.now.as_secs_f64(),
+                            obs::Event::EcnMark {
+                                flow: pkt.flow.0 as u64,
+                                link: link.0 as u64,
+                                queue_bytes: port.data_bytes,
+                            },
+                        );
+                    }
                 }
             }
             port.data_q.push_back(pkt);
@@ -589,6 +611,17 @@ impl Engine {
                     pkt.ecn_marked = true;
                     self.marked_packets += 1;
                     self.first_mark_time.get_or_insert(self.now);
+                    obs::metrics::counter_inc("netsim.ecn_marks");
+                    if obs::trace::enabled() {
+                        obs::trace::record(
+                            self.now.as_secs_f64(),
+                            obs::Event::EcnMark {
+                                flow: pkt.flow.0 as u64,
+                                link: link.0 as u64,
+                                queue_bytes: port.data_bytes,
+                            },
+                        );
+                    }
                 }
             }
             port.data_bytes -= pkt.size_bytes as u64;
@@ -633,11 +666,25 @@ impl Engine {
                     self.ports[l].paused = true;
                     self.ports[l].paused_since = Some(self.now);
                     self.ports[l].pauses += 1;
+                    obs::metrics::counter_inc("netsim.pfc_pauses");
+                    if obs::trace::enabled() {
+                        obs::trace::record(
+                            self.now.as_secs_f64(),
+                            obs::Event::PfcPause { link: l as u64 },
+                        );
+                    }
                 } else if resume && self.ports[l].paused {
                     self.ports[l].paused = false;
                     if let Some(since) = self.ports[l].paused_since.take() {
                         let d = self.now.saturating_since(since);
                         self.ports[l].paused_total += d;
+                    }
+                    obs::metrics::counter_inc("netsim.pfc_resumes");
+                    if obs::trace::enabled() {
+                        obs::trace::record(
+                            self.now.as_secs_f64(),
+                            obs::Event::PfcResume { link: l as u64 },
+                        );
                     }
                     self.try_transmit(LinkId(l));
                 }
@@ -683,6 +730,13 @@ impl Engine {
                     if due {
                         recv.last_cnp = Some(self.now);
                         self.cnps_sent += 1;
+                        obs::metrics::counter_inc("netsim.cnps_sent");
+                        if obs::trace::enabled() {
+                            obs::trace::record(
+                                self.now.as_secs_f64(),
+                                obs::Event::CnpSent { flow: f.0 as u64 },
+                            );
+                        }
                         let cnp = Packet {
                             id: 0,
                             flow: f,

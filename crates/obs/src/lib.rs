@@ -1,0 +1,110 @@
+//! # obs — zero-cost, deterministic instrumentation
+//!
+//! The simulator's observability layer (DESIGN.md "Observability model"):
+//!
+//! * [`metrics`] — a process-global [`metrics::Registry`] of named counters,
+//!   gauges and fixed-bucket histograms with a deterministic, name-sorted
+//!   JSON snapshot;
+//! * [`trace`] — sim-time structured event tracing: typed [`Event`]s
+//!   recorded into a bounded per-context ring buffer and exported as JSONL
+//!   keyed by *simulation* time only (never wall clock), so traces are
+//!   byte-identical across `SIM_THREADS` settings;
+//! * [`span`] — wall-clock span timers for bench-phase attribution
+//!   (integrate / locate / compact / event-dispatch). This is the **only**
+//!   module in the sim layer allowed to read the wall clock (simlint exempts
+//!   `crates/obs/src/span.rs` from the `wall-clock` rule, exactly as
+//!   `desim/src/par.rs` is exempt from `thread-spawn`).
+//!
+//! Everything is **off by default**. A disabled instrumentation point costs
+//! one relaxed atomic load and a predictable branch — no locks, no
+//! allocation, no clock reads — which keeps the overhead on the hot DDE and
+//! packet paths under the 1% bench budget. Figure binaries enable the layer
+//! via `--trace <path>` / `--metrics <path>` (see `bench::obs_cli`).
+//!
+//! ## Determinism contract
+//!
+//! * Trace events carry simulation time (`t_s`, seconds) and are ordered by
+//!   `(context, seq)` where `seq` is the record order *within* a context and
+//!   a context never spans threads — `desim::par::par_map` jobs each record
+//!   under their own context id (input index), so the exported JSONL is
+//!   independent of worker count and scheduling.
+//! * Counters are commutative sums of per-event increments; their totals do
+//!   not depend on thread interleaving.
+//! * Gauges are last-write-wins and must only be set from deterministic
+//!   (serial or per-context) code.
+//! * Wall-clock readings never enter traces or metrics — spans live in a
+//!   separate accumulator drained only by the bench harness.
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use span::Phase;
+pub use trace::Event;
+
+use std::fmt::Write as _;
+
+/// Append `x` to `out` in the workspace JSON convention: shortest
+/// round-trip formatting with a forced `.0` for integral values, `null` for
+/// non-finite values (matching `ecn_delay_core::json`).
+pub(crate) fn push_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let start = out.len();
+        let _ = write!(out, "{x}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append a JSON string literal (the instrumentation layer only uses
+/// identifier-like names, but escape defensively).
+pub(crate) fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_formatting_matches_core_json_convention() {
+        let mut s = String::new();
+        push_f64(&mut s, 1.0);
+        assert_eq!(s, "1.0");
+        s.clear();
+        push_f64(&mut s, 0.25);
+        assert_eq!(s, "0.25");
+        s.clear();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        s.clear();
+        push_f64(&mut s, 2.5e-7);
+        assert_eq!(s, "0.00000025");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -131,6 +131,7 @@ impl DcqcnCc {
     /// (QCN semantics shared by both sources).
     fn increase_event(&mut self) {
         self.increases += 1;
+        obs::metrics::counter_inc("dcqcn.increases");
         let f = self.params.fast_recovery_steps;
         if self.byte_stage < f && self.time_stage < f {
             // Fast recovery: halve the gap to the target.
@@ -144,6 +145,7 @@ impl DcqcnCc {
 
     fn cut(&mut self, now: SimTime) {
         self.cuts += 1;
+        obs::metrics::counter_inc("dcqcn.cuts");
         self.rt = self.rc;
         self.rc = (self.rc * (1.0 - self.alpha / 2.0)).max(self.params.min_rate_bps);
         self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g;

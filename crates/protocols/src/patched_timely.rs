@@ -131,9 +131,22 @@ impl CongestionControl for PatchedTimelyCc {
         CcUpdate::rate(self.rate)
     }
 
-    fn on_event(&mut self, _now: SimTime, event: CcEvent) -> CcUpdate {
+    fn on_event(&mut self, now: SimTime, event: CcEvent) -> CcUpdate {
         match event {
-            CcEvent::RttSample { rtt } => CcUpdate::rate(self.update(rtt)),
+            CcEvent::RttSample { rtt } => {
+                let new_rate = self.update(rtt);
+                obs::metrics::counter_inc("patched_timely.gradient_samples");
+                if obs::trace::enabled() {
+                    obs::trace::record(
+                        now.as_secs_f64(),
+                        obs::Event::GradientSample {
+                            gradient: self.gradient(),
+                            rtt_s: rtt.as_secs_f64(),
+                        },
+                    );
+                }
+                CcUpdate::rate(new_rate)
+            }
             _ => CcUpdate::none(),
         }
     }

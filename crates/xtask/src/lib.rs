@@ -6,7 +6,7 @@
 //! | rule | scope | what it bans |
 //! |---|---|---|
 //! | `hash-collections` | sim crates | `HashMap`/`HashSet` (iteration order is unspecified; use `BTreeMap`/`BTreeSet` or `Vec`-indexed storage) |
-//! | `wall-clock` | sim crates | `Instant::now`, `SystemTime`, `thread_rng`, `rand::` (hidden nondeterminism) |
+//! | `wall-clock` | sim crates | `Instant::now`, `SystemTime`, `thread_rng`, `rand::` (hidden nondeterminism); `obs/src/span.rs` is the one sanctioned span-timer surface and is exempt |
 //! | `panic` | library crates | `.unwrap()` / `.expect(` outside `#[cfg(test)]` (library code returns typed errors or documents the invariant with an allow) |
 //! | `index-literal` | sim crates | literal indexing `xs[0]` without a bound-justifying comment on the same or preceding line |
 //! | `unit-suffix` | sim crates | `pub fn` parameters of type `f64` with a time/rate/size-flavoured name but no unit suffix (`_s`, `_us`, `_pps`, `_gbps`, `_bytes`, …) |
@@ -89,8 +89,12 @@ impl fmt::Display for Violation {
 /// Which rule families apply to a file.
 #[derive(Debug, Clone, Copy)]
 pub struct Scope {
-    /// Determinism rules (`hash-collections`, `wall-clock`, `index-literal`).
+    /// Determinism rules (`hash-collections`, `index-literal`).
     pub determinism: bool,
+    /// Wall-clock discipline (`wall-clock`). Tracks `determinism` everywhere
+    /// except `obs/src/span.rs`, the sanctioned span-timer surface (the
+    /// wall-clock analogue of `desim::par` for `thread-spawn`).
+    pub wall_clock: bool,
     /// Panic discipline (`panic`).
     pub panic_discipline: bool,
     /// Unit-suffix naming on public signatures.
@@ -101,7 +105,9 @@ pub struct Scope {
 }
 
 /// Crates whose *logic* must be deterministic and dimensionally sound.
-pub const SIM_CRATES: &[&str] = &["desim", "netsim", "fluid", "protocols", "models"];
+/// `obs` is included: instrumentation that perturbs determinism would
+/// invalidate the traces it exists to produce.
+pub const SIM_CRATES: &[&str] = &["desim", "netsim", "fluid", "protocols", "models", "obs"];
 /// Crates held to library panic discipline.
 pub const LIB_CRATES: &[&str] = &[
     "desim",
@@ -109,6 +115,7 @@ pub const LIB_CRATES: &[&str] = &[
     "fluid",
     "protocols",
     "models",
+    "obs",
     "workload",
     "control",
 ];
@@ -132,11 +139,14 @@ pub fn scope_for(rel: &Path) -> Option<Scope> {
         return None;
     }
     let is_par_executor = rel == Path::new("crates/desim/src/par.rs");
+    let is_span_timer = rel == Path::new("crates/obs/src/span.rs");
+    let sim = SIM_CRATES.contains(&krate.as_str());
     Some(Scope {
-        determinism: SIM_CRATES.contains(&krate.as_str()),
+        determinism: sim,
+        wall_clock: sim && !is_span_timer,
         panic_discipline: LIB_CRATES.contains(&krate.as_str()),
-        unit_suffix: SIM_CRATES.contains(&krate.as_str()),
-        thread_spawn: SIM_CRATES.contains(&krate.as_str()) && !is_par_executor,
+        unit_suffix: sim,
+        thread_spawn: sim && !is_par_executor,
     })
 }
 
@@ -392,7 +402,7 @@ pub fn lint_source(file: &Path, source: &str, scope: Scope) -> Vec<Violation> {
                 }
             }
         }
-        if scope.determinism && !allowed(idx, Rule::WallClock) {
+        if scope.wall_clock && !allowed(idx, Rule::WallClock) {
             for tok in WALL_CLOCK_TOKENS {
                 if code.contains(tok) {
                     push(
@@ -661,6 +671,7 @@ pub fn lint_path_strict(path: &Path) -> std::io::Result<Vec<Violation>> {
         &src,
         Scope {
             determinism: true,
+            wall_clock: true,
             panic_discipline: true,
             unit_suffix: true,
             thread_spawn: true,
@@ -678,6 +689,7 @@ mod tests {
             src,
             Scope {
                 determinism: true,
+                wall_clock: true,
                 panic_discipline: true,
                 unit_suffix: true,
                 thread_spawn: true,
@@ -856,6 +868,47 @@ mod tests {
         assert!(scope.determinism, "other rules still apply to par.rs");
         let scope = scope_for(Path::new("crates/desim/src/event.rs")).unwrap();
         assert!(scope.thread_spawn);
+    }
+
+    #[test]
+    fn span_timer_file_is_exempt_from_wall_clock_only() {
+        let scope = scope_for(Path::new("crates/obs/src/span.rs")).unwrap();
+        assert!(!scope.wall_clock);
+        assert!(
+            scope.determinism && scope.panic_discipline && scope.thread_spawn,
+            "every other rule still applies to obs/src/span.rs"
+        );
+        // The rest of the obs crate gets the full sim-crate treatment.
+        let scope = scope_for(Path::new("crates/obs/src/trace.rs")).unwrap();
+        assert!(scope.wall_clock && scope.determinism);
+    }
+
+    #[test]
+    fn wall_clock_scope_tracks_determinism_elsewhere() {
+        for p in [
+            "crates/desim/src/event.rs",
+            "crates/desim/src/par.rs",
+            "crates/fluid/src/dde.rs",
+        ] {
+            let scope = scope_for(Path::new(p)).unwrap();
+            assert_eq!(scope.wall_clock, scope.determinism, "{p}");
+        }
+    }
+
+    #[test]
+    fn wall_clock_not_flagged_when_scope_disables_it() {
+        let v = lint_source(
+            Path::new("span.rs"),
+            "pub fn stamp() -> std::time::Instant { std::time::Instant::now() }\n",
+            Scope {
+                determinism: true,
+                wall_clock: false,
+                panic_discipline: true,
+                unit_suffix: true,
+                thread_spawn: true,
+            },
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

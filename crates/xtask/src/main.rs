@@ -17,7 +17,7 @@ use desim::SimDuration;
 use desim::SimTime;
 use ecn_delay_core::scenarios::{single_switch_longlived, Protocol};
 use netsim::EngineConfig;
-use xtask::{lint_path_strict, lint_workspace, Rule};
+use xtask::{lint_path_strict, lint_source, lint_workspace, scope_for, Rule};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -109,6 +109,38 @@ fn cmd_selftest() -> ExitCode {
                 eprintln!("selftest FAIL: {name}: {e}");
                 failed = true;
             }
+        }
+    }
+    // The span-timer allowlist: the real `obs/src/span.rs` must trip
+    // `wall-clock` under the strict (allowlist-free) scope — it genuinely
+    // reads `Instant::now` — yet lint clean under its workspace scope,
+    // proving the path-based exemption is what suppresses it.
+    let span = Path::new("crates/obs/src/span.rs");
+    let span_abs = workspace_root().join(span);
+    match std::fs::read_to_string(&span_abs) {
+        Ok(src) => {
+            let strict_hits = lint_path_strict(&span_abs)
+                .map(|vs| vs.iter().filter(|v| v.rule == Rule::WallClock).count())
+                .unwrap_or(0);
+            let scoped = scope_for(span).map_or_else(Vec::new, |s| lint_source(span, &src, s));
+            if strict_hits == 0 {
+                eprintln!("selftest FAIL: obs/src/span.rs no longer exercises wall-clock");
+                failed = true;
+            } else if !scoped.is_empty() {
+                eprintln!("selftest FAIL: obs/src/span.rs not clean under workspace scope:");
+                for v in &scoped {
+                    eprintln!("  {v}");
+                }
+                failed = true;
+            } else {
+                println!(
+                    "selftest ok: obs/src/span.rs -> wall-clock x{strict_hits} strict, exempt in scope"
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("selftest FAIL: read {}: {e}", span_abs.display());
+            failed = true;
         }
     }
     if failed {
