@@ -60,6 +60,7 @@ fn main() {
         "ext_pi_packet",
         "ext_parking_lot",
         "ext_pfc",
+        "ext_faults",
         "ablations",
         "appendix_b",
     ];
@@ -94,6 +95,17 @@ fn main() {
             failed.push(*f);
         }
     }
-    assert!(failed.is_empty(), "figures failed: {failed:?}");
+    // Graceful degradation: the successful figures' JSON is already on disk
+    // at this point — report the failures and exit nonzero instead of
+    // aborting, so a single bad figure never hides the rest of the output.
+    if !failed.is_empty() {
+        eprintln!(
+            "{}/{} figures failed: {failed:?} (the remaining {} completed and wrote results/)",
+            failed.len(),
+            outputs.len(),
+            outputs.len() - failed.len()
+        );
+        std::process::exit(1);
+    }
     println!("\nall figures regenerated; JSON in results/");
 }

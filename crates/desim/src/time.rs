@@ -145,7 +145,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow")) // simlint: allow(panic) — overflow is a programming error
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow")) // simlint: allow(panic, no-unwrap-sim) — overflow is a programming error
     }
 }
 
@@ -158,21 +158,21 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration")) // simlint: allow(panic) — underflow is a programming error
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration")) // simlint: allow(panic, no-unwrap-sim) — underflow is a programming error
     }
 }
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow")) // simlint: allow(panic) — underflow is a programming error
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow")) // simlint: allow(panic, no-unwrap-sim) — underflow is a programming error
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow")) // simlint: allow(panic) — overflow is a programming error
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow")) // simlint: allow(panic, no-unwrap-sim) — overflow is a programming error
     }
 }
 
@@ -185,7 +185,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration")) // simlint: allow(panic) — underflow is a programming error
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration")) // simlint: allow(panic, no-unwrap-sim) — underflow is a programming error
     }
 }
 

@@ -1,0 +1,171 @@
+//! The workspace structured-error type.
+//!
+//! Simulator entry points that can be handed bad input (configs, topologies,
+//! flow sets, fault specs) validate at construction and return a
+//! [`SimError`] with enough context to identify the failing field. The
+//! numeric core's divergence watchdog reports runaway integrations as
+//! [`SimError::Divergence`] carrying the time, state norm and last step, so
+//! a sweep driver can log the failed point and continue with the rest of
+//! the sweep instead of aborting the process.
+
+use std::fmt;
+
+/// Convenience alias for results carrying a [`SimError`].
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Structured simulator error.
+///
+/// `Display` renders a single human-readable line that always contains the
+/// `detail` text, so panicking compatibility wrappers (`Topology::new`,
+/// `integrate_dde`) preserve the exact messages existing `#[should_panic]`
+/// tests match on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration value failed validation at construction time.
+    InvalidConfig {
+        /// Which component rejected the configuration (e.g. `"EngineConfig"`).
+        context: String,
+        /// What exactly was wrong, naming the offending field/value.
+        detail: String,
+    },
+    /// A topology failed a sanity check (endpoints, capacities, routes).
+    InvalidTopology {
+        /// Which builder or check rejected the topology.
+        context: String,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// A flow registration was unusable (bad endpoints, no route).
+    InvalidFlow {
+        /// Which check rejected the flow.
+        context: String,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// A fault-spec document (`--faults <spec.json>`) failed to parse.
+    InvalidSpec {
+        /// Parse failure description, including the byte offset.
+        detail: String,
+    },
+    /// The divergence watchdog tripped: NaN/Inf or exploding state.
+    Divergence {
+        /// Which integrator detected the divergence.
+        context: String,
+        /// Simulated time at which the watchdog tripped.
+        t_s: f64,
+        /// Max-norm of the state vector (NaN if a component was non-finite).
+        state_norm: f64,
+        /// Size of the last attempted step in seconds.
+        last_step_s: f64,
+        /// Index of the failing step.
+        step: u64,
+    },
+}
+
+impl SimError {
+    /// Shorthand for [`SimError::InvalidConfig`].
+    pub fn config(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`SimError::InvalidTopology`].
+    pub fn topology(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::InvalidTopology {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`SimError::InvalidFlow`].
+    pub fn flow(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::InvalidFlow {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`SimError::InvalidSpec`].
+    pub fn spec(detail: impl Into<String>) -> Self {
+        SimError::InvalidSpec {
+            detail: detail.into(),
+        }
+    }
+
+    /// True for the watchdog variant — sweep drivers use this to separate
+    /// "bad input" (a bug in the sweep) from "this point diverged" (a
+    /// legitimate result to record).
+    pub fn is_divergence(&self) -> bool {
+        matches!(self, SimError::Divergence { .. })
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { context, detail } => {
+                write!(f, "invalid config ({context}): {detail}")
+            }
+            SimError::InvalidTopology { context, detail } => {
+                write!(f, "invalid topology ({context}): {detail}")
+            }
+            SimError::InvalidFlow { context, detail } => {
+                write!(f, "invalid flow ({context}): {detail}")
+            }
+            SimError::InvalidSpec { detail } => write!(f, "invalid fault spec: {detail}"),
+            SimError::Divergence {
+                context,
+                t_s,
+                state_norm,
+                last_step_s,
+                step,
+            } => write!(
+                f,
+                "numeric divergence in {context}: t={t_s:.6e} s, state norm {state_norm:.3e}, \
+                 last step {last_step_s:.3e} s, step {step}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = SimError::topology("Topology::new", "no route from host 0 to host 1");
+        assert!(e.to_string().contains("no route"));
+        let e = SimError::config("integrate_dde", "step 2 exceeds smallest delay 1");
+        assert!(e.to_string().contains("exceeds smallest delay"));
+    }
+
+    #[test]
+    fn divergence_diagnostic_fields_rendered() {
+        let e = SimError::Divergence {
+            context: "dde integration".to_string(),
+            t_s: 0.125,
+            state_norm: 3.5e13,
+            last_step_s: 1e-5,
+            step: 42,
+        };
+        let s = e.to_string();
+        assert!(s.contains("dde integration"), "{s}");
+        assert!(s.contains("1.250000e-1"), "{s}");
+        assert!(s.contains("3.500e13"), "{s}");
+        assert!(s.contains("step 42"), "{s}");
+        assert!(e.is_divergence());
+        assert!(!SimError::spec("x").is_divergence());
+    }
+
+    #[test]
+    fn errors_are_comparable_and_cloneable() {
+        let a = SimError::flow("add_flow", "flow endpoints must differ");
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, SimError::flow("add_flow", "other"));
+    }
+}

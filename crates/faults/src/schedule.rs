@@ -1,0 +1,467 @@
+//! Typed, seeded fault schedules.
+//!
+//! A [`FaultSchedule`] is a list of [`FaultEvent`]s — each an absolute
+//! activation time plus a [`FaultKind`] — that the packet engine compiles
+//! onto its event queue before the run starts. The schedule also carries its
+//! own `seed`: every probabilistic fault decision (loss coin flips, jitter
+//! samples) is drawn from a per-link [`SimRng`] sub-stream derived by
+//! [`link_stream`] from `(seed, link id)`, never from the engine's marking
+//! RNG. Two consequences:
+//!
+//! * an all-zero or empty schedule leaves the baseline run bit-for-bit
+//!   unchanged (no extra RNG draws on the marking stream), and
+//! * faults on one link never shift the random sequence seen by another,
+//!   so runs are byte-identical across `SIM_THREADS` and robust to
+//!   reordering unrelated schedule entries.
+
+use crate::error::SimError;
+use desim::SimRng;
+
+/// Golden-ratio multiplier used to decorrelate per-link sub-streams (same
+/// constant as [`SimRng::fork`]).
+const STREAM_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derive the fault RNG sub-stream for `(seed, link)`.
+///
+/// Keyed derivation (rather than sequential forking) makes the stream a
+/// pure function of the schedule seed and the link id: it does not depend
+/// on how many other links carry faults or in what order the schedule was
+/// built.
+pub fn link_stream(seed: u64, link: usize) -> SimRng {
+    let label = (link as u64).wrapping_add(1).wrapping_mul(STREAM_MIX);
+    SimRng::new(seed.rotate_left(23) ^ label)
+}
+
+/// Mid-run parameter perturbation targets (the knobs the paper's stability
+/// results are most sensitive to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamTarget {
+    /// Scale the RED/ECN upper marking threshold `K_max` (Eq 3).
+    RedKmax,
+    /// Scale the congestion-control additive-increase step (DCQCN `R_AI`).
+    CcRateIncrease,
+}
+
+impl ParamTarget {
+    /// Stable label used in obs trace events and spec files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ParamTarget::RedKmax => "red_kmax",
+            ParamTarget::CcRateIncrease => "cc_rate_increase",
+        }
+    }
+}
+
+/// One kind of injectable fault. Windowed kinds (`duration_s`) are active
+/// for `[at_s, at_s + duration_s)`; overlapping windows on the same link
+/// compose (loss probabilities combine as `1 − Π(1 − pᵢ)`, delays add).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Take a link down at `at_s` and bring it back after `down_s`. While
+    /// down, nothing (data or control) is transmitted; queued packets wait
+    /// and in-flight deliveries complete.
+    LinkFlap {
+        /// Index of the affected link.
+        link: usize,
+        /// Outage length in seconds.
+        down_s: f64,
+    },
+    /// Bernoulli loss of *data* packets delivered over a link.
+    PacketLoss {
+        /// Index of the affected link.
+        link: usize,
+        /// Per-packet drop probability in `[0, 1]`.
+        probability: f64,
+        /// Window length in seconds.
+        duration_s: f64,
+    },
+    /// Bernoulli loss of *CNP* (congestion-notification) packets delivered
+    /// over a link — models the paper's concern that lost feedback stalls
+    /// rate decrease while the queue keeps growing.
+    CnpLoss {
+        /// Index of the affected link.
+        link: usize,
+        /// Per-CNP drop probability in `[0, 1]`.
+        probability: f64,
+        /// Window length in seconds.
+        duration_s: f64,
+    },
+    /// Per-packet exponential extra delivery delay with mean `sigma_s`
+    /// (memoryless, so packets naturally reorder) — RTT measurement noise,
+    /// the failure mode delay-based schemes are most fragile to.
+    RttJitter {
+        /// Index of the affected link.
+        link: usize,
+        /// Mean of the exponential extra delay, seconds.
+        sigma_s: f64,
+        /// Window length in seconds.
+        duration_s: f64,
+    },
+    /// Constant extra propagation delay — a routing detour or a congested
+    /// middle hop outside the modeled topology.
+    DelaySpike {
+        /// Index of the affected link.
+        link: usize,
+        /// Extra one-way delay in seconds.
+        extra_s: f64,
+        /// Window length in seconds.
+        duration_s: f64,
+    },
+    /// Periodic forced PFC-style pauses on a link into a slow receiver:
+    /// every `period_s`, data transmission pauses for
+    /// `period_s * pause_frac` (control packets still flow, matching PFC
+    /// priority semantics).
+    PauseStorm {
+        /// Index of the affected link (the slow receiver's ingress).
+        link: usize,
+        /// Storm period in seconds.
+        period_s: f64,
+        /// Fraction of each period spent paused, in `[0, 1]`.
+        pause_frac: f64,
+        /// Total storm length in seconds.
+        duration_s: f64,
+    },
+    /// Scale a protocol/AQM parameter mid-run (applies immediately and
+    /// permanently at `at_s`).
+    Perturb {
+        /// Which parameter to scale.
+        target: ParamTarget,
+        /// Multiplicative factor (e.g. `0.25` quarters `K_max`).
+        scale: f64,
+    },
+}
+
+impl FaultKind {
+    /// The link this fault targets, if it is link-scoped.
+    pub fn link(&self) -> Option<usize> {
+        match *self {
+            FaultKind::LinkFlap { link, .. }
+            | FaultKind::PacketLoss { link, .. }
+            | FaultKind::CnpLoss { link, .. }
+            | FaultKind::RttJitter { link, .. }
+            | FaultKind::DelaySpike { link, .. }
+            | FaultKind::PauseStorm { link, .. } => Some(link),
+            FaultKind::Perturb { .. } => None,
+        }
+    }
+}
+
+/// One scheduled fault: an activation time plus a kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Absolute activation time in seconds from run start.
+    pub at_s: f64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A seeded schedule of fault events (see module docs for the determinism
+/// contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Seed for the per-link fault RNG sub-streams ([`link_stream`]).
+    pub seed: u64,
+    /// The scheduled events, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule with the given seed. Installing an empty schedule
+    /// is free: the engine takes the fault-plane fast path and the run is
+    /// bit-identical to one with no schedule at all.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Append an arbitrary event (builder style).
+    pub fn push(mut self, at_s: f64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at_s, kind });
+        self
+    }
+
+    /// Link down at `at_s`, back up `down_s` later.
+    pub fn link_flap(self, at_s: f64, link: usize, down_s: f64) -> Self {
+        self.push(at_s, FaultKind::LinkFlap { link, down_s })
+    }
+
+    /// Bernoulli data-packet loss window.
+    pub fn packet_loss(self, at_s: f64, link: usize, probability: f64, duration_s: f64) -> Self {
+        self.push(
+            at_s,
+            FaultKind::PacketLoss {
+                link,
+                probability,
+                duration_s,
+            },
+        )
+    }
+
+    /// Bernoulli CNP loss window.
+    pub fn cnp_loss(self, at_s: f64, link: usize, probability: f64, duration_s: f64) -> Self {
+        self.push(
+            at_s,
+            FaultKind::CnpLoss {
+                link,
+                probability,
+                duration_s,
+            },
+        )
+    }
+
+    /// Exponential per-packet extra-delay (jitter/reorder) window.
+    pub fn rtt_jitter(self, at_s: f64, link: usize, sigma_s: f64, duration_s: f64) -> Self {
+        self.push(
+            at_s,
+            FaultKind::RttJitter {
+                link,
+                sigma_s,
+                duration_s,
+            },
+        )
+    }
+
+    /// Constant extra-delay window.
+    pub fn delay_spike(self, at_s: f64, link: usize, extra_s: f64, duration_s: f64) -> Self {
+        self.push(
+            at_s,
+            FaultKind::DelaySpike {
+                link,
+                extra_s,
+                duration_s,
+            },
+        )
+    }
+
+    /// Periodic forced-pause storm.
+    pub fn pause_storm(
+        self,
+        at_s: f64,
+        link: usize,
+        period_s: f64,
+        pause_frac: f64,
+        duration_s: f64,
+    ) -> Self {
+        self.push(
+            at_s,
+            FaultKind::PauseStorm {
+                link,
+                period_s,
+                pause_frac,
+                duration_s,
+            },
+        )
+    }
+
+    /// Mid-run parameter perturbation.
+    pub fn perturb(self, at_s: f64, target: ParamTarget, scale: f64) -> Self {
+        self.push(at_s, FaultKind::Perturb { target, scale })
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validate the schedule against a topology with `n_links` links.
+    ///
+    /// Checks every activation time and kind-specific field (finite,
+    /// non-negative durations, probabilities and fractions in `[0, 1]`,
+    /// link indices in range, positive finite scales/periods) and returns
+    /// the first violation as a descriptive [`SimError`].
+    pub fn validate(&self, n_links: usize) -> Result<(), SimError> {
+        let err = |i: usize, what: String| {
+            Err(SimError::config(
+                "fault schedule",
+                format!("event {i}: {what}"),
+            ))
+        };
+        for (i, ev) in self.events.iter().enumerate() {
+            if !ev.at_s.is_finite() || ev.at_s < 0.0 {
+                return err(
+                    i,
+                    format!("activation time {} must be finite and >= 0", ev.at_s),
+                );
+            }
+            if let Some(link) = ev.kind.link() {
+                if link >= n_links {
+                    return err(
+                        i,
+                        format!("link {link} out of range (topology has {n_links})"),
+                    );
+                }
+            }
+            let finite_nonneg = |v: f64| v.is_finite() && v >= 0.0;
+            match ev.kind {
+                FaultKind::LinkFlap { down_s, .. } => {
+                    if !finite_nonneg(down_s) {
+                        return err(i, format!("down time {down_s} must be finite and >= 0"));
+                    }
+                }
+                FaultKind::PacketLoss {
+                    probability,
+                    duration_s,
+                    ..
+                }
+                | FaultKind::CnpLoss {
+                    probability,
+                    duration_s,
+                    ..
+                } => {
+                    if !(0.0..=1.0).contains(&probability) {
+                        return err(i, format!("loss probability {probability} outside [0, 1]"));
+                    }
+                    if !finite_nonneg(duration_s) {
+                        return err(i, format!("duration {duration_s} must be finite and >= 0"));
+                    }
+                }
+                FaultKind::RttJitter {
+                    sigma_s,
+                    duration_s,
+                    ..
+                } => {
+                    if !finite_nonneg(sigma_s) {
+                        return err(i, format!("jitter sigma {sigma_s} must be finite and >= 0"));
+                    }
+                    if !finite_nonneg(duration_s) {
+                        return err(i, format!("duration {duration_s} must be finite and >= 0"));
+                    }
+                }
+                FaultKind::DelaySpike {
+                    extra_s,
+                    duration_s,
+                    ..
+                } => {
+                    if !finite_nonneg(extra_s) {
+                        return err(i, format!("extra delay {extra_s} must be finite and >= 0"));
+                    }
+                    if !finite_nonneg(duration_s) {
+                        return err(i, format!("duration {duration_s} must be finite and >= 0"));
+                    }
+                }
+                FaultKind::PauseStorm {
+                    period_s,
+                    pause_frac,
+                    duration_s,
+                    ..
+                } => {
+                    if !(period_s.is_finite() && period_s > 0.0) {
+                        return err(i, format!("storm period {period_s} must be finite and > 0"));
+                    }
+                    if !(0.0..=1.0).contains(&pause_frac) {
+                        return err(i, format!("pause fraction {pause_frac} outside [0, 1]"));
+                    }
+                    if !finite_nonneg(duration_s) {
+                        return err(i, format!("duration {duration_s} must be finite and >= 0"));
+                    }
+                }
+                FaultKind::Perturb { scale, .. } => {
+                    if !(scale.is_finite() && scale > 0.0) {
+                        return err(
+                            i,
+                            format!("perturbation scale {scale} must be finite and > 0"),
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> FaultSchedule {
+        FaultSchedule::new(7)
+            .link_flap(0.010, 1, 0.002)
+            .packet_loss(0.0, 0, 0.01, 0.05)
+            .cnp_loss(0.0, 2, 0.2, 0.05)
+            .rtt_jitter(0.0, 1, 10e-6, 0.05)
+            .delay_spike(0.02, 1, 100e-6, 0.005)
+            .pause_storm(0.01, 1, 1e-3, 0.5, 0.02)
+            .perturb(0.05, ParamTarget::RedKmax, 0.25)
+            .perturb(0.05, ParamTarget::CcRateIncrease, 4.0)
+    }
+
+    #[test]
+    fn builder_and_validate_roundtrip() {
+        let s = demo();
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+        assert!(s.validate(3).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        let n = 3;
+        let bad = [
+            FaultSchedule::new(1).link_flap(-1.0, 0, 1e-3),
+            FaultSchedule::new(1).link_flap(0.0, 7, 1e-3),
+            FaultSchedule::new(1).link_flap(0.0, 0, f64::NAN),
+            FaultSchedule::new(1).packet_loss(0.0, 0, 1.5, 1e-3),
+            FaultSchedule::new(1).cnp_loss(0.0, 0, -0.1, 1e-3),
+            FaultSchedule::new(1).rtt_jitter(0.0, 0, -1e-6, 1e-3),
+            FaultSchedule::new(1).delay_spike(0.0, 0, f64::INFINITY, 1e-3),
+            FaultSchedule::new(1).pause_storm(0.0, 0, 0.0, 0.5, 1e-3),
+            FaultSchedule::new(1).pause_storm(0.0, 0, 1e-3, 1.5, 1e-3),
+            FaultSchedule::new(1).perturb(0.0, ParamTarget::RedKmax, 0.0),
+        ];
+        for (i, s) in bad.iter().enumerate() {
+            let e = s.validate(n);
+            assert!(e.is_err(), "case {i} should be rejected");
+            let msg = e.expect_err("checked").to_string();
+            assert!(msg.contains("event 0"), "case {i}: {msg}");
+        }
+        assert!(
+            FaultSchedule::new(1).validate(0).is_ok(),
+            "empty ok on any topo"
+        );
+    }
+
+    #[test]
+    fn link_streams_are_keyed_not_sequential() {
+        // Same (seed, link) -> same stream; different link or seed -> different.
+        let mut a = link_stream(42, 3);
+        let mut b = link_stream(42, 3);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = link_stream(42, 4);
+        let mut d = link_stream(43, 3);
+        let mut a2 = link_stream(42, 3);
+        let same_c = (0..64).filter(|_| a2.next_u64() == c.next_u64()).count();
+        let mut a3 = link_stream(42, 3);
+        let same_d = (0..64).filter(|_| a3.next_u64() == d.next_u64()).count();
+        assert!(same_c < 2, "link-adjacent streams correlate");
+        assert!(same_d < 2, "seed-adjacent streams correlate");
+    }
+
+    #[test]
+    fn kind_link_extraction() {
+        assert_eq!(
+            FaultKind::LinkFlap {
+                link: 5,
+                down_s: 0.0
+            }
+            .link(),
+            Some(5)
+        );
+        assert_eq!(
+            FaultKind::Perturb {
+                target: ParamTarget::RedKmax,
+                scale: 1.0
+            }
+            .link(),
+            None
+        );
+    }
+}

@@ -1,0 +1,538 @@
+//! Parser for `--faults <spec.json>` schedule documents.
+//!
+//! The workspace is dependency-free and the in-tree JSON support
+//! (`ecn_delay_core::json`) is emit-only, so this module carries a minimal
+//! recursive-descent JSON reader — just enough for the flat spec schema,
+//! with byte-offset diagnostics surfaced as [`SimError::InvalidSpec`].
+//!
+//! # Schema
+//!
+//! ```json
+//! {
+//!   "seed": 7,
+//!   "events": [
+//!     {"at_s": 0.010, "kind": "link_flap",   "link": 1, "down_s": 0.002},
+//!     {"at_s": 0.0,   "kind": "packet_loss", "link": 0, "probability": 0.01, "duration_s": 0.05},
+//!     {"at_s": 0.0,   "kind": "cnp_loss",    "link": 2, "probability": 0.2,  "duration_s": 0.05},
+//!     {"at_s": 0.0,   "kind": "rtt_jitter",  "link": 1, "sigma_s": 1e-5,    "duration_s": 0.05},
+//!     {"at_s": 0.02,  "kind": "delay_spike", "link": 1, "extra_s": 1e-4,    "duration_s": 0.005},
+//!     {"at_s": 0.01,  "kind": "pause_storm", "link": 1, "period_s": 1e-3,
+//!      "pause_frac": 0.5, "duration_s": 0.02},
+//!     {"at_s": 0.05,  "kind": "perturb_kmax", "scale": 0.25},
+//!     {"at_s": 0.05,  "kind": "perturb_r_ai", "scale": 4.0}
+//!   ]
+//! }
+//! ```
+//!
+//! `seed` is optional (default 1). Every event requires `at_s` and `kind`;
+//! unknown kinds and unknown keys are rejected so typos fail loudly instead
+//! of silently injecting nothing.
+
+use crate::error::SimError;
+use crate::schedule::{FaultKind, FaultSchedule, ParamTarget};
+
+/// Parse a fault-schedule spec document.
+///
+/// Returns a schedule that has passed field-level checks only; call
+/// [`FaultSchedule::validate`] with the target topology's link count before
+/// installing it.
+pub fn parse_schedule(text: &str) -> Result<FaultSchedule, SimError> {
+    let value = parse_document(text)?;
+    let top = value.as_object("top level")?;
+    let mut seed = 1u64;
+    let mut events_val = None;
+    for (key, v) in top {
+        match key.as_str() {
+            "seed" => {
+                let n = v.as_number("seed")?;
+                if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+                    return Err(SimError::spec(format!(
+                        "seed must be a non-negative integer, got {n}"
+                    )));
+                }
+                seed = n as u64;
+            }
+            "events" => events_val = Some(v),
+            other => return Err(SimError::spec(format!("unknown top-level key {other:?}"))),
+        }
+    }
+    let Some(events_val) = events_val else {
+        return Err(SimError::spec("missing required key \"events\""));
+    };
+    let mut schedule = FaultSchedule::new(seed);
+    for (i, ev) in events_val.as_array("events")?.iter().enumerate() {
+        let (at_s, kind) = parse_event(ev).map_err(|e| match e {
+            SimError::InvalidSpec { detail } => SimError::spec(format!("event {i}: {detail}")),
+            other => other,
+        })?;
+        schedule = schedule.push(at_s, kind);
+    }
+    Ok(schedule)
+}
+
+/// Decode one event object into `(at_s, kind)`.
+fn parse_event(v: &Value) -> Result<(f64, FaultKind), SimError> {
+    let obj = v.as_object("event")?;
+    let kind_name = obj.get_str("kind")?;
+    let at_s = obj.get_num("at_s")?;
+    // Per-kind field sets; `known` lists every accepted key so extras are
+    // rejected.
+    let kind = match kind_name {
+        "link_flap" => {
+            obj.only(&["kind", "at_s", "link", "down_s"])?;
+            FaultKind::LinkFlap {
+                link: obj.get_link()?,
+                down_s: obj.get_num("down_s")?,
+            }
+        }
+        "packet_loss" => {
+            obj.only(&["kind", "at_s", "link", "probability", "duration_s"])?;
+            FaultKind::PacketLoss {
+                link: obj.get_link()?,
+                probability: obj.get_num("probability")?,
+                duration_s: obj.get_num("duration_s")?,
+            }
+        }
+        "cnp_loss" => {
+            obj.only(&["kind", "at_s", "link", "probability", "duration_s"])?;
+            FaultKind::CnpLoss {
+                link: obj.get_link()?,
+                probability: obj.get_num("probability")?,
+                duration_s: obj.get_num("duration_s")?,
+            }
+        }
+        "rtt_jitter" => {
+            obj.only(&["kind", "at_s", "link", "sigma_s", "duration_s"])?;
+            FaultKind::RttJitter {
+                link: obj.get_link()?,
+                sigma_s: obj.get_num("sigma_s")?,
+                duration_s: obj.get_num("duration_s")?,
+            }
+        }
+        "delay_spike" => {
+            obj.only(&["kind", "at_s", "link", "extra_s", "duration_s"])?;
+            FaultKind::DelaySpike {
+                link: obj.get_link()?,
+                extra_s: obj.get_num("extra_s")?,
+                duration_s: obj.get_num("duration_s")?,
+            }
+        }
+        "pause_storm" => {
+            obj.only(&[
+                "kind",
+                "at_s",
+                "link",
+                "period_s",
+                "pause_frac",
+                "duration_s",
+            ])?;
+            FaultKind::PauseStorm {
+                link: obj.get_link()?,
+                period_s: obj.get_num("period_s")?,
+                pause_frac: obj.get_num("pause_frac")?,
+                duration_s: obj.get_num("duration_s")?,
+            }
+        }
+        "perturb_kmax" => {
+            obj.only(&["kind", "at_s", "scale"])?;
+            FaultKind::Perturb {
+                target: ParamTarget::RedKmax,
+                scale: obj.get_num("scale")?,
+            }
+        }
+        "perturb_r_ai" => {
+            obj.only(&["kind", "at_s", "scale"])?;
+            FaultKind::Perturb {
+                target: ParamTarget::CcRateIncrease,
+                scale: obj.get_num("scale")?,
+            }
+        }
+        other => {
+            return Err(SimError::spec(format!(
+                "unknown kind {other:?} (expected one of link_flap, packet_loss, cnp_loss, \
+                 rtt_jitter, delay_spike, pause_storm, perturb_kmax, perturb_r_ai)"
+            )))
+        }
+    };
+    Ok((at_s, kind))
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader. Objects are ordered key/value vectors (no hash maps in
+// simulation-adjacent code) — the spec schema has no duplicate-key use case,
+// and duplicates are rejected.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Obj),
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Obj(Vec<(String, Value)>);
+
+impl Value {
+    fn as_object(&self, what: &str) -> Result<&Obj, SimError> {
+        match self {
+            Value::Obj(o) => Ok(o),
+            _ => Err(SimError::spec(format!("{what} must be an object"))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Value], SimError> {
+        match self {
+            Value::Arr(a) => Ok(a),
+            _ => Err(SimError::spec(format!("{what} must be an array"))),
+        }
+    }
+
+    fn as_number(&self, what: &str) -> Result<f64, SimError> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            _ => Err(SimError::spec(format!("{what} must be a number"))),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Obj {
+    type Item = &'a (String, Value);
+    type IntoIter = std::slice::Iter<'a, (String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl Obj {
+    fn get(&self, key: &str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn get_num(&self, key: &str) -> Result<f64, SimError> {
+        match self.get(key) {
+            Some(v) => v.as_number(key),
+            None => Err(SimError::spec(format!("missing required key {key:?}"))),
+        }
+    }
+
+    fn get_str(&self, key: &str) -> Result<&str, SimError> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Ok(s),
+            Some(_) => Err(SimError::spec(format!("{key} must be a string"))),
+            None => Err(SimError::spec(format!("missing required key {key:?}"))),
+        }
+    }
+
+    fn get_link(&self) -> Result<usize, SimError> {
+        let n = self.get_num("link")?;
+        if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+            return Err(SimError::spec(format!(
+                "link must be a non-negative integer, got {n}"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// Reject keys outside `known`.
+    fn only(&self, known: &[&str]) -> Result<(), SimError> {
+        for (k, _) in &self.0 {
+            if !known.contains(&k.as_str()) {
+                return Err(SimError::spec(format!("unknown key {k:?}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_document(text: &str) -> Result<Value, SimError> {
+    let mut r = Reader {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = r.value()?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(r.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, what: &str) -> SimError {
+        SimError::spec(format!("{what} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), SimError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, SimError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, SimError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, SimError> {
+        self.expect_byte(b'{')?;
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(Obj(entries)));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate key {key:?}")));
+            }
+            self.expect_byte(b':')?;
+            let v = self.value()?;
+            entries.push((key, v));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Obj(Obj(entries))),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, SimError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Arr(items)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SimError> {
+        if self.bump() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    // \b, \f, \uXXXX are not needed by the spec schema.
+                    _ => return Err(self.err("unsupported escape")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(_) => {
+                    // Re-read the full UTF-8 scalar from the source slice.
+                    let start = self.pos - 1;
+                    let rest = &self.bytes[start..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let Some(ch) = s.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, SimError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Value::Num(n)),
+            _ => Err(self.err(&format!("invalid number {text:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"{
+      "seed": 7,
+      "events": [
+        {"at_s": 0.010, "kind": "link_flap",   "link": 1, "down_s": 0.002},
+        {"at_s": 0.0,   "kind": "packet_loss", "link": 0, "probability": 0.01, "duration_s": 0.05},
+        {"at_s": 0.0,   "kind": "cnp_loss",    "link": 2, "probability": 0.2,  "duration_s": 0.05},
+        {"at_s": 0.0,   "kind": "rtt_jitter",  "link": 1, "sigma_s": 1e-5,     "duration_s": 0.05},
+        {"at_s": 0.02,  "kind": "delay_spike", "link": 1, "extra_s": 1e-4,     "duration_s": 0.005},
+        {"at_s": 0.01,  "kind": "pause_storm", "link": 1, "period_s": 1e-3,
+         "pause_frac": 0.5, "duration_s": 0.02},
+        {"at_s": 0.05,  "kind": "perturb_kmax", "scale": 0.25},
+        {"at_s": 0.05,  "kind": "perturb_r_ai", "scale": 4.0}
+      ]
+    }"#;
+
+    #[test]
+    fn full_spec_parses_every_kind() {
+        let s = parse_schedule(FULL).expect("parses");
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.len(), 8);
+        assert!(s.validate(3).is_ok());
+        assert_eq!(
+            s.events[0].kind,
+            FaultKind::LinkFlap {
+                link: 1,
+                down_s: 0.002
+            }
+        );
+        assert_eq!(
+            s.events[7].kind,
+            FaultKind::Perturb {
+                target: ParamTarget::CcRateIncrease,
+                scale: 4.0
+            }
+        );
+    }
+
+    #[test]
+    fn seed_defaults_to_one() {
+        let s = parse_schedule(r#"{"events": []}"#).expect("parses");
+        assert_eq!(s.seed, 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn malformed_documents_are_structured_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "expected a JSON value"),
+            ("[1, 2]", "must be an object"),
+            ("{\"events\": []} x", "trailing characters"),
+            ("{\"seed\": 1}", "missing required key \"events\""),
+            ("{\"seed\": 1.5, \"events\": []}", "non-negative integer"),
+            ("{\"bogus\": 1, \"events\": []}", "unknown top-level key"),
+            (
+                "{\"events\": [{\"at_s\": 0}]}",
+                "missing required key \"kind\"",
+            ),
+            (
+                "{\"events\": [{\"kind\": \"warp_core_breach\", \"at_s\": 0}]}",
+                "unknown kind",
+            ),
+            (
+                "{\"events\": [{\"kind\": \"link_flap\", \"at_s\": 0, \"link\": 0, \
+                 \"down_s\": 1e-3, \"oops\": 1}]}",
+                "unknown key",
+            ),
+            (
+                "{\"events\": [{\"kind\": \"link_flap\", \"at_s\": 0, \"link\": 0.5, \
+                 \"down_s\": 1e-3}]}",
+                "non-negative integer",
+            ),
+            (
+                "{\"events\": [{\"kind\": \"link_flap\", \"at_s\": \"x\", \"link\": 0, \
+                 \"down_s\": 1e-3}]}",
+                "must be a number",
+            ),
+            (
+                "{\"seed\": 1, \"seed\": 2, \"events\": []}",
+                "duplicate key",
+            ),
+            ("{\"events\": [{]}", "expected string"),
+        ];
+        for (doc, needle) in cases {
+            let e = parse_schedule(doc);
+            assert!(e.is_err(), "{doc:?} should fail");
+            let msg = e.expect_err("checked").to_string();
+            assert!(
+                msg.contains(needle),
+                "{doc:?}: expected {needle:?} in {msg:?}"
+            );
+            assert!(msg.contains("invalid fault spec"), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn event_errors_name_the_event_index() {
+        let doc = r#"{"events": [
+            {"at_s": 0.0, "kind": "perturb_kmax", "scale": 1.0},
+            {"at_s": 0.0, "kind": "nope"}
+        ]}"#;
+        let msg = parse_schedule(doc).expect_err("bad kind").to_string();
+        assert!(msg.contains("event 1"), "{msg}");
+    }
+
+    #[test]
+    fn unicode_and_escapes_in_strings() {
+        let doc = "{\"events\": [{\"kind\": \"caf\u{e9}\\n\", \"at_s\": 0}]}";
+        let msg = parse_schedule(doc).expect_err("unknown kind").to_string();
+        assert!(msg.contains("unknown kind"), "{msg}");
+    }
+}

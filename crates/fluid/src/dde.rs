@@ -10,6 +10,12 @@
 
 use crate::history::History;
 use crate::trace::Trace;
+use faults::SimError;
+
+/// Divergence-watchdog threshold on the state max-norm. The physical states
+/// here are queues in packets/bytes (≤ 1e7) and rates in bits/second (≤ 1e11);
+/// anything past this bound is numerical blow-up, not physics.
+pub const DIVERGENCE_NORM: f64 = 1e12;
 
 /// A delay differential system `dx/dt = f(t, x(t), history)`.
 pub trait DdeSystem {
@@ -104,6 +110,9 @@ pub fn integrate_dde<S: DdeSystem>(
 
 /// Integrate with an explicit constant pre-history `pre` (may differ from the
 /// initial state, e.g. "queue was empty but rates were at line rate").
+///
+/// Panics on invalid options or divergence; sweep drivers that must survive
+/// individual bad points use [`try_integrate_dde_with_prehistory`].
 pub fn integrate_dde_with_prehistory<S: DdeSystem>(
     sys: &mut S,
     x0: &[f64],
@@ -112,16 +121,65 @@ pub fn integrate_dde_with_prehistory<S: DdeSystem>(
     t1: f64,
     opts: &DdeOptions,
 ) -> Trace {
+    try_integrate_dde_with_prehistory(sys, x0, pre, t0, t1, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`integrate_dde`]: structured errors instead of panics.
+pub fn try_integrate_dde<S: DdeSystem>(
+    sys: &mut S,
+    x0: &[f64],
+    t0: f64,
+    t1: f64,
+    opts: &DdeOptions,
+) -> Result<Trace, SimError> {
+    try_integrate_dde_with_prehistory(sys, x0, x0, t0, t1, opts)
+}
+
+/// Fallible variant of [`integrate_dde_with_prehistory`].
+///
+/// Returns [`SimError::InvalidConfig`] for a bad window/step/dimension and
+/// [`SimError::Divergence`] when the watchdog detects NaN/Inf or an exploding
+/// state (max-norm beyond [`DIVERGENCE_NORM`]). On divergence the error
+/// carries the time, state norm and last step so the caller can record the
+/// failed point and continue the sweep.
+pub fn try_integrate_dde_with_prehistory<S: DdeSystem>(
+    sys: &mut S,
+    x0: &[f64],
+    pre: &[f64],
+    t0: f64,
+    t1: f64,
+    opts: &DdeOptions,
+) -> Result<Trace, SimError> {
     let n = sys.dim();
-    assert_eq!(x0.len(), n);
-    assert_eq!(pre.len(), n);
-    assert!(opts.step > 0.0 && t1 >= t0, "bad integration window");
+    if x0.len() != n || pre.len() != n {
+        return Err(SimError::config(
+            "integrate_dde",
+            format!(
+                "state dimension mismatch: system dim {n}, x0 len {}, pre len {}",
+                x0.len(),
+                pre.len()
+            ),
+        ));
+    }
+    if !(opts.step > 0.0 && opts.step.is_finite() && t1 >= t0) {
+        return Err(SimError::config(
+            "integrate_dde",
+            format!(
+                "bad integration window: step {} over [{t0}, {t1}]",
+                opts.step
+            ),
+        ));
+    }
     let min_delay = sys.min_delay();
-    assert!(
-        min_delay.is_infinite() || opts.step <= min_delay,
-        "step {} exceeds smallest delay {min_delay}; results would be inconsistent",
-        opts.step
-    );
+    if !(min_delay.is_infinite() || opts.step <= min_delay) {
+        return Err(SimError::config(
+            "integrate_dde",
+            format!(
+                "step {} exceeds smallest delay {min_delay}; results would be inconsistent",
+                opts.step
+            ),
+        ));
+    }
 
     let mut hist = History::new(t0, pre);
     if pre != x0 {
@@ -156,7 +214,36 @@ pub fn integrate_dde_with_prehistory<S: DdeSystem>(
         rk4_combine(&mut x, h, &k1, &k2, &k3, &k4);
         t += h;
         sys.project(t, &mut x);
-        desim::invariants::finite_state("dde integration", t, &x);
+        // Divergence watchdog: NaN/Inf or an exploding state bails with a
+        // structured diagnostic instead of taking the whole process down.
+        let mut norm = 0.0f64;
+        let mut finite = true;
+        for &xi in &x {
+            if !xi.is_finite() {
+                finite = false;
+            }
+            norm = norm.max(xi.abs());
+        }
+        if !finite || norm > DIVERGENCE_NORM {
+            let state_norm = if finite { norm } else { f64::NAN };
+            obs::metrics::counter_inc("fluid.watchdog_trips");
+            if obs::trace::enabled() {
+                obs::trace::record(
+                    t,
+                    obs::Event::WatchdogTrip {
+                        step: step as u64,
+                        state_norm,
+                    },
+                );
+            }
+            return Err(SimError::Divergence {
+                context: "dde integration".into(),
+                t_s: t,
+                state_norm,
+                last_step_s: h,
+                step: step as u64,
+            });
+        }
         hist.push(t, &x);
         if opts.history_horizon.is_finite() {
             hist.trim_before(t - opts.history_horizon);
@@ -175,7 +262,7 @@ pub fn integrate_dde_with_prehistory<S: DdeSystem>(
             );
         }
     }
-    trace
+    Ok(trace)
 }
 
 #[cfg(test)]
@@ -313,5 +400,125 @@ mod tests {
             history_horizon: f64::INFINITY,
         };
         integrate_dde(&mut UnitDelay, &[1.0], 0.0, 4.0, &opts);
+    }
+
+    #[test]
+    fn try_variant_reports_oversized_step_as_config_error() {
+        let opts = DdeOptions {
+            step: 2.0,
+            record_every: 1,
+            history_horizon: f64::INFINITY,
+        };
+        let e = try_integrate_dde(&mut UnitDelay, &[1.0], 0.0, 4.0, &opts).unwrap_err();
+        assert!(!e.is_divergence());
+        assert!(e.to_string().contains("exceeds smallest delay"), "{e}");
+    }
+
+    #[test]
+    fn step_equal_to_min_delay_is_accepted_and_accurate() {
+        // The boundary case step == min_delay: with x ≡ 1 pre-history the
+        // delayed term is piecewise linear, which RK4 over the interpolated
+        // history integrates exactly — x(1) = 0 and x(2) = -1/2.
+        let opts = DdeOptions {
+            step: 1.0,
+            record_every: 1,
+            history_horizon: f64::INFINITY,
+        };
+        let tr = try_integrate_dde(&mut UnitDelay, &[1.0], 0.0, 2.0, &opts).unwrap();
+        assert_eq!(tr.len(), 3);
+        assert!((tr.state(1)[0]).abs() < 1e-9, "x(1) = {}", tr.state(1)[0]);
+        assert!(
+            (tr.state(2)[0] + 0.5).abs() < 1e-9,
+            "x(2) = {}",
+            tr.state(2)[0]
+        );
+    }
+
+    /// dx/dt = gain·x: explosive for large positive gain, the canonical
+    /// watchdog fodder.
+    struct Explosive {
+        gain: f64,
+    }
+    impl DdeSystem for Explosive {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn rhs(&mut self, _t: f64, x: &[f64], _h: &History, dxdt: &mut [f64]) {
+            dxdt[0] = self.gain * x[0];
+        }
+        fn min_delay(&self) -> f64 {
+            f64::INFINITY
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_on_exploding_state() {
+        let opts = DdeOptions {
+            step: 1e-3,
+            record_every: 1,
+            history_horizon: f64::INFINITY,
+        };
+        let e =
+            try_integrate_dde(&mut Explosive { gain: 1e3 }, &[1.0], 0.0, 1.0, &opts).unwrap_err();
+        assert!(e.is_divergence(), "{e}");
+        let faults::SimError::Divergence {
+            t_s,
+            state_norm,
+            last_step_s,
+            step,
+            ..
+        } = e
+        else {
+            unreachable!()
+        };
+        // e^{1000 t} crosses 1e12 near t ≈ 0.0276: the watchdog must fire
+        // long before the nominal end of the window, while still finite.
+        assert!(t_s < 0.1, "tripped at t = {t_s}");
+        assert!(state_norm > DIVERGENCE_NORM && state_norm.is_finite());
+        assert_eq!(last_step_s, 1e-3);
+        assert!(step > 0);
+    }
+
+    #[test]
+    fn watchdog_trips_on_nan_rhs() {
+        struct NanRhs;
+        impl DdeSystem for NanRhs {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn rhs(&mut self, _t: f64, _x: &[f64], _h: &History, dxdt: &mut [f64]) {
+                dxdt[0] = f64::NAN;
+            }
+            fn min_delay(&self) -> f64 {
+                f64::INFINITY
+            }
+        }
+        let opts = DdeOptions {
+            step: 1e-3,
+            record_every: 1,
+            history_horizon: f64::INFINITY,
+        };
+        let e = try_integrate_dde(&mut NanRhs, &[1.0], 0.0, 1.0, &opts).unwrap_err();
+        let faults::SimError::Divergence {
+            state_norm, step, ..
+        } = e
+        else {
+            panic!("expected divergence, got {e}");
+        };
+        assert!(state_norm.is_nan(), "NaN states report a NaN norm");
+        assert_eq!(step, 1, "NaN must be caught on the very first step");
+    }
+
+    #[test]
+    fn stable_system_unaffected_by_watchdog() {
+        // Same machinery, contracting dynamics: Ok, identical to before.
+        let opts = DdeOptions {
+            step: 1e-3,
+            record_every: 1,
+            history_horizon: f64::INFINITY,
+        };
+        let tr = try_integrate_dde(&mut Explosive { gain: -1.0 }, &[1.0], 0.0, 1.0, &opts).unwrap();
+        let last = tr.last_state().unwrap()[0];
+        assert!((last - (-1.0f64).exp()).abs() < 1e-6, "got {last}");
     }
 }

@@ -61,8 +61,9 @@ impl History {
     /// Append a knot. Times must be non-decreasing.
     pub fn push(&mut self, t: f64, state: &[f64]) {
         assert_eq!(state.len(), self.dim);
-        // simlint: allow(panic) — history is seeded with one knot at construction
-        let last = *self.times.last().expect("history never empty");
+        // In bounds: the history is seeded with one knot at construction and
+        // never shrinks below it.
+        let last = self.times[self.times.len() - 1];
         assert!(t >= last, "history times must be non-decreasing");
         if t == last {
             // Replace the knot (refinement of the same instant).
@@ -81,8 +82,8 @@ impl History {
 
     /// Latest recorded time.
     pub fn t_back(&self) -> f64 {
-        // simlint: allow(panic) — seeded non-empty at construction
-        *self.times.last().unwrap()
+        // In bounds: seeded non-empty at construction, never shrinks below 1.
+        self.times[self.times.len() - 1]
     }
 
     /// Interpolated value of component `c` at time `t`.
@@ -381,6 +382,47 @@ mod tests {
         );
         let t = 19.75;
         assert!((h.eval(t, 0) - 2.0 * t).abs() < 1e-9);
+    }
+
+    /// Knots at t = 0, 1, …, n−1 with x = 2t.
+    fn ramp_history(n: usize) -> History {
+        let mut h = History::new(0.0, &[0.0]);
+        for i in 1..n {
+            let t = i as f64;
+            h.push(t, &[2.0 * t]);
+        }
+        h
+    }
+
+    #[test]
+    fn trim_at_exact_compaction_boundary() {
+        // Compaction requires front > 256 AND front * 2 > times.len().
+        // front == 256 sits exactly on the first boundary: no compaction.
+        let mut h = ramp_history(601);
+        h.trim_before(256.0);
+        assert_eq!(h.front, 256, "at the boundary the front only advances");
+        assert_eq!(h.len(), 601 - 256);
+        // front == 257 passes the first test but 257*2 = 514 < 601: the dead
+        // prefix does not dominate yet, still no compaction.
+        h.trim_before(257.0);
+        assert_eq!(h.front, 257);
+        // Interpolation across the retained range is unaffected.
+        assert_eq!(h.eval(300.5, 0), 601.0);
+        assert_eq!(h.t_front(), 257.0);
+    }
+
+    #[test]
+    fn trim_just_past_compaction_boundary_compacts() {
+        // 513 knots: front = 257 satisfies both front > 256 and
+        // 2*257 = 514 > 513, so this trim must physically compact.
+        let mut h = ramp_history(513);
+        h.trim_before(257.0);
+        assert_eq!(h.front, 0, "compaction resets the physical front");
+        assert_eq!(h.len(), 513 - 257);
+        assert_eq!(h.times.len(), h.len(), "dead prefix physically dropped");
+        assert_eq!(h.eval(400.25, 0), 800.5);
+        // Queries behind the new front return the oldest retained knot.
+        assert_eq!(h.eval(0.0, 0), 2.0 * 257.0);
     }
 
     #[test]

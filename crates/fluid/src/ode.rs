@@ -3,6 +3,7 @@
 //! implementations for the DDE stepper's convergence tests.
 
 use crate::trace::Trace;
+use faults::SimError;
 
 /// A first-order ODE system `dx/dt = f(t, x)`.
 pub trait OdeSystem {
@@ -95,8 +96,35 @@ pub fn integrate_ode<S: OdeSystem>(
     h: f64,
     record_every: usize,
 ) -> Trace {
-    assert!(h > 0.0 && t1 >= t0, "bad integration window");
-    assert_eq!(x0.len(), sys.dim());
+    try_integrate_ode(sys, x0, t0, t1, h, record_every).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`integrate_ode`]: a bad window or dimension mismatch
+/// returns [`SimError::InvalidConfig`] instead of panicking.
+pub fn try_integrate_ode<S: OdeSystem>(
+    sys: &mut S,
+    x0: &[f64],
+    t0: f64,
+    t1: f64,
+    h: f64,
+    record_every: usize,
+) -> Result<Trace, SimError> {
+    if !(h > 0.0 && h.is_finite() && t1 >= t0) {
+        return Err(SimError::config(
+            "integrate_ode",
+            format!("bad integration window: step {h} over [{t0}, {t1}]"),
+        ));
+    }
+    if x0.len() != sys.dim() {
+        return Err(SimError::config(
+            "integrate_ode",
+            format!(
+                "state dimension mismatch: system dim {}, x0 len {}",
+                sys.dim(),
+                x0.len()
+            ),
+        ));
+    }
     let record_every = record_every.max(1);
     let mut x = x0.to_vec();
     let mut work = Rk4Work::new(x.len());
@@ -112,7 +140,7 @@ pub fn integrate_ode<S: OdeSystem>(
             trace.push(t, &x);
         }
     }
-    trace
+    Ok(trace)
 }
 
 /// Integrate with the adaptive Runge–Kutta–Fehlberg 4(5) scheme.
@@ -127,9 +155,38 @@ pub fn integrate_ode_adaptive<S: OdeSystem>(
     tol: f64,
     h_init: f64,
 ) -> Trace {
-    assert!(tol > 0.0 && h_init > 0.0 && t1 >= t0);
+    try_integrate_ode_adaptive(sys, x0, t0, t1, tol, h_init).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`integrate_ode_adaptive`]. Bad inputs return
+/// [`SimError::InvalidConfig`]; a stalled integrator (the step controller
+/// collapsed without reaching `t1`) returns [`SimError::Divergence`] with the
+/// time and step it got stuck at, so sweep drivers can record the point and
+/// move on.
+pub fn try_integrate_ode_adaptive<S: OdeSystem>(
+    sys: &mut S,
+    x0: &[f64],
+    t0: f64,
+    t1: f64,
+    tol: f64,
+    h_init: f64,
+) -> Result<Trace, SimError> {
+    if !(tol > 0.0 && h_init > 0.0 && h_init.is_finite() && t1 >= t0) {
+        return Err(SimError::config(
+            "integrate_ode_adaptive",
+            format!("bad inputs: tol {tol}, h_init {h_init}, window [{t0}, {t1}]"),
+        ));
+    }
     let n = sys.dim();
-    assert_eq!(x0.len(), n);
+    if x0.len() != n {
+        return Err(SimError::config(
+            "integrate_ode_adaptive",
+            format!(
+                "state dimension mismatch: system dim {n}, x0 len {}",
+                x0.len()
+            ),
+        ));
+    }
     let mut x = x0.to_vec();
     let mut t = t0;
     let mut h = h_init.min(t1 - t0).max(f64::MIN_POSITIVE);
@@ -172,8 +229,10 @@ pub fn integrate_ode_adaptive<S: OdeSystem>(
     let mut k = vec![vec![0.0; n]; 6];
     let mut tmp = vec![0.0; n];
     let mut max_iters = 10_000_000usize;
+    let mut iters = 0u64;
     while t < t1 && max_iters > 0 {
         max_iters -= 1;
+        iters += 1;
         h = h.min(t1 - t);
         for s in 0..6 {
             for i in 0..n {
@@ -217,8 +276,17 @@ pub fn integrate_ode_adaptive<S: OdeSystem>(
         };
         h *= scale.clamp(0.2, 2.0);
     }
-    assert!(max_iters > 0, "adaptive integrator failed to advance");
-    trace
+    if max_iters == 0 {
+        let norm = x.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        return Err(SimError::Divergence {
+            context: "rkf45 adaptive integrator failed to advance".into(),
+            t_s: t,
+            state_norm: norm,
+            last_step_s: h,
+            step: iters,
+        });
+    }
+    Ok(trace)
 }
 
 #[cfg(test)]
@@ -305,6 +373,25 @@ mod tests {
         let last = tr.last_state().unwrap()[0];
         // After transients, x ≈ sin t with O(1/50) phase-lag correction.
         assert!((last - 5.0f64.sin()).abs() < 0.05, "got {last}");
+    }
+
+    #[test]
+    fn try_variants_reject_bad_windows() {
+        let mut sys = decay();
+        let e = try_integrate_ode(&mut sys, &[1.0], 1.0, 0.0, 0.01, 1).unwrap_err();
+        assert!(e.to_string().contains("bad integration window"), "{e}");
+        let e = try_integrate_ode(&mut sys, &[1.0, 2.0], 0.0, 1.0, 0.01, 1).unwrap_err();
+        assert!(e.to_string().contains("dimension mismatch"), "{e}");
+        let e = try_integrate_ode_adaptive(&mut sys, &[1.0], 0.0, 1.0, -1e-8, 0.01).unwrap_err();
+        assert!(e.to_string().contains("bad inputs"), "{e}");
+    }
+
+    #[test]
+    fn try_adaptive_matches_panicking_path() {
+        let mut sys = decay();
+        let tr = try_integrate_ode_adaptive(&mut sys, &[1.0], 0.0, 3.0, 1e-10, 0.1).unwrap();
+        let last = tr.last_state().unwrap()[0];
+        assert!((last - (-3.0f64).exp()).abs() < 1e-7, "got {last}");
     }
 
     #[test]

@@ -383,7 +383,7 @@ impl DcqcnFluid {
         // The LHS is monotone increasing in p (paper, proof of Theorem 1):
         // bracket and bisect via Brent.
         let p_star = roots::brent(|pp| lhs(pp) - rhs, 1e-10, 0.999, 1e-14)
-            // simlint: allow(panic) — Theorem 1 guarantees the bracket; a miss is a model bug
+            // simlint: allow(panic, no-unwrap-sim) — Theorem 1 guarantees the bracket; a miss is a model bug
             .expect("Eq 11 must bracket a root: LHS(0) < RHS < LHS(1)");
 
         let q_star_pkts = p_star / p.p_max * (p.kmax_pkts() - p.kmin_pkts()) + p.kmin_pkts(); // Eq 9

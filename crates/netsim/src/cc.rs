@@ -74,6 +74,12 @@ pub trait CongestionControl: std::fmt::Debug {
 
     /// Current rate in bits/second (for tracing).
     fn current_rate_bps(&self) -> f64;
+
+    /// Apply a mid-run fault-plane parameter perturbation: multiply the
+    /// targeted knob by `scale`. The default ignores the request, so
+    /// controllers without the targeted parameter are unaffected (e.g.
+    /// TIMELY has no `R_AI`). Protocols opt in per [`faults::ParamTarget`].
+    fn perturb(&mut self, _target: faults::ParamTarget, _scale: f64) {}
 }
 
 /// A fixed-rate sender (no congestion control) — the baseline for tests and

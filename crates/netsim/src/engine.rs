@@ -29,6 +29,7 @@ use crate::trace::LinkTraceMap;
 use crate::types::{FlowId, Packet, PacketKind};
 use desim::stats::TimeSeries;
 use desim::{EventQueue, SimDuration, SimRng, SimTime};
+use faults::{FaultKind, FaultSchedule, ParamTarget, SimError};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -57,6 +58,11 @@ pub struct EngineConfig {
     pub queue_trace_resolution: f64,
     /// Per-flow throughput trace window; `None` disables rate traces.
     pub rate_trace_window: Option<SimDuration>,
+    /// Optional fault-injection schedule, compiled onto the event queue at
+    /// the start of the run. `None` (and an empty schedule) leave the run
+    /// bit-identical to a fault-free engine — the fault plane draws from
+    /// its own per-link RNG sub-streams, never from the marking RNG.
+    pub faults: Option<FaultSchedule>,
 }
 
 impl Default for EngineConfig {
@@ -73,7 +79,62 @@ impl Default for EngineConfig {
             seed: 1,
             queue_trace_resolution: 20e-6,
             rate_trace_window: Some(SimDuration::from_micros(100)),
+            faults: None,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Validate field ranges, returning a descriptive [`SimError`] naming
+    /// the offending field. [`Engine::try_run`] calls this before the event
+    /// loop starts, so a bad config is a structured error instead of a
+    /// downstream panic or silent NaN. The fault schedule is validated
+    /// separately against the topology's link count at install time.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |detail: String| Err(SimError::config("EngineConfig", detail));
+        if self.mtu_bytes == 0 {
+            return bad("mtu_bytes must be positive".to_string());
+        }
+        if self.control_packet_bytes == 0 {
+            return bad("control_packet_bytes must be positive".to_string());
+        }
+        if self.red.kmin_bytes > self.red.kmax_bytes {
+            return bad(format!(
+                "red.kmin_bytes {} exceeds red.kmax_bytes {}",
+                self.red.kmin_bytes, self.red.kmax_bytes
+            ));
+        }
+        if !(self.red.p_max.is_finite() && (0.0..=1.0).contains(&self.red.p_max)) {
+            return bad(format!("red.p_max {} outside [0, 1]", self.red.p_max));
+        }
+        if !(self.queue_trace_resolution.is_finite() && self.queue_trace_resolution > 0.0) {
+            return bad(format!(
+                "queue_trace_resolution {} must be positive and finite (a zero or negative \
+                 trace interval is meaningless)",
+                self.queue_trace_resolution
+            ));
+        }
+        if let Some(pfc) = &self.pfc {
+            if pfc.resume_threshold_bytes > pfc.pause_threshold_bytes {
+                return bad(format!(
+                    "pfc.resume_threshold_bytes {} exceeds pfc.pause_threshold_bytes {} \
+                     (the port would pause and resume simultaneously)",
+                    pfc.resume_threshold_bytes, pfc.pause_threshold_bytes
+                ));
+            }
+        }
+        if let Some(pi) = &self.pi_aqm {
+            if !(pi.a_per_byte.is_finite() && pi.b_per_byte.is_finite()) {
+                return bad(format!(
+                    "pi_aqm coefficients must be finite (a {}, b {})",
+                    pi.a_per_byte, pi.b_per_byte
+                ));
+            }
+            if pi.update_interval == SimDuration::ZERO {
+                return bad("pi_aqm.update_interval must be positive".to_string());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -86,6 +147,97 @@ enum Ev {
     CcTimer(FlowId, u8),
     /// Periodic PI-AQM controller update across all switch ports.
     AqmTick,
+    /// A compiled fault-plane operation (index into `Engine::fault_ops`).
+    Fault(usize),
+    /// End of one pause-storm forced-pause interval on a link.
+    FaultStormRelease(LinkId),
+}
+
+/// A windowed fault effect active on a link. Loss probabilities across
+/// overlapping windows combine as `1 − Π(1 − pᵢ)`; delays add.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WindowEffect {
+    /// Bernoulli drop probability for data packets.
+    DataLoss(f64),
+    /// Bernoulli drop probability for CNPs.
+    CnpLoss(f64),
+    /// Mean of an exponential per-packet extra delivery delay (seconds).
+    Jitter(f64),
+    /// Constant extra delivery delay (seconds).
+    ExtraDelay(f64),
+}
+
+impl WindowEffect {
+    fn label(&self) -> &'static str {
+        match self {
+            WindowEffect::DataLoss(_) => "data_loss",
+            WindowEffect::CnpLoss(_) => "cnp_loss",
+            WindowEffect::Jitter(_) => "jitter",
+            WindowEffect::ExtraDelay(_) => "delay_spike",
+        }
+    }
+}
+
+/// A fault-schedule entry compiled into an engine-executable operation.
+#[derive(Debug, Clone, Copy)]
+enum FaultOp {
+    LinkDown {
+        link: usize,
+    },
+    LinkUp {
+        link: usize,
+    },
+    WindowStart {
+        link: usize,
+        window: u32,
+        effect: WindowEffect,
+    },
+    WindowEnd {
+        link: usize,
+        window: u32,
+    },
+    /// One storm tick: force a pause of `pause`, then re-schedule itself
+    /// every `period` until `until`.
+    StormTick {
+        link: usize,
+        period: SimDuration,
+        pause: SimDuration,
+        until: SimTime,
+    },
+    Perturb {
+        target: ParamTarget,
+        scale: f64,
+    },
+}
+
+/// Per-link fault state (allocated only when a non-empty schedule is
+/// installed; the fault-free hot path checks a single `faults_active` bool).
+#[derive(Debug)]
+struct LinkFaultState {
+    /// False while a link-flap outage is in effect.
+    up: bool,
+    /// True while a pause storm holds the link's data class paused.
+    storm_paused: bool,
+    storm_since: Option<SimTime>,
+    storm_total: SimDuration,
+    /// The `(schedule seed, link id)`-keyed RNG sub-stream: loss coin flips
+    /// and jitter samples never touch the engine's marking RNG.
+    rng: SimRng,
+    /// Active windowed effects as `(window id, effect)`.
+    windows: Vec<(u32, WindowEffect)>,
+}
+
+impl LinkFaultState {
+    fn new(rng: SimRng) -> Self {
+        LinkFaultState {
+            up: true,
+            storm_paused: false,
+            storm_since: None,
+            storm_total: SimDuration::ZERO,
+            rng,
+            windows: Vec::new(),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -142,6 +294,15 @@ pub struct SimReport {
     pub pfc_pauses: u64,
     /// Total port-seconds spent paused by PFC.
     pub pfc_paused_s: f64,
+    /// Packets dropped by fault-plane loss windows.
+    pub fault_drops: u64,
+    /// Forced-pause intervals injected by fault-plane pause storms.
+    pub fault_pauses: u64,
+    /// Total link-seconds spent paused by fault-plane pause storms.
+    pub fault_paused_s: f64,
+    /// Fault-plane operations executed (flap edges, window starts/ends,
+    /// storm ticks, perturbations). Zero on a fault-free run.
+    pub faults_injected: u64,
     /// Simulated time at the end of the run (seconds).
     pub end_time_s: f64,
 }
@@ -172,6 +333,16 @@ pub struct Engine {
     next_packet_id: u64,
     first_mark_time: Option<SimTime>,
     fcts: Vec<FctRecord>,
+    /// True once a non-empty fault schedule is installed; every fault check
+    /// on the hot path is gated behind this single well-predicted branch,
+    /// so the fault-free run pays (approximately) nothing.
+    faults_active: bool,
+    faults_installed: bool,
+    link_faults: Vec<LinkFaultState>,
+    fault_ops: Vec<FaultOp>,
+    fault_drops: u64,
+    fault_pauses: u64,
+    faults_injected: u64,
 }
 
 impl Engine {
@@ -206,18 +377,53 @@ impl Engine {
             next_packet_id: 0,
             first_mark_time: None,
             fcts: Vec::new(),
+            faults_active: false,
+            faults_installed: false,
+            link_faults: Vec::new(),
+            fault_ops: Vec::new(),
+            fault_drops: 0,
+            fault_pauses: 0,
+            faults_injected: 0,
             cfg,
         }
     }
 
-    /// Register a flow; it will start at `spec.start`.
+    /// Register a flow; it will start at `spec.start`. Panics on an invalid
+    /// spec; [`Engine::try_add_flow`] is the non-panicking equivalent.
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
-        assert!(
-            matches!(self.topo.kind(spec.src), NodeKind::Host)
-                && matches!(self.topo.kind(spec.dst), NodeKind::Host),
-            "flows connect hosts"
-        );
-        assert!(spec.src != spec.dst, "flow endpoints must differ");
+        self.try_add_flow(spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Register a flow, returning a descriptive [`SimError`] if the
+    /// endpoints are not distinct, routable hosts.
+    pub fn try_add_flow(&mut self, spec: FlowSpec) -> Result<FlowId, SimError> {
+        let is_host = |n: NodeId| matches!(self.topo.kind(n), NodeKind::Host);
+        if !is_host(spec.src) || !is_host(spec.dst) {
+            return Err(SimError::flow(
+                "Engine::add_flow",
+                format!(
+                    "flows connect hosts, got node {} -> node {}",
+                    spec.src.0, spec.dst.0
+                ),
+            ));
+        }
+        if spec.src == spec.dst {
+            return Err(SimError::flow(
+                "Engine::add_flow",
+                "flow endpoints must differ",
+            ));
+        }
+        // Both directions must be routable (data forward, ACK/CNP reverse);
+        // Topology construction guarantees this for host pairs, so these
+        // only fire for a topology built by hand around the validation.
+        if self.topo.next_hop(spec.src, spec.dst).is_none()
+            || self.topo.next_hop(spec.dst, spec.src).is_none()
+        {
+            return Err(SimError::flow(
+                "Engine::add_flow",
+                format!("no route between hosts {} and {}", spec.src.0, spec.dst.0),
+            ));
+        }
         let id = FlowId(self.senders.len());
         let start = spec.start;
         self.senders.push(SenderFlow {
@@ -245,7 +451,7 @@ impl Engine {
         self.rate_traces.push(Vec::new());
         self.delivered_bytes.push(0);
         self.events.schedule(start, Ev::FlowStart(id));
-        id
+        Ok(id)
     }
 
     /// The line rate of a host's uplink.
@@ -254,8 +460,161 @@ impl Engine {
         self.topo.link(l).bandwidth_bps
     }
 
-    /// Run until `end`; returns the report.
+    /// Run until `end`; returns the report. Panics on an invalid config or
+    /// fault schedule; [`Engine::try_run`] is the non-panicking equivalent.
+    /// (Unlike `try_run`, an empty flow set is tolerated here for
+    /// backwards compatibility and yields an empty report.)
     pub fn run(&mut self, end: SimTime) -> SimReport {
+        self.cfg.validate().unwrap_or_else(|e| panic!("{e}"));
+        self.install_faults().unwrap_or_else(|e| panic!("{e}"));
+        self.run_inner(end)
+    }
+
+    /// Run until `end`, validating the configuration, the fault schedule
+    /// and the flow set first; a rejected input is a descriptive
+    /// [`SimError`] instead of a downstream panic.
+    pub fn try_run(&mut self, end: SimTime) -> Result<SimReport, SimError> {
+        self.cfg.validate()?;
+        if self.senders.is_empty() {
+            return Err(SimError::config(
+                "Engine::try_run",
+                "empty flow set: register at least one flow before running",
+            ));
+        }
+        self.install_faults()?;
+        Ok(self.run_inner(end))
+    }
+
+    /// Compile the fault schedule (if any) onto the event queue. Idempotent:
+    /// only the first call on an engine installs.
+    fn install_faults(&mut self) -> Result<(), SimError> {
+        if self.faults_installed {
+            return Ok(());
+        }
+        self.faults_installed = true;
+        let Some(schedule) = self.cfg.faults.clone() else {
+            return Ok(());
+        };
+        schedule.validate(self.topo.link_count())?;
+        if schedule.is_empty() {
+            return Ok(());
+        }
+        self.faults_active = true;
+        self.link_faults = (0..self.topo.link_count())
+            .map(|l| LinkFaultState::new(faults::link_stream(schedule.seed, l)))
+            .collect();
+        let mut window = 0u32;
+        for ev in &schedule.events {
+            let at = SimTime::from_secs_f64(ev.at_s);
+            match ev.kind {
+                FaultKind::LinkFlap { link, down_s } => {
+                    self.push_fault_op(at, FaultOp::LinkDown { link });
+                    let up_at = at + SimDuration::from_secs_f64(down_s);
+                    self.push_fault_op(up_at, FaultOp::LinkUp { link });
+                }
+                FaultKind::PacketLoss {
+                    link,
+                    probability,
+                    duration_s,
+                } => {
+                    self.push_fault_window(
+                        at,
+                        duration_s,
+                        link,
+                        &mut window,
+                        WindowEffect::DataLoss(probability),
+                    );
+                }
+                FaultKind::CnpLoss {
+                    link,
+                    probability,
+                    duration_s,
+                } => {
+                    self.push_fault_window(
+                        at,
+                        duration_s,
+                        link,
+                        &mut window,
+                        WindowEffect::CnpLoss(probability),
+                    );
+                }
+                FaultKind::RttJitter {
+                    link,
+                    sigma_s,
+                    duration_s,
+                } => {
+                    self.push_fault_window(
+                        at,
+                        duration_s,
+                        link,
+                        &mut window,
+                        WindowEffect::Jitter(sigma_s),
+                    );
+                }
+                FaultKind::DelaySpike {
+                    link,
+                    extra_s,
+                    duration_s,
+                } => {
+                    self.push_fault_window(
+                        at,
+                        duration_s,
+                        link,
+                        &mut window,
+                        WindowEffect::ExtraDelay(extra_s),
+                    );
+                }
+                FaultKind::PauseStorm {
+                    link,
+                    period_s,
+                    pause_frac,
+                    duration_s,
+                } => {
+                    let op = FaultOp::StormTick {
+                        link,
+                        period: SimDuration::from_secs_f64(period_s),
+                        pause: SimDuration::from_secs_f64(period_s * pause_frac),
+                        until: at + SimDuration::from_secs_f64(duration_s),
+                    };
+                    self.push_fault_op(at, op);
+                }
+                FaultKind::Perturb { target, scale } => {
+                    self.push_fault_op(at, FaultOp::Perturb { target, scale });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn push_fault_op(&mut self, at: SimTime, op: FaultOp) {
+        let idx = self.fault_ops.len();
+        self.fault_ops.push(op);
+        self.events.schedule(at, Ev::Fault(idx));
+    }
+
+    fn push_fault_window(
+        &mut self,
+        at: SimTime,
+        duration_s: f64,
+        link: usize,
+        window: &mut u32,
+        effect: WindowEffect,
+    ) {
+        let id = *window;
+        *window += 1;
+        self.push_fault_op(
+            at,
+            FaultOp::WindowStart {
+                link,
+                window: id,
+                effect,
+            },
+        );
+        let end_at = at + SimDuration::from_secs_f64(duration_s);
+        self.push_fault_op(end_at, FaultOp::WindowEnd { link, window: id });
+    }
+
+    fn run_inner(&mut self, end: SimTime) -> SimReport {
         if let Some(pi) = &self.cfg.pi_aqm {
             let at = self.now + pi.update_interval;
             self.events.schedule(at, Ev::AqmTick);
@@ -292,6 +651,20 @@ impl Engine {
                     d.as_secs_f64()
                 })
                 .sum(),
+            fault_drops: self.fault_drops,
+            fault_pauses: self.fault_pauses,
+            fault_paused_s: self
+                .link_faults
+                .iter()
+                .map(|fs| {
+                    let mut d = fs.storm_total;
+                    if let Some(since) = fs.storm_since {
+                        d += end.saturating_since(since);
+                    }
+                    d.as_secs_f64()
+                })
+                .sum(),
+            faults_injected: self.faults_injected,
             end_time_s: end.as_secs_f64(),
         }
     }
@@ -305,7 +678,190 @@ impl Engine {
             Ev::Deliver(l, p) => self.deliver(l, p),
             Ev::CcTimer(f, kind) => self.cc_timer(f, kind),
             Ev::AqmTick => self.aqm_tick(),
+            Ev::Fault(idx) => self.fault_fire(idx),
+            Ev::FaultStormRelease(l) => self.fault_storm_release(l),
         }
+    }
+
+    /// Execute one compiled fault-plane operation. Every injected fault is
+    /// counted and emitted as an obs trace event.
+    fn fault_fire(&mut self, idx: usize) {
+        let op = self.fault_ops[idx];
+        self.faults_injected += 1;
+        let t_s = self.now.as_secs_f64();
+        match op {
+            FaultOp::LinkDown { link } => {
+                self.link_faults[link].up = false;
+                obs::metrics::counter_inc("netsim.fault_link_flaps");
+                if obs::trace::enabled() {
+                    obs::trace::record(t_s, obs::Event::LinkDown { link: link as u64 });
+                }
+            }
+            FaultOp::LinkUp { link } => {
+                self.link_faults[link].up = true;
+                if obs::trace::enabled() {
+                    obs::trace::record(t_s, obs::Event::LinkUp { link: link as u64 });
+                }
+                // Drain whatever queued while the link was down.
+                self.try_transmit(LinkId(link));
+            }
+            FaultOp::WindowStart {
+                link,
+                window,
+                effect,
+            } => {
+                self.link_faults[link].windows.push((window, effect));
+                obs::metrics::counter_inc("netsim.fault_windows");
+                if obs::trace::enabled() {
+                    obs::trace::record(
+                        t_s,
+                        obs::Event::FaultWindow {
+                            link: link as u64,
+                            effect: effect.label(),
+                            starting: true,
+                        },
+                    );
+                }
+            }
+            FaultOp::WindowEnd { link, window } => {
+                let fs = &mut self.link_faults[link];
+                if let Some(pos) = fs.windows.iter().position(|(w, _)| *w == window) {
+                    let (_, effect) = fs.windows.remove(pos);
+                    if obs::trace::enabled() {
+                        obs::trace::record(
+                            t_s,
+                            obs::Event::FaultWindow {
+                                link: link as u64,
+                                effect: effect.label(),
+                                starting: false,
+                            },
+                        );
+                    }
+                }
+            }
+            FaultOp::StormTick {
+                link,
+                period,
+                pause,
+                until,
+            } => {
+                if self.now > until {
+                    return;
+                }
+                let fs = &mut self.link_faults[link];
+                if !fs.storm_paused {
+                    fs.storm_paused = true;
+                    fs.storm_since = Some(self.now);
+                    self.fault_pauses += 1;
+                    obs::metrics::counter_inc("netsim.fault_pauses");
+                    if obs::trace::enabled() {
+                        obs::trace::record(t_s, obs::Event::FaultPause { link: link as u64 });
+                    }
+                }
+                self.events
+                    .schedule(self.now + pause, Ev::FaultStormRelease(LinkId(link)));
+                let next = self.now + period;
+                if next <= until {
+                    self.events.schedule(next, Ev::Fault(idx));
+                }
+            }
+            FaultOp::Perturb { target, scale } => {
+                match target {
+                    ParamTarget::RedKmax => {
+                        let scaled = (self.cfg.red.kmax_bytes as f64 * scale).max(1.0) as u64;
+                        // Preserve kmin <= kmax so the RED curve stays valid.
+                        self.cfg.red.kmax_bytes = scaled.max(self.cfg.red.kmin_bytes);
+                    }
+                    ParamTarget::CcRateIncrease => {
+                        for s in &mut self.senders {
+                            s.cc.perturb(target, scale);
+                        }
+                    }
+                }
+                obs::metrics::counter_inc("netsim.fault_perturbations");
+                if obs::trace::enabled() {
+                    obs::trace::record(
+                        t_s,
+                        obs::Event::ParamPerturbed {
+                            param: target.label(),
+                            scale,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// End of a pause-storm forced-pause interval.
+    fn fault_storm_release(&mut self, link: LinkId) {
+        let fs = &mut self.link_faults[link.0];
+        if fs.storm_paused {
+            fs.storm_paused = false;
+            if let Some(since) = fs.storm_since.take() {
+                fs.storm_total += self.now.saturating_since(since);
+            }
+            self.try_transmit(link);
+        }
+    }
+
+    /// Sum of active constant extra delays plus one exponential sample per
+    /// active jitter window, drawn from the link's fault sub-stream.
+    fn fault_extra_delay_s(&mut self, link: LinkId) -> f64 {
+        let fs = &mut self.link_faults[link.0];
+        if fs.windows.is_empty() {
+            return 0.0;
+        }
+        let mut extra = 0.0;
+        for i in 0..fs.windows.len() {
+            match fs.windows[i].1 {
+                WindowEffect::ExtraDelay(d) => extra += d,
+                WindowEffect::Jitter(sigma) if sigma > 0.0 => extra += fs.rng.exponential(sigma),
+                _ => {}
+            }
+        }
+        extra
+    }
+
+    /// Fault-plane loss check at delivery. Data packets see the combined
+    /// data-loss windows; CNPs see the CNP-loss windows; ACKs are never
+    /// targeted. Draws from the link's fault RNG sub-stream only when a
+    /// loss window is active, so inactive links consume no randomness.
+    fn fault_drop(&mut self, link: LinkId, pkt: &Packet) -> bool {
+        let is_cnp = matches!(pkt.kind, PacketKind::Cnp);
+        if pkt.is_control() && !is_cnp {
+            return false;
+        }
+        let p_drop = {
+            let fs = &self.link_faults[link.0];
+            if fs.windows.is_empty() {
+                return false;
+            }
+            let mut keep = 1.0;
+            for (_, e) in &fs.windows {
+                match *e {
+                    WindowEffect::DataLoss(p) if !is_cnp => keep *= 1.0 - p,
+                    WindowEffect::CnpLoss(p) if is_cnp => keep *= 1.0 - p,
+                    _ => {}
+                }
+            }
+            1.0 - keep
+        };
+        if p_drop <= 0.0 || self.link_faults[link.0].rng.next_f64() >= p_drop {
+            return false;
+        }
+        self.fault_drops += 1;
+        obs::metrics::counter_inc("netsim.fault_drops");
+        if obs::trace::enabled() {
+            obs::trace::record(
+                self.now.as_secs_f64(),
+                obs::Event::FaultDrop {
+                    flow: pkt.flow.0 as u64,
+                    link: link.0 as u64,
+                    control: is_cnp,
+                },
+            );
+        }
+        true
     }
 
     /// Discrete PI-AQM update (Hollot-style): for every switch egress queue,
@@ -400,11 +956,12 @@ impl Engine {
         if fully_sent || completed {
             return;
         }
-        let uplink = self
-            .topo
-            .next_hop(src, self.senders[f.0].dst)
-            // simlint: allow(panic) — add_flow validated both endpoints are connected hosts
-            .expect("route");
+        let Some(uplink) = self.topo.next_hop(src, self.senders[f.0].dst) else {
+            // add_flow validated both endpoints are connected hosts; if the
+            // route vanished it is a bug, but stalling the flow beats aborting.
+            debug_assert!(false, "no route for registered flow");
+            return;
+        };
 
         match self.senders[f.0].pacing {
             Pacing::PerPacket => {
@@ -581,6 +1138,18 @@ impl Engine {
             let l = self.topo.link(link);
             (l.bandwidth_bps, l.prop_delay)
         };
+        // Fault plane: a downed link transmits nothing; a pause-storm forced
+        // pause blocks the data class only (like PFC, control rides a
+        // separate priority).
+        let (link_up, storm_paused) = if self.faults_active {
+            let fs = &self.link_faults[link.0];
+            (fs.up, fs.storm_paused)
+        } else {
+            (true, false)
+        };
+        if !link_up {
+            return;
+        }
         let port = &mut self.ports[link.0];
         if port.busy {
             return;
@@ -590,7 +1159,7 @@ impl Engine {
         // priority, as both protocols prioritize feedback).
         let mut pkt = if let Some(p) = port.ctrl_q.pop_front() {
             p
-        } else if !port.paused {
+        } else if !port.paused && !storm_paused {
             match port.data_q.pop_front() {
                 Some(p) => p,
                 None => return,
@@ -635,8 +1204,24 @@ impl Engine {
         port.busy = true;
         let ser = SimDuration::serialization(pkt.size_bytes as u64, bw);
         self.events.schedule(self.now + ser, Ev::TxDone(link));
-        self.events
-            .schedule(self.now + ser + prop, Ev::Deliver(link, pkt));
+        let mut deliver_at = self.now + ser + prop;
+        if self.faults_active {
+            let extra_s = self.fault_extra_delay_s(link);
+            if extra_s > 0.0 {
+                deliver_at += SimDuration::from_secs_f64(extra_s);
+                obs::metrics::counter_inc("netsim.fault_delays");
+                if obs::trace::enabled() {
+                    obs::trace::record(
+                        self.now.as_secs_f64(),
+                        obs::Event::FaultDelay {
+                            link: link.0 as u64,
+                            extra_s,
+                        },
+                    );
+                }
+            }
+        }
+        self.events.schedule(deliver_at, Ev::Deliver(link, pkt));
         self.update_pfc(link);
     }
 
@@ -693,14 +1278,18 @@ impl Engine {
     }
 
     fn deliver(&mut self, link: LinkId, pkt: Packet) {
+        if self.faults_active && self.fault_drop(link, &pkt) {
+            return;
+        }
         let node = self.topo.link(link).dst;
         if matches!(self.topo.kind(node), NodeKind::Switch) || node != pkt.dst {
             // Forward toward the destination.
-            let next = self
-                .topo
-                .next_hop(node, pkt.dst)
-                // simlint: allow(panic) — topology is connected by construction
-                .expect("routable destination");
+            let Some(next) = self.topo.next_hop(node, pkt.dst) else {
+                // Topology is connected by construction; a stray packet is a
+                // bug, but dropping it degrades gracefully in release builds.
+                debug_assert!(false, "unroutable packet destination");
+                return;
+            };
             self.enqueue(next, pkt);
             return;
         }
@@ -805,11 +1394,12 @@ impl Engine {
 
     /// Route a control packet from its source host toward its destination.
     fn send_control(&mut self, pkt: Packet) {
-        let l = self
-            .topo
-            .next_hop(pkt.src, pkt.dst)
-            // simlint: allow(panic) — control packets reverse a validated data route
-            .expect("control route");
+        let Some(l) = self.topo.next_hop(pkt.src, pkt.dst) else {
+            // Control packets reverse a validated data route; losing one is
+            // recoverable (feedback is periodic), aborting is not.
+            debug_assert!(false, "no control route");
+            return;
+        };
         self.enqueue(l, pkt);
     }
 
@@ -1133,5 +1723,249 @@ mod tests {
             .flat_map(|tr| tr.points().iter().map(|&(_, v)| v))
             .fold(0.0f64, f64::max);
         assert!(max_q < 120_000.0, "PFC should bound the queue, saw {max_q}");
+    }
+
+    /// `single_switch` link layout: host `h` gets links `2h` (host→switch)
+    /// and `2h+1` (switch→host); the receiver is host `n_senders`, so its
+    /// downlink — the bottleneck — is `2 * n_senders + 1`.
+    fn bottleneck_link(n_senders: usize) -> usize {
+        2 * n_senders + 1
+    }
+
+    #[test]
+    fn fault_loss_window_drops_data() {
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut cfg = EngineConfig::default();
+        cfg.faults =
+            Some(faults::FaultSchedule::new(7).packet_loss(0.0, bottleneck_link(1), 0.5, 0.005));
+        let mut eng = Engine::new(topo, cfg);
+        eng.add_flow(flow(senders[0], receiver, 500_000, 5e9));
+        let report = eng.run(SimTime::from_millis(10));
+        assert!(report.fault_drops > 0, "50% loss must drop packets");
+        assert!(
+            report.delivered_bytes[0] < 500_000,
+            "fixed-rate senders do not retransmit, so losses show up"
+        );
+        assert!(report.faults_injected >= 2, "window start + end");
+    }
+
+    #[test]
+    fn fault_link_flap_delays_but_delivers() {
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut cfg = EngineConfig::default();
+        // Down the sender uplink for 1 ms mid-transfer: packets queue at the
+        // host port and drain on recovery — nothing is lost.
+        cfg.faults = Some(faults::FaultSchedule::new(7).link_flap(0.001, 0, 0.001));
+        let mut eng = Engine::new(topo, cfg);
+        eng.add_flow(flow(senders[0], receiver, 2_000_000, 5e9));
+        let report = eng.run(SimTime::from_millis(20));
+        assert_eq!(report.delivered_bytes[0], 2_000_000);
+        assert_eq!(report.fcts.len(), 1);
+        assert!(report.faults_injected >= 2, "down + up events");
+        assert!(
+            report.fcts[0].fct_s > 2_000_000.0 * 8.0 / 5e9,
+            "the outage must slow the flow"
+        );
+    }
+
+    #[test]
+    fn fault_cnp_loss_spares_data() {
+        let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+        let mut cfg = EngineConfig::default();
+        // Drop every CNP on the receiver's uplink; data is untouched.
+        cfg.faults = Some(faults::FaultSchedule::new(3).cnp_loss(0.0, 2 * 2, 1.0, 1.0));
+        let mut eng = Engine::new(topo, cfg);
+        eng.add_flow(flow(senders[0], receiver, 1_000_000, 8e9));
+        eng.add_flow(flow(senders[1], receiver, 1_000_000, 8e9));
+        let report = eng.run(SimTime::from_millis(20));
+        assert_eq!(report.delivered_bytes[0], 1_000_000);
+        assert_eq!(report.delivered_bytes[1], 1_000_000);
+        assert!(report.cnps_sent > 0, "overload still generates CNPs");
+        assert!(report.fault_drops > 0, "all CNPs on the uplink are dropped");
+    }
+
+    #[test]
+    fn fault_pause_storm_stalls_then_recovers() {
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut cfg = EngineConfig::default();
+        cfg.faults = Some(faults::FaultSchedule::new(11).pause_storm(
+            0.001,
+            bottleneck_link(1),
+            200e-6,
+            0.5,
+            0.004,
+        ));
+        let mut eng = Engine::new(topo, cfg);
+        eng.add_flow(flow(senders[0], receiver, 2_000_000, 8e9));
+        let report = eng.run(SimTime::from_millis(30));
+        assert!(report.fault_pauses > 0, "storm must pause the port");
+        assert!(report.fault_paused_s > 0.0);
+        assert_eq!(report.delivered_bytes[0], 2_000_000, "pauses are lossless");
+    }
+
+    #[test]
+    fn fault_kmax_perturbation_increases_marking() {
+        let run = |sched: Option<faults::FaultSchedule>| {
+            let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+            let mut cfg = EngineConfig::default();
+            cfg.faults = sched;
+            let mut eng = Engine::new(topo, cfg);
+            eng.add_flow(flow(senders[0], receiver, 2_000_000, 8e9));
+            eng.add_flow(flow(senders[1], receiver, 2_000_000, 8e9));
+            eng.run(SimTime::from_millis(20)).marked_packets
+        };
+        let base = run(None);
+        let perturbed = run(Some(faults::FaultSchedule::new(5).perturb(
+            0.0,
+            faults::ParamTarget::RedKmax,
+            0.2,
+        )));
+        assert!(
+            perturbed > base,
+            "shrinking K_max must mark more: {perturbed} vs {base}"
+        );
+    }
+
+    #[test]
+    fn fault_jitter_slows_completion() {
+        let run = |sched: Option<faults::FaultSchedule>| {
+            let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+            let mut cfg = EngineConfig::default();
+            cfg.faults = sched;
+            let mut eng = Engine::new(topo, cfg);
+            eng.add_flow(flow(senders[0], receiver, 200_000, 5e9));
+            eng.run(SimTime::from_millis(20)).fcts[0].fct_s
+        };
+        let base = run(None);
+        let spiked = run(Some(faults::FaultSchedule::new(1).delay_spike(
+            0.0,
+            bottleneck_link(1),
+            100e-6,
+            1.0,
+        )));
+        assert!(
+            spiked > base + 90e-6,
+            "a 100 µs delay spike must show in the FCT: {spiked} vs {base}"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+            let mut cfg = EngineConfig::default();
+            cfg.faults = Some(
+                faults::FaultSchedule::new(21)
+                    .packet_loss(0.001, bottleneck_link(2), 0.2, 0.01)
+                    .rtt_jitter(0.002, 1, 20e-6, 0.01)
+                    .pause_storm(0.004, bottleneck_link(2), 100e-6, 0.4, 0.003),
+            );
+            let mut eng = Engine::new(topo, cfg);
+            eng.add_flow(flow(senders[0], receiver, 1_000_000, 8e9));
+            eng.add_flow(flow(senders[1], receiver, 1_000_000, 8e9));
+            let r = eng.run(SimTime::from_millis(30));
+            (
+                r.fault_drops,
+                r.fault_pauses,
+                r.faults_injected,
+                r.marked_packets,
+                r.delivered_bytes.clone(),
+                r.fcts.iter().map(|f| f.fct_s.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_none() {
+        let run = |sched: Option<faults::FaultSchedule>| {
+            let (topo, senders, receiver) = Topology::single_switch(2, 10e9, us(1));
+            let mut cfg = EngineConfig::default();
+            cfg.faults = sched;
+            let mut eng = Engine::new(topo, cfg);
+            eng.add_flow(flow(senders[0], receiver, 800_000, 8e9));
+            eng.add_flow(flow(senders[1], receiver, 800_000, 8e9));
+            let r = eng.run(SimTime::from_millis(20));
+            (
+                r.marked_packets,
+                r.cnps_sent,
+                r.delivered_bytes.clone(),
+                r.fcts.iter().map(|f| f.fct_s.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(
+            run(None),
+            run(Some(faults::FaultSchedule::new(99))),
+            "an installed-but-empty fault plane must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn try_add_flow_rejects_bad_endpoints() {
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let switch = NodeId(2);
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        let err = eng
+            .try_add_flow(flow(senders[0], switch, 1_000, 1e9))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFlow { .. }), "{err}");
+        let err = eng
+            .try_add_flow(flow(receiver, receiver, 1_000, 1e9))
+            .unwrap_err();
+        assert!(err.to_string().contains("must differ"), "{err}");
+    }
+
+    #[test]
+    fn try_run_rejects_empty_flow_set() {
+        let (topo, _senders, _receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut eng = Engine::new(topo, EngineConfig::default());
+        let err = eng.try_run(SimTime::from_millis(1)).unwrap_err();
+        assert!(err.to_string().contains("empty flow set"), "{err}");
+    }
+
+    #[test]
+    fn engine_config_validate_rejects_bad_fields() {
+        let check = |mutate: &dyn Fn(&mut EngineConfig), needle: &str| {
+            let mut cfg = EngineConfig::default();
+            mutate(&mut cfg);
+            let err = cfg.validate().unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "expected {needle:?} in {err}"
+            );
+        };
+        check(&|c| c.mtu_bytes = 0, "mtu_bytes");
+        check(&|c| c.control_packet_bytes = 0, "control_packet_bytes");
+        check(
+            &|c| {
+                c.red.kmin_bytes = 100;
+                c.red.kmax_bytes = 50;
+            },
+            "kmin_bytes",
+        );
+        check(&|c| c.red.p_max = f64::NAN, "p_max");
+        check(&|c| c.red.p_max = 1.5, "p_max");
+        check(&|c| c.queue_trace_resolution = f64::INFINITY, "resolution");
+        check(
+            &|c| {
+                c.pfc = Some(PfcConfig {
+                    pause_threshold_bytes: 10,
+                    resume_threshold_bytes: 20,
+                })
+            },
+            "resume",
+        );
+        assert!(EngineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn run_rejects_schedule_with_out_of_range_link() {
+        let (topo, senders, receiver) = Topology::single_switch(1, 10e9, us(1));
+        let mut cfg = EngineConfig::default();
+        cfg.faults = Some(faults::FaultSchedule::new(1).link_flap(0.0, 999, 0.001));
+        let mut eng = Engine::new(topo, cfg);
+        eng.add_flow(flow(senders[0], receiver, 1_000, 1e9));
+        let err = eng.try_run(SimTime::from_millis(1)).unwrap_err();
+        assert!(err.to_string().contains("link"), "{err}");
     }
 }

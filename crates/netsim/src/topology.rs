@@ -1,6 +1,7 @@
 //! Topology: nodes, simplex links, and static shortest-path routing.
 
 use desim::SimDuration;
+use faults::SimError;
 use std::collections::VecDeque;
 
 /// Node identifier (host or switch).
@@ -46,14 +47,34 @@ pub struct Topology {
 
 impl Topology {
     /// Build from nodes and links; computes all-pairs next-hop routes by
-    /// BFS (all links weight 1). Panics if any host pair is disconnected —
-    /// a misconfigured experiment should fail loudly at build time.
+    /// BFS (all links weight 1). Panics if the topology fails a sanity
+    /// check — a misconfigured experiment should fail loudly at build time.
+    /// [`Topology::try_new`] is the non-panicking equivalent.
     pub fn new(nodes: Vec<NodeKind>, links: Vec<Link>) -> Self {
+        Self::try_new(nodes, links).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build from nodes and links, returning a descriptive [`SimError`] if
+    /// any link has an out-of-range endpoint, a non-positive or non-finite
+    /// capacity, or any host pair is disconnected.
+    pub fn try_new(nodes: Vec<NodeKind>, links: Vec<Link>) -> Result<Self, SimError> {
+        let bad = |detail: String| Err(SimError::topology("Topology::new", detail));
         let n = nodes.len();
         let mut out_links = vec![Vec::new(); n];
         for (i, l) in links.iter().enumerate() {
-            assert!(l.src.0 < n && l.dst.0 < n, "link endpoint out of range");
-            assert!(l.bandwidth_bps > 0.0, "link bandwidth must be positive");
+            if l.src.0 >= n || l.dst.0 >= n {
+                return bad(format!(
+                    "link {i} endpoint out of range ({} -> {}, {n} nodes)",
+                    l.src.0, l.dst.0
+                ));
+            }
+            if !(l.bandwidth_bps.is_finite() && l.bandwidth_bps > 0.0) {
+                return bad(format!(
+                    "link {i} bandwidth must be positive and finite, got {} (zero-capacity \
+                     links cannot serialize packets)",
+                    l.bandwidth_bps
+                ));
+            }
             out_links[l.src.0].push(LinkId(i));
         }
         let mut route = vec![vec![None; n]; n];
@@ -77,20 +98,18 @@ impl Topology {
                 if src != dst
                     && matches!(nodes[src], NodeKind::Host)
                     && matches!(nodes[dst], NodeKind::Host)
+                    && route[src][dst].is_none()
                 {
-                    assert!(
-                        route[src][dst].is_some(),
-                        "no route from host {src} to host {dst}"
-                    );
+                    return bad(format!("no route from host {src} to host {dst}"));
                 }
             }
         }
-        Topology {
+        Ok(Topology {
             nodes,
             links,
             out_links,
             route,
-        }
+        })
     }
 
     /// Number of nodes.
@@ -326,6 +345,54 @@ mod tests {
     fn disconnected_hosts_panic() {
         let nodes = vec![NodeKind::Host, NodeKind::Host];
         Topology::new(nodes, vec![]);
+    }
+
+    #[test]
+    fn try_new_rejects_disconnected_hosts() {
+        let nodes = vec![NodeKind::Host, NodeKind::Host];
+        let e = Topology::try_new(nodes, vec![]).expect_err("disconnected");
+        assert!(e.to_string().contains("no route from host"), "{e}");
+    }
+
+    #[test]
+    fn try_new_rejects_zero_capacity_link() {
+        let nodes = vec![NodeKind::Host, NodeKind::Host];
+        let mk = |bw: f64| {
+            vec![
+                Link {
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    bandwidth_bps: bw,
+                    prop_delay: us(1),
+                },
+                Link {
+                    src: NodeId(1),
+                    dst: NodeId(0),
+                    bandwidth_bps: 10e9,
+                    prop_delay: us(1),
+                },
+            ]
+        };
+        for bad_bw in [0.0, -10e9, f64::NAN, f64::INFINITY] {
+            let e = Topology::try_new(nodes.clone(), mk(bad_bw)).expect_err("bad bandwidth");
+            let msg = e.to_string();
+            assert!(msg.contains("link 0 bandwidth"), "{msg}");
+            assert!(matches!(e, SimError::InvalidTopology { .. }), "{e:?}");
+        }
+        assert!(Topology::try_new(nodes, mk(10e9)).is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_endpoint() {
+        let nodes = vec![NodeKind::Host, NodeKind::Host];
+        let links = vec![Link {
+            src: NodeId(0),
+            dst: NodeId(9),
+            bandwidth_bps: 10e9,
+            prop_delay: us(1),
+        }];
+        let e = Topology::try_new(nodes, links).expect_err("bad endpoint");
+        assert!(e.to_string().contains("endpoint out of range"), "{e}");
     }
 
     #[test]

@@ -86,6 +86,61 @@ pub enum Event {
         /// Rows retained after the drain.
         retained_rows: u64,
     },
+    /// Fault plane: a link went down (link-flap outage start).
+    LinkDown {
+        /// The downed link.
+        link: u64,
+    },
+    /// Fault plane: a link came back up (link-flap outage end).
+    LinkUp {
+        /// The restored link.
+        link: u64,
+    },
+    /// Fault plane: a loss window dropped a packet in flight.
+    FaultDrop {
+        /// Flow the dropped packet belonged to.
+        flow: u64,
+        /// Link the packet was traversing.
+        link: u64,
+        /// True if the dropped packet was a control packet (CNP).
+        control: bool,
+    },
+    /// Fault plane: jitter/delay-spike added extra delivery delay.
+    FaultDelay {
+        /// Link the delayed packet was traversing.
+        link: u64,
+        /// Extra delay added (seconds).
+        extra_s: f64,
+    },
+    /// Fault plane: a pause-storm tick forced a PFC-style pause on a link.
+    FaultPause {
+        /// The force-paused link.
+        link: u64,
+    },
+    /// Fault plane: a windowed fault effect started or ended on a link.
+    FaultWindow {
+        /// The affected link.
+        link: u64,
+        /// Effect label: `data_loss`, `cnp_loss`, `jitter` or `delay_spike`.
+        effect: &'static str,
+        /// True at window start, false at window end.
+        starting: bool,
+    },
+    /// Fault plane: a mid-run parameter perturbation was applied.
+    ParamPerturbed {
+        /// Perturbation target label (e.g. `red_kmax`, `cc_rate_increase`).
+        param: &'static str,
+        /// Multiplicative factor applied.
+        scale: f64,
+    },
+    /// The fluid-core divergence watchdog tripped and aborted an
+    /// integration with a structured error.
+    WatchdogTrip {
+        /// Failing step index (1-based).
+        step: u64,
+        /// Max-norm of the state at the trip (NaN serialized as `null`).
+        state_norm: f64,
+    },
 }
 
 impl Event {
@@ -100,6 +155,14 @@ impl Event {
             Event::GradientSample { .. } => "GradientSample",
             Event::DdeStep { .. } => "DdeStep",
             Event::HistoryCompaction { .. } => "HistoryCompaction",
+            Event::LinkDown { .. } => "LinkDown",
+            Event::LinkUp { .. } => "LinkUp",
+            Event::FaultDrop { .. } => "FaultDrop",
+            Event::FaultDelay { .. } => "FaultDelay",
+            Event::FaultPause { .. } => "FaultPause",
+            Event::FaultWindow { .. } => "FaultWindow",
+            Event::ParamPerturbed { .. } => "ParamPerturbed",
+            Event::WatchdogTrip { .. } => "WatchdogTrip",
         }
     }
 
@@ -147,6 +210,47 @@ impl Event {
                     out,
                     ", \"dropped_rows\": {dropped_rows}, \"retained_rows\": {retained_rows}"
                 );
+            }
+            Event::LinkDown { link } => {
+                let _ = write!(out, ", \"link\": {link}");
+            }
+            Event::LinkUp { link } => {
+                let _ = write!(out, ", \"link\": {link}");
+            }
+            Event::FaultDrop {
+                flow,
+                link,
+                control,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"flow\": {flow}, \"link\": {link}, \"control\": {control}"
+                );
+            }
+            Event::FaultDelay { link, extra_s } => {
+                let _ = write!(out, ", \"link\": {link}, \"extra_s\": ");
+                crate::push_f64(out, *extra_s);
+            }
+            Event::FaultPause { link } => {
+                let _ = write!(out, ", \"link\": {link}");
+            }
+            Event::FaultWindow {
+                link,
+                effect,
+                starting,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"link\": {link}, \"effect\": \"{effect}\", \"starting\": {starting}"
+                );
+            }
+            Event::ParamPerturbed { param, scale } => {
+                let _ = write!(out, ", \"param\": \"{param}\", \"scale\": ");
+                crate::push_f64(out, *scale);
+            }
+            Event::WatchdogTrip { step, state_norm } => {
+                let _ = write!(out, ", \"step\": {step}, \"state_norm\": ");
+                crate::push_f64(out, *state_norm);
             }
         }
     }
@@ -451,6 +555,31 @@ mod tests {
             Event::HistoryCompaction {
                 dropped_rows: 10,
                 retained_rows: 90,
+            },
+            Event::LinkDown { link: 3 },
+            Event::LinkUp { link: 3 },
+            Event::FaultDrop {
+                flow: 1,
+                link: 3,
+                control: true,
+            },
+            Event::FaultDelay {
+                link: 3,
+                extra_s: 25e-6,
+            },
+            Event::FaultPause { link: 3 },
+            Event::FaultWindow {
+                link: 3,
+                effect: "data_loss",
+                starting: true,
+            },
+            Event::ParamPerturbed {
+                param: "red_kmax",
+                scale: 0.25,
+            },
+            Event::WatchdogTrip {
+                step: 512,
+                state_norm: 3.1e13,
             },
         ];
         for e in events.iter().cloned() {

@@ -221,6 +221,14 @@ impl CongestionControl for DcqcnCc {
     fn current_rate_bps(&self) -> f64 {
         self.rc
     }
+
+    fn perturb(&mut self, target: faults::ParamTarget, scale: f64) {
+        // Fault-plane knob: R_AI is the paper's additive-increase step; the
+        // fault matrices scale it mid-run to probe recovery sensitivity.
+        if matches!(target, faults::ParamTarget::CcRateIncrease) {
+            self.params.r_ai_bps *= scale;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,8 @@
 //! * [`arrivals`] — Poisson arrival processes calibrated to a target load
 //!   on a bottleneck link;
 //! * [`scenario`] — random sender/receiver pairing on the Figure 13
-//!   dumbbell and flow-list generation;
+//!   dumbbell, flow-list generation, and canned [`FaultProfile`]s that
+//!   compile to seeded `faults` schedules for degradation studies;
 //! * [`fct`] — flow-completion-time statistics: the paper's median and
 //!   90th-percentile small-flow metrics (small = < 100 KB, following
 //!   pFabric) and full CDFs for Figure 15.
@@ -29,4 +30,4 @@ pub mod scenario;
 pub use arrivals::PoissonArrivals;
 pub use fct::FctStats;
 pub use flowsize::FlowSizeDist;
-pub use scenario::{generate_flows, FlowDescriptor, ScenarioConfig};
+pub use scenario::{fault_schedule, generate_flows, FaultProfile, FlowDescriptor, ScenarioConfig};

@@ -8,6 +8,7 @@
 use crate::arrivals::PoissonArrivals;
 use crate::flowsize::FlowSizeDist;
 use desim::{SimRng, SimTime};
+use faults::FaultSchedule;
 
 /// One generated flow (engine-agnostic description).
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +68,88 @@ pub fn generate_flows(
             start,
         })
         .collect()
+}
+
+/// Canned degradation modes a scenario can run under — the workload-level
+/// hook into the [`faults`] plane. Each profile names one failure story
+/// from the paper's operating regime (lost feedback, measurement noise,
+/// PFC storms from a slow receiver, a routing detour) and compiles to a
+/// seeded [`FaultSchedule`] via [`fault_schedule`]. Severities are fixed
+/// per profile so a `(profile, seed)` pair is a complete, reproducible
+/// description of the degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// No faults: compiles to an empty schedule, which the engine treats
+    /// as bit-identical to running with no schedule at all.
+    Baseline,
+    /// 2 % Bernoulli loss of data packets on the data link.
+    DataLoss,
+    /// 50 % Bernoulli loss of CNPs on the control (feedback) link — the
+    /// congestion signal thins out while the queue keeps growing.
+    CnpLoss,
+    /// Exponential per-packet extra delay (mean 20 µs) on the data link —
+    /// RTT measurement noise, the input delay-based schemes trust most.
+    RttJitter,
+    /// Periodic forced pauses (30 % duty at 1 ms period) on the data link,
+    /// emulating PFC storms from a slow receiver.
+    PauseStorm,
+    /// Constant 150 µs extra one-way delay on the data link — a routing
+    /// detour that shifts the RTT baseline without adding noise.
+    DelaySpike,
+}
+
+impl FaultProfile {
+    /// Every profile, baseline first — the row set of a degradation matrix.
+    pub fn all() -> [FaultProfile; 6] {
+        [
+            FaultProfile::Baseline,
+            FaultProfile::DataLoss,
+            FaultProfile::CnpLoss,
+            FaultProfile::RttJitter,
+            FaultProfile::PauseStorm,
+            FaultProfile::DelaySpike,
+        ]
+    }
+
+    /// Stable label used in figure output and results JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultProfile::Baseline => "baseline",
+            FaultProfile::DataLoss => "data-loss",
+            FaultProfile::CnpLoss => "cnp-loss",
+            FaultProfile::RttJitter => "rtt-jitter",
+            FaultProfile::PauseStorm => "pause-storm",
+            FaultProfile::DelaySpike => "delay-spike",
+        }
+    }
+}
+
+/// Compile a [`FaultProfile`] into a seeded [`FaultSchedule`] for a run of
+/// `horizon_s` seconds. The fault window covers the middle 60 % of the
+/// horizon (`[0.2·h, 0.8·h)`), leaving a clean ramp-up and a recovery tail
+/// so before/during/after behaviour is all visible in one run.
+///
+/// `data_link` is the link carrying the flows' data packets (typically the
+/// bottleneck); `ctrl_link` is the link carrying the feedback (CNP) path.
+/// Only the [`FaultProfile::CnpLoss`] profile targets `ctrl_link`.
+pub fn fault_schedule(
+    profile: FaultProfile,
+    seed: u64,
+    data_link: usize,
+    ctrl_link: usize,
+    horizon_s: f64,
+) -> FaultSchedule {
+    let start = 0.2 * horizon_s;
+    let dur = 0.6 * horizon_s;
+    let s = FaultSchedule::new(seed);
+    match profile {
+        FaultProfile::Baseline => s,
+        FaultProfile::DataLoss => s.packet_loss(start, data_link, 0.02, dur),
+        FaultProfile::CnpLoss => s.cnp_loss(start, ctrl_link, 0.5, dur),
+        FaultProfile::RttJitter => s.rtt_jitter(start, data_link, 20e-6, dur),
+        FaultProfile::PauseStorm => s.pause_storm(start, data_link, 1e-3, 0.3, dur),
+        FaultProfile::DelaySpike => s.delay_spike(start, data_link, 150e-6, dur),
+    }
 }
 
 /// The realized offered load (bits/s) of a flow list over the horizon —
@@ -139,6 +222,57 @@ mod tests {
             assert_eq!(x.start, y.start);
             assert_eq!(x.sender_index, y.sender_index);
         }
+    }
+
+    #[test]
+    fn fault_profiles_compile_to_valid_schedules() {
+        for profile in FaultProfile::all() {
+            let s = fault_schedule(profile, 7, 9, 8, 0.1);
+            assert!(
+                s.validate(10).is_ok(),
+                "profile {} must validate",
+                profile.label()
+            );
+            if profile == FaultProfile::Baseline {
+                assert!(s.is_empty(), "baseline is the empty schedule");
+            } else {
+                assert_eq!(s.len(), 1, "{} is a single windowed event", profile.label());
+                // Window sits strictly inside the horizon: clean ramp-up
+                // before, recovery tail after.
+                let ev = &s.events[0];
+                assert!(ev.at_s > 0.0 && ev.at_s < 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_schedules_are_deterministic_and_distinct() {
+        let a = fault_schedule(FaultProfile::RttJitter, 7, 9, 8, 0.1);
+        let b = fault_schedule(FaultProfile::RttJitter, 7, 9, 8, 0.1);
+        assert_eq!(
+            a, b,
+            "same (profile, seed, links, horizon) -> same schedule"
+        );
+        let profiles = FaultProfile::all();
+        for (i, &p) in profiles.iter().enumerate() {
+            for &q in &profiles[i + 1..] {
+                assert_ne!(
+                    fault_schedule(p, 7, 9, 8, 0.1),
+                    fault_schedule(q, 7, 9, 8, 0.1),
+                    "{} vs {} must differ",
+                    p.label(),
+                    q.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cnp_loss_targets_the_control_link() {
+        let s = fault_schedule(FaultProfile::CnpLoss, 1, 9, 8, 0.1);
+        assert_eq!(s.events[0].kind.link(), Some(8));
+        let s = fault_schedule(FaultProfile::DataLoss, 1, 9, 8, 0.1);
+        assert_eq!(s.events[0].kind.link(), Some(9));
     }
 
     #[test]

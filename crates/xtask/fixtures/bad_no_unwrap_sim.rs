@@ -1,0 +1,15 @@
+//! Seeded-bad fixture: `.unwrap()` / `.expect(` in simulation-crate code.
+//!
+//! Each site carries a `panic`-only allow, so the plain `panic` rule is
+//! silenced — exactly one rule, `no-unwrap-sim`, must fire here. Sim crates
+//! degrade through `faults::SimError`; a documented panic is not enough.
+
+pub fn head(xs: &[u64]) -> u64 {
+    // simlint: allow(panic) — fixture documents the invariant, sim rule still fires
+    xs.first().copied().unwrap()
+}
+
+pub fn tail(xs: &[u64]) -> u64 {
+    // simlint: allow(panic) — fixture documents the invariant, sim rule still fires
+    xs.last().copied().expect("non-empty")
+}

@@ -8,6 +8,7 @@
 //! | `hash-collections` | sim crates | `HashMap`/`HashSet` (iteration order is unspecified; use `BTreeMap`/`BTreeSet` or `Vec`-indexed storage) |
 //! | `wall-clock` | sim crates | `Instant::now`, `SystemTime`, `thread_rng`, `rand::` (hidden nondeterminism); `obs/src/span.rs` is the one sanctioned span-timer surface and is exempt |
 //! | `panic` | library crates | `.unwrap()` / `.expect(` outside `#[cfg(test)]` (library code returns typed errors or documents the invariant with an allow) |
+//! | `no-unwrap-sim` | sim crates | `.unwrap()` / `.expect(` in simulation hot paths, even with a `panic` allow — sim code degrades via `faults::SimError` or infallible constructions; a cold-path exception needs its own `allow(no-unwrap-sim)` |
 //! | `index-literal` | sim crates | literal indexing `xs[0]` without a bound-justifying comment on the same or preceding line |
 //! | `unit-suffix` | sim crates | `pub fn` parameters of type `f64` with a time/rate/size-flavoured name but no unit suffix (`_s`, `_us`, `_pps`, `_gbps`, `_bytes`, …) |
 //! | `thread-spawn` | sim crates | raw `thread::spawn` / `thread::scope` outside `desim::par` (ad-hoc threading breaks the ordered-results determinism contract; use `desim::par::par_map`) |
@@ -38,6 +39,10 @@ pub enum Rule {
     WallClock,
     /// `.unwrap()` / `.expect(` in library code.
     Panic,
+    /// `.unwrap()` / `.expect(` in simulation-crate code, independent of any
+    /// `panic` allow: the fault-plane hardening contract is that sim crates
+    /// degrade through `faults::SimError`, not aborts.
+    NoUnwrapSim,
     /// Literal index without a bound comment.
     IndexLiteral,
     /// Public `f64` parameter with a dimensioned name but no unit suffix.
@@ -53,6 +58,7 @@ impl Rule {
             Rule::HashCollections => "hash-collections",
             Rule::WallClock => "wall-clock",
             Rule::Panic => "panic",
+            Rule::NoUnwrapSim => "no-unwrap-sim",
             Rule::IndexLiteral => "index-literal",
             Rule::UnitSuffix => "unit-suffix",
             Rule::ThreadSpawn => "thread-spawn",
@@ -97,6 +103,9 @@ pub struct Scope {
     pub wall_clock: bool,
     /// Panic discipline (`panic`).
     pub panic_discipline: bool,
+    /// Unwrap discipline in simulation crates (`no-unwrap-sim`): stricter
+    /// than `panic` — an `allow(panic)` does not satisfy it.
+    pub no_unwrap: bool,
     /// Unit-suffix naming on public signatures.
     pub unit_suffix: bool,
     /// Thread-spawn discipline (`thread-spawn`): `desim::par` is the only
@@ -107,7 +116,15 @@ pub struct Scope {
 /// Crates whose *logic* must be deterministic and dimensionally sound.
 /// `obs` is included: instrumentation that perturbs determinism would
 /// invalidate the traces it exists to produce.
-pub const SIM_CRATES: &[&str] = &["desim", "netsim", "fluid", "protocols", "models", "obs"];
+pub const SIM_CRATES: &[&str] = &[
+    "desim",
+    "netsim",
+    "fluid",
+    "protocols",
+    "models",
+    "obs",
+    "faults",
+];
 /// Crates held to library panic discipline.
 pub const LIB_CRATES: &[&str] = &[
     "desim",
@@ -116,6 +133,7 @@ pub const LIB_CRATES: &[&str] = &[
     "protocols",
     "models",
     "obs",
+    "faults",
     "workload",
     "control",
 ];
@@ -145,6 +163,7 @@ pub fn scope_for(rel: &Path) -> Option<Scope> {
         determinism: sim,
         wall_clock: sim && !is_span_timer,
         panic_discipline: LIB_CRATES.contains(&krate.as_str()),
+        no_unwrap: sim,
         unit_suffix: sim,
         thread_spawn: sim && !is_par_executor,
     })
@@ -167,6 +186,8 @@ struct ScrubbedLine {
 fn scrub(source: &str) -> Vec<ScrubbedLine> {
     let mut out = Vec::new();
     let mut in_block_comment = 0usize;
+    // Hash count of an open multi-line raw string (`r#"…"#` spanning lines).
+    let mut in_raw_string: Option<usize> = None;
     for raw in source.lines() {
         let bytes: Vec<char> = raw.chars().collect();
         let mut code = String::with_capacity(raw.len());
@@ -175,6 +196,18 @@ fn scrub(source: &str) -> Vec<ScrubbedLine> {
         while i < bytes.len() {
             let c = bytes[i];
             let next = bytes.get(i + 1).copied();
+            if let Some(hashes) = in_raw_string {
+                // Inside a multi-line raw string: blank until `"###…` closes it.
+                if c == '"' && (0..hashes).all(|k| bytes.get(i + 1 + k) == Some(&'#')) {
+                    in_raw_string = None;
+                    code.push('"');
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
             if in_block_comment > 0 {
                 if c == '*' && next == Some('/') {
                     in_block_comment -= 1;
@@ -222,8 +255,9 @@ fn scrub(source: &str) -> Vec<ScrubbedLine> {
                         j += 1;
                     }
                     if bytes.get(j) == Some(&'"') {
-                        // Scan for closing quote + hashes (single line only;
-                        // multi-line raw strings are rare in this codebase).
+                        // Scan for the closing quote + hashes; if the raw
+                        // string does not close on this line, carry the open
+                        // state into the following lines.
                         let closing: String = std::iter::once('"')
                             .chain(std::iter::repeat_n('#', hashes))
                             .collect();
@@ -233,6 +267,7 @@ fn scrub(source: &str) -> Vec<ScrubbedLine> {
                             i = j + 1 + end + closing.len();
                         } else {
                             code.push_str("r\"\"");
+                            in_raw_string = Some(hashes);
                             i = bytes.len();
                         }
                     } else {
@@ -454,6 +489,21 @@ pub fn lint_source(file: &Path, source: &str, scope: Scope) -> Vec<Violation> {
                 );
             }
         }
+        if scope.no_unwrap && !allowed(idx, Rule::NoUnwrapSim) {
+            for tok in [".unwrap()", ".expect("] {
+                if code.contains(tok) {
+                    push(
+                        idx,
+                        Rule::NoUnwrapSim,
+                        format!(
+                            "{tok} in a simulation crate: degrade via faults::SimError (or an \
+                             infallible construction) instead of aborting mid-run; a cold-path \
+                             exception needs `// simlint: allow(no-unwrap-sim) — why`"
+                        ),
+                    );
+                }
+            }
+        }
         if scope.determinism && !allowed(idx, Rule::IndexLiteral) {
             if let Some(col) = find_literal_index(code) {
                 let commented =
@@ -673,6 +723,7 @@ pub fn lint_path_strict(path: &Path) -> std::io::Result<Vec<Violation>> {
             determinism: true,
             wall_clock: true,
             panic_discipline: true,
+            no_unwrap: true,
             unit_suffix: true,
             thread_spawn: true,
         },
@@ -691,6 +742,7 @@ mod tests {
                 determinism: true,
                 wall_clock: true,
                 panic_discipline: true,
+                no_unwrap: true,
                 unit_suffix: true,
                 thread_spawn: true,
             },
@@ -734,9 +786,12 @@ mod tests {
 
     #[test]
     fn flags_unwrap_and_expect_outside_tests() {
+        // Under the strict scope both the library `panic` rule and the
+        // sim-crate `no-unwrap-sim` rule fire on each site.
         let v = strict("fn f() { x.unwrap(); y.expect(\"msg\"); }\n");
-        assert_eq!(v.len(), 2);
-        assert!(v.iter().all(|v| v.rule == Rule::Panic));
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::Panic).count(), 2);
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::NoUnwrapSim).count(), 2);
+        assert_eq!(v.len(), 4);
     }
 
     #[test]
@@ -757,8 +812,8 @@ mod tests {
         let src =
             "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\nfn g() { y.unwrap(); }\n";
         let v = strict(src);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 5);
+        assert_eq!(v.len(), 2); // panic + no-unwrap-sim, same site
+        assert!(v.iter().all(|v| v.line == 5));
     }
 
     #[test]
@@ -904,6 +959,7 @@ mod tests {
                 determinism: true,
                 wall_clock: false,
                 panic_discipline: true,
+                no_unwrap: true,
                 unit_suffix: true,
                 thread_spawn: true,
             },
@@ -912,9 +968,38 @@ mod tests {
     }
 
     #[test]
+    fn no_unwrap_sim_fires_despite_panic_allow() {
+        let v = strict(
+            "// simlint: allow(panic) — documented invariant\nfn f(xs: &[u64]) -> u64 { xs.first().copied().unwrap() }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NoUnwrapSim);
+    }
+
+    #[test]
+    fn comma_list_allow_satisfies_both_unwrap_rules() {
+        let v = strict(
+            "// simlint: allow(panic, no-unwrap-sim) — cold path, documented\nfn f(xs: &[u64]) -> u64 { xs.first().copied().unwrap() }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn no_unwrap_sim_exempts_test_code() {
+        let v = strict(
+            "#[cfg(test)]\nmod tests {\n    fn f(xs: &[u64]) -> u64 { xs.first().copied().unwrap() }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
     fn scope_routing() {
         assert!(scope_for(Path::new("crates/netsim/src/engine.rs"))
             .is_some_and(|s| s.determinism && s.panic_discipline));
+        assert!(scope_for(Path::new("crates/faults/src/schedule.rs"))
+            .is_some_and(|s| s.determinism && s.no_unwrap && s.panic_discipline));
+        assert!(scope_for(Path::new("crates/workload/src/fct.rs"))
+            .is_some_and(|s| s.panic_discipline && !s.no_unwrap));
         assert!(scope_for(Path::new("crates/workload/src/fct.rs"))
             .is_some_and(|s| !s.determinism && s.panic_discipline));
         assert!(scope_for(Path::new("crates/bench/src/bin/fig2.rs")).is_none());

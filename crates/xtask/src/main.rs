@@ -88,6 +88,7 @@ fn cmd_selftest() -> ExitCode {
         ("bad_hash_collections.rs", Rule::HashCollections),
         ("bad_wall_clock.rs", Rule::WallClock),
         ("bad_panic.rs", Rule::Panic),
+        ("bad_no_unwrap_sim.rs", Rule::NoUnwrapSim),
         ("bad_index_literal.rs", Rule::IndexLiteral),
         ("bad_unit_suffix.rs", Rule::UnitSuffix),
         ("bad_thread_spawn.rs", Rule::ThreadSpawn),
