@@ -294,7 +294,7 @@ pub fn run_watchdog_sweep(gains: &[f64], t1_s: f64) -> Vec<WatchdogPoint> {
     let opts = DdeOptions {
         step: 1e-3,
         record_every: 50,
-        history_horizon: 2.0 * WATCHDOG_TAU_S,
+        history_horizon_s: 2.0 * WATCHDOG_TAU_S,
     };
     let results = par::par_map_fallible(gains.to_vec(), |gain_per_s| {
         let mut sys = DelayedFeedback { gain_per_s };

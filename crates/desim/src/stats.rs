@@ -19,7 +19,7 @@ pub struct TimeWeighted {
     last_time: SimTime,
     last_value: f64,
     weighted_sum: f64,
-    total_time: f64,
+    total_time_s: f64,
     max: f64,
     min: f64,
     started: bool,
@@ -38,7 +38,7 @@ impl TimeWeighted {
             last_time: SimTime::ZERO,
             last_value: 0.0,
             weighted_sum: 0.0,
-            total_time: 0.0,
+            total_time_s: 0.0,
             max: f64::NEG_INFINITY,
             min: f64::INFINITY,
             started: false,
@@ -51,7 +51,7 @@ impl TimeWeighted {
         if self.started {
             let dt = now.saturating_since(self.last_time).as_secs_f64();
             self.weighted_sum += self.last_value * dt;
-            self.total_time += dt;
+            self.total_time_s += dt;
         }
         self.started = true;
         self.last_time = now;
@@ -63,7 +63,7 @@ impl TimeWeighted {
     /// Time-weighted mean over the observed interval, or `None` before two
     /// updates have elapsed.
     pub fn mean(&self) -> Option<f64> {
-        (self.total_time > 0.0).then(|| self.weighted_sum / self.total_time)
+        (self.total_time_s > 0.0).then(|| self.weighted_sum / self.total_time_s)
     }
 
     /// Maximum observed value.

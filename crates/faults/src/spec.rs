@@ -229,6 +229,7 @@ impl Obj {
 
     fn get_link(&self) -> Result<usize, SimError> {
         let n = self.get_num("link")?;
+        // simlint: allow(float-cmp) — exact-by-design: fract()==0.0 is the definition of integrality
         if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
             return Err(SimError::spec(format!(
                 "link must be a non-negative integer, got {n}"

@@ -48,7 +48,7 @@ pub struct DdeOptions {
     /// Trim history older than this horizon (seconds) behind the current
     /// time; must exceed the largest delay the model queries. `f64::INFINITY`
     /// disables trimming.
-    pub history_horizon: f64,
+    pub history_horizon_s: f64,
 }
 
 impl Default for DdeOptions {
@@ -56,7 +56,7 @@ impl Default for DdeOptions {
         DdeOptions {
             step: 1e-6,
             record_every: 10,
-            history_horizon: 0.01,
+            history_horizon_s: 0.01,
         }
     }
 }
@@ -94,7 +94,7 @@ fn rk4_combine(x: &mut [f64], h: f64, k1: &[f64], k2: &[f64], k3: &[f64], k4: &[
 ///     }
 ///     fn min_delay(&self) -> f64 { 1.0 }
 /// }
-/// let opts = DdeOptions { step: 1e-3, record_every: 1, history_horizon: f64::INFINITY };
+/// let opts = DdeOptions { step: 1e-3, record_every: 1, history_horizon_s: f64::INFINITY };
 /// let tr = integrate_dde(&mut UnitDelay, &[1.0], 0.0, 1.0, &opts);
 /// assert!(tr.last_state().unwrap()[0].abs() < 1e-6);
 /// ```
@@ -182,6 +182,7 @@ pub fn try_integrate_dde_with_prehistory<S: DdeSystem>(
     }
 
     let mut hist = History::new(t0, pre);
+    // simlint: allow(float-cmp) — exact-by-design: only a bitwise-identical pre-history skips the knot
     if pre != x0 {
         // The state jumps to x0 at t0; represent as a knot at t0 replacing
         // the pre value (History replaces same-time knots).
@@ -245,8 +246,8 @@ pub fn try_integrate_dde_with_prehistory<S: DdeSystem>(
             });
         }
         hist.push(t, &x);
-        if opts.history_horizon.is_finite() {
-            hist.trim_before(t - opts.history_horizon);
+        if opts.history_horizon_s.is_finite() {
+            hist.trim_before(t - opts.history_horizon_s);
         }
         if step % record_every == 0 || step == steps {
             trace.push(t, &x);
@@ -290,7 +291,7 @@ mod tests {
         let opts = DdeOptions {
             step: 1e-3,
             record_every: 1,
-            history_horizon: f64::INFINITY,
+            history_horizon_s: f64::INFINITY,
         };
         let tr = integrate_dde(&mut UnitDelay, &[1.0], 0.0, 2.0, &opts);
         for i in 0..tr.len() {
@@ -322,7 +323,7 @@ mod tests {
         let opts = DdeOptions {
             step: 1e-3,
             record_every: 100,
-            history_horizon: 0.1,
+            history_horizon_s: 0.1,
         };
         let tr = integrate_dde(&mut Decay, &[1.0], 0.0, 1.0, &opts);
         let last = tr.last_state().unwrap()[0];
@@ -351,7 +352,7 @@ mod tests {
         let opts = DdeOptions {
             step: 0.01,
             record_every: 1,
-            history_horizon: f64::INFINITY,
+            history_horizon_s: f64::INFINITY,
         };
         let tr = integrate_dde(&mut Drain, &[0.5], 0.0, 1.0, &opts);
         assert_eq!(tr.last_state().unwrap()[0], 0.0);
@@ -367,7 +368,7 @@ mod tests {
         let opts = DdeOptions {
             step: 1e-3,
             record_every: 1,
-            history_horizon: f64::INFINITY,
+            history_horizon_s: f64::INFINITY,
         };
         let tr = integrate_dde_with_prehistory(&mut UnitDelay, &[0.0], &[2.0], 0.0, 0.5, &opts);
         let last = tr.last_state().unwrap()[0];
@@ -380,7 +381,7 @@ mod tests {
             let opts = DdeOptions {
                 step: 1e-3,
                 record_every: 1,
-                history_horizon: horizon,
+                history_horizon_s: horizon,
             };
             integrate_dde(&mut UnitDelay, &[1.0], 0.0, 3.0, &opts)
                 .last_state()
@@ -397,7 +398,7 @@ mod tests {
         let opts = DdeOptions {
             step: 2.0,
             record_every: 1,
-            history_horizon: f64::INFINITY,
+            history_horizon_s: f64::INFINITY,
         };
         integrate_dde(&mut UnitDelay, &[1.0], 0.0, 4.0, &opts);
     }
@@ -407,7 +408,7 @@ mod tests {
         let opts = DdeOptions {
             step: 2.0,
             record_every: 1,
-            history_horizon: f64::INFINITY,
+            history_horizon_s: f64::INFINITY,
         };
         let e = try_integrate_dde(&mut UnitDelay, &[1.0], 0.0, 4.0, &opts).unwrap_err();
         assert!(!e.is_divergence());
@@ -422,7 +423,7 @@ mod tests {
         let opts = DdeOptions {
             step: 1.0,
             record_every: 1,
-            history_horizon: f64::INFINITY,
+            history_horizon_s: f64::INFINITY,
         };
         let tr = try_integrate_dde(&mut UnitDelay, &[1.0], 0.0, 2.0, &opts).unwrap();
         assert_eq!(tr.len(), 3);
@@ -456,7 +457,7 @@ mod tests {
         let opts = DdeOptions {
             step: 1e-3,
             record_every: 1,
-            history_horizon: f64::INFINITY,
+            history_horizon_s: f64::INFINITY,
         };
         let e =
             try_integrate_dde(&mut Explosive { gain: 1e3 }, &[1.0], 0.0, 1.0, &opts).unwrap_err();
@@ -496,7 +497,7 @@ mod tests {
         let opts = DdeOptions {
             step: 1e-3,
             record_every: 1,
-            history_horizon: f64::INFINITY,
+            history_horizon_s: f64::INFINITY,
         };
         let e = try_integrate_dde(&mut NanRhs, &[1.0], 0.0, 1.0, &opts).unwrap_err();
         let faults::SimError::Divergence {
@@ -515,7 +516,7 @@ mod tests {
         let opts = DdeOptions {
             step: 1e-3,
             record_every: 1,
-            history_horizon: f64::INFINITY,
+            history_horizon_s: f64::INFINITY,
         };
         let tr = try_integrate_dde(&mut Explosive { gain: -1.0 }, &[1.0], 0.0, 1.0, &opts).unwrap();
         let last = tr.last_state().unwrap()[0];

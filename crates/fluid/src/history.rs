@@ -65,6 +65,7 @@ impl History {
         // never shrinks below it.
         let last = self.times[self.times.len() - 1];
         assert!(t >= last, "history times must be non-decreasing");
+        // simlint: allow(float-cmp) — exact-by-design: only the bitwise-same instant replaces a knot
         if t == last {
             // Replace the knot (refinement of the same instant).
             let off = self.states.len() - self.dim;

@@ -216,9 +216,9 @@ pub struct DcqcnFixedPoint {
     /// Queue length in KB for reporting.
     pub q_star_kb: f64,
     /// Per-flow rate `R_C* = C/N` in packets/second (Eq 13).
-    pub rate_per_flow: f64,
+    pub rate_per_flow_pps: f64,
     /// Per-flow target rate `R_T*` in packets/second.
-    pub target_rate: f64,
+    pub target_rate_pps: f64,
     /// Fixed-point `α*` (Eq 10).
     pub alpha_star: f64,
     /// True when `p* > P_max`, i.e. the operating point lies beyond the RED
@@ -237,7 +237,7 @@ pub struct DcqcnFixedPoint {
 ///
 /// let m = DcqcnFluid::new(DcqcnParams::default_40g(), 4);
 /// let fp = m.fixed_point();            // Theorem 1
-/// assert!((fp.rate_per_flow - m.params.capacity_pps() / 4.0).abs() < 1e-6);
+/// assert!((fp.rate_per_flow_pps - m.params.capacity_pps() / 4.0).abs() < 1e-6);
 /// assert!(m.margin_report().is_stable()); // 4 µs loop: stable
 /// ```
 #[derive(Debug, Clone)]
@@ -393,14 +393,14 @@ impl DcqcnFluid {
         let c = pow1m(p_star, f * b_cnt) * b;
         let d = rate_event_factor(p_star, t_tmr * rc_star);
         let e = pow1m(p_star, f * t_tmr * rc_star) * d;
-        let target_rate = rc_star + tau * r_ai * rc_star * (c + e) / a.max(1e-300);
+        let target_rate_pps = rc_star + tau * r_ai * rc_star * (c + e) / a.max(1e-300);
 
         DcqcnFixedPoint {
             p_star,
             q_star_pkts,
             q_star_kb: units::pkts_to_kb(q_star_pkts, p.packet_bytes),
-            rate_per_flow: rc_star,
-            target_rate,
+            rate_per_flow_pps: rc_star,
+            target_rate_pps,
             alpha_star,
             saturated: p_star > p.p_max,
         }
@@ -419,8 +419,8 @@ impl DcqcnFluid {
         let n = self.n_flows as f64;
         let tau_star = p.feedback_delay_s();
 
-        let x_star = [fp.rate_per_flow, fp.target_rate, fp.alpha_star];
-        let rcd_star = fp.rate_per_flow;
+        let x_star = [fp.rate_per_flow_pps, fp.target_rate_pps, fp.alpha_star];
+        let rcd_star = fp.rate_per_flow_pps;
         let p_star = fp.p_star;
 
         // A0 = ∂f/∂(rc, rt, α) at the fixed point.
@@ -511,7 +511,7 @@ impl DcqcnFluid {
         let opts = DdeOptions {
             step: step_s,
             record_every,
-            history_horizon: horizon,
+            history_horizon_s: horizon,
         };
         let pre = x0.clone();
         integrate_dde_with_prehistory(self, &x0.clone(), &pre, 0.0, duration_s, &opts)
@@ -664,10 +664,10 @@ mod tests {
             let m = DcqcnFluid::new(DcqcnParams::default_40g(), n);
             let fp = m.fixed_point();
             let expect = m.params.capacity_pps() / n as f64;
-            assert!((fp.rate_per_flow - expect).abs() < 1e-6);
+            assert!((fp.rate_per_flow_pps - expect).abs() < 1e-6);
             assert!(fp.p_star > 0.0 && fp.p_star < 1.0);
             assert!(fp.alpha_star > 0.0 && fp.alpha_star < 1.0);
-            assert!(fp.target_rate >= fp.rate_per_flow);
+            assert!(fp.target_rate_pps >= fp.rate_per_flow_pps);
         }
     }
 
@@ -711,7 +711,7 @@ mod tests {
         let fp = m.fixed_point();
         let mut x = vec![fp.q_star_pkts];
         for _ in 0..2 {
-            x.extend_from_slice(&[fp.rate_per_flow, fp.target_rate, fp.alpha_star]);
+            x.extend_from_slice(&[fp.rate_per_flow_pps, fp.target_rate_pps, fp.alpha_star]);
         }
         let hist = History::new(0.0, &x);
         let mut dx = vec![0.0; x.len()];
@@ -721,7 +721,7 @@ mod tests {
         // Queue derivative: ΣR = C exactly.
         assert!(dx[0].abs() < 1e-3, "dq/dt = {}", dx[0]);
         // Rate derivatives are zero relative to the rate scale.
-        let scale = fp.rate_per_flow;
+        let scale = fp.rate_per_flow_pps;
         for i in 0..2 {
             assert!(
                 dx[1 + 3 * i].abs() / scale < 1e-6,
@@ -746,7 +746,7 @@ mod tests {
         let fp = m.fixed_point();
         let last = tr.last_state().unwrap();
         for i in 0..2 {
-            let rel = (last[m.rc_index(i)] - fp.rate_per_flow).abs() / fp.rate_per_flow;
+            let rel = (last[m.rc_index(i)] - fp.rate_per_flow_pps).abs() / fp.rate_per_flow_pps;
             assert!(rel < 0.05, "flow {i} rate off by {rel}");
         }
         // Queue settles near q*.
@@ -775,7 +775,7 @@ mod tests {
         let opts = DdeOptions {
             step: 1e-6,
             record_every: 50,
-            history_horizon: 0.01,
+            history_horizon_s: 0.01,
         };
         let tr = integrate_dde_with_prehistory(&mut m, &x0.clone(), &x0.clone(), 0.0, 0.1, &opts);
         let last = tr.last_state().unwrap();

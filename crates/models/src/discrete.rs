@@ -22,7 +22,7 @@ use crate::dcqcn::DcqcnParams;
 #[derive(Debug, Clone, Copy)]
 pub struct FlowState {
     /// Peak rate `R_C(T_k)` in packets/second.
-    pub rate: f64,
+    pub rate_pps: f64,
     /// Reduction factor `α(T_k)`.
     pub alpha: f64,
 }
@@ -47,7 +47,10 @@ impl DiscreteAimd {
             params,
             flows: initial_rates_pps
                 .iter()
-                .map(|&rate| FlowState { rate, alpha: 1.0 })
+                .map(|&rate_pps| FlowState {
+                    rate_pps,
+                    alpha: 1.0,
+                })
                 .collect(),
             cycle: 0,
         }
@@ -55,6 +58,7 @@ impl DiscreteAimd {
 
     /// Queue-buildup time `t` of Eq 41 (in units of τ′):
     /// `t = (−1 + √(1 + 8·K_max/(N·R_AI·τ′)))/2`.
+    // simlint: allow(unit-suffix) — dimensionless multiple of τ′ (Eq 41 counts alpha-timer periods)
     pub fn buildup_time(&self) -> f64 {
         let p = &self.params;
         let n = self.flows.len() as f64;
@@ -85,7 +89,7 @@ impl DiscreteAimd {
         for f in &mut self.flows {
             // Eq 15 with the simplification R_T := R_C at the decrease: each
             // of the ΔT−1 additive steps raises the rate by R_AI.
-            f.rate = (1.0 - f.alpha / 2.0) * f.rate + increases * r_ai;
+            f.rate_pps = (1.0 - f.alpha / 2.0) * f.rate_pps + increases * r_ai;
             // Eq 16.
             f.alpha = (1.0 - g).powf(dt - 1.0) * ((1.0 - g) * f.alpha + g);
         }
@@ -94,9 +98,17 @@ impl DiscreteAimd {
     }
 
     /// Max pairwise rate gap (pps), the Theorem 2 convergence metric.
-    pub fn max_rate_gap(&self) -> f64 {
-        let max = self.flows.iter().map(|f| f.rate).fold(f64::MIN, f64::max);
-        let min = self.flows.iter().map(|f| f.rate).fold(f64::MAX, f64::min);
+    pub fn max_rate_gap_pps(&self) -> f64 {
+        let max = self
+            .flows
+            .iter()
+            .map(|f| f.rate_pps)
+            .fold(f64::MIN, f64::max);
+        let min = self
+            .flows
+            .iter()
+            .map(|f| f.rate_pps)
+            .fold(f64::MAX, f64::min);
         max - min
     }
 
@@ -124,16 +136,16 @@ impl DiscreteAimd {
         a
     }
 
-    /// Run `cycles` cycles recording `(cycle, max_rate_gap, mean_alpha)` —
+    /// Run `cycles` cycles recording `(cycle, max_rate_gap_pps, mean_alpha)` —
     /// the series behind Figure 6 / the Theorem 2 decay plots.
     pub fn run(&mut self, cycles: usize) -> Vec<(usize, f64, f64)> {
         let mut out = Vec::with_capacity(cycles + 1);
         let mean_alpha =
             |s: &Self| s.flows.iter().map(|f| f.alpha).sum::<f64>() / s.flows.len() as f64;
-        out.push((self.cycle, self.max_rate_gap(), mean_alpha(self)));
+        out.push((self.cycle, self.max_rate_gap_pps(), mean_alpha(self)));
         for _ in 0..cycles {
             self.step();
-            out.push((self.cycle, self.max_rate_gap(), mean_alpha(self)));
+            out.push((self.cycle, self.max_rate_gap_pps(), mean_alpha(self)));
         }
         out
     }
@@ -145,7 +157,7 @@ impl DiscreteAimd {
         let mut t = 0.0;
         let r_ai = self.params.r_ai_pps();
         for _ in 0..cycles {
-            let rates_at_peak: Vec<f64> = self.flows.iter().map(|f| f.rate).collect();
+            let rates_at_peak: Vec<f64> = self.flows.iter().map(|f| f.rate_pps).collect();
             let alphas: Vec<f64> = self.flows.iter().map(|f| f.alpha).collect();
             out.push((t, rates_at_peak.clone()));
             // The cut.
@@ -204,16 +216,16 @@ mod tests {
         let c = p.capacity_pps();
         let mut m = DiscreteAimd::new(p, &[c * 0.9, c * 0.1]);
         let a_star = m.alpha_star();
-        let g0 = m.max_rate_gap();
+        let g0 = m.max_rate_gap_pps();
         let k = 40;
         for _ in 0..k {
             m.step();
         }
         let bound = g0 * (1.0 - a_star / 2.0).powi(k);
         assert!(
-            m.max_rate_gap() <= bound * 1.5,
+            m.max_rate_gap_pps() <= bound * 1.5,
             "gap {} should be ≤ ~bound {}",
-            m.max_rate_gap(),
+            m.max_rate_gap_pps(),
             bound
         );
     }
@@ -297,7 +309,7 @@ mod tests {
         for _ in 0..50 {
             m.step();
         }
-        assert!(m.max_rate_gap() < 1e-6);
+        assert!(m.max_rate_gap_pps() < 1e-6);
         assert!(m.max_alpha_gap() < 1e-12);
     }
 }

@@ -4,7 +4,7 @@
 //! (τ*) and TIMELY (τ′)". Inside an RK4 integrator, white per-evaluation
 //! noise would be step-size dependent and irreproducible; instead we use a
 //! **piecewise-constant** jitter process: the extra delay is constant over
-//! windows of `interval` seconds, and the value in window `k` is a pure hash
+//! windows of `interval_s` seconds, and the value in window `k` is a pure hash
 //! of `(seed, k)`. The process is therefore a deterministic function of
 //! time — independent of query order, step size, and evaluation count —
 //! while still being "uniform random" across windows.
@@ -15,19 +15,19 @@ pub struct Jitter {
     /// Maximum extra delay in seconds (uniform lower bound is 0).
     pub amplitude: f64,
     /// Resampling window in seconds.
-    pub interval: f64,
+    pub interval_s: f64,
     /// Seed for the per-window hash.
     pub seed: u64,
 }
 
 impl Jitter {
     /// Uniform jitter on `[0, amplitude]` seconds, resampled every
-    /// `interval` seconds.
+    /// `interval_s` seconds.
     pub fn uniform(amplitude_s: f64, interval_s: f64, seed: u64) -> Self {
         assert!(amplitude_s >= 0.0 && interval_s > 0.0);
         Jitter {
             amplitude: amplitude_s,
-            interval: interval_s,
+            interval_s,
             seed,
         }
     }
@@ -36,7 +36,7 @@ impl Jitter {
     /// integrator may query slightly before the origin) and handled by
     /// flooring the window index.
     pub fn extra(&self, t: f64) -> f64 {
-        let k = (t / self.interval).floor() as i64;
+        let k = (t / self.interval_s).floor() as i64;
         let h = splitmix64(self.seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         u * self.amplitude

@@ -171,7 +171,7 @@ impl PatchedTimelyFluid {
         let opts = DdeOptions {
             step,
             record_every,
-            history_horizon: horizon,
+            history_horizon_s: horizon,
         };
         integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration_s, &opts)
     }
@@ -296,6 +296,7 @@ impl DdeSystem for PatchedTimelyFluid {
             let g = x[gi];
             let tau_i = base.tau_star(r);
             let t2 = t - tau_fb - tau_i;
+            // simlint: allow(float-cmp) — memo key: only a bitwise-identical t2 may reuse the cache
             let qd2 = if t2 == qd2_cache.0 {
                 qd2_cache.1
             } else {

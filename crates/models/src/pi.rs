@@ -107,7 +107,7 @@ impl DcqcnPiFluid {
         let opts = DdeOptions {
             step,
             record_every,
-            history_horizon: self.params.feedback_delay_s() * 4.0 + 10.0 * step,
+            history_horizon_s: self.params.feedback_delay_s() * 4.0 + 10.0 * step,
         };
         integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration_s, &opts)
     }
@@ -264,7 +264,7 @@ impl PatchedTimelyPiFluid {
         let opts = DdeOptions {
             step,
             record_every,
-            history_horizon: horizon,
+            history_horizon_s: horizon,
         };
         integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration_s, &opts)
     }
@@ -307,6 +307,7 @@ impl DdeSystem for PatchedTimelyPiFluid {
             let p_i = x[pi];
             let tau_i = base.tau_star(r);
             let t2 = t - tau_fb - tau_i;
+            // simlint: allow(float-cmp) — memo key: only a bitwise-identical t2 may reuse the cache
             let qd2 = if t2 == qd2_cache.0 {
                 qd2_cache.1
             } else {

@@ -207,7 +207,7 @@ impl TimelyFluid {
         let opts = DdeOptions {
             step,
             record_every,
-            history_horizon: horizon,
+            history_horizon_s: horizon,
         };
         integrate_dde_with_prehistory(self, &x0.clone(), &x0.clone(), 0.0, duration_s, &opts)
     }
@@ -241,6 +241,7 @@ impl TimelyFluid {
 
     /// The rate derivative of Eq 21 for one flow, given the delayed queue
     /// observations. Exposed for the Theorem 3/4 tests.
+    // simlint: allow(unit-suffix) — returns dR/dt in pps/s, a compound dimension no suffix names
     pub fn rate_rhs(&self, r: f64, g: f64, q_delayed: f64) -> f64 {
         let p = &self.params;
         let tau = p.tau_star(r);
@@ -303,6 +304,7 @@ impl DdeSystem for TimelyFluid {
             let g = x[gi];
             let tau_i = p.tau_star(r);
             let t2 = t - tau_fb - tau_i;
+            // simlint: allow(float-cmp) — memo key: only a bitwise-identical t2 may reuse the cache
             let qd2 = if t2 == qd2_cache.0 {
                 qd2_cache.1
             } else {

@@ -55,7 +55,7 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Queue-trace decimation (seconds); traces recorded for every switch
     /// egress queue.
-    pub queue_trace_resolution: f64,
+    pub queue_trace_resolution_s: f64,
     /// Per-flow throughput trace window; `None` disables rate traces.
     pub rate_trace_window: Option<SimDuration>,
     /// Optional fault-injection schedule, compiled onto the event queue at
@@ -77,7 +77,7 @@ impl Default for EngineConfig {
             pfc: None,
             pi_aqm: None,
             seed: 1,
-            queue_trace_resolution: 20e-6,
+            queue_trace_resolution_s: 20e-6,
             rate_trace_window: Some(SimDuration::from_micros(100)),
             faults: None,
         }
@@ -107,11 +107,11 @@ impl EngineConfig {
         if !(self.red.p_max.is_finite() && (0.0..=1.0).contains(&self.red.p_max)) {
             return bad(format!("red.p_max {} outside [0, 1]", self.red.p_max));
         }
-        if !(self.queue_trace_resolution.is_finite() && self.queue_trace_resolution > 0.0) {
+        if !(self.queue_trace_resolution_s.is_finite() && self.queue_trace_resolution_s > 0.0) {
             return bad(format!(
-                "queue_trace_resolution {} must be positive and finite (a zero or negative \
+                "queue_trace_resolution_s {} must be positive and finite (a zero or negative \
                  trace interval is meaningless)",
-                self.queue_trace_resolution
+                self.queue_trace_resolution_s
             ));
         }
         if let Some(pfc) = &self.pfc {
@@ -353,7 +353,7 @@ impl Engine {
         for l in 0..topo.link_count() {
             let link = topo.link(LinkId(l));
             if matches!(topo.kind(link.src), NodeKind::Switch) {
-                queue_traces.insert(LinkId(l), TimeSeries::new(cfg.queue_trace_resolution));
+                queue_traces.insert(LinkId(l), TimeSeries::new(cfg.queue_trace_resolution_s));
             }
         }
         let rng = SimRng::new(cfg.seed);
@@ -1945,7 +1945,10 @@ mod tests {
         );
         check(&|c| c.red.p_max = f64::NAN, "p_max");
         check(&|c| c.red.p_max = 1.5, "p_max");
-        check(&|c| c.queue_trace_resolution = f64::INFINITY, "resolution");
+        check(
+            &|c| c.queue_trace_resolution_s = f64::INFINITY,
+            "resolution",
+        );
         check(
             &|c| {
                 c.pfc = Some(PfcConfig {

@@ -80,7 +80,7 @@ pub struct DcqcnCc {
     rc: f64,
     rt: f64,
     alpha: f64,
-    line_rate: f64,
+    line_rate_bps: f64,
     byte_stage: u32,
     time_stage: u32,
     bytes_since_stage: u64,
@@ -97,7 +97,7 @@ impl DcqcnCc {
             rc: 0.0,
             rt: 0.0,
             alpha: 1.0,
-            line_rate: 0.0,
+            line_rate_bps: 0.0,
             byte_stage: 0,
             time_stage: 0,
             bytes_since_stage: 0,
@@ -136,11 +136,11 @@ impl DcqcnCc {
         if self.byte_stage < f && self.time_stage < f {
             // Fast recovery: halve the gap to the target.
         } else if self.params.enable_hyper && self.byte_stage > f && self.time_stage > f {
-            self.rt = (self.rt + self.params.r_hai_bps).min(self.line_rate);
+            self.rt = (self.rt + self.params.r_hai_bps).min(self.line_rate_bps);
         } else {
-            self.rt = (self.rt + self.params.r_ai_bps).min(self.line_rate);
+            self.rt = (self.rt + self.params.r_ai_bps).min(self.line_rate_bps);
         }
-        self.rc = ((self.rc + self.rt) / 2.0).clamp(self.params.min_rate_bps, self.line_rate);
+        self.rc = ((self.rc + self.rt) / 2.0).clamp(self.params.min_rate_bps, self.line_rate_bps);
     }
 
     fn cut(&mut self, now: SimTime) {
@@ -159,7 +159,7 @@ impl DcqcnCc {
 
 impl CongestionControl for DcqcnCc {
     fn on_start(&mut self, now: SimTime, line_rate_bps: f64) -> CcUpdate {
-        self.line_rate = line_rate_bps;
+        self.line_rate_bps = line_rate_bps;
         self.rc = line_rate_bps; // start at line rate, no slow start
         self.rt = line_rate_bps;
         self.alpha = 1.0;

@@ -57,8 +57,8 @@ pub fn weight(g: f64) -> f64 {
 pub struct PatchedTimelyCc {
     /// Parameters.
     pub params: PatchedTimelyCcParams,
-    rate: f64,
-    line_rate: f64,
+    rate_bps: f64,
+    line_rate_bps: f64,
     prev_rtt_s: Option<f64>,
     rtt_diff_s: f64,
     samples: u64,
@@ -69,8 +69,8 @@ impl PatchedTimelyCc {
     pub fn new(params: PatchedTimelyCcParams) -> Self {
         PatchedTimelyCc {
             params,
-            rate: 0.0,
-            line_rate: 0.0,
+            rate_bps: 0.0,
+            line_rate_bps: 0.0,
             prev_rtt_s: None,
             rtt_diff_s: 0.0,
             samples: 0,
@@ -96,7 +96,7 @@ impl PatchedTimelyCc {
     pub fn update(&mut self, raw_rtt: SimDuration) -> f64 {
         self.samples += 1;
         let p = &self.params.base;
-        let self_ser = SimDuration::serialization(p.seg_bytes as u64, self.line_rate.max(1e3));
+        let self_ser = SimDuration::serialization(p.seg_bytes as u64, self.line_rate_bps.max(1e3));
         let new_rtt = raw_rtt.as_secs_f64().max(self_ser.as_secs_f64()) - self_ser.as_secs_f64();
 
         let new_rtt_diff = match self.prev_rtt_s {
@@ -108,27 +108,27 @@ impl PatchedTimelyCc {
         let gradient = self.rtt_diff_s / p.min_rtt.as_secs_f64();
 
         if new_rtt < p.t_low.as_secs_f64() {
-            self.rate += p.delta_bps;
+            self.rate_bps += p.delta_bps;
         } else if new_rtt > p.t_high.as_secs_f64() {
-            self.rate *= 1.0 - p.beta * (1.0 - p.t_high.as_secs_f64() / new_rtt);
+            self.rate_bps *= 1.0 - p.beta * (1.0 - p.t_high.as_secs_f64() / new_rtt);
         } else {
             // Algorithm 2 lines 10–12.
             let w = weight(gradient);
             let error =
                 (new_rtt - self.params.rtt_ref.as_secs_f64()) / self.params.rtt_ref.as_secs_f64();
-            self.rate = p.delta_bps * (1.0 - w) + self.rate * (1.0 - p.beta * w * error);
+            self.rate_bps = p.delta_bps * (1.0 - w) + self.rate_bps * (1.0 - p.beta * w * error);
         }
-        self.rate = self.rate.clamp(p.min_rate_bps, self.line_rate);
-        self.rate
+        self.rate_bps = self.rate_bps.clamp(p.min_rate_bps, self.line_rate_bps);
+        self.rate_bps
     }
 }
 
 impl CongestionControl for PatchedTimelyCc {
     fn on_start(&mut self, _now: SimTime, line_rate_bps: f64) -> CcUpdate {
-        self.line_rate = line_rate_bps;
-        self.rate = (line_rate_bps / self.params.base.start_rate_divisor)
+        self.line_rate_bps = line_rate_bps;
+        self.rate_bps = (line_rate_bps / self.params.base.start_rate_divisor)
             .clamp(self.params.base.min_rate_bps, line_rate_bps);
-        CcUpdate::rate(self.rate)
+        CcUpdate::rate(self.rate_bps)
     }
 
     fn on_event(&mut self, now: SimTime, event: CcEvent) -> CcUpdate {
@@ -152,7 +152,7 @@ impl CongestionControl for PatchedTimelyCc {
     }
 
     fn current_rate_bps(&self) -> f64 {
-        self.rate
+        self.rate_bps
     }
 }
 
@@ -227,7 +227,7 @@ mod tests {
         // Feed the consistent RTT and check the rate is stationary.
         let mut cc = started();
         let rate = 2e9;
-        cc.rate = rate;
+        cc.rate_bps = rate;
         let p = &cc.params;
         let error = p.base.delta_bps / (rate * p.base.beta);
         let rtt_s = p.rtt_ref.as_secs_f64() * (1.0 + error);
@@ -266,7 +266,7 @@ mod tests {
         // at g = 0).
         let run = |g_init: f64| -> f64 {
             let mut cc = started();
-            cc.rate = 5e9;
+            cc.rate_bps = 5e9;
             cc.prev_rtt_s = Some(100e-6);
             cc.rtt_diff_s = g_init * cc.params.base.min_rtt.as_secs_f64();
             // A sample equal to prev keeps the gradient ≈ current value

@@ -43,6 +43,7 @@ pub struct TimelyCcParams {
     pub min_rate_bps: f64,
     /// Initial rate divisor: a new flow starts at `line_rate / start_div`
     /// (the paper: `C/(N+1)` with N flows active; callers set this).
+    // simlint: allow(unit-suffix) — dimensionless divisor of the line rate, not itself a rate
     pub start_rate_divisor: f64,
 }
 
@@ -69,8 +70,8 @@ impl Default for TimelyCcParams {
 pub struct TimelyCc {
     /// Parameters.
     pub params: TimelyCcParams,
-    rate: f64,
-    line_rate: f64,
+    rate_bps: f64,
+    line_rate_bps: f64,
     prev_rtt_s: Option<f64>,
     rtt_diff_s: f64,
     consecutive_negative: u32,
@@ -82,8 +83,8 @@ impl TimelyCc {
     pub fn new(params: TimelyCcParams) -> Self {
         TimelyCc {
             params,
-            rate: 0.0,
-            line_rate: 0.0,
+            rate_bps: 0.0,
+            line_rate_bps: 0.0,
             prev_rtt_s: None,
             rtt_diff_s: 0.0,
             consecutive_negative: 0,
@@ -111,7 +112,7 @@ impl TimelyCc {
         self.samples += 1;
         let p = &self.params;
         // Remove the segment's own serialization at line rate.
-        let self_ser = SimDuration::serialization(p.seg_bytes as u64, self.line_rate.max(1e3));
+        let self_ser = SimDuration::serialization(p.seg_bytes as u64, self.line_rate_bps.max(1e3));
         let new_rtt = raw_rtt.as_secs_f64().max(self_ser.as_secs_f64()) - self_ser.as_secs_f64();
 
         let new_rtt_diff = match self.prev_rtt_s {
@@ -124,10 +125,10 @@ impl TimelyCc {
 
         if new_rtt < p.t_low.as_secs_f64() {
             self.consecutive_negative = 0;
-            self.rate += p.delta_bps;
+            self.rate_bps += p.delta_bps;
         } else if new_rtt > p.t_high.as_secs_f64() {
             self.consecutive_negative = 0;
-            self.rate *= 1.0 - p.beta * (1.0 - p.t_high.as_secs_f64() / new_rtt);
+            self.rate_bps *= 1.0 - p.beta * (1.0 - p.t_high.as_secs_f64() / new_rtt);
         } else if gradient <= 0.0 {
             self.consecutive_negative += 1;
             let steps = if p.enable_hai && self.consecutive_negative >= p.hai_n {
@@ -135,22 +136,22 @@ impl TimelyCc {
             } else {
                 1.0
             };
-            self.rate += steps * p.delta_bps;
+            self.rate_bps += steps * p.delta_bps;
         } else {
             self.consecutive_negative = 0;
-            self.rate *= 1.0 - p.beta * gradient.min(1.0);
+            self.rate_bps *= 1.0 - p.beta * gradient.min(1.0);
         }
-        self.rate = self.rate.clamp(p.min_rate_bps, self.line_rate);
-        self.rate
+        self.rate_bps = self.rate_bps.clamp(p.min_rate_bps, self.line_rate_bps);
+        self.rate_bps
     }
 }
 
 impl CongestionControl for TimelyCc {
     fn on_start(&mut self, _now: SimTime, line_rate_bps: f64) -> CcUpdate {
-        self.line_rate = line_rate_bps;
-        self.rate = (line_rate_bps / self.params.start_rate_divisor)
+        self.line_rate_bps = line_rate_bps;
+        self.rate_bps = (line_rate_bps / self.params.start_rate_divisor)
             .clamp(self.params.min_rate_bps, line_rate_bps);
-        CcUpdate::rate(self.rate)
+        CcUpdate::rate(self.rate_bps)
     }
 
     fn on_event(&mut self, now: SimTime, event: CcEvent) -> CcUpdate {
@@ -174,7 +175,7 @@ impl CongestionControl for TimelyCc {
     }
 
     fn current_rate_bps(&self) -> f64 {
-        self.rate
+        self.rate_bps
     }
 }
 

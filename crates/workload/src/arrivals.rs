@@ -36,7 +36,7 @@ impl PoissonArrivals {
     }
 
     /// The arrival rate in flows/second.
-    pub fn rate(&self) -> f64 {
+    pub fn rate_hz(&self) -> f64 {
         1.0 / self.mean_interarrival_s
     }
 
@@ -63,10 +63,10 @@ mod tests {
     fn load_calibration() {
         // load 1.0 on 8 Gbps with 1 MB flows → 1000 flows/s.
         let a = PoissonArrivals::for_load(1.0, 8e9, 1e6);
-        assert!((a.rate() - 1000.0).abs() < 1e-9);
+        assert!((a.rate_hz() - 1000.0).abs() < 1e-9);
         // Half load → half rate.
         let a2 = PoissonArrivals::for_load(0.5, 8e9, 1e6);
-        assert!((a2.rate() - 500.0).abs() < 1e-9);
+        assert!((a2.rate_hz() - 500.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! Fixture: determinism-taint must catch wall-clock readings steering the
+//! simulation — written into sim state or handed to the event queue.
+
+pub struct Pacer {
+    pub next_fire_s: f64,
+}
+
+impl Pacer {
+    pub fn contaminate(&mut self) {
+        let now_s = std::time::Instant::now().elapsed().as_secs_f64();
+        self.next_fire_s = now_s;
+    }
+}
+
+pub fn reschedule(q: &mut EventQueue) {
+    let skew_s = std::time::Instant::now().elapsed().as_secs_f64();
+    q.schedule(skew_s, 7);
+}

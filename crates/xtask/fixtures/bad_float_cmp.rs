@@ -1,0 +1,10 @@
+//! Fixture: float-cmp must fire on exact `==` / `!=` over floating-point
+//! values outside the approved epsilon helpers.
+
+pub fn converged(rate_bps: f64, target_bps: f64) -> bool {
+    rate_bps == target_bps
+}
+
+pub fn still_moving(gain: f64) -> bool {
+    gain != 0.0
+}

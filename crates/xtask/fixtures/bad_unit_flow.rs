@@ -1,0 +1,16 @@
+//! Fixture: unit-flow must catch cross-unit arithmetic, comparisons, and
+//! compound assignments that bypass `models::units` conversions.
+
+pub fn total_wait(delay_us: f64, timeout_s: f64) -> f64 {
+    delay_us + timeout_s
+}
+
+pub fn overdue(elapsed_ms: f64, deadline_s: f64) -> bool {
+    elapsed_ms >= deadline_s
+}
+
+pub fn mixed_accumulate(rate_bps: f64, budget_pps: f64) -> f64 {
+    let mut acc_bps = rate_bps;
+    acc_bps += budget_pps;
+    acc_bps
+}

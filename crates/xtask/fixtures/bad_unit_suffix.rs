@@ -1,5 +1,15 @@
-//! Seeded-bad fixture: dimensioned `f64` parameter with no unit suffix.
+//! Seeded-bad fixture: dimensioned `f64` parameters, struct fields, and
+//! `pub fn` return types with no unit suffix.
 
 pub fn configure(rate: f64, delay: f64) -> f64 {
     rate * delay
+}
+
+pub struct LinkState {
+    pub queue_depth: f64,
+    thresh: f64,
+}
+
+pub fn drain_time(queue_bytes: f64, rate_bps: f64) -> f64 {
+    queue_bytes / (rate_bps / 8.0)
 }

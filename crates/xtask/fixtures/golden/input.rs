@@ -1,0 +1,17 @@
+//! Golden input: exercises a spread of rules so the JSON report shape is
+//! pinned byte-for-byte by `tests/golden.rs`.
+
+use std::collections::HashMap;
+
+pub fn lookup(xs: &[u64]) -> u64 {
+    xs[3]
+}
+
+pub fn mix(delay_us: f64, timeout_s: f64) -> bool {
+    delay_us == timeout_s
+}
+
+// simlint: allow(panic) — stale on purpose: nothing below unwraps
+pub fn quiet() -> u32 {
+    7
+}

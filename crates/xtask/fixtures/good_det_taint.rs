@@ -1,0 +1,14 @@
+//! Fixture: measure-only wall-clock flows (`obs::span` style) are
+//! sanctioned — readings may be aggregated into profiling counters and
+//! reported, but never written into simulation state. Zero determinism-taint
+//! findings expected (the wall-clock *source* rule is path-exempted for the
+//! real span module; this fixture only checks the dataflow pass).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn measure(counter: &AtomicU64) -> u64 {
+    let start = std::time::Instant::now();
+    let dt_ns = start.elapsed().as_nanos() as u64;
+    counter.fetch_add(dt_ns, Ordering::Relaxed);
+    dt_ns
+}

@@ -1,0 +1,13 @@
+//! Fixture: `==` inside an approved epsilon helper is the implementation of
+//! float comparison, not a violation; call sites route through the helper.
+
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() <= eps
+}
+
+pub fn converged(rate_bps: f64, target_bps: f64) -> bool {
+    approx_eq(rate_bps, target_bps, 1e-6)
+}

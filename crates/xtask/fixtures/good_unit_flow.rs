@@ -1,0 +1,27 @@
+//! Fixture: conversions routed through sanctioned `*_to_*` helpers
+//! (the `models::units` naming convention) re-type the value, so downstream
+//! arithmetic is unit-consistent and must produce zero unit-flow findings.
+
+pub fn us_to_s(v_us: f64) -> f64 {
+    v_us * 1e-6
+}
+
+pub fn total_wait_s(delay_us: f64, timeout_s: f64) -> f64 {
+    let delay_s = us_to_s(delay_us);
+    delay_s + timeout_s
+}
+
+pub fn headroom_s(deadline_s: f64, elapsed_ms: f64) -> f64 {
+    let elapsed_s = ms_to_s(elapsed_ms);
+    deadline_s - elapsed_s
+}
+
+pub fn ms_to_s(v_ms: f64) -> f64 {
+    v_ms * 1e-3
+}
+
+pub fn feedback_delay_s(queue_pkts: f64, capacity_pps: f64, prop_s: f64) -> f64 {
+    // `1.0 / capacity_pps` is a *period*: division inverts the unit, so the
+    // sum below is seconds + seconds, not pps + seconds.
+    queue_pkts / capacity_pps + 1.0 / capacity_pps + prop_s
+}

@@ -1,34 +1,88 @@
 //! # simlint — project-specific static analysis
 //!
 //! Rules clippy cannot express, enforced over the workspace sources (see
-//! DESIGN.md "Correctness & determinism policy"):
+//! DESIGN.md "Correctness & determinism policy" §8.6). Every rule runs on a
+//! hand-rolled token stream ([`lex`]) — identifiers, literals, operators,
+//! comments, string/char literals with column-accurate spans — not on
+//! regex-scrubbed lines, so strings, nested block comments and raw strings
+//! can never leak false positives or mask real ones.
 //!
 //! | rule | scope | what it bans |
 //! |---|---|---|
 //! | `hash-collections` | sim crates | `HashMap`/`HashSet` (iteration order is unspecified; use `BTreeMap`/`BTreeSet` or `Vec`-indexed storage) |
 //! | `wall-clock` | sim crates | `Instant::now`, `SystemTime`, `thread_rng`, `rand::` (hidden nondeterminism); `obs/src/span.rs` is the one sanctioned span-timer surface and is exempt |
 //! | `panic` | library crates | `.unwrap()` / `.expect(` outside `#[cfg(test)]` (library code returns typed errors or documents the invariant with an allow) |
-//! | `no-unwrap-sim` | sim crates | `.unwrap()` / `.expect(` in simulation hot paths, even with a `panic` allow — sim code degrades via `faults::SimError` or infallible constructions; a cold-path exception needs its own `allow(no-unwrap-sim)` |
+//! | `no-unwrap-sim` | sim crates | `.unwrap()` / `.expect(` in simulation hot paths, even with a `panic` allow — sim code degrades via `faults::SimError` or infallible constructions |
 //! | `index-literal` | sim crates | literal indexing `xs[0]` without a bound-justifying comment on the same or preceding line |
-//! | `unit-suffix` | sim crates | `pub fn` parameters of type `f64` with a time/rate/size-flavoured name but no unit suffix (`_s`, `_us`, `_pps`, `_gbps`, `_bytes`, …) |
-//! | `thread-spawn` | sim crates | raw `thread::spawn` / `thread::scope` outside `desim::par` (ad-hoc threading breaks the ordered-results determinism contract; use `desim::par::par_map`) |
+//! | `unit-suffix` | sim + workload | `f64` `pub fn` params, `pub fn` return types and struct fields with a time/rate/size-flavoured name but no unit suffix (`_s`, `_us`, `_pps`, `_gbps`, `_bytes`, …) |
+//! | `thread-spawn` | sim crates | raw `thread::spawn` / `thread::scope` outside `desim::par` (use `desim::par::par_map`) |
+//! | `float-cmp` | sim crates | `==` / `!=` on `f64` expressions outside approved epsilon helpers (exact float equality is a latent determinism/portability bug) |
+//! | `unit-flow` | library crates | dimensional taint: cross-unit `+`/`-`/comparison and cross-unit assignment inside function bodies, seeded from suffix conventions and propagated through locals (route conversions through `models::units`) |
+//! | `determinism-taint` | sim crates | values derived from wall-clock sources (`Instant::now`, `.elapsed()`, `SystemTime`) flowing into sim-state writes, event scheduling, trace payloads or sim-time/RNG constructors |
+//! | `stale-allow` | everywhere | a `simlint: allow(<rule>)` directive that suppresses nothing (warning severity — the allowlist must not rot) |
 //!
-//! Test modules (`#[cfg(test)]`), doc comments, strings, `tests/`,
-//! `benches/`, `examples/` and binary targets are exempt from `panic` and
-//! `index-literal`; determinism rules apply to library *and* test code of
-//! the sim crates (a nondeterministic test is still a flaky test).
+//! Test modules (`#[cfg(test)]`), `tests/`, `benches/`, `examples/` and
+//! binary targets are exempt from `panic`, `index-literal`, `unit-suffix`,
+//! `float-cmp` and `unit-flow`; determinism rules (`hash-collections`,
+//! `wall-clock`, `thread-spawn`, `determinism-taint`) apply to library *and*
+//! test code of the sim crates (a nondeterministic test is still a flaky
+//! test).
 //!
 //! ## Allowlist
 //!
 //! A finding is suppressed by a directive comment on the same line or the
-//! line directly above:
+//! line directly above (for signature rules, the signature's first line also
+//! anchors):
 //!
 //! ```text
 //! let t = a + b; // simlint: allow(panic) — checked-overflow guard, documented
 //! ```
+//!
+//! A directive that suppresses nothing is itself flagged (`stale-allow`).
+//!
+//! ## Baseline
+//!
+//! `cargo xtask lint` diffs findings against `simlint.baseline.json` at the
+//! workspace root: baselined findings are reported but do not fail the run,
+//! new ones do. `cargo xtask lint --fix-baseline` rewrites the baseline from
+//! the current findings (burn-down is automatic: a shrunk baseline entry is
+//! rewritten on the next `--fix-baseline`, and an overshooting entry — more
+//! baselined than found — is reported as stale).
 
+// Token scanning is cursor arithmetic: positions move non-uniformly (skip a
+// generic list, jump to a matching brace), which iterator adapters cannot
+// express without fighting the borrow checker over the shared token slice.
+#![allow(clippy::needless_range_loop, clippy::while_let_loop)]
+
+use std::cell::Cell;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+mod flow;
+pub mod lex;
+pub mod report;
+mod rules;
+
+use lex::{Kind, Tok};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Hygiene finding: reported, never fails the lint run.
+    Warning,
+    /// Policy violation: fails the lint run unless baselined.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
 
 /// The lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -45,11 +99,35 @@ pub enum Rule {
     NoUnwrapSim,
     /// Literal index without a bound comment.
     IndexLiteral,
-    /// Public `f64` parameter with a dimensioned name but no unit suffix.
+    /// Dimensioned `f64` signature surface (param, field, return) with no
+    /// unit suffix.
     UnitSuffix,
     /// Raw `thread::spawn`/`thread::scope` outside `desim::par`.
     ThreadSpawn,
+    /// `==`/`!=` on floating-point expressions.
+    FloatCmp,
+    /// Cross-unit arithmetic/comparison/assignment (dimensional taint).
+    UnitFlow,
+    /// Wall-clock-derived value flowing into simulation state.
+    DetTaint,
+    /// `simlint: allow(...)` directive that suppresses nothing.
+    StaleAllow,
 }
+
+/// Every rule, in report order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::HashCollections,
+    Rule::WallClock,
+    Rule::Panic,
+    Rule::NoUnwrapSim,
+    Rule::IndexLiteral,
+    Rule::UnitSuffix,
+    Rule::ThreadSpawn,
+    Rule::FloatCmp,
+    Rule::UnitFlow,
+    Rule::DetTaint,
+    Rule::StaleAllow,
+];
 
 impl Rule {
     /// The name used in `simlint: allow(<name>)` directives and reports.
@@ -62,6 +140,98 @@ impl Rule {
             Rule::IndexLiteral => "index-literal",
             Rule::UnitSuffix => "unit-suffix",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::FloatCmp => "float-cmp",
+            Rule::UnitFlow => "unit-flow",
+            Rule::DetTaint => "determinism-taint",
+            Rule::StaleAllow => "stale-allow",
+        }
+    }
+
+    /// Parse a rule name as used in directives and reports.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Severity class: everything is an error except `stale-allow`, which is
+    /// a hygiene warning.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::StaleAllow => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Long-form rationale for `cargo xtask lint` / `--explain`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::HashCollections => {
+                "HashMap/HashSet iterate in an unspecified, run-to-run-varying order, so any \
+                 simulation logic that walks one is nondeterministic even under a fixed seed. \
+                 Use BTreeMap/BTreeSet (deterministic order) or Vec-indexed storage. Applies to \
+                 test code too: a nondeterministic test is a flaky test."
+            }
+            Rule::WallClock => {
+                "Instant::now, SystemTime, thread_rng and rand::* inject wall-clock or ambient \
+                 randomness into what must be a closed, seeded system. Simulation time is \
+                 SimTime; randomness comes from the seeded SimRng. The one sanctioned wall-clock \
+                 surface is obs/src/span.rs (self-profiling spans), which is path-exempt."
+            }
+            Rule::Panic => {
+                ".unwrap()/.expect() in library code turns a recoverable condition into an \
+                 abort. Return a typed error, or document the invariant that makes the panic \
+                 impossible with `// simlint: allow(panic) — why`."
+            }
+            Rule::NoUnwrapSim => {
+                "Simulation crates must degrade through faults::SimError (or infallible \
+                 constructions), not abort mid-run — the fault-injection plane depends on it. \
+                 Stricter than `panic`: an allow(panic) does not satisfy it; a cold path needs \
+                 its own allow(no-unwrap-sim)."
+            }
+            Rule::IndexLiteral => {
+                "A literal index like xs[0] encodes a bound assumption the compiler cannot \
+                 check. State the justification in a comment on the same or preceding line \
+                 (e.g. `// hosts have exactly one uplink`), or restructure with first()/get()."
+            }
+            Rule::UnitSuffix => {
+                "The paper's parameter-sensitivity lesson: K_max in KB vs. cells, rates in Gbps \
+                 vs. pps, timers in us vs. s silently corrupt reproduced figures. Every \
+                 dimensioned f64 in a public signature or struct field carries a unit suffix \
+                 (_s, _us, _pps, _gbps, _bytes, ...), so the unit is part of the name and the \
+                 unit-flow pass can seed from it. Conversions live in models::units."
+            }
+            Rule::ThreadSpawn => {
+                "Ad-hoc thread::spawn/scope breaks the ordered-results determinism contract. \
+                 desim::par::par_map is the one sanctioned fork-join surface: SIM_THREADS-aware \
+                 and input-order deterministic regardless of scheduling."
+            }
+            Rule::FloatCmp => {
+                "== / != on f64 is exact bit comparison: correct only for sentinel checks, and \
+                 a latent portability/determinism bug anywhere rounding can differ. Compare \
+                 against a tolerance (approx_eq and friends), or document an exact-by-design \
+                 check with `// simlint: allow(float-cmp) — why`."
+            }
+            Rule::UnitFlow => {
+                "Dimensional taint analysis. Units are seeded from suffix conventions on \
+                 params, locals and fields (_s, _us, _gbps, _pps, _bytes, ...), propagated \
+                 through assignment and arithmetic inside each function body, and any \
+                 cross-unit + / - / comparison / assignment is flagged: a _s value added to a \
+                 _gbps value is a bug today, not a naming nit. Route conversions through \
+                 models::units (us_to_s, gbps_to_pps, ...) — a `*_to_<unit>` call re-types its \
+                 result to the target unit."
+            }
+            Rule::DetTaint => {
+                "Determinism taint analysis, generalizing the syntactic wall-clock rule: \
+                 values derived from Instant::now/SystemTime/.elapsed() are tracked through \
+                 locals and arithmetic, and flagged when they flow into sim-state writes \
+                 (field assignments), event scheduling (schedule/schedule_at/schedule_in), \
+                 trace payloads (record) or SimTime/SimDuration/SimRng constructors. Profiling \
+                 may *measure* the simulation; it must never *steer* it."
+            }
+            Rule::StaleAllow => {
+                "A `simlint: allow(<rule>)` directive that no longer suppresses any finding is \
+                 dead weight that hides future regressions of the same rule at that site. \
+                 Delete the directive (warning severity: reported, does not fail the run)."
+            }
         }
     }
 }
@@ -69,23 +239,34 @@ impl Rule {
 /// One finding.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// File the finding is in.
+    /// Workspace-relative file the finding is in.
     pub file: PathBuf,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
     /// The rule that fired.
     pub rule: Rule,
     /// Human-readable explanation.
     pub message: String,
 }
 
+impl Violation {
+    /// Severity, derived from the rule.
+    pub fn severity(&self) -> Severity {
+        self.rule.severity()
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
+            "{}:{}:{}: {} [{}] {}",
             self.file.display(),
             self.line,
+            self.col,
+            self.severity().name(),
             self.rule.name(),
             self.message
         )
@@ -106,11 +287,51 @@ pub struct Scope {
     /// Unwrap discipline in simulation crates (`no-unwrap-sim`): stricter
     /// than `panic` — an `allow(panic)` does not satisfy it.
     pub no_unwrap: bool,
-    /// Unit-suffix naming on public signatures.
+    /// Unit-suffix naming on public signatures and struct fields.
     pub unit_suffix: bool,
     /// Thread-spawn discipline (`thread-spawn`): `desim::par` is the only
     /// sanctioned fork-join surface in the simulation crates.
     pub thread_spawn: bool,
+    /// Float equality discipline (`float-cmp`).
+    pub float_cmp: bool,
+    /// Dimensional dataflow (`unit-flow`).
+    pub unit_flow: bool,
+    /// Determinism dataflow (`determinism-taint`). Unlike `wall_clock` this
+    /// applies to `obs/src/span.rs` too: the span timer may *read* the wall
+    /// clock but its readings must never flow back into simulation state.
+    pub det_taint: bool,
+}
+
+impl Scope {
+    /// Every rule enabled — fixture selftests and ad-hoc file linting.
+    pub const STRICT: Scope = Scope {
+        determinism: true,
+        wall_clock: true,
+        panic_discipline: true,
+        no_unwrap: true,
+        unit_suffix: true,
+        thread_spawn: true,
+        float_cmp: true,
+        unit_flow: true,
+        det_taint: true,
+    };
+
+    /// Is `rule` enabled under this scope? (`stale-allow` is a meta rule and
+    /// always on.)
+    pub fn enables(&self, rule: Rule) -> bool {
+        match rule {
+            Rule::HashCollections | Rule::IndexLiteral => self.determinism,
+            Rule::WallClock => self.wall_clock,
+            Rule::Panic => self.panic_discipline,
+            Rule::NoUnwrapSim => self.no_unwrap,
+            Rule::UnitSuffix => self.unit_suffix,
+            Rule::ThreadSpawn => self.thread_spawn,
+            Rule::FloatCmp => self.float_cmp,
+            Rule::UnitFlow => self.unit_flow,
+            Rule::DetTaint => self.det_taint,
+            Rule::StaleAllow => true,
+        }
+    }
 }
 
 /// Crates whose *logic* must be deterministic and dimensionally sound.
@@ -125,7 +346,7 @@ pub const SIM_CRATES: &[&str] = &[
     "obs",
     "faults",
 ];
-/// Crates held to library panic discipline.
+/// Crates held to library panic discipline and dimensional flow analysis.
 pub const LIB_CRATES: &[&str] = &[
     "desim",
     "netsim",
@@ -159,217 +380,282 @@ pub fn scope_for(rel: &Path) -> Option<Scope> {
     let is_par_executor = rel == Path::new("crates/desim/src/par.rs");
     let is_span_timer = rel == Path::new("crates/obs/src/span.rs");
     let sim = SIM_CRATES.contains(&krate.as_str());
+    let lib = LIB_CRATES.contains(&krate.as_str());
     Some(Scope {
         determinism: sim,
         wall_clock: sim && !is_span_timer,
-        panic_discipline: LIB_CRATES.contains(&krate.as_str()),
+        panic_discipline: lib,
         no_unwrap: sim,
-        unit_suffix: sim,
+        unit_suffix: sim || krate == "workload",
         thread_spawn: sim && !is_par_executor,
+        float_cmp: sim,
+        unit_flow: lib,
+        det_taint: sim,
     })
 }
 
-/// A source line after comment/string scrubbing.
-struct ScrubbedLine {
-    /// Code with comments and string-literal contents blanked out.
-    code: String,
-    /// Text of any `//` comment on the line (empty if none).
-    comment: String,
+/// A parsed `simlint: allow(...)` directive.
+struct AllowDirective {
+    /// Line the directive comment starts on.
+    line: usize,
+    /// Column of the comment token.
+    col: usize,
+    /// Rule names listed inside `allow(...)`, verbatim.
+    rules: Vec<String>,
+    /// Set when the directive suppresses at least one finding.
+    used: Cell<bool>,
 }
 
-/// Blank out string literals, char literals and comments, preserving column
-/// positions, and capture the trailing `//` comment text per line.
-///
-/// This is a lexer-lite: good enough for the token-level patterns the rules
-/// use, not a full Rust parser. Raw strings are handled for the common
-/// `r"…"` / `r#"…"#` forms.
-fn scrub(source: &str) -> Vec<ScrubbedLine> {
-    let mut out = Vec::new();
-    let mut in_block_comment = 0usize;
-    // Hash count of an open multi-line raw string (`r#"…"#` spanning lines).
-    let mut in_raw_string: Option<usize> = None;
-    for raw in source.lines() {
-        let bytes: Vec<char> = raw.chars().collect();
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let mut i = 0;
-        while i < bytes.len() {
-            let c = bytes[i];
-            let next = bytes.get(i + 1).copied();
-            if let Some(hashes) = in_raw_string {
-                // Inside a multi-line raw string: blank until `"###…` closes it.
-                if c == '"' && (0..hashes).all(|k| bytes.get(i + 1 + k) == Some(&'#')) {
-                    in_raw_string = None;
-                    code.push('"');
-                    i += 1 + hashes;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
-                continue;
-            }
-            if in_block_comment > 0 {
-                if c == '*' && next == Some('/') {
-                    in_block_comment -= 1;
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    in_block_comment += 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                code.push(' ');
-                continue;
-            }
-            match c {
-                '/' if next == Some('/') => {
-                    comment = bytes[i..].iter().collect();
-                    break;
-                }
-                '/' if next == Some('*') => {
-                    in_block_comment += 1;
-                    i += 2;
-                    code.push(' ');
-                }
-                '"' => {
-                    code.push('"');
-                    i += 1;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            '\\' => i += 2,
-                            '"' => {
-                                i += 1;
-                                break;
+/// Per-file analysis context shared by every rule.
+pub(crate) struct Ctx<'a> {
+    pub(crate) file: &'a Path,
+    /// Code tokens only — comments stripped, order preserved.
+    pub(crate) code: Vec<&'a Tok>,
+    /// Per-line (0-based index = line-1) "is `#[cfg(test)]` code".
+    tests: Vec<bool>,
+    /// Per-line "has a non-directive comment" (bound-justification check).
+    plain_comment: Vec<bool>,
+    allows: Vec<AllowDirective>,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(file: &'a Path, source: &str, toks: &'a [Tok]) -> Self {
+        let nlines = source.lines().count().max(1);
+        let mut plain_comment = vec![false; nlines + 1];
+        let mut allows = Vec::new();
+        let mut code: Vec<&Tok> = Vec::with_capacity(toks.len());
+        for t in toks {
+            match t.kind {
+                Kind::LineComment | Kind::BlockComment => {
+                    let span_lines = t.text.matches('\n').count();
+                    let dirs = parse_allow_rules(&t.text);
+                    if dirs.is_empty() {
+                        for l in t.line as usize..=t.line as usize + span_lines {
+                            if l <= nlines {
+                                plain_comment[l] = true;
                             }
-                            _ => i += 1,
-                        }
-                    }
-                    code.push('"');
-                }
-                'r' if next == Some('"') || (next == Some('#')) => {
-                    // Possible raw string r"…" or r#"…"#; count hashes.
-                    let mut j = i + 1;
-                    let mut hashes = 0;
-                    while bytes.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if bytes.get(j) == Some(&'"') {
-                        // Scan for the closing quote + hashes; if the raw
-                        // string does not close on this line, carry the open
-                        // state into the following lines.
-                        let closing: String = std::iter::once('"')
-                            .chain(std::iter::repeat_n('#', hashes))
-                            .collect();
-                        let rest: String = bytes[j + 1..].iter().collect();
-                        if let Some(end) = rest.find(&closing) {
-                            code.push_str("r\"\"");
-                            i = j + 1 + end + closing.len();
-                        } else {
-                            code.push_str("r\"\"");
-                            in_raw_string = Some(hashes);
-                            i = bytes.len();
                         }
                     } else {
-                        code.push(c);
-                        i += 1;
+                        allows.push(AllowDirective {
+                            line: t.line as usize,
+                            col: t.col as usize,
+                            rules: dirs,
+                            used: Cell::new(false),
+                        });
                     }
                 }
-                '\'' => {
-                    // Char literal or lifetime; skip 'x' / '\n' forms.
-                    if next == Some('\\') && bytes.get(i + 3) == Some(&'\'') {
-                        code.push_str("' '");
-                        i += 4;
-                    } else if bytes.get(i + 2) == Some(&'\'') {
-                        code.push_str("' '");
-                        i += 3;
-                    } else {
-                        code.push(c);
-                        i += 1;
-                    }
-                }
-                c => {
-                    code.push(c);
-                    i += 1;
-                }
+                _ => code.push(t),
             }
         }
-        out.push(ScrubbedLine { code, comment });
+        let tests = test_mask(&code, nlines);
+        Ctx {
+            file,
+            code,
+            tests,
+            plain_comment,
+            allows,
+        }
+    }
+
+    /// Is 1-based `line` inside `#[cfg(test)]`-gated code?
+    pub(crate) fn is_test_line(&self, line: usize) -> bool {
+        self.tests
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Does `line` or the line above carry a non-directive comment?
+    /// (`index-literal` bound justification.)
+    pub(crate) fn has_plain_comment(&self, line: usize) -> bool {
+        self.plain_comment.get(line).copied().unwrap_or(false)
+            || (line > 1 && self.plain_comment.get(line - 1).copied().unwrap_or(false))
+    }
+
+    /// Is `rule` allowed at `line` (directive on the line or the line
+    /// above)? Marks the directive used.
+    fn allowed(&self, line: usize, rule: Rule) -> bool {
+        let mut hit = false;
+        for d in &self.allows {
+            if (d.line == line || d.line + 1 == line) && d.rules.iter().any(|r| r == rule.name()) {
+                d.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// Extract the rule names from any `simlint: allow(a, b)` directives in a
+/// comment's text.
+fn parse_allow_rules(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("simlint: allow(") {
+        rest = &rest[pos + "simlint: allow(".len()..];
+        let Some(end) = rest.find(')') else { break };
+        for r in rest[..end].split(',') {
+            out.push(r.trim().to_string());
+        }
+        rest = &rest[end..];
     }
     out
 }
 
-/// Does `comment` carry a `simlint: allow(...)` directive naming `rule`?
-fn allows(comment: &str, rule: Rule) -> bool {
-    let Some(pos) = comment.find("simlint: allow(") else {
-        return false;
-    };
-    let rest = &comment[pos + "simlint: allow(".len()..];
-    let Some(end) = rest.find(')') else {
-        return false;
-    };
-    rest[..end].split(',').any(|r| r.trim() == rule.name())
+/// Collector with allowlist routing.
+pub(crate) struct Sink<'c, 'a> {
+    ctx: &'c Ctx<'a>,
+    out: Vec<Violation>,
 }
 
-/// Track `#[cfg(test)]`-gated regions: returns per-line "is test code".
-fn test_mask(lines: &[ScrubbedLine]) -> Vec<bool> {
-    let mut mask = vec![false; lines.len()];
-    let mut depth: i64 = 0;
-    let mut test_until_depth: Option<i64> = None;
-    let mut pending_cfg_test = false;
-    for (idx, line) in lines.iter().enumerate() {
-        let code = &line.code;
-        if test_until_depth.is_some() {
-            mask[idx] = true;
+impl<'c, 'a> Sink<'c, 'a> {
+    fn new(ctx: &'c Ctx<'a>) -> Self {
+        Sink {
+            ctx,
+            out: Vec::new(),
         }
-        if test_until_depth.is_none() && code.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
+    }
+
+    /// Record a finding unless a directive on its line (or the line above)
+    /// allows the rule.
+    pub(crate) fn push(&mut self, line: usize, col: usize, rule: Rule, message: String) {
+        self.push_anchored(line, line, col, rule, message);
+    }
+
+    /// Record a finding; directives at the violation line *or* at `anchor`
+    /// (a multi-line signature's first line) suppress it.
+    pub(crate) fn push_anchored(
+        &mut self,
+        anchor: usize,
+        line: usize,
+        col: usize,
+        rule: Rule,
+        message: String,
+    ) {
+        let allowed = self.ctx.allowed(line, rule) | self.ctx.allowed(anchor, rule);
+        if allowed {
+            return;
         }
-        // The item following #[cfg(test)] (mod/fn/impl/use) is test-only.
-        // We only track block items (mod/fn/impl); a `use` is harmless.
-        if pending_cfg_test
-            && (code.trim_start().starts_with("mod ")
-                || code.trim_start().starts_with("pub mod ")
-                || code.trim_start().starts_with("fn ")
-                || code.trim_start().starts_with("pub fn ")
-                || code.trim_start().starts_with("impl "))
-        {
-            mask[idx] = true;
-            test_until_depth = Some(depth);
-            pending_cfg_test = false;
+        self.out.push(Violation {
+            file: self.ctx.file.to_path_buf(),
+            line,
+            col,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Mark lines belonging to `#[cfg(test)]`-gated items. Token-accurate: the
+/// attribute's brace depth anchors the item; the item ends at the first `;`
+/// or the matching `}` at that depth.
+fn test_mask(code: &[&Tok], nlines: usize) -> Vec<bool> {
+    let mut mask = vec![false; nlines];
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].kind == Kind::Punct && code[i].text == "#") {
+            i += 1;
+            continue;
         }
-        for c in code.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if let Some(d) = test_until_depth {
-                        if depth <= d {
-                            test_until_depth = None;
+        let Some(next) = code.get(i + 1) else { break };
+        if !(next.kind == Kind::Punct && next.text == "[") {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute to its closing `]`, collecting identifiers.
+        let mut j = i + 2;
+        let mut brackets = 1i64;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < code.len() && brackets > 0 {
+            let t = code[j];
+            match t.kind {
+                Kind::Punct => {
+                    for c in t.text.chars() {
+                        match c {
+                            '[' => brackets += 1,
+                            ']' => brackets -= 1,
+                            _ => {}
                         }
                     }
                 }
+                Kind::Ident => idents.push(&t.text),
                 _ => {}
             }
+            j += 1;
         }
+        let is_cfg_test = idents.first() == Some(&"cfg") && idents.contains(&"test");
+        if !is_cfg_test {
+            i = j;
+            continue;
+        }
+        let depth = code[i].depth;
+        let start_line = code[i].line as usize;
+        // Skip any further attributes between the cfg and the item.
+        let mut k = j;
+        while k + 1 < code.len()
+            && code[k].kind == Kind::Punct
+            && code[k].text == "#"
+            && code[k + 1].text == "["
+        {
+            let mut b = 0i64;
+            k += 1;
+            loop {
+                let Some(t) = code.get(k) else { break };
+                if t.kind == Kind::Punct {
+                    for c in t.text.chars() {
+                        match c {
+                            '[' => b += 1,
+                            ']' => b -= 1,
+                            _ => {}
+                        }
+                    }
+                }
+                k += 1;
+                if b == 0 {
+                    break;
+                }
+            }
+        }
+        // Find the end of the gated item: first `;` at the attribute's
+        // depth, or the `}` matching the first `{` at that depth.
+        let mut end_line = start_line;
+        let mut m = k;
+        let mut saw_open = false;
+        while m < code.len() {
+            let t = code[m];
+            if t.kind == Kind::Punct && t.depth == depth {
+                if t.text == ";" && !saw_open {
+                    end_line = t.line as usize;
+                    break;
+                }
+                if t.text == "{" {
+                    saw_open = true;
+                }
+                if t.text == "}" && saw_open {
+                    end_line = t.line as usize;
+                    break;
+                }
+            }
+            end_line = t.line as usize;
+            m += 1;
+        }
+        for l in start_line..=end_line {
+            if l >= 1 && l <= nlines {
+                mask[l - 1] = true;
+            }
+        }
+        i = m.max(j);
     }
     mask
 }
 
-const WALL_CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime", "thread_rng", "rand::"];
-
-/// Tokens that indicate ad-hoc threading. `thread::spawn`/`thread::scope`
-/// also match their `std::thread::`-qualified forms; `Builder::new` is the
-/// escape hatch `std::thread::Builder` would need, so it is listed too.
-const THREAD_SPAWN_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
-
-/// Approved unit suffixes for dimensioned `f64` parameters.
+/// Approved unit suffixes for dimensioned `f64` names.
 pub const UNIT_SUFFIXES: &[&str] = &[
     "_s", "_us", "_ns", "_ms", "_hz", "_pps", "_bps", "_mbps", "_gbps", "_bytes", "_kb", "_mb",
     "_pkts", "_frac", "_ratio", "_deg",
 ];
 
-/// Name fragments that mark a parameter as carrying a physical dimension.
+/// Name fragments that mark a value as carrying a physical dimension.
 const DIMENSIONED: &[&str] = &[
     "time",
     "rate",
@@ -389,289 +675,55 @@ const DIMENSIONED: &[&str] = &[
     "horizon",
 ];
 
-fn is_dimensioned(name: &str) -> bool {
+pub(crate) fn is_dimensioned(name: &str) -> bool {
     // Exact `_`-separated segment match: `feedback_delay_us` is dimensioned
     // (segment "delay") but `rc_delayed` is not — "delayed" marks a delayed
     // *state value*, whose unit is the state's, not a duration.
     name.split('_').any(|seg| DIMENSIONED.contains(&seg))
 }
 
-fn has_unit_suffix(name: &str) -> bool {
+pub(crate) fn has_unit_suffix(name: &str) -> bool {
     UNIT_SUFFIXES.iter().any(|s| name.ends_with(s))
 }
 
 /// Lint one file's source under the given scope.
 pub fn lint_source(file: &Path, source: &str, scope: Scope) -> Vec<Violation> {
-    let lines = scrub(source);
-    let tests = test_mask(&lines);
-    let mut out = Vec::new();
-
-    let allowed = |idx: usize, rule: Rule| -> bool {
-        if allows(&lines[idx].comment, rule) {
-            return true;
-        }
-        idx > 0 && allows(&lines[idx - 1].comment, rule)
-    };
-    let mut push = |idx: usize, rule: Rule, message: String| {
-        out.push(Violation {
-            file: file.to_path_buf(),
-            line: idx + 1,
-            rule,
-            message,
-        });
-    };
-
-    for (idx, line) in lines.iter().enumerate() {
-        let code = &line.code;
-        if scope.determinism && !allowed(idx, Rule::HashCollections) {
-            for tok in ["HashMap", "HashSet"] {
-                if code.contains(tok) {
-                    push(
-                        idx,
-                        Rule::HashCollections,
-                        format!(
-                            "{tok} has unspecified iteration order; use BTreeMap/BTreeSet or \
-                             Vec-indexed storage in simulation logic"
-                        ),
-                    );
-                }
-            }
-        }
-        if scope.wall_clock && !allowed(idx, Rule::WallClock) {
-            for tok in WALL_CLOCK_TOKENS {
-                if code.contains(tok) {
-                    push(
-                        idx,
-                        Rule::WallClock,
-                        format!(
-                            "{tok} injects wall-clock/ambient nondeterminism; use SimTime and \
-                             the seeded SimRng"
-                        ),
-                    );
-                }
-            }
-        }
-        if scope.thread_spawn && !allowed(idx, Rule::ThreadSpawn) {
-            for tok in THREAD_SPAWN_TOKENS {
-                if code.contains(tok) {
-                    push(
-                        idx,
-                        Rule::ThreadSpawn,
-                        format!(
-                            "{tok} outside desim::par breaks the ordered-results determinism \
-                             contract; use desim::par::par_map (SIM_THREADS-aware, input-order \
-                             results)"
-                        ),
-                    );
-                }
-            }
-        }
-        if tests[idx] {
-            continue; // panic/index/unit rules do not apply to test code
-        }
-        if scope.panic_discipline && !allowed(idx, Rule::Panic) {
-            if code.contains(".unwrap()") {
-                push(
-                    idx,
-                    Rule::Panic,
-                    ".unwrap() in library code; return a typed error or document the \
-                     invariant with `// simlint: allow(panic) — why`"
-                        .to_string(),
-                );
-            }
-            if code.contains(".expect(") {
-                push(
-                    idx,
-                    Rule::Panic,
-                    ".expect() in library code; return a typed error or document the \
-                     invariant with `// simlint: allow(panic) — why`"
-                        .to_string(),
-                );
-            }
-        }
-        if scope.no_unwrap && !allowed(idx, Rule::NoUnwrapSim) {
-            for tok in [".unwrap()", ".expect("] {
-                if code.contains(tok) {
-                    push(
-                        idx,
-                        Rule::NoUnwrapSim,
-                        format!(
-                            "{tok} in a simulation crate: degrade via faults::SimError (or an \
-                             infallible construction) instead of aborting mid-run; a cold-path \
-                             exception needs `// simlint: allow(no-unwrap-sim) — why`"
-                        ),
-                    );
-                }
-            }
-        }
-        if scope.determinism && !allowed(idx, Rule::IndexLiteral) {
-            if let Some(col) = find_literal_index(code) {
-                let commented =
-                    !line.comment.is_empty() || (idx > 0 && !lines[idx - 1].comment.is_empty());
-                if !commented {
-                    push(
-                        idx,
-                        Rule::IndexLiteral,
-                        format!(
-                            "literal index at column {} without a bound-justifying comment on \
-                             this or the preceding line",
-                            col + 1
-                        ),
-                    );
-                }
-            }
-        }
-    }
-
-    if scope.unit_suffix {
-        lint_unit_suffixes(file, &lines, &tests, &mut out);
-    }
-    out
-}
-
-/// Find `ident[<digits>]`-style literal indexing; returns the column.
-fn find_literal_index(code: &str) -> Option<usize> {
-    let b: Vec<char> = code.chars().collect();
-    let mut i = 0;
-    while i < b.len() {
-        if b[i] == '['
-            && i > 0
-            && (b[i - 1].is_alphanumeric() || b[i - 1] == '_' || b[i - 1] == ')' || b[i - 1] == ']')
-        {
-            let mut j = i + 1;
-            let mut digits = 0;
-            while j < b.len() && b[j].is_ascii_digit() {
-                digits += 1;
-                j += 1;
-            }
-            if digits > 0 && b.get(j) == Some(&']') {
-                // `xs[0]` — but not attribute-ish `#[…]` or array types.
-                return Some(i);
-            }
-        }
-        i += 1;
-    }
-    None
-}
-
-/// Check `pub fn` parameter names: `f64` params with dimensioned names must
-/// carry a unit suffix.
-fn lint_unit_suffixes(
-    file: &Path,
-    lines: &[ScrubbedLine],
-    tests: &[bool],
-    out: &mut Vec<Violation>,
-) {
-    let mut i = 0;
-    while i < lines.len() {
-        if tests[i] {
-            i += 1;
+    let toks = lex::lex(source);
+    let ctx = Ctx::new(file, source, &toks);
+    let mut sink = Sink::new(&ctx);
+    rules::token_rules(&ctx, scope, &mut sink);
+    rules::signature_rules(&ctx, scope, &mut sink);
+    flow::flow_passes(&ctx, scope, &mut sink);
+    let mut out = sink.out;
+    // Stale-allow: any directive that suppressed nothing, outside test code,
+    // naming a rule this scope actually enforces (or no known rule at all).
+    for d in &ctx.allows {
+        if d.used.get() || ctx.is_test_line(d.line) {
             continue;
         }
-        let code = lines[i].code.trim_start().to_string();
-        if !(code.starts_with("pub fn ") || code.starts_with("pub const fn ")) {
-            i += 1;
-            continue;
-        }
-        if allows(&lines[i].comment, Rule::UnitSuffix)
-            || (i > 0 && allows(&lines[i - 1].comment, Rule::UnitSuffix))
-        {
-            i += 1;
-            continue;
-        }
-        // Accumulate the signature until the parameter list closes.
-        let mut sig = String::new();
-        let mut depth = 0i64;
-        let mut started = false;
-        let mut j = i;
-        'outer: while j < lines.len() {
-            for c in lines[j].code.chars() {
-                if c == '(' {
-                    depth += 1;
-                    started = true;
-                }
-                sig.push(c);
-                if c == ')' {
-                    depth -= 1;
-                    if started && depth == 0 {
-                        break 'outer;
-                    }
-                }
-            }
-            sig.push(' ');
-            j += 1;
-        }
-        for (name, col_line) in f64_params(&sig) {
-            if is_dimensioned(&name) && !has_unit_suffix(&name) {
-                out.push(Violation {
+        for name in &d.rules {
+            match Rule::from_name(name) {
+                None => out.push(Violation {
                     file: file.to_path_buf(),
-                    line: i + 1,
-                    rule: Rule::UnitSuffix,
+                    line: d.line,
+                    col: d.col,
+                    rule: Rule::StaleAllow,
+                    message: format!("allow directive names unknown rule `{name}`"),
+                }),
+                Some(r) if scope.enables(r) => out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: d.line,
+                    col: d.col,
+                    rule: Rule::StaleAllow,
                     message: format!(
-                        "pub fn parameter `{name}: f64` carries a dimension but no unit \
-                         suffix; rename with one of {:?} (keep conversions in models::units)",
-                        UNIT_SUFFIXES
+                        "allow({name}) suppresses nothing here; delete the stale directive"
                     ),
-                });
-                let _ = col_line;
-            }
-        }
-        i = j + 1;
-    }
-}
-
-/// Extract `name` for every parameter of type exactly `f64` from a flattened
-/// signature string.
-fn f64_params(sig: &str) -> Vec<(String, usize)> {
-    let Some(open) = sig.find('(') else {
-        return Vec::new();
-    };
-    let mut depth = 0i64;
-    let mut end = sig.len();
-    for (k, c) in sig.char_indices().skip(open) {
-        if c == '(' {
-            depth += 1;
-        } else if c == ')' {
-            depth -= 1;
-            if depth == 0 {
-                end = k;
-                break;
+                }),
+                Some(_) => {}
             }
         }
     }
-    let params = &sig[open + 1..end];
-    let mut out = Vec::new();
-    // Split on top-level commas (no generics with commas in plain f64 params).
-    let mut level = 0i64;
-    let mut cur = String::new();
-    let mut parts = Vec::new();
-    for c in params.chars() {
-        match c {
-            '(' | '<' | '[' => {
-                level += 1;
-                cur.push(c);
-            }
-            ')' | '>' | ']' => {
-                level -= 1;
-                cur.push(c);
-            }
-            ',' if level == 0 => {
-                parts.push(cur.clone());
-                cur.clear();
-            }
-            _ => cur.push(c),
-        }
-    }
-    parts.push(cur);
-    for p in parts {
-        let Some((name, ty)) = p.split_once(':') else {
-            continue;
-        };
-        let name = name.trim().trim_start_matches("mut ").trim();
-        if ty.trim() == "f64" && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
-            out.push((name.to_string(), 0));
-        }
-    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     out
 }
 
@@ -689,6 +741,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
         let src = std::fs::read_to_string(&f)?;
         out.extend(lint_source(rel, &src, scope));
     }
+    out.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(out)
 }
 
@@ -716,18 +769,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 /// fixture self-tests and ad-hoc checks).
 pub fn lint_path_strict(path: &Path) -> std::io::Result<Vec<Violation>> {
     let src = std::fs::read_to_string(path)?;
-    Ok(lint_source(
-        path,
-        &src,
-        Scope {
-            determinism: true,
-            wall_clock: true,
-            panic_discipline: true,
-            no_unwrap: true,
-            unit_suffix: true,
-            thread_spawn: true,
-        },
-    ))
+    Ok(lint_source(path, &src, Scope::STRICT))
 }
 
 #[cfg(test)]
@@ -735,18 +777,7 @@ mod tests {
     use super::*;
 
     fn strict(src: &str) -> Vec<Violation> {
-        lint_source(
-            Path::new("test.rs"),
-            src,
-            Scope {
-                determinism: true,
-                wall_clock: true,
-                panic_discipline: true,
-                no_unwrap: true,
-                unit_suffix: true,
-                thread_spawn: true,
-            },
-        )
+        lint_source(Path::new("test.rs"), src, Scope::STRICT)
     }
 
     #[test]
@@ -773,14 +804,20 @@ mod tests {
 
     #[test]
     fn allow_of_other_rule_does_not_suppress() {
+        // The HashMap fires, and the allow(panic) — suppressing nothing —
+        // is itself a stale-allow warning.
         let v = strict("use std::collections::HashMap; // simlint: allow(panic)\n");
-        assert_eq!(v.len(), 1);
+        assert_eq!(
+            v.iter().filter(|v| v.rule == Rule::HashCollections).count(),
+            1
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::StaleAllow).count(), 1);
     }
 
     #[test]
     fn flags_wall_clock_tokens() {
-        let v = strict("let t = std::time::Instant::now();\nlet r = rand::random();\n");
-        assert_eq!(v.len(), 2);
+        let v = strict("fn f() { let t = std::time::Instant::now(); let r = rand::random(); }\n");
+        assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().all(|v| v.rule == Rule::WallClock));
     }
 
@@ -832,10 +869,21 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_and_nested_comments_do_not_fire() {
+        // The structural win over the line scrubber: multi-line raw strings
+        // and nested block comments cannot leak tokens.
+        let v = strict(
+            "fn f() -> &'static str {\n    r#\"HashMap xs[0]\n.unwrap() \"quoted\" \"#\n}\n/* outer /* HashSet */ still comment */\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
     fn literal_index_without_comment_fires() {
         let v = strict("fn f() { let x = xs[0]; }\n");
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::IndexLiteral);
+        assert_eq!(v[0].col, 20, "column points at the `[`");
     }
 
     #[test]
@@ -882,12 +930,50 @@ mod tests {
         let v = strict("pub fn set(\n    rate: f64,\n    n: usize,\n) {}\n");
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::UnitSuffix);
-        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].line, 2, "span lands on the parameter itself");
+    }
+
+    #[test]
+    fn unit_suffix_allow_on_signature_line_covers_params() {
+        let v = strict(
+            "// simlint: allow(unit-suffix) — legacy API, tracked\npub fn set(\n    rate: f64,\n) {}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn private_fns_are_not_unit_checked() {
         let v = strict("fn set(rate: f64) {}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unit_suffix_flags_struct_fields() {
+        let v = strict("pub struct S {\n    pub rate: f64,\n    pub alpha: f64,\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnitSuffix);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unit_suffix_flags_private_fields_too() {
+        let v = strict("struct S {\n    queue: f64,\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnitSuffix);
+    }
+
+    #[test]
+    fn unit_suffix_flags_pub_fn_return_type() {
+        let v = strict("pub fn drain_time(&self) -> f64 { 0.0 }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnitSuffix);
+        let v = strict("pub fn drain_time_s(&self) -> f64 { 0.0 }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn non_dimensioned_return_is_not_flagged() {
+        let v = strict("pub fn alpha(&self) -> f64 { 0.5 }\n");
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -912,7 +998,9 @@ mod tests {
 
     #[test]
     fn thread_spawn_allow_directive() {
-        let v = strict("std::thread::scope(|s| {}); // simlint: allow(thread-spawn) — executor\n");
+        let v = strict(
+            "fn f() { std::thread::scope(|s| {}); } // simlint: allow(thread-spawn) — executor\n",
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -930,8 +1018,8 @@ mod tests {
         let scope = scope_for(Path::new("crates/obs/src/span.rs")).unwrap();
         assert!(!scope.wall_clock);
         assert!(
-            scope.determinism && scope.panic_discipline && scope.thread_spawn,
-            "every other rule still applies to obs/src/span.rs"
+            scope.determinism && scope.panic_discipline && scope.thread_spawn && scope.det_taint,
+            "every other rule still applies to obs/src/span.rs, including determinism-taint"
         );
         // The rest of the obs crate gets the full sim-crate treatment.
         let scope = scope_for(Path::new("crates/obs/src/trace.rs")).unwrap();
@@ -956,12 +1044,8 @@ mod tests {
             Path::new("span.rs"),
             "pub fn stamp() -> std::time::Instant { std::time::Instant::now() }\n",
             Scope {
-                determinism: true,
                 wall_clock: false,
-                panic_discipline: true,
-                no_unwrap: true,
-                unit_suffix: true,
-                thread_spawn: true,
+                ..Scope::STRICT
             },
         );
         assert!(v.is_empty(), "{v:?}");
@@ -995,17 +1079,84 @@ mod tests {
     #[test]
     fn scope_routing() {
         assert!(scope_for(Path::new("crates/netsim/src/engine.rs"))
-            .is_some_and(|s| s.determinism && s.panic_discipline));
+            .is_some_and(|s| s.determinism && s.panic_discipline && s.float_cmp && s.det_taint));
         assert!(scope_for(Path::new("crates/faults/src/schedule.rs"))
             .is_some_and(|s| s.determinism && s.no_unwrap && s.panic_discipline));
+        assert!(
+            scope_for(Path::new("crates/workload/src/fct.rs")).is_some_and(|s| s.panic_discipline
+                && !s.no_unwrap
+                && s.unit_suffix
+                && s.unit_flow)
+        );
         assert!(scope_for(Path::new("crates/workload/src/fct.rs"))
-            .is_some_and(|s| s.panic_discipline && !s.no_unwrap));
-        assert!(scope_for(Path::new("crates/workload/src/fct.rs"))
-            .is_some_and(|s| !s.determinism && s.panic_discipline));
+            .is_some_and(|s| !s.determinism && !s.float_cmp && !s.det_taint));
+        assert!(scope_for(Path::new("crates/control/src/roots.rs"))
+            .is_some_and(|s| s.unit_flow && !s.unit_suffix && !s.float_cmp));
         assert!(scope_for(Path::new("crates/bench/src/bin/fig2.rs")).is_none());
         assert!(scope_for(Path::new("crates/xtask/src/lib.rs")).is_none());
         assert!(scope_for(Path::new("examples/quickstart.rs")).is_none());
         assert!(scope_for(Path::new("crates/core/src/output.rs"))
             .is_some_and(|s| !s.determinism && !s.panic_discipline && !s.unit_suffix));
+    }
+
+    #[test]
+    fn stale_allow_fires_on_unused_directive() {
+        let v = strict("fn f() { let x = 1; } // simlint: allow(wall-clock)\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::StaleAllow);
+        assert_eq!(v[0].severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn stale_allow_silent_when_directive_is_used() {
+        let v =
+            strict("fn f() { let t = std::time::Instant::now(); } // simlint: allow(wall-clock)\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn stale_allow_flags_unknown_rule_names() {
+        let v = strict("fn f() {} // simlint: allow(no-such-rule)\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::StaleAllow);
+        assert!(v[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn stale_allow_skips_test_code_and_out_of_scope_rules() {
+        // Inside #[cfg(test)] the panic rule never runs, so an allow(panic)
+        // there must not be called stale.
+        let v = strict("#[cfg(test)]\nmod t {\n    fn f() {} // simlint: allow(panic)\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+        // A rule the scope does not enforce cannot be stale either.
+        let v = lint_source(
+            Path::new("w.rs"),
+            "fn f() {} // simlint: allow(float-cmp)\n",
+            Scope {
+                float_cmp: false,
+                ..Scope::STRICT
+            },
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in ALL_RULES {
+            assert_eq!(Rule::from_name(r.name()), Some(*r));
+            assert!(!r.explain().is_empty());
+        }
+        assert_eq!(Rule::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn violations_are_sorted_and_display_columns() {
+        let v = strict("fn f() { x.unwrap(); use std::collections::HashMap; }\n");
+        assert!(v
+            .windows(2)
+            .all(|w| (w[0].line, w[0].col) <= (w[1].line, w[1].col)));
+        let shown = v[0].to_string();
+        assert!(shown.contains(":1:"), "{shown}");
+        assert!(shown.contains("error ["), "{shown}");
     }
 }

@@ -1,0 +1,495 @@
+//! Machine-readable report and the checked-in findings baseline.
+//!
+//! `cargo xtask lint --format json` renders the full findings list through
+//! `ecn_delay_core::json` (byte-stable: sorted findings, insertion-order
+//! keys, shortest round-trip floats — none here). The baseline file
+//! `simlint.baseline.json` holds `(file, rule, count)` triples — counts, not
+//! line numbers, so unrelated edits that shift lines do not invalidate it —
+//! and the lint run fails only on findings beyond the baselined count.
+//! `ecn_delay_core::json` is emit-only, so the small recursive-descent
+//! reader lives here.
+
+use ecn_delay_core::json::Json;
+
+use crate::{Severity, Violation};
+
+/// One baseline entry: up to `count` findings of `rule` in `file` are
+/// tolerated (legacy debt being burned down).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Rule name as reported.
+    pub rule: String,
+    /// Number of tolerated findings.
+    pub count: usize,
+}
+
+/// The outcome of diffing findings against the baseline.
+pub struct Analysis {
+    /// Every finding, in report order, with its baselined flag.
+    pub findings: Vec<(Violation, bool)>,
+    /// Baseline entries (or remainders) that matched nothing — stale debt
+    /// that should be burned down with `--fix-baseline`.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Analysis {
+    /// Findings that are neither baselined nor mere warnings — these fail
+    /// the run.
+    pub fn new_errors(&self) -> impl Iterator<Item = &Violation> {
+        self.findings
+            .iter()
+            .filter(|(v, baselined)| !baselined && v.severity() == Severity::Error)
+            .map(|(v, _)| v)
+    }
+}
+
+/// Diff `violations` (already sorted) against the baseline: the first
+/// `count` error-severity findings per `(file, rule)` key are baselined.
+/// Warnings never consume baseline budget.
+pub fn apply_baseline(violations: Vec<Violation>, baseline: &[BaselineEntry]) -> Analysis {
+    let mut budget: Vec<(String, String, usize)> = baseline
+        .iter()
+        .map(|b| (b.file.clone(), b.rule.clone(), b.count))
+        .collect();
+    let mut findings = Vec::with_capacity(violations.len());
+    for v in violations {
+        let mut baselined = false;
+        if v.severity() == Severity::Error {
+            let file = v.file.display().to_string();
+            let rule = v.rule.name();
+            if let Some(slot) = budget
+                .iter_mut()
+                .find(|(f, r, c)| *f == file && r == rule && *c > 0)
+            {
+                slot.2 -= 1;
+                baselined = true;
+            }
+        }
+        findings.push((v, baselined));
+    }
+    let stale = budget
+        .into_iter()
+        .filter(|(_, _, c)| *c > 0)
+        .map(|(file, rule, count)| BaselineEntry { file, rule, count })
+        .collect();
+    Analysis { findings, stale }
+}
+
+/// Render the current error-severity findings as a baseline file (grouped
+/// counts, sorted by file then rule).
+pub fn render_baseline(violations: &[Violation]) -> String {
+    let mut counts: Vec<(String, String, usize)> = Vec::new();
+    for v in violations {
+        if v.severity() != Severity::Error {
+            continue;
+        }
+        let file = v.file.display().to_string();
+        let rule = v.rule.name().to_string();
+        if let Some(slot) = counts.iter_mut().find(|(f, r, _)| *f == file && *r == rule) {
+            slot.2 += 1;
+        } else {
+            counts.push((file, rule, 1));
+        }
+    }
+    counts.sort();
+    let entries: Vec<Json> = counts
+        .into_iter()
+        .map(|(file, rule, count)| {
+            Json::Obj(vec![
+                ("file".into(), Json::Str(file)),
+                ("rule".into(), Json::Str(rule)),
+                ("count".into(), Json::Int(count as i128)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("version".into(), Json::Int(1)),
+        ("tool".into(), Json::Str("simlint".into())),
+        ("entries".into(), Json::Arr(entries)),
+    ]);
+    doc.render_pretty() + "\n"
+}
+
+/// Render the full findings report (`--format json`). Byte-stable: findings
+/// arrive sorted, keys are insertion-ordered, rule counts are sorted.
+pub fn render_report(findings: &[(Violation, bool)], stale: &[BaselineEntry]) -> String {
+    let rows: Vec<Json> = findings
+        .iter()
+        .map(|(v, baselined)| {
+            Json::Obj(vec![
+                ("file".into(), Json::Str(v.file.display().to_string())),
+                ("line".into(), Json::Int(v.line as i128)),
+                ("col".into(), Json::Int(v.col as i128)),
+                ("rule".into(), Json::Str(v.rule.name().into())),
+                ("severity".into(), Json::Str(v.severity().name().into())),
+                ("message".into(), Json::Str(v.message.clone())),
+                ("baselined".into(), Json::Bool(*baselined)),
+            ])
+        })
+        .collect();
+    let mut by_rule: Vec<(String, usize)> = Vec::new();
+    for (v, _) in findings {
+        let name = v.rule.name().to_string();
+        if let Some(slot) = by_rule.iter_mut().find(|(r, _)| *r == name) {
+            slot.1 += 1;
+        } else {
+            by_rule.push((name, 1));
+        }
+    }
+    by_rule.sort();
+    let total = findings.len();
+    let errors = findings
+        .iter()
+        .filter(|(v, _)| v.severity() == Severity::Error)
+        .count();
+    let baselined = findings.iter().filter(|(_, b)| *b).count();
+    let new_errors = findings
+        .iter()
+        .filter(|(v, b)| !b && v.severity() == Severity::Error)
+        .count();
+    let stale_rows: Vec<Json> = stale
+        .iter()
+        .map(|b| {
+            Json::Obj(vec![
+                ("file".into(), Json::Str(b.file.clone())),
+                ("rule".into(), Json::Str(b.rule.clone())),
+                ("count".into(), Json::Int(b.count as i128)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("version".into(), Json::Int(1)),
+        ("tool".into(), Json::Str("simlint".into())),
+        ("findings".into(), Json::Arr(rows)),
+        (
+            "summary".into(),
+            Json::Obj(vec![
+                ("total".into(), Json::Int(total as i128)),
+                ("errors".into(), Json::Int(errors as i128)),
+                ("warnings".into(), Json::Int((total - errors) as i128)),
+                ("baselined".into(), Json::Int(baselined as i128)),
+                ("new_errors".into(), Json::Int(new_errors as i128)),
+                (
+                    "by_rule".into(),
+                    Json::Obj(
+                        by_rule
+                            .into_iter()
+                            .map(|(r, c)| (r, Json::Int(c as i128)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("stale_baseline".into(), Json::Arr(stale_rows)),
+    ]);
+    doc.render_pretty() + "\n"
+}
+
+/// Parse a baseline file. `ecn_delay_core::json` only emits, so this is the
+/// matching minimal reader: objects, arrays, strings (no escapes beyond
+/// `\"`/`\\`), and unsigned integers — exactly what `render_baseline`
+/// produces.
+pub fn parse_baseline(src: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut p = Parser {
+        chars: src.chars().collect(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut entries = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "entries" => {
+                p.expect('[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(']') {
+                        break;
+                    }
+                    entries.push(p.entry()?);
+                    p.skip_ws();
+                    p.eat(',');
+                }
+            }
+            _ => p.skip_value()?,
+        }
+        p.skip_ws();
+        p.eat(',');
+    }
+    Ok(entries)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.i).is_some_and(|c| c.is_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.chars.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at char {}: expected {c:?}, found {:?}",
+                self.i,
+                self.chars.get(self.i)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.chars.get(self.i) {
+                Some('"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some('\\') => {
+                    self.i += 1;
+                    if let Some(&c) = self.chars.get(self.i) {
+                        s.push(c);
+                        self.i += 1;
+                    }
+                }
+                Some(&c) => {
+                    s.push(c);
+                    self.i += 1;
+                }
+                None => return Err("baseline parse error: unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.i;
+        while self.chars.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!(
+                "baseline parse error at char {start}: expected digits"
+            ));
+        }
+        let s: String = self.chars[start..self.i].iter().collect();
+        s.parse()
+            .map_err(|e| format!("baseline parse error: bad count {s:?}: {e}"))
+    }
+
+    fn entry(&mut self) -> Result<BaselineEntry, String> {
+        self.skip_ws();
+        self.expect('{')?;
+        let (mut file, mut rule, mut count) = (None, None, None);
+        loop {
+            self.skip_ws();
+            if self.eat('}') {
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "file" => file = Some(self.string()?),
+                "rule" => rule = Some(self.string()?),
+                "count" => count = Some(self.number()?),
+                _ => self.skip_value()?,
+            }
+            self.skip_ws();
+            self.eat(',');
+        }
+        match (file, rule, count) {
+            (Some(file), Some(rule), Some(count)) => Ok(BaselineEntry { file, rule, count }),
+            _ => Err("baseline entry missing file/rule/count".into()),
+        }
+    }
+
+    /// Skip any well-formed value (for forward-compatible extra keys).
+    fn skip_value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.get(self.i) {
+            Some('"') => {
+                self.string()?;
+            }
+            Some('{') => {
+                self.i += 1;
+                loop {
+                    self.skip_ws();
+                    if self.eat('}') {
+                        break;
+                    }
+                    self.string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    self.skip_value()?;
+                    self.skip_ws();
+                    self.eat(',');
+                }
+            }
+            Some('[') => {
+                self.i += 1;
+                loop {
+                    self.skip_ws();
+                    if self.eat(']') {
+                        break;
+                    }
+                    self.skip_value()?;
+                    self.skip_ws();
+                    self.eat(',');
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                self.i += 1;
+                while self
+                    .chars
+                    .get(self.i)
+                    .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+                {
+                    self.i += 1;
+                }
+            }
+            Some('t') | Some('f') | Some('n') => {
+                while self.chars.get(self.i).is_some_and(|c| c.is_alphabetic()) {
+                    self.i += 1;
+                }
+            }
+            other => return Err(format!("baseline parse error: unexpected {other:?}")),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+    use std::path::PathBuf;
+
+    fn v(file: &str, line: usize, rule: Rule) -> Violation {
+        Violation {
+            file: PathBuf::from(file),
+            line,
+            col: 1,
+            rule,
+            message: format!("{} here", rule.name()),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let vs = vec![
+            v("a.rs", 1, Rule::Panic),
+            v("a.rs", 9, Rule::Panic),
+            v("b.rs", 3, Rule::UnitFlow),
+        ];
+        let rendered = render_baseline(&vs);
+        let parsed = parse_baseline(&rendered).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                BaselineEntry {
+                    file: "a.rs".into(),
+                    rule: "panic".into(),
+                    count: 2
+                },
+                BaselineEntry {
+                    file: "b.rs".into(),
+                    rule: "unit-flow".into(),
+                    count: 1
+                },
+            ]
+        );
+        // Applying the freshly-rendered baseline suppresses everything.
+        let analysis = apply_baseline(vs, &parsed);
+        assert_eq!(analysis.new_errors().count(), 0);
+        assert!(analysis.stale.is_empty());
+        assert!(analysis.findings.iter().all(|(_, b)| *b));
+    }
+
+    #[test]
+    fn new_findings_exceed_baseline() {
+        let baseline = vec![BaselineEntry {
+            file: "a.rs".into(),
+            rule: "panic".into(),
+            count: 1,
+        }];
+        let vs = vec![v("a.rs", 1, Rule::Panic), v("a.rs", 9, Rule::Panic)];
+        let analysis = apply_baseline(vs, &baseline);
+        assert_eq!(analysis.new_errors().count(), 1);
+        assert_eq!(analysis.new_errors().next().unwrap().line, 9);
+    }
+
+    #[test]
+    fn burned_down_baseline_reports_stale_remainder() {
+        let baseline = vec![BaselineEntry {
+            file: "a.rs".into(),
+            rule: "panic".into(),
+            count: 3,
+        }];
+        let analysis = apply_baseline(vec![v("a.rs", 1, Rule::Panic)], &baseline);
+        assert_eq!(analysis.new_errors().count(), 0);
+        assert_eq!(
+            analysis.stale,
+            vec![BaselineEntry {
+                file: "a.rs".into(),
+                rule: "panic".into(),
+                count: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn warnings_do_not_consume_baseline_and_do_not_fail() {
+        let vs = vec![v("a.rs", 1, Rule::StaleAllow)];
+        let analysis = apply_baseline(vs, &[]);
+        assert_eq!(analysis.new_errors().count(), 0);
+        assert_eq!(analysis.findings.len(), 1);
+        // And a rendered baseline ignores warnings entirely.
+        assert!(
+            parse_baseline(&render_baseline(&[v("a.rs", 1, Rule::StaleAllow)]))
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn report_is_byte_stable() {
+        let vs = vec![
+            v("a.rs", 1, Rule::Panic),
+            v("b.rs", 3, Rule::UnitFlow),
+            v("b.rs", 4, Rule::StaleAllow),
+        ];
+        let analysis = apply_baseline(vs, &[]);
+        let r1 = render_report(&analysis.findings, &analysis.stale);
+        let r2 = render_report(&analysis.findings, &analysis.stale);
+        assert_eq!(r1, r2);
+        assert!(r1.contains("\"new_errors\": 2"), "{r1}");
+        assert!(r1.contains("\"warnings\": 1"), "{r1}");
+    }
+}

@@ -31,7 +31,7 @@ fn main() {
     println!("  q*      = {:.1} KB", fp.q_star_kb);
     println!(
         "  R_C*    = {:.2} Gbps per flow (fair share)",
-        models::units::pps_to_gbps(fp.rate_per_flow, params.packet_bytes)
+        models::units::pps_to_gbps(fp.rate_per_flow_pps, params.packet_bytes)
     );
     println!("  alpha*  = {:.4}", fp.alpha_star);
 
