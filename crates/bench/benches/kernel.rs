@@ -1,8 +1,15 @@
 //! Benchmarks for the discrete-event kernel: event-queue throughput under
-//! FIFO, random and timer-heavy (cancel/re-arm) loads.
+//! FIFO, random and timer-heavy (cancel/re-arm) loads, wheel-specific
+//! stress rows (cancellation churn, far-future cascades), and the
+//! end-to-end `netsim/events_per_sec_*` scale probe measured on a fat-tree
+//! incast.
 
-use bench::harness::{bench, black_box, write_report};
-use desim::{EventQueue, SimRng, SimTime};
+use bench::harness::{bench, black_box, record_value, write_report};
+use desim::{EventQueue, SimDuration, SimRng, SimTime};
+use ecn_delay_core::experiments::ext_incast::report_digest;
+use ecn_delay_core::scenarios::{fat_tree_incast, Protocol};
+use netsim::EngineConfig;
+use workload::IncastConfig;
 
 fn main() {
     bench("event_queue/push_pop_fifo_10k", || {
@@ -45,6 +52,80 @@ fn main() {
         }
         while q.pop().is_some() {}
     });
+
+    bench("event_queue/wheel_cancel_heavy_10k", || {
+        // Half the scheduled events die before firing — the incast pattern
+        // where per-flow timeouts are cancelled by earlier completions.
+        // Exercises the slot-local lazy unlink instead of tombstone sets.
+        let mut rng = SimRng::new(3);
+        let mut q = EventQueue::new();
+        let mut ids = Vec::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            ids.push(q.schedule(SimTime::from_nanos(rng.next_below(1_000_000)), i));
+        }
+        for id in ids.iter().step_by(2) {
+            q.cancel(*id);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc)
+    });
+
+    bench("event_queue/wheel_far_future_10k", || {
+        // Timestamps spread over ~70 s force entries into the upper wheel
+        // levels and make every pop window cascade batches down — the
+        // worst case for the hierarchical layout (the heap was insensitive
+        // to time magnitude, the wheel pays per level crossed).
+        let mut rng = SimRng::new(5);
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_nanos(rng.next_below(1 << 36)), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc)
+    });
+
+    // End-to-end scale probe: a 256:1 incast on a k=4 fat-tree, the CI
+    // smoke scenario. The run is deterministic, so `events` is identical
+    // every iteration and the events/sec rate follows from the median
+    // wall-clock of the measured runs.
+    let incast = IncastConfig {
+        n_senders: 256,
+        bytes_per_sender: 16_000,
+        start_s: 0.0,
+        stagger_s: 10e-6,
+        seed: 1,
+    };
+    let run_incast = || {
+        let mut cfg = EngineConfig::default();
+        cfg.rate_trace_window = None;
+        let (mut eng, _bottleneck) = fat_tree_incast(
+            Protocol::Dcqcn,
+            4,
+            &incast,
+            10e9,
+            SimDuration::from_micros(1),
+            cfg,
+        );
+        eng.run(SimTime::from_millis(30))
+    };
+    let baseline = run_incast();
+    let rec = bench("netsim/incast_k4_n256_dcqcn", || {
+        let report = run_incast();
+        debug_assert_eq!(report_digest(&report), report_digest(&baseline));
+        black_box(report.events_processed)
+    });
+    let events = baseline.events_processed;
+    record_value(
+        "netsim/events_per_sec_incast_k4_n256",
+        u128::from(events) * 1_000_000_000 / rec.median_ns.max(1),
+        events as usize,
+    );
 
     bench("rng_next_f64_1k", || {
         let mut rng = SimRng::new(7);

@@ -1,0 +1,113 @@
+//! Extension: datacenter-scale incast FCT on fat-tree topologies.
+//!
+//! Runs the `ext_incast` sweep — an N:1 incast burst on a k-ary fat-tree,
+//! FCT distribution and engine scale probe per `(protocol, fan-in)` cell —
+//! and writes `results/ext_incast.json`. Every cell prints a 64-bit digest
+//! of its exact FCT bit patterns; the CI `incast-smoke` job compares these
+//! digests (and full `--trace` output) across `SIM_THREADS` settings.
+//!
+//! Flags (all optional, combinable with `--trace` / `--metrics`):
+//!
+//! * `--k <arity>` — fat-tree arity (even, 4..=16; default 8, k³/4 hosts);
+//! * `--senders <csv>` — fan-in degrees to sweep (default `64,256,1024`);
+//! * `--bytes <n>` — response size per sender (default 32000);
+//! * `--seed <n>` — burst/engine seed (default 1);
+//! * `--identity-check` — additionally run the zero-fault bit-identity
+//!   probe (engine with no fault plane vs an installed empty schedule) on
+//!   the smallest fan-in; a digest mismatch exits with status 3.
+
+use ecn_delay_core::experiments::ext_incast::{run, run_zero_fault_identity, ExtIncastConfig};
+use ecn_delay_core::write_json;
+
+/// Minimal flag parser over the process arguments; unknown flags are left
+/// for `bench::obs_cli` (which has already consumed `--trace`/`--metrics`).
+struct Flags {
+    k: usize,
+    senders: Vec<usize>,
+    bytes: u64,
+    seed: u64,
+    identity_check: bool,
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        k: 8,
+        senders: vec![64, 256, 1024],
+        bytes: 32_000,
+        seed: 1,
+        identity_check: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--k" => flags.k = value("--k").parse().expect("--k: integer arity"),
+            "--senders" => {
+                flags.senders = value("--senders")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--senders: csv of integers"))
+                    .collect();
+            }
+            "--bytes" => flags.bytes = value("--bytes").parse().expect("--bytes: integer"),
+            "--seed" => flags.seed = value("--seed").parse().expect("--seed: integer"),
+            "--identity-check" => flags.identity_check = true,
+            _ => {} // obs flags, handled by bench::obs_cli::init
+        }
+    }
+    flags
+}
+
+fn main() {
+    let obs = bench::obs_cli::init();
+    let flags = parse_flags();
+    let cfg = ExtIncastConfig {
+        k: flags.k,
+        sender_counts: flags.senders.clone(),
+        bytes_per_sender: flags.bytes,
+        seed: flags.seed,
+        ..Default::default()
+    };
+    bench::banner("Extension: fat-tree incast FCT at scale");
+    let hosts = flags.k * flags.k * flags.k / 4;
+    println!(
+        "k={} fat-tree ({hosts} hosts), {} B/sender, seed {}\n",
+        cfg.k, cfg.bytes_per_sender, cfg.seed
+    );
+    let res = run(&cfg);
+    println!(
+        "{:<15} {:>7} {:>6} {:>11} {:>11} {:>9} {:>10}  digest",
+        "protocol", "fan-in", "done", "median (ms)", "p99 (ms)", "Gbps", "events"
+    );
+    for c in &res.cells {
+        println!(
+            "{:<15} {:>7} {:>6} {:>11.3} {:>11.3} {:>9.2} {:>10}  {}",
+            c.protocol,
+            c.n_senders,
+            c.completed,
+            c.median_fct_ms,
+            c.p99_fct_ms,
+            c.goodput_gbps,
+            c.events_processed,
+            c.digest
+        );
+    }
+    let path = bench::results_dir().join("ext_incast.json");
+    write_json(&path, &res).expect("write results");
+    println!("results -> {}", path.display());
+
+    if flags.identity_check {
+        let n = flags.senders.iter().copied().min().unwrap_or(64);
+        let (none, empty) = run_zero_fault_identity(&cfg, n);
+        println!("zero-fault identity ({n}:1): none={none} empty={empty}");
+        if none != empty {
+            eprintln!("ext_incast: empty fault schedule perturbed the simulation");
+            obs.finish();
+            std::process::exit(3);
+        }
+        println!("zero-fault identity: ok");
+    }
+    obs.finish();
+}

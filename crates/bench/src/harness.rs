@@ -48,12 +48,13 @@ static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
 
 /// Run `f` repeatedly and print `name: min / median / mean per iteration`;
 /// the measurement is also appended to the in-process registry consumed by
-/// [`write_report`].
+/// [`write_report`], and returned so callers can derive follow-up rows
+/// (e.g. an events-per-second rate from the median) via [`record_value`].
 ///
 /// Two warmup calls, then batches until ~0.5 s of measured time or 200
 /// iterations, whichever comes first. Honors `BENCH_FAST=1` to skip warmup
 /// and run a single measured iteration (used by CI smoke runs).
-pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Record {
     let fast = std::env::var_os("BENCH_FAST").is_some();
     let (budget, max_iters, warmups) = if fast {
         (Duration::ZERO, 1, 0)
@@ -93,7 +94,27 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     RECORDS
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .push(rec);
+        .push(rec.clone());
+    rec
+}
+
+/// Record a derived scalar as a report row: `value` is stored in the
+/// `min/mean/median` columns verbatim and `count` in `iters`. Used for
+/// rows that are not wall-clock samples — e.g. `netsim/events_per_sec_*`,
+/// where the value is a rate computed from a measured run and its event
+/// count (see the bench-row schema note in README).
+pub fn record_value(name: &str, value: u128, count: usize) {
+    println!("{name:<44} value {value} (n = {count})");
+    RECORDS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(Record {
+            name: name.to_string(),
+            min_ns: value,
+            mean_ns: value,
+            median_ns: value,
+            iters: count,
+        });
 }
 
 /// Drain the `obs::span` per-phase wall-clock accumulators into the bench
@@ -126,11 +147,13 @@ pub fn record_spans(prefix: &str) {
     }
 }
 
-/// Append every measurement taken so far to `file` (e.g.
+/// Write every measurement taken so far to `file` (e.g.
 /// `"BENCH_fluid.json"`), creating it if absent, and clear the registry.
-/// The file is a JSON array of records; existing entries (from earlier
-/// commits) are preserved by splicing before the closing bracket, so no
-/// JSON parser is needed.
+/// The file is a JSON array of records, one per line. Rows from earlier
+/// commits are preserved; an existing row whose `(name, sha)` matches a
+/// new measurement is **replaced** rather than duplicated, so re-running a
+/// bench at the same commit updates its rows in place and the file stays
+/// one row per `(name, sha)` — the property trajectory tooling keys on.
 pub fn write_report(file: &str) {
     let records: Vec<Record> = std::mem::take(
         &mut RECORDS
@@ -152,16 +175,44 @@ pub fn write_report(file: &str) {
         .collect();
     let path = report_path(file);
     let existing = std::fs::read_to_string(&path).unwrap_or_default();
-    let body = match existing.trim_end().strip_suffix(']') {
-        // Splice new entries before the closing bracket of the existing
-        // array (an empty array `[]` degenerates to a fresh one).
-        Some(head) if head.trim_end().ends_with(['}']) => {
-            format!("{},\n{}\n]\n", head.trim_end(), entries.join(",\n"))
-        }
-        _ => format!("[\n{}\n]\n", entries.join(",\n")),
-    };
+    let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+    let body = merge_report(&existing, &names, &sha, &entries);
     std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("bench report -> {}", path.display());
+}
+
+/// Merge `new_lines` (records measured at `sha`, named `new_names`
+/// pairwise) into an existing one-row-per-line report: existing rows keep
+/// their position and formatting unless their `(name, sha)` matches a new
+/// record, in which case the old row is dropped and the fresh measurement
+/// appended at the end. No JSON parser needed — rows are recognized by
+/// their `"name"`/`"sha"` string fields.
+fn merge_report(existing: &str, new_names: &[&str], sha: &str, new_lines: &[String]) -> String {
+    let kept: Vec<&str> = existing
+        .lines()
+        .filter(|line| line.trim_start().starts_with('{'))
+        .filter(|line| {
+            !(string_field(line, "sha") == Some(sha)
+                && string_field(line, "name").is_some_and(|n| new_names.contains(&n)))
+        })
+        .map(|line| line.trim_end().trim_end_matches(','))
+        .collect();
+    let all: Vec<String> = kept
+        .into_iter()
+        .map(str::to_string)
+        .chain(new_lines.iter().cloned())
+        .collect();
+    format!("[\n{}\n]\n", all.join(",\n"))
+}
+
+/// Extract the value of a `"key": "value"` string field from a single-line
+/// JSON object. Sufficient for the report rows this module itself writes
+/// (names never contain escaped quotes).
+fn string_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
 }
 
 /// Resolve `file` relative to the workspace root (where `Cargo.lock`
@@ -200,5 +251,70 @@ fn fmt_ns(d: Duration) -> String {
         format!("{:.3} us", ns as f64 / 1e3)
     } else {
         format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, ns: u64, sha: &str) -> String {
+        format!(
+            "  {{\"name\": {name:?}, \"min_ns\": {ns}, \"mean_ns\": {ns}, \"median_ns\": {ns}, \"iters\": 1, \"sha\": {sha:?}}}"
+        )
+    }
+
+    #[test]
+    fn merge_replaces_rows_keyed_by_name_and_sha() {
+        let existing = format!(
+            "[\n{},\n{},\n{}\n]\n",
+            row("a", 1, "old1"),
+            row("a", 2, "new1"),
+            row("b", 3, "new1")
+        );
+        let fresh = vec![row("a", 9, "new1")];
+        let merged = merge_report(&existing, &["a"], "new1", &fresh);
+        // The old-commit row and the other-name row survive; the stale
+        // same-(name, sha) row is gone; the fresh row is appended.
+        assert_eq!(
+            merged,
+            format!(
+                "[\n{},\n{},\n{}\n]\n",
+                row("a", 1, "old1"),
+                row("b", 3, "new1"),
+                row("a", 9, "new1")
+            )
+        );
+    }
+
+    #[test]
+    fn merge_collapses_preexisting_duplicates_of_rerecorded_rows() {
+        // A file that already carries duplicate (name, sha) rows (the bug
+        // this keying fixes) converges to one row once re-recorded.
+        let existing = format!("[\n{},\n{}\n]\n", row("a", 1, "s"), row("a", 2, "s"));
+        let fresh = vec![row("a", 3, "s")];
+        let merged = merge_report(&existing, &["a"], "s", &fresh);
+        assert_eq!(merged, format!("[\n{}\n]\n", row("a", 3, "s")));
+    }
+
+    #[test]
+    fn merge_into_missing_or_empty_file_builds_fresh_array() {
+        let fresh = vec![row("a", 1, "s")];
+        assert_eq!(
+            merge_report("", &["a"], "s", &fresh),
+            format!("[\n{}\n]\n", row("a", 1, "s"))
+        );
+        assert_eq!(
+            merge_report("[]\n", &["a"], "s", &fresh),
+            format!("[\n{}\n]\n", row("a", 1, "s"))
+        );
+    }
+
+    #[test]
+    fn string_field_extracts_name_and_sha() {
+        let line = row("event_queue/wheel_x", 5, "abc1234");
+        assert_eq!(string_field(&line, "name"), Some("event_queue/wheel_x"));
+        assert_eq!(string_field(&line, "sha"), Some("abc1234"));
+        assert_eq!(string_field(&line, "nope"), None);
     }
 }

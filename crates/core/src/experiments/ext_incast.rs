@@ -1,0 +1,314 @@
+//! Extension: datacenter-scale incast FCT on fat-tree topologies.
+//!
+//! The paper's FCT study (Figures 13–14) runs ten senders over a dumbbell;
+//! its *claims*, though, are about datacenter transport at scale. This
+//! experiment rebuilds the study at rack/pod scale: a k-ary fat-tree with
+//! ECMP multipath, an N:1 incast burst aimed at one host, and the FCT
+//! distribution of the responses as N sweeps past a thousand concurrent
+//! flows. The sweep doubles as the engine's scaling probe — each cell
+//! reports the events the run dispatched, the numerator of the events/sec
+//! rows the bench suite records.
+//!
+//! Two determinism hooks back the CI gates:
+//!
+//! * every cell carries a 64-bit digest folded over the exact FCT bit
+//!   patterns, so `SIM_THREADS=1` vs `4` runs can be compared byte for
+//!   byte from stdout alone;
+//! * [`run_zero_fault_identity`] re-runs a cell with `faults: None` vs an
+//!   installed *empty* schedule and compares digests — the fault plane must
+//!   be bit-invisible when it has nothing to inject.
+
+use crate::scenarios::{fat_tree_incast, Protocol};
+use desim::{SimDuration, SimTime};
+use faults::FaultSchedule;
+use netsim::{EngineConfig, SimReport};
+use workload::IncastConfig;
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct ExtIncastConfig {
+    /// Fat-tree arity (k pods, k³/4 hosts).
+    pub k: usize,
+    /// Protocols to compare.
+    pub protocols: Vec<Protocol>,
+    /// Incast fan-in degrees to sweep.
+    pub sender_counts: Vec<usize>,
+    /// Response size per sender (bytes).
+    pub bytes_per_sender: u64,
+    /// Link bandwidth (bit/s), uniform across the fabric.
+    pub bandwidth_bps: f64,
+    /// Request-fanout skew window (seconds).
+    pub stagger_s: f64,
+    /// Seed for the burst generator and the engine's marking RNG.
+    pub seed: u64,
+}
+
+impl Default for ExtIncastConfig {
+    fn default() -> Self {
+        ExtIncastConfig {
+            k: 8,
+            protocols: vec![Protocol::Dcqcn, Protocol::PatchedTimely],
+            sender_counts: vec![64, 256, 1024],
+            bytes_per_sender: 32_000,
+            bandwidth_bps: 10e9,
+            stagger_s: 10e-6,
+            seed: 1,
+        }
+    }
+}
+
+/// One `(protocol, fan-in)` cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct IncastCell {
+    /// Protocol label.
+    pub protocol: String,
+    /// Fan-in degree (flows aimed at the receiver).
+    pub n_senders: usize,
+    /// Flows that completed within the horizon.
+    pub completed: usize,
+    /// Median FCT (ms).
+    pub median_fct_ms: f64,
+    /// 99th-percentile FCT (ms).
+    pub p99_fct_ms: f64,
+    /// Receiver goodput over the burst makespan (Gbps).
+    pub goodput_gbps: f64,
+    /// Events the run's event loop dispatched.
+    pub events_processed: u64,
+    /// Simulated horizon actually used (seconds).
+    pub horizon_s: f64,
+    /// Order-independent digest of the exact FCT bit patterns plus the
+    /// run's counter block; equal digests ⇒ bit-identical runs.
+    pub digest: String,
+}
+
+/// Result.
+#[derive(Debug, Clone)]
+pub struct ExtIncastResult {
+    /// Sweep cells, protocol-major, fan-in ascending.
+    pub cells: Vec<IncastCell>,
+}
+
+/// Fold a run's externally visible outcome into a 64-bit FNV-1a digest:
+/// every completed flow's `(index, size, start, fct)` with the floats taken
+/// bit-exactly, then the counter block (marks, CNPs, drops, events). Two
+/// runs digest equally iff the engine made identical decisions.
+pub fn report_digest(report: &SimReport) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in &report.fcts {
+        eat(r.flow as u64);
+        eat(r.size_bytes);
+        eat(r.start_s.to_bits());
+        eat(r.fct_s.to_bits());
+    }
+    eat(report.marked_packets);
+    eat(report.cnps_sent);
+    eat(report.data_packets);
+    eat(report.fault_drops);
+    eat(report.faults_injected);
+    eat(report.events_processed);
+    format!("{h:016x}")
+}
+
+/// Horizon heuristic: the ideal fan-in makespan (all responses serialized
+/// through the last hop) times a generous congestion-control slack, plus a
+/// fixed tail for stragglers.
+fn horizon_s(cfg: &ExtIncastConfig, n_senders: usize) -> f64 {
+    let ideal = n_senders as f64 * cfg.bytes_per_sender as f64 * 8.0 / cfg.bandwidth_bps;
+    ideal * 8.0 + cfg.stagger_s + 5e-3
+}
+
+fn engine_config(cfg: &ExtIncastConfig) -> EngineConfig {
+    let mut ecfg = EngineConfig::default();
+    ecfg.seed = cfg.seed;
+    ecfg.rate_trace_window = None; // a thousand flows; rate traces are noise
+    ecfg
+}
+
+/// Run one `(protocol, fan-in)` cell.
+pub fn run_cell(cfg: &ExtIncastConfig, protocol: Protocol, n_senders: usize) -> IncastCell {
+    let incast = IncastConfig {
+        n_senders,
+        bytes_per_sender: cfg.bytes_per_sender,
+        start_s: 0.0,
+        stagger_s: cfg.stagger_s,
+        seed: cfg.seed,
+    };
+    let horizon = horizon_s(cfg, n_senders);
+    let (mut eng, _bottleneck) = fat_tree_incast(
+        protocol,
+        cfg.k,
+        &incast,
+        cfg.bandwidth_bps,
+        SimDuration::from_micros(1),
+        engine_config(cfg),
+    );
+    let report = eng.run(SimTime::from_secs_f64(horizon));
+    cell_from_report(protocol, n_senders, horizon, &report)
+}
+
+fn cell_from_report(
+    protocol: Protocol,
+    n_senders: usize,
+    horizon: f64,
+    report: &SimReport,
+) -> IncastCell {
+    let mut fcts: Vec<f64> = report.fcts.iter().map(|r| r.fct_s).collect();
+    fcts.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if fcts.is_empty() {
+            f64::NAN
+        } else {
+            fcts[((fcts.len() - 1) as f64 * p).round() as usize] * 1e3
+        }
+    };
+    let makespan = report
+        .fcts
+        .iter()
+        .map(|r| r.start_s + r.fct_s)
+        .fold(0.0, f64::max);
+    let delivered: u64 = report.delivered_bytes.iter().sum();
+    IncastCell {
+        protocol: protocol.label().to_string(),
+        n_senders,
+        completed: report.fcts.len(),
+        median_fct_ms: pct(0.5),
+        p99_fct_ms: pct(0.99),
+        goodput_gbps: if makespan > 0.0 {
+            delivered as f64 * 8.0 / makespan / 1e9
+        } else {
+            0.0
+        },
+        events_processed: report.events_processed,
+        horizon_s: horizon,
+        digest: report_digest(report),
+    }
+}
+
+/// Run the full sweep. Cells run in parallel via the deterministic
+/// `par_map` fan-out, so output order (and every digest) is independent of
+/// `SIM_THREADS`.
+pub fn run(cfg: &ExtIncastConfig) -> ExtIncastResult {
+    let mut jobs = Vec::new();
+    for &proto in &cfg.protocols {
+        for &n in &cfg.sender_counts {
+            jobs.push((proto, n));
+        }
+    }
+    let cells = desim::par::par_map(jobs, |(proto, n)| run_cell(cfg, proto, n));
+    ExtIncastResult { cells }
+}
+
+/// The zero-fault bit-identity probe: run one cell with `faults: None` and
+/// once more with an installed but *empty* `FaultSchedule`, returning both
+/// digests. They must be equal — an idle fault plane may not perturb the
+/// simulation in any observable way.
+pub fn run_zero_fault_identity(cfg: &ExtIncastConfig, n_senders: usize) -> (String, String) {
+    let incast = IncastConfig {
+        n_senders,
+        bytes_per_sender: cfg.bytes_per_sender,
+        start_s: 0.0,
+        stagger_s: cfg.stagger_s,
+        seed: cfg.seed,
+    };
+    let horizon = horizon_s(cfg, n_senders);
+    let run_with = |faults: Option<FaultSchedule>| -> String {
+        let mut ecfg = engine_config(cfg);
+        ecfg.faults = faults;
+        let (mut eng, _b) = fat_tree_incast(
+            Protocol::Dcqcn,
+            cfg.k,
+            &incast,
+            cfg.bandwidth_bps,
+            SimDuration::from_micros(1),
+            ecfg,
+        );
+        report_digest(&eng.run(SimTime::from_secs_f64(horizon)))
+    };
+    (run_with(None), run_with(Some(FaultSchedule::new(cfg.seed))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ExtIncastConfig {
+        ExtIncastConfig {
+            k: 4,
+            protocols: vec![Protocol::Dcqcn],
+            sender_counts: vec![32],
+            bytes_per_sender: 16_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_flows_complete_and_digest_is_stable() {
+        let cfg = small();
+        let a = run_cell(&cfg, Protocol::Dcqcn, 32);
+        assert_eq!(a.completed, 32, "every response must finish");
+        assert!(a.median_fct_ms > 0.0 && a.p99_fct_ms >= a.median_fct_ms);
+        assert!(a.events_processed > 1_000, "scale probe must count events");
+        let b = run_cell(&cfg, Protocol::Dcqcn, 32);
+        assert_eq!(a.digest, b.digest, "same cell must digest identically");
+    }
+
+    #[test]
+    fn fan_in_contention_grows_with_n() {
+        let cfg = small();
+        let lo = run_cell(&cfg, Protocol::Dcqcn, 8);
+        let hi = run_cell(&cfg, Protocol::Dcqcn, 48);
+        assert!(
+            hi.p99_fct_ms > lo.p99_fct_ms,
+            "48:1 p99 {:.3} ms must exceed 8:1 {:.3} ms",
+            hi.p99_fct_ms,
+            lo.p99_fct_ms
+        );
+    }
+
+    #[test]
+    fn zero_fault_schedule_is_bit_identical() {
+        let (none, empty) = run_zero_fault_identity(&small(), 24);
+        assert_eq!(none, empty, "idle fault plane must be invisible");
+    }
+
+    #[test]
+    fn sweep_covers_all_cells_in_order() {
+        let mut cfg = small();
+        cfg.sender_counts = vec![8, 16];
+        let res = run(&cfg);
+        assert_eq!(res.cells.len(), 2);
+        assert_eq!(
+            (res.cells[0].n_senders, res.cells[1].n_senders),
+            (8, 16),
+            "cells keep job order regardless of SIM_THREADS"
+        );
+    }
+}
+
+crate::impl_to_json!(ExtIncastConfig {
+    k,
+    protocols,
+    sender_counts,
+    bytes_per_sender,
+    bandwidth_bps,
+    stagger_s,
+    seed
+});
+crate::impl_to_json!(IncastCell {
+    protocol,
+    n_senders,
+    completed,
+    median_fct_ms,
+    p99_fct_ms,
+    goodput_gbps,
+    events_processed,
+    horizon_s,
+    digest
+});
+crate::impl_to_json!(ExtIncastResult { cells });

@@ -4,6 +4,7 @@
 pub mod appendix_b;
 pub mod eq14;
 pub mod ext_faults;
+pub mod ext_incast;
 pub mod ext_parking_lot;
 pub mod ext_pfc;
 pub mod ext_pi_packet;

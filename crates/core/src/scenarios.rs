@@ -6,7 +6,7 @@ use netsim::{Engine, EngineConfig, FlowSpec, LinkId, Pacing, Topology};
 use protocols::{
     DcqcnCc, DcqcnCcParams, PatchedTimelyCc, PatchedTimelyCcParams, TimelyCc, TimelyCcParams,
 };
-use workload::{generate_flows, FlowSizeDist, ScenarioConfig};
+use workload::{generate_flows, generate_incast, FlowSizeDist, IncastConfig, ScenarioConfig};
 
 /// Which protocol drives the senders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +144,53 @@ pub fn dumbbell_fct(
     (eng, bottleneck)
 }
 
+/// Build a fat-tree incast: a `k`-ary fat-tree with an incast burst mapped
+/// onto its hosts. The oversubscribed link is the receiver's last hop
+/// (edge switch → host); its id is returned as the bottleneck.
+///
+/// Flow ids follow the burst's deterministic start-time order, and ECMP
+/// path hashes derive from `(cfg.seed, flow id, endpoints)`, so a given
+/// `(k, incast, cfg)` triple reproduces the identical simulation bit for
+/// bit regardless of `SIM_THREADS`.
+pub fn fat_tree_incast(
+    protocol: Protocol,
+    k: usize,
+    incast: &IncastConfig,
+    bandwidth_bps: f64,
+    prop_delay: SimDuration,
+    cfg: EngineConfig,
+) -> (Engine, LinkId) {
+    let (topo, hosts) = Topology::fat_tree(k, bandwidth_bps, prop_delay);
+    let burst = generate_incast(incast, hosts.len());
+    let receiver = hosts[burst.receiver];
+    // The receiver's edge switch sits one hop up; the bottleneck is the
+    // downlink back to the host.
+    let up = topo
+        .next_hop(receiver, hosts[(burst.receiver + 1) % hosts.len()])
+        .expect("fat-tree hosts are connected");
+    let edge = topo.link(up).dst;
+    let bottleneck = topo
+        .next_hop(edge, receiver)
+        .expect("edge switch connects its hosts");
+    let mut eng = Engine::new(topo, cfg);
+    for f in &burst.flows {
+        // Incast senders typically source one response flow each, so flows
+        // enter at line rate — the inrush the scenario is built to stress
+        // (same reasoning as the dumbbell workload).
+        let (cc, pacing, ack_chunk) = protocol.build_cc(1.0);
+        eng.add_flow(FlowSpec {
+            src: hosts[f.sender_index],
+            dst: hosts[f.receiver_index],
+            size_bytes: Some(f.size_bytes),
+            start: f.start,
+            pacing,
+            cc,
+            ack_chunk_bytes: ack_chunk,
+        });
+    }
+    (eng, bottleneck)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +250,40 @@ mod tests {
         let total: u64 = report.delivered_bytes.iter().sum();
         let util = total as f64 * 8.0 / 0.1 / 10e9;
         assert!(util > 0.7, "utilization {util:.3}");
+    }
+
+    #[test]
+    fn fat_tree_incast_completes_all_flows() {
+        let incast = IncastConfig {
+            n_senders: 16,
+            bytes_per_sender: 32_000,
+            ..Default::default()
+        };
+        let mut cfg = EngineConfig::default();
+        cfg.rate_trace_window = None;
+        let (mut eng, bottleneck) = fat_tree_incast(
+            Protocol::Dcqcn,
+            4,
+            &incast,
+            10e9,
+            SimDuration::from_micros(1),
+            cfg,
+        );
+        let report = eng.run(SimTime::from_millis(60));
+        assert_eq!(report.fcts.len(), 16, "every incast flow must finish");
+        assert!(report.queue_traces.contains_key(bottleneck));
+        for r in &report.fcts {
+            let ideal = r.size_bytes as f64 * 8.0 / 10e9;
+            assert!(r.fct_s >= ideal * 0.99, "fct below serialization bound");
+        }
+        // 16:1 fan-in over a 10 Gbps last hop: total service time is at
+        // least 16 × 32 KB / 10 Gbps ≈ 410 µs, so the slowest flow must
+        // take several times a single flow's ideal FCT.
+        let worst = report.fcts.iter().map(|r| r.fct_s).fold(0.0, f64::max);
+        assert!(
+            worst > 3.0 * (32_000.0 * 8.0 / 10e9),
+            "no fan-in contention"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! process-global environment.
 
 use desim::par::with_threads;
-use ecn_delay_core::experiments::{fig11, fig12, fig3, fig4};
+use ecn_delay_core::experiments::{ext_incast, fig11, fig12, fig3, fig4};
 use ecn_delay_core::ToJson;
 
 fn quick_fig3() -> fig3::Fig3Config {
@@ -85,4 +85,28 @@ fn fig12_byte_identical_across_thread_counts() {
         .to_json()
         .render_pretty();
     assert_eq!(serial, par2, "fig12 JSON differs between 1 and 2 workers");
+}
+
+#[test]
+fn ext_incast_byte_identical_across_thread_counts() {
+    // The fat-tree incast sweep: per-cell FCT digests fold every bit the
+    // engine produced, so equal JSON here is bit-identity of the whole
+    // simulation — ECMP path choices, marking decisions, event order.
+    let cfg = ext_incast::ExtIncastConfig {
+        k: 4,
+        protocols: vec![ecn_delay_core::scenarios::Protocol::Dcqcn],
+        sender_counts: vec![8, 24],
+        bytes_per_sender: 8_000,
+        ..Default::default()
+    };
+    let serial = with_threads(1, || ext_incast::run(&cfg))
+        .to_json()
+        .render_pretty();
+    let par4 = with_threads(4, || ext_incast::run(&cfg))
+        .to_json()
+        .render_pretty();
+    assert_eq!(
+        serial, par4,
+        "ext_incast JSON differs between 1 and 4 workers"
+    );
 }

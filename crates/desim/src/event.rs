@@ -1,61 +1,197 @@
-//! Deterministic calendar event queue.
+//! Deterministic hierarchical timing-wheel event queue.
 //!
-//! The queue is a binary min-heap keyed on `(time, sequence)`. The sequence
-//! number increases monotonically with every insertion, so events scheduled
-//! for the same instant pop in insertion order (stable FIFO). This property
-//! is load-bearing for reproducibility: a switch that enqueues a packet and
-//! arms a timer "at the same time" must always process them in the same
-//! order.
+//! The queue is a Varghese–Lauck hierarchical timing wheel with a
+//! mixed-radix layout: level 0 spans the low **12 bits** of the 64-bit
+//! nanosecond timestamp (4096 slots ≈ a 4 µs near horizon — packet
+//! serialization and RTT-scale timers land here directly), and seven 8-bit
+//! levels above it cover the remaining bits, so the full `u64` range is
+//! addressable without overflow lists. An event whose time first differs
+//! from the wheel's current position at bit `b` lives in the level owning
+//! bit `b`, in the slot named by that level's digit of the timestamp. Push
+//! and pop are O(1) amortized: each event is touched at most once per level
+//! as it cascades toward level 0, and per-level occupancy bitmaps locate
+//! the next non-empty slot with a few word scans instead of a heap
+//! traversal.
 //!
-//! Payloads live *inside* the heap entries, so memory is proportional to
-//! the number of **pending** events, not the number ever scheduled — the
-//! FCT experiments schedule tens of millions of events over a run.
-//! Cancellation is supported through [`EventId`] tombstones: `cancel` marks
-//! the id dead and the heap lazily discards dead entries on pop. This is
-//! the classic approach for timer-heavy simulations (timers are re-armed
-//! far more often than they fire) and keeps both operations O(log n)
-//! amortized.
+//! **Layout.** Events live in a split arena: a dense 24-byte "hot" record
+//! (`time`, `seq`+liveness bit, intrusive `next` link, generation) that the
+//! cascade and pop scans walk, and a parallel payload vector touched only
+//! at push/pop. Slots are intrusive singly-linked lists threaded through
+//! the `next` fields; the free list reuses the same field. After the arena
+//! reaches its high-water mark the queue performs **zero allocations**:
+//! push, pop, cancel and cascade are all index relinking. This — not the
+//! asymptotics — is what makes the wheel beat the old binary heap on the
+//! `event_queue/*` bench rows.
+//!
+//! **Determinism.** Events pop in `(time, seq)` order, where `seq` is a
+//! sequence number that increases monotonically with every insertion.
+//! Events scheduled for the same instant therefore pop in insertion order
+//! (stable FIFO) — exactly the contract the old binary-heap queue provided.
+//! This property is load-bearing for reproducibility: a switch that
+//! enqueues a packet and arms a timer "at the same time" must always
+//! process them in the same order. All entries in a reachable level-0 slot
+//! share one absolute timestamp (coarser times still live in higher
+//! levels), so the FIFO tie-break is a min-`seq` scan of one short slot
+//! list.
+//!
+//! **Cancellation** is slot-local instead of tombstone-set based: an
+//! [`EventId`] packs `(arena index, generation)`, and `cancel` is an O(1)
+//! liveness-flag flip that drops the payload immediately. The dead entry is
+//! unlinked and recycled when its slot is next visited, so rearm-heavy
+//! workloads (timers are re-armed far more often than they fire) no longer
+//! accrete an unbounded tombstone set — the regression that made
+//! `timer_rearm` the slowest kernel bench row. Memory is proportional to
+//! the number of **pending** events, not the number ever scheduled.
+//!
+//! The previous heap implementation is retained verbatim as
+//! [`crate::event_ref::ReferenceEventQueue`] and serves as the oracle for
+//! the differential property test in `tests/wheel_differential.rs`.
 
 use crate::time::SimTime;
-use std::cmp::{Ordering, Reverse};
-use std::collections::BTreeSet;
-use std::collections::BinaryHeap;
+
+/// Bits covered by level 0.
+const L0_BITS: u32 = 12;
+/// Slots in level 0.
+const L0_SLOTS: usize = 1 << L0_BITS;
+/// Mask for level 0's digit.
+const L0_MASK: u64 = (L0_SLOTS - 1) as u64;
+/// Bitmap words for level 0.
+const L0_WORDS: usize = L0_SLOTS / 64;
+/// Upper levels: 8 bits each above bit 12 (the top level holds bits 60..63,
+/// using 16 of its 256 slots).
+const UP_LEVELS: usize = 7;
+/// Bits covered by each upper level.
+const UP_BITS: u32 = 8;
+/// Slots per upper level.
+const UP_SLOTS: usize = 1 << UP_BITS;
+/// Null link in the intrusive slot/free lists.
+const NIL: u32 = u32::MAX;
+/// Liveness flag packed into the hot record's `seq` word (sequence numbers
+/// are insertion counters and never reach 2^63).
+const LIVE_BIT: u64 = 1 << 63;
+
+/// Indices into [`EventQueue::stats`], the locally batched obs counters.
+const STAT_SCHEDULED: usize = 0;
+const STAT_POPPED: usize = 1;
+const STAT_CANCELLED: usize = 2;
+
+/// Global metrics counter names, indexed like [`EventQueue::stats`].
+const STAT_NAMES: [&str; 3] = [
+    "desim.events_scheduled",
+    "desim.events_popped",
+    "desim.events_cancelled",
+];
 
 /// Opaque handle to a scheduled event, used for cancellation.
+///
+/// Packs `(arena index, generation)`; the generation is bumped every time an
+/// arena entry is recycled, so a stale id held after its event fired (or was
+/// cancelled) can never alias a newer event that reused the same arena slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    payload: E,
-}
+impl EventId {
+    fn pack(index: u32, generation: u32) -> Self {
+        EventId(((generation as u64) << 32) | index as u64)
+    }
 
-// Ordering considers only (time, seq); the payload never participates, so
-// `E` needs no trait bounds.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+    fn index(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
     }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
     }
 }
 
-impl<E> std::fmt::Debug for Entry<E> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Entry")
-            .field("time", &self.time)
-            .field("seq", &self.seq)
-            .finish_non_exhaustive()
+/// Hot arena record: everything the cascade/pop scans need, 24 bytes.
+/// `seq_live`'s top bit is the liveness flag; a clear bit means
+/// cancelled-but-not-yet-unlinked (still linked into exactly one slot list)
+/// or free (on the free list). `next` threads both the slot lists and the
+/// free list. The payload lives in a parallel vector touched only at
+/// push/pop, keeping these records dense for the pointer-chasing paths.
+struct Hot {
+    time_ns: u64,
+    seq_live: u64,
+    next: u32,
+    generation: u32,
+}
+
+impl Hot {
+    #[inline]
+    fn is_live(&self) -> bool {
+        self.seq_live & LIVE_BIT != 0
+    }
+
+    #[inline]
+    fn seq(&self) -> u64 {
+        self.seq_live & !LIVE_BIT
+    }
+}
+
+/// An upper wheel level: 256 index-vector slots plus an occupancy bitmap.
+/// Upper slots hold the big cascade batches, so they are contiguous index
+/// vectors (prefetchable scans, capacity reused across cascades) rather
+/// than linked lists, whose dependent loads serialize the walk.
+struct UpLevel {
+    slots: Vec<Vec<u32>>,
+    occupied: [u64; 4],
+}
+
+impl UpLevel {
+    fn new() -> Self {
+        UpLevel {
+            slots: (0..UP_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; 4],
+        }
+    }
+}
+
+/// Retired wheel storage, recycled through a per-thread pool.
+///
+/// A queue's slot arrays and hot arena total several hundred kilobytes once
+/// a simulation has run; building a fresh queue per run (as every engine
+/// invocation and every bench iteration does) would allocate, fault in, and
+/// release those pages each time — the general allocator returns large
+/// freed blocks to the OS, so the cost recurs forever. Retiring the
+/// *non-generic* storage (payloads are type-specific and cannot be pooled)
+/// keeps the pages warm: `EventQueue::new` becomes a pool pop plus zeroed
+/// bookkeeping, and steady-state queue construction performs no large
+/// allocations at all. The pool is per-thread (no locks, `par_map` workers
+/// each get their own) and capped, and has no observable effect other than
+/// speed: retired storage is reset to empty before reuse.
+struct Storage {
+    l0_heads: Vec<u32>,
+    l0_occupied: Vec<u64>,
+    up: Vec<UpLevel>,
+    hot: Vec<Hot>,
+}
+
+/// Retired [`Storage`] blocks kept per thread, newest first.
+const POOL_CAP: usize = 8;
+
+std::thread_local! {
+    static STORAGE_POOL: core::cell::RefCell<Vec<Storage>> =
+        const { core::cell::RefCell::new(Vec::new()) };
+}
+
+/// First set bit at index `from` or later in an occupancy bitmap.
+#[inline]
+fn next_occupied(words: &[u64], from: usize) -> Option<usize> {
+    let mut word = from >> 6;
+    if word >= words.len() {
+        return None;
+    }
+    let mut bits = words[word] & (!0u64 << (from & 63));
+    loop {
+        if bits != 0 {
+            return Some((word << 6) + bits.trailing_zeros() as usize);
+        }
+        word += 1;
+        if word == words.len() {
+            return None;
+        }
+        bits = words[word];
     }
 }
 
@@ -72,13 +208,30 @@ impl<E> std::fmt::Debug for Entry<E> {
 /// assert_eq!(q.pop().unwrap().1, "c");
 /// assert!(q.pop().is_none());
 /// ```
-#[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: BTreeSet<u64>,
+    l0_heads: Vec<u32>,
+    l0_occupied: Vec<u64>,
+    /// Number of set bits in `l0_occupied`. Lets the hot search skip the
+    /// 64-word level-0 bitmap scan entirely once the current near-horizon
+    /// window drains — the common state between cascades.
+    l0_slot_count: usize,
+    up: Vec<UpLevel>,
+    hot: Vec<Hot>,
+    payloads: Vec<Option<E>>,
+    free_head: u32,
+    /// Wheel position: no pending event precedes this time. Equals the time
+    /// of the last popped event after any pop.
+    floor_ns: u64,
     next_seq: u64,
     len: usize,
     last_popped: SimTime,
+    /// Locally accumulated obs counts (scheduled, popped, cancelled),
+    /// flushed to the global metrics registry in one `counter_add` each
+    /// when the queue retires. Batching keeps the registry's totals exact
+    /// at every point a snapshot is actually taken (queues are dropped
+    /// before `ObsGuard::finish` writes metrics) while keeping the
+    /// per-event hot path free of atomic traffic.
+    stats: [u64; 3],
 }
 
 impl<E> Default for EventQueue<E> {
@@ -87,15 +240,54 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.len)
+            .field("floor_ns", &self.floor_ns)
+            .field("next_seq", &self.next_seq)
+            .field("arena", &self.hot.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shift of an upper level's digit within the timestamp.
+#[inline]
+fn up_shift(level: usize) -> u32 {
+    L0_BITS + UP_BITS * level as u32
+}
+
 impl<E> EventQueue<E> {
-    /// Create an empty queue.
+    /// Create an empty queue, reusing retired storage from the per-thread
+    /// pool when available (see [`Storage`]).
     pub fn new() -> Self {
+        let storage = STORAGE_POOL.with(|p| p.borrow_mut().pop());
+        let s = storage.unwrap_or_else(|| Storage {
+            l0_heads: vec![NIL; L0_SLOTS],
+            l0_occupied: vec![0; L0_WORDS],
+            up: (0..UP_LEVELS).map(|_| UpLevel::new()).collect(),
+            hot: Vec::new(),
+        });
+        debug_assert!(s.hot.is_empty() && s.l0_occupied.iter().all(|&w| w == 0));
+        // The payload vector is type-specific and cannot be pooled, but the
+        // retired arena's capacity predicts this queue's high-water mark:
+        // reserving it up front turns the payload vector's growth-by-
+        // doubling (a dozen reallocations copying the whole vector) into
+        // one allocation.
+        let payloads = Vec::with_capacity(s.hot.capacity());
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: BTreeSet::new(),
+            l0_heads: s.l0_heads,
+            l0_occupied: s.l0_occupied,
+            l0_slot_count: 0,
+            up: s.up,
+            hot: s.hot,
+            payloads,
+            free_head: NIL,
+            floor_ns: 0,
             next_seq: 0,
             len: 0,
             last_popped: SimTime::ZERO,
+            stats: [0; 3],
         }
     }
 
@@ -121,72 +313,421 @@ impl<E> EventQueue<E> {
             "scheduling into the past: {time} < {}",
             self.last_popped
         );
+        // Release-mode clamp: a late timer fires at the wheel's current
+        // position rather than corrupting slot placement.
+        let t_ns = time.as_nanos().max(self.floor_ns);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, payload }));
+        let (idx, generation) = if self.free_head != NIL {
+            let i = self.free_head;
+            let h = &mut self.hot[i as usize];
+            self.free_head = h.next;
+            h.time_ns = t_ns;
+            h.seq_live = seq | LIVE_BIT;
+            let generation = h.generation;
+            self.payloads[i as usize] = Some(payload);
+            (i, generation)
+        } else {
+            let i = self.hot.len() as u32;
+            self.hot.push(Hot {
+                time_ns: t_ns,
+                seq_live: seq | LIVE_BIT,
+                next: NIL,
+                generation: 0,
+            });
+            self.payloads.push(Some(payload));
+            (i, 0)
+        };
+        self.link_in(idx, t_ns);
         self.len += 1;
-        obs::metrics::counter_inc("desim.events_scheduled");
-        EventId(seq)
+        self.stats[STAT_SCHEDULED] += 1;
+        EventId::pack(idx, generation)
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (and is now dead), `false` if it had already fired or
     /// been cancelled. Cancelling an id that was never issued is a no-op.
+    ///
+    /// O(1): flips the arena entry's liveness flag and drops the payload;
+    /// the slot unlinks the dead entry when it is next visited. Unlike the
+    /// old tombstone-set queue, cancelling an already-fired id is detected
+    /// exactly (the arena generation no longer matches), so `len` stays
+    /// correct under any call pattern.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        let idx = id.index();
+        if idx >= self.hot.len() {
             return false;
         }
-        // We cannot cheaply tell "already fired" from "pending"; insert the
-        // tombstone and adjust only if it was actually pending. The heap
-        // lazily reconciles. To keep `len` exact, we track liveness by
-        // probing: a tombstone for a fired event would never be consumed, so
-        // we only count a cancel when the id is not already tombstoned and
-        // is plausibly pending. The engine's usage pattern (cancel only ids
-        // it knows are pending) makes this exact; `try_cancel_pending` below
-        // is the safe general entry point.
-        if self.cancelled.insert(id.0) {
-            self.len = self.len.saturating_sub(1);
-            obs::metrics::counter_inc("desim.events_cancelled");
-            true
-        } else {
-            false
+        let h = &mut self.hot[idx];
+        if h.generation != id.generation() || !h.is_live() {
+            return false;
         }
+        h.seq_live &= !LIVE_BIT;
+        self.payloads[idx] = None;
+        self.len -= 1;
+        self.stats[STAT_CANCELLED] += 1;
+        true
     }
 
     /// Time of the earliest live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skim_cancelled();
-        self.heap.peek().map(|Reverse(e)| e.time)
+        while self.len > 0 {
+            match self.earliest_slot() {
+                Slot::Level0(slot) => {
+                    if self.purge_dead_level0(slot) {
+                        // All entries in a reachable level-0 slot share the
+                        // slot's absolute time.
+                        let t_ns = (self.floor_ns & !L0_MASK) | slot as u64;
+                        return Some(SimTime::from_nanos(t_ns));
+                    }
+                }
+                Slot::Upper(level, slot) => self.cascade(level, slot),
+                Slot::None => break,
+            }
+        }
+        None
     }
 
     /// Pop the earliest live event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        loop {
-            let Reverse(entry) = self.heap.pop()?;
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        while self.len > 0 {
+            match self.earliest_slot() {
+                Slot::Level0(slot) => {
+                    if let Some((t_ns, payload)) = self.take_min_seq(slot) {
+                        let time = SimTime::from_nanos(t_ns);
+                        crate::invariants::monotonic_time(
+                            "EventQueue::pop",
+                            self.last_popped,
+                            time,
+                        );
+                        self.last_popped = time;
+                        self.floor_ns = t_ns;
+                        self.len -= 1;
+                        self.stats[STAT_POPPED] += 1;
+                        return Some((time, payload));
+                    }
+                    // Slot held only cancelled entries (now recycled); rescan.
+                }
+                Slot::Upper(level, slot) => self.cascade(level, slot),
+                Slot::None => break,
             }
-            self.len -= 1;
-            crate::invariants::monotonic_time("EventQueue::pop", self.last_popped, entry.time);
-            self.last_popped = entry.time;
-            obs::metrics::counter_inc("desim.events_popped");
-            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Mark a level-0 slot occupied, keeping the slot count exact.
+    #[inline]
+    fn l0_set(&mut self, slot: usize) {
+        let w = &mut self.l0_occupied[slot >> 6];
+        let bit = 1u64 << (slot & 63);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.l0_slot_count += 1;
         }
     }
 
-    /// Drop cancelled entries sitting at the top of the heap so `peek_time`
-    /// reports a live event.
-    fn skim_cancelled(&mut self) {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
-                break;
+    /// Clear a level-0 slot's (set) occupancy bit.
+    #[inline]
+    fn l0_clear(&mut self, slot: usize) {
+        debug_assert!(self.l0_occupied[slot >> 6] & (1u64 << (slot & 63)) != 0);
+        self.l0_occupied[slot >> 6] &= !(1u64 << (slot & 63));
+        self.l0_slot_count -= 1;
+    }
+
+    /// Lowest occupied slot at or after the wheel position. Because a
+    /// level's times agree with the wheel position on all digits above it,
+    /// the lowest occupied level holds the globally earliest event, and
+    /// within a level earlier slots hold earlier times.
+    ///
+    /// Linked level-0 entries never sit behind the wheel position (pops
+    /// purge every slot they pass over), so when `l0_slot_count` is zero
+    /// the 64-word level-0 bitmap scan is skipped outright — the common
+    /// state between cascades once the current 4 µs window drains.
+    #[inline]
+    fn earliest_slot(&self) -> Slot {
+        if self.l0_slot_count > 0 {
+            let cur0 = (self.floor_ns & L0_MASK) as usize;
+            if let Some(slot) = next_occupied(&self.l0_occupied[..], cur0) {
+                return Slot::Level0(slot);
             }
         }
+        for level in 0..UP_LEVELS {
+            let cur = ((self.floor_ns >> up_shift(level)) & 0xFF) as usize;
+            if let Some(slot) = next_occupied(&self.up[level].occupied, cur) {
+                return Slot::Upper(level, slot);
+            }
+        }
+        Slot::None
     }
+
+    /// Link `idx` (with time `t_ns`) into the level owning the highest bit
+    /// in which `t_ns` differs from the wheel position — level 0 if they
+    /// agree on everything above the level-0 digit. Head insertion: list
+    /// order carries no meaning, the FIFO tie-break is the entries' `seq`.
+    #[inline]
+    fn link_in(&mut self, idx: u32, t_ns: u64) {
+        let x = t_ns ^ self.floor_ns;
+        let high_bit = 63 - (x | 1).leading_zeros();
+        if high_bit < L0_BITS {
+            let slot = (t_ns & L0_MASK) as usize;
+            self.hot[idx as usize].next = self.l0_heads[slot];
+            self.l0_heads[slot] = idx;
+            self.l0_set(slot);
+        } else {
+            let level = ((high_bit - L0_BITS) / UP_BITS) as usize;
+            let slot = ((t_ns >> up_shift(level)) & 0xFF) as usize;
+            let lv = &mut self.up[level];
+            lv.slots[slot].push(idx);
+            lv.occupied[slot >> 6] |= 1u64 << (slot & 63);
+        }
+    }
+
+    /// Recycle a dead, unlinked arena entry: bump the generation
+    /// (invalidating any outstanding [`EventId`]) and thread it onto the
+    /// free list. The payload is already gone — `pop` takes it and `cancel`
+    /// drops it, and those are the only two paths to `release`.
+    #[inline]
+    fn release(&mut self, idx: u32) {
+        debug_assert!(self.payloads[idx as usize].is_none());
+        let h = &mut self.hot[idx as usize];
+        h.seq_live &= !LIVE_BIT;
+        h.generation = h.generation.wrapping_add(1);
+        h.next = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Advance the wheel to `slot` of upper level `level` and re-file that
+    /// slot's live entries at strictly lower levels (their digits at and
+    /// above `level` now match the wheel position). Dead entries are
+    /// recycled here — cancellation's deferred cleanup is slot-local by
+    /// construction. Reading each entry's hot record here also warms the
+    /// cache for the pop that follows shortly after.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let lv = &mut self.up[level];
+        let mut batch = std::mem::take(&mut lv.slots[slot]);
+        lv.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+        let span = up_shift(level);
+        // Zero all digits at and below `level`, then set this level's digit
+        // to the slot index: the start of the slot's time range. The search
+        // guarantees slot > current digit, so the wheel strictly advances.
+        let keep_mask = if span + UP_BITS >= 64 {
+            0
+        } else {
+            !((1u64 << (span + UP_BITS)) - 1)
+        };
+        let new_floor = (self.floor_ns & keep_mask) | ((slot as u64) << span);
+        debug_assert!(new_floor > self.floor_ns, "cascade must advance the wheel");
+        self.floor_ns = new_floor;
+        for &idx in &batch {
+            let h = &self.hot[idx as usize];
+            if h.is_live() {
+                let t_ns = h.time_ns;
+                if level == 0 {
+                    // Cascading out of the bottom upper level: every digit
+                    // at and above it now matches the wheel position, so
+                    // the entry can only land in level 0 — link it there
+                    // directly, skipping `link_in`'s level computation.
+                    debug_assert_eq!(t_ns >> L0_BITS, self.floor_ns >> L0_BITS);
+                    let slot = (t_ns & L0_MASK) as usize;
+                    self.hot[idx as usize].next = self.l0_heads[slot];
+                    self.l0_heads[slot] = idx;
+                    self.l0_set(slot);
+                } else {
+                    self.link_in(idx, t_ns);
+                }
+            } else {
+                self.release(idx);
+            }
+        }
+        // Hand the (empty) allocation back so the slot keeps its capacity.
+        batch.clear();
+        self.up[level].slots[slot] = batch;
+    }
+
+    /// Unlink-and-recycle dead entries in a level-0 slot; returns whether
+    /// live entries remain (clearing the occupancy bit if not).
+    fn purge_dead_level0(&mut self, slot: usize) -> bool {
+        let mut prev = NIL;
+        let mut cur = self.l0_heads[slot];
+        while cur != NIL {
+            let h = &self.hot[cur as usize];
+            let nxt = h.next;
+            if h.is_live() {
+                prev = cur;
+            } else {
+                if prev == NIL {
+                    self.l0_heads[slot] = nxt;
+                } else {
+                    self.hot[prev as usize].next = nxt;
+                }
+                self.release(cur);
+            }
+            cur = nxt;
+        }
+        if self.l0_heads[slot] == NIL {
+            self.l0_clear(slot);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Remove and return the minimum-`seq` live entry of a level-0 slot
+    /// (the FIFO tie-break among same-time events), unlinking and recycling
+    /// any dead entries encountered in the same pass. Returns `None` if the
+    /// slot held only dead entries; the occupancy bit is cleared when the
+    /// slot empties.
+    fn take_min_seq(&mut self, slot: usize) -> Option<(u64, E)> {
+        // All entries in a reachable level-0 slot share the slot's absolute
+        // time, so the popped time is computable from the wheel position —
+        // no arena read needed.
+        let t_ns = (self.floor_ns & !L0_MASK) | slot as u64;
+        let head = self.l0_heads[slot];
+        let h = &self.hot[head as usize];
+        // Fast path: a single live entry (the common case outside tie
+        // bursts) — no tie scan, no predecessor bookkeeping.
+        if h.next == NIL && h.is_live() {
+            debug_assert_eq!(h.time_ns, t_ns, "level-0 slot time invariant");
+            self.l0_heads[slot] = NIL;
+            self.l0_clear(slot);
+            let payload = self.payloads[head as usize].take();
+            self.release(head);
+            return payload.map(|p| (t_ns, p));
+        }
+        let mut prev = NIL;
+        let mut cur = head;
+        let mut best = NIL;
+        let mut best_prev = NIL;
+        let mut best_seq = u64::MAX;
+        while cur != NIL {
+            let h = &self.hot[cur as usize];
+            let nxt = h.next;
+            if h.is_live() {
+                if h.seq() < best_seq {
+                    best_seq = h.seq();
+                    best = cur;
+                    best_prev = prev;
+                }
+                prev = cur;
+            } else {
+                // Unlink the dead entry; `prev` (last live node) keeps its
+                // role as predecessor of whatever follows.
+                if prev == NIL {
+                    self.l0_heads[slot] = nxt;
+                } else {
+                    self.hot[prev as usize].next = nxt;
+                }
+                self.release(cur);
+            }
+            cur = nxt;
+        }
+        if best == NIL {
+            self.l0_clear(slot);
+            return None;
+        }
+        // Unlink `best`. Its recorded predecessor is still adjacent: dead
+        // entries between them were impossible at discovery time (prev was
+        // the nearest live node) and live nodes are never unlinked above.
+        let nxt = self.hot[best as usize].next;
+        if best_prev == NIL {
+            self.l0_heads[slot] = nxt;
+        } else {
+            self.hot[best_prev as usize].next = nxt;
+        }
+        debug_assert_eq!(
+            self.hot[best as usize].time_ns, t_ns,
+            "level-0 slot time invariant"
+        );
+        let payload = self.payloads[best as usize].take();
+        self.release(best);
+        if self.l0_heads[slot] == NIL {
+            self.l0_clear(slot);
+        }
+        payload.map(|p| (t_ns, p))
+    }
+
+    /// Reset the wheel to empty (occupancy-guided, so cost is proportional
+    /// to what was pending, not to the slot count) and hand the storage to
+    /// the per-thread pool. Called on drop; pending payloads are dropped by
+    /// the `payloads` vector itself.
+    fn retire(&mut self) {
+        for (i, name) in STAT_NAMES.iter().enumerate() {
+            if self.stats[i] > 0 {
+                obs::metrics::counter_add(name, self.stats[i]);
+                self.stats[i] = 0;
+            }
+        }
+        for w in 0..L0_WORDS {
+            let mut bits = self.l0_occupied[w];
+            while bits != 0 {
+                let slot = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.l0_heads[slot] = NIL;
+            }
+            self.l0_occupied[w] = 0;
+        }
+        self.l0_slot_count = 0;
+        for lv in &mut self.up {
+            for w in 0..lv.occupied.len() {
+                let mut bits = lv.occupied[w];
+                while bits != 0 {
+                    let slot = (w << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    lv.slots[slot].clear();
+                }
+                lv.occupied[w] = 0;
+            }
+        }
+        self.hot.clear();
+        self.free_head = NIL;
+        let s = Storage {
+            l0_heads: std::mem::take(&mut self.l0_heads),
+            l0_occupied: std::mem::take(&mut self.l0_occupied),
+            up: std::mem::take(&mut self.up),
+            hot: std::mem::take(&mut self.hot),
+        };
+        // An empty storage block (this queue was itself built during thread
+        // teardown, or the vectors were never allocated) is not worth
+        // pooling; `with` can also fail during thread destruction — then
+        // the storage simply drops.
+        if s.l0_heads.is_empty() {
+            return;
+        }
+        let _ = STORAGE_POOL.try_with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < POOL_CAP {
+                pool.push(s);
+            }
+        });
+    }
+
+    /// Length of the free list (test support).
+    #[cfg(test)]
+    fn free_list_len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.free_head;
+        while cur != NIL {
+            n += 1;
+            cur = self.hot[cur as usize].next;
+        }
+        n
+    }
+}
+
+impl<E> Drop for EventQueue<E> {
+    fn drop(&mut self) {
+        self.retire();
+    }
+}
+
+/// Result of the occupied-slot search.
+enum Slot {
+    /// A level-0 slot (pop/peek directly).
+    Level0(usize),
+    /// An upper-level slot (cascade it down).
+    Upper(usize, usize),
+    /// The wheel is empty.
+    None,
 }
 
 #[cfg(test)]
@@ -240,6 +781,27 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_is_detected() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert!(!q.cancel(a), "fired event cannot be cancelled");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn stale_id_does_not_alias_recycled_arena_entry() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        // The arena entry for `a` is recycled by this insertion.
+        let b = q.schedule(t(20), "b");
+        assert!(!q.cancel(a), "stale id must not cancel the new event");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+    }
+
+    #[test]
     fn peek_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule(t(10), "a");
@@ -264,7 +826,9 @@ mod tests {
     #[test]
     fn memory_is_bounded_by_pending_events() {
         // Schedule and drain far more events than fit in memory if the
-        // queue retained history; the heap must stay small.
+        // queue retained history; the arena must stay at the high-water
+        // mark of *pending* events (free-list reuse), and no tombstone
+        // state may accrete across rounds.
         let mut q = EventQueue::new();
         for round in 0..100u64 {
             for i in 0..1000u64 {
@@ -272,8 +836,30 @@ mod tests {
             }
             while q.pop().is_some() {}
         }
-        assert!(q.heap.capacity() < 100_000);
-        assert!(q.cancelled.is_empty());
+        assert!(q.hot.len() <= 1000, "arena grew past pending high-water");
+        assert_eq!(q.free_list_len(), q.hot.len(), "all entries recycled");
+    }
+
+    #[test]
+    fn rearm_heavy_workload_recycles_arena() {
+        // The timer pattern: cancel + reschedule many times per fire. The
+        // arena may only grow to the pending high-water mark even though
+        // dead entries are unlinked lazily.
+        let mut q = EventQueue::new();
+        let mut id = q.schedule(t(100), 0u64);
+        for k in 1..10_000u64 {
+            assert!(q.cancel(id));
+            id = q.schedule(t(100 + k), k);
+            // Visit the slot so dead entries recycle, as the engine's pop
+            // loop does continuously.
+            assert_eq!(q.peek_time(), Some(t(100 + k)));
+        }
+        assert_eq!(q.len(), 1);
+        assert!(
+            q.hot.len() < 64,
+            "rearm churn must not grow the arena (len {})",
+            q.hot.len()
+        );
     }
 
     #[test]
@@ -287,5 +873,52 @@ mod tests {
         assert_eq!(q.pop(), Some((t(2), 2)));
         assert_eq!(q.pop(), Some((t(3), 3)));
         assert_eq!(q.pop(), Some((t(5), 5)));
+    }
+
+    #[test]
+    fn far_future_rollover_crosses_all_levels() {
+        // Times chosen so consecutive pops cross digit boundaries at every
+        // level, including the top bits.
+        let mut q = EventQueue::new();
+        let times = [
+            0u64,
+            255,
+            256,
+            4_095,
+            4_096,
+            65_535,
+            65_536,
+            1 << 24,
+            (1 << 32) - 1,
+            1 << 32,
+            1 << 40,
+            1 << 48,
+            1 << 56,
+            1 << 60,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for (i, &ns) in times.iter().enumerate().rev() {
+            q.schedule(t(ns), i);
+        }
+        for (i, &ns) in times.iter().enumerate() {
+            assert_eq!(q.pop(), Some((t(ns), i)), "time {ns}");
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_preserved_across_cascade() {
+        // Same-time events inserted at a coarse level must still pop FIFO
+        // after cascading down to level 0.
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 0u32);
+        for i in 1..=10u32 {
+            q.schedule(t(1 << 20), i);
+        }
+        assert_eq!(q.pop(), Some((t(1), 0)));
+        for i in 1..=10u32 {
+            assert_eq!(q.pop(), Some((t(1 << 20), i)));
+        }
     }
 }

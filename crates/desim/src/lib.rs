@@ -7,9 +7,13 @@
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulation time with
 //!   convenient constructors (`SimDuration::micros(50)`) and exact arithmetic,
 //!   so event ordering is never subject to floating-point noise;
-//! * [`EventQueue`] — a calendar queue (binary heap) with a monotonically
+//! * [`EventQueue`] — a hierarchical timing wheel (8 levels × 256 slots,
+//!   per-level occupancy bitmaps, arena-backed entries) with a monotonically
 //!   increasing tie-break sequence number, guaranteeing **deterministic**
-//!   FIFO ordering among simultaneous events and O(log n) operations;
+//!   FIFO ordering among simultaneous events at O(1) amortized push/pop and
+//!   O(1) cancel; the pre-wheel binary-heap queue survives as
+//!   [`event_ref::ReferenceEventQueue`], the oracle for the differential
+//!   property test;
 //! * [`rng::SimRng`] — a small, seedable xoshiro256** generator so every
 //!   experiment is exactly reproducible from its seed;
 //! * [`stats`] — online statistics (time-weighted averages, percentile
@@ -29,6 +33,7 @@
 #![deny(missing_docs)]
 
 pub mod event;
+pub mod event_ref;
 pub mod invariants;
 pub mod par;
 pub mod rng;

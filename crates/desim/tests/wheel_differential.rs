@@ -1,0 +1,215 @@
+//! Differential property test: timing wheel vs. the retained reference
+//! heap queue.
+//!
+//! Both queues are driven through identical randomized schedules of
+//! push/pop/cancel/rearm operations — including same-timestamp ties,
+//! short-horizon timer churn, and far-future jumps that cross several wheel
+//! levels — and must produce byte-for-byte identical pop sequences
+//! `(time, tag)` and identical `len()` at every step. Payload tags identify
+//! events across the two queues so cancels and rearms can be mirrored.
+
+use desim::event_ref::ReferenceEventQueue;
+use desim::{EventQueue, SimRng, SimTime};
+
+/// One pending event tracked on both queues under a common tag.
+struct Pending {
+    tag: u64,
+    wheel_id: desim::EventId,
+    ref_id: desim::event_ref::RefEventId,
+}
+
+struct Harness {
+    wheel: EventQueue<u64>,
+    oracle: ReferenceEventQueue<u64>,
+    pending: Vec<Pending>,
+    now_ns: u64,
+    next_tag: u64,
+    pops: u64,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            wheel: EventQueue::new(),
+            oracle: ReferenceEventQueue::new(),
+            pending: Vec::new(),
+            now_ns: 0,
+            next_tag: 0,
+            pops: 0,
+        }
+    }
+
+    fn push(&mut self, at_ns: u64) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let t = SimTime::from_nanos(at_ns);
+        let wheel_id = self.wheel.schedule(t, tag);
+        let ref_id = self.oracle.schedule(t, tag);
+        self.pending.push(Pending {
+            tag,
+            wheel_id,
+            ref_id,
+        });
+    }
+
+    fn pop(&mut self) {
+        let got = self.wheel.pop();
+        let want = self.oracle.pop();
+        match (got, want) {
+            (Some((tw, pw)), Some((tr, pr))) => {
+                assert_eq!(tw, tr, "pop #{}: time diverged", self.pops);
+                assert_eq!(pw, pr, "pop #{}: payload diverged at {tw}", self.pops);
+                self.now_ns = tw.as_nanos();
+                let pos = self
+                    .pending
+                    .iter()
+                    .position(|p| p.tag == pw)
+                    .expect("popped tag must be tracked");
+                self.pending.swap_remove(pos);
+            }
+            (None, None) => {}
+            (got, want) => panic!("pop #{}: wheel {got:?} vs oracle {want:?}", self.pops),
+        }
+        self.pops += 1;
+    }
+
+    fn cancel_at(&mut self, pos: usize) {
+        let p = self.pending.swap_remove(pos);
+        assert!(self.wheel.cancel(p.wheel_id), "wheel lost tag {}", p.tag);
+        assert!(self.oracle.cancel(p.ref_id), "oracle lost tag {}", p.tag);
+    }
+
+    /// The engine's timer pattern: cancel a pending event and reschedule
+    /// its successor at a new time.
+    fn rearm_at(&mut self, pos: usize, at_ns: u64) {
+        self.cancel_at(pos);
+        self.push(at_ns);
+    }
+
+    fn check_len(&self) {
+        assert_eq!(self.wheel.len(), self.oracle.len(), "len diverged");
+        assert_eq!(self.wheel.len(), self.pending.len(), "tracker diverged");
+    }
+
+    fn drain(&mut self) {
+        while !self.pending.is_empty() {
+            self.pop();
+        }
+        assert!(self.wheel.pop().is_none());
+        assert!(self.oracle.pop().is_none());
+    }
+}
+
+/// Pick an offset that exercises every wheel level: mostly near-future
+/// (level 0–1 territory), often zero (same-instant ties), occasionally a
+/// far-future jump crossing four or more byte boundaries.
+fn random_offset(rng: &mut SimRng) -> u64 {
+    match rng.next_below(100) {
+        0..=24 => 0,                              // tie with "now"
+        25..=59 => rng.next_below(1_000),         // sub-microsecond
+        60..=84 => rng.next_below(1_000_000),     // sub-millisecond
+        85..=94 => rng.next_below(1_000_000_000), // sub-second
+        95..=98 => rng.next_below(1 << 40),       // ~18-minute horizon
+        _ => (1 << 56) + rng.next_below(1 << 40), // top-byte rollover
+    }
+}
+
+#[test]
+fn random_schedules_pop_identically() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::new(0xD1FF_0000 + seed);
+        let mut h = Harness::new();
+        for _ in 0..5_000 {
+            let op = rng.next_below(100);
+            if op < 45 || h.pending.is_empty() {
+                let at_ns = h.now_ns.saturating_add(random_offset(&mut rng));
+                h.push(at_ns);
+            } else if op < 70 {
+                h.pop();
+            } else if op < 85 {
+                let pos = rng.next_below(h.pending.len() as u64) as usize;
+                h.cancel_at(pos);
+            } else {
+                let pos = rng.next_below(h.pending.len() as u64) as usize;
+                let at_ns = h.now_ns.saturating_add(random_offset(&mut rng));
+                h.rearm_at(pos, at_ns);
+            }
+            h.check_len();
+        }
+        h.drain();
+        assert!(h.pops > 1_000, "seed {seed}: schedule too pop-starved");
+    }
+}
+
+#[test]
+fn tie_heavy_schedule_pops_in_insertion_order() {
+    // Many events on few distinct timestamps: the FIFO tie-break carries
+    // all the ordering information.
+    let mut rng = SimRng::new(0x7135);
+    let mut h = Harness::new();
+    for _ in 0..3_000 {
+        let op = rng.next_below(10);
+        if op < 6 || h.pending.is_empty() {
+            let at_ns = h.now_ns + rng.next_below(4) * 100;
+            h.push(at_ns);
+        } else if op < 8 {
+            h.pop();
+        } else {
+            let pos = rng.next_below(h.pending.len() as u64) as usize;
+            h.cancel_at(pos);
+        }
+        h.check_len();
+    }
+    h.drain();
+}
+
+#[test]
+fn rearm_churn_matches_oracle() {
+    // Timer-style workload: a small population of events rearmed far more
+    // often than they fire, as DCQCN/TIMELY rate timers do.
+    let mut rng = SimRng::new(0xABCD);
+    let mut h = Harness::new();
+    for i in 0..16u64 {
+        h.push(i * 50);
+    }
+    for _ in 0..10_000 {
+        let op = rng.next_below(10);
+        if op < 7 && !h.pending.is_empty() {
+            let pos = rng.next_below(h.pending.len() as u64) as usize;
+            let at_ns = h.now_ns + 1 + rng.next_below(5_000);
+            h.rearm_at(pos, at_ns);
+        } else if !h.pending.is_empty() {
+            h.pop();
+        } else {
+            h.push(h.now_ns + rng.next_below(5_000));
+        }
+        h.check_len();
+    }
+    h.drain();
+}
+
+#[test]
+fn far_future_rollover_matches_oracle() {
+    // Jumps that force cascades through the upper wheel levels, including
+    // times near u64::MAX.
+    let mut h = Harness::new();
+    let times = [
+        0u64,
+        255,
+        256,
+        65_535,
+        1 << 24,
+        (1 << 32) + 7,
+        1 << 48,
+        (1 << 56) | 42,
+        u64::MAX - 1,
+        u64::MAX,
+    ];
+    // Insert in a scrambled order with duplicates for tie coverage.
+    for &ns in times.iter().rev() {
+        h.push(ns);
+        h.push(ns);
+    }
+    h.check_len();
+    h.drain();
+}

@@ -23,12 +23,12 @@
 
 use crate::cc::{CcEvent, CcUpdate};
 use crate::config::{MarkingMode, PfcConfig, RedConfig};
-use crate::flow::{FlowSpec, Pacing, ReceiverFlow, SenderFlow};
+use crate::flow::{FlowSpec, Pacing, ReceiverFlows, SenderFlows};
 use crate::topology::{LinkId, NodeId, NodeKind, Topology};
 use crate::trace::LinkTraceMap;
-use crate::types::{FlowId, Packet, PacketKind};
+use crate::types::{FlowId, Packet, PacketArena, PacketHandle, PacketKind};
 use desim::stats::TimeSeries;
-use desim::{EventQueue, SimDuration, SimRng, SimTime};
+use desim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
 use faults::{FaultKind, FaultSchedule, ParamTarget, SimError};
 
 /// Engine configuration.
@@ -143,7 +143,11 @@ enum Ev {
     FlowStart(FlowId),
     Pacer(FlowId),
     TxDone(LinkId),
-    Deliver(LinkId, Packet),
+    /// A packet (by arena handle) arrives at the far end of a link. Events
+    /// carry 4-byte handles, not ~72-byte [`Packet`] values: the event
+    /// queue's payload arena stays dense and packets are never memcpy'd
+    /// between hops.
+    Deliver(LinkId, PacketHandle),
     CcTimer(FlowId, u8),
     /// Periodic PI-AQM controller update across all switch ports.
     AqmTick,
@@ -240,20 +244,43 @@ impl LinkFaultState {
     }
 }
 
+/// Per-link egress-port state, one column per field. The transmit hot path
+/// (`enqueue`/`try_transmit`/`tx_done`) touches `data_q`/`data_bytes`/`busy`
+/// for almost every packet but the PFC and PI-AQM columns only on their
+/// (much rarer) respective events, so the columnar split keeps the per-packet
+/// working set to three dense arrays. Queues hold [`PacketHandle`]s; packet
+/// bodies live in the engine's [`PacketArena`].
 #[derive(Debug, Default)]
-struct Port {
-    data_q: std::collections::VecDeque<Packet>,
-    data_bytes: u64,
-    ctrl_q: std::collections::VecDeque<Packet>,
-    busy: bool,
-    paused: bool,
+struct Ports {
+    data_q: Vec<std::collections::VecDeque<PacketHandle>>,
+    data_bytes: Vec<u64>,
+    ctrl_q: Vec<std::collections::VecDeque<PacketHandle>>,
+    busy: Vec<bool>,
+    paused: Vec<bool>,
     /// PI-AQM controller state (marking probability, previous queue).
-    pi_p: f64,
-    pi_q_old: u64,
-    /// Cumulative time this port spent PAUSEd (PFC statistics).
-    paused_since: Option<SimTime>,
-    paused_total: SimDuration,
-    pauses: u64,
+    pi_p: Vec<f64>,
+    pi_q_old: Vec<u64>,
+    /// Cumulative time each port spent PAUSEd (PFC statistics).
+    paused_since: Vec<Option<SimTime>>,
+    paused_total: Vec<SimDuration>,
+    pauses: Vec<u64>,
+}
+
+impl Ports {
+    fn new(n: usize) -> Self {
+        Ports {
+            data_q: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            data_bytes: vec![0; n],
+            ctrl_q: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            busy: vec![false; n],
+            paused: vec![false; n],
+            pi_p: vec![0.0; n],
+            pi_q_old: vec![0; n],
+            paused_since: vec![None; n],
+            paused_total: vec![SimDuration::ZERO; n],
+            pauses: vec![0; n],
+        }
+    }
 }
 
 /// One completed flow.
@@ -303,6 +330,9 @@ pub struct SimReport {
     /// Fault-plane operations executed (flap edges, window starts/ends,
     /// storm ticks, perturbations). Zero on a fault-free run.
     pub faults_injected: u64,
+    /// Events dispatched by the run's event loop — the numerator of the
+    /// `events/sec` throughput metric the scaling benchmarks report.
+    pub events_processed: u64,
     /// Simulated time at the end of the run (seconds).
     pub end_time_s: f64,
 }
@@ -314,14 +344,18 @@ pub struct Engine {
     events: EventQueue<Ev>,
     now: SimTime,
     rng: SimRng,
-    ports: Vec<Port>,
-    senders: Vec<SenderFlow>,
-    receivers: Vec<ReceiverFlow>,
-    /// Expected fire time per flow and timer kind (`timer_expect[flow][kind]`):
-    /// re-arming replaces the slot, so stale heap events are ignored when
-    /// they pop. Kinds are tiny dense protocol-defined codes, so a per-flow
-    /// vector keeps the lookup allocation-free and deterministic.
-    timer_expect: Vec<Vec<Option<SimTime>>>,
+    ports: Ports,
+    senders: SenderFlows,
+    receivers: ReceiverFlows,
+    /// In-flight packet storage; port queues and `Deliver` events reference
+    /// packets by [`PacketHandle`].
+    packets: PacketArena,
+    /// Live event-queue id per flow and timer kind
+    /// (`timer_ids[flow][kind]`): re-arming cancels the previous event in
+    /// O(1) on the timing wheel, so stale firings never reach the dispatch
+    /// loop at all. Kinds are tiny dense protocol-defined codes, so a
+    /// per-flow vector keeps the lookup allocation-free and deterministic.
+    timer_ids: Vec<Vec<Option<EventId>>>,
     queue_traces: LinkTraceMap,
     rate_window_bytes: Vec<u64>,
     rate_window_start: Vec<SimTime>,
@@ -343,12 +377,13 @@ pub struct Engine {
     fault_drops: u64,
     fault_pauses: u64,
     faults_injected: u64,
+    events_processed: u64,
 }
 
 impl Engine {
     /// Build an engine over a topology.
     pub fn new(topo: Topology, cfg: EngineConfig) -> Self {
-        let ports = (0..topo.link_count()).map(|_| Port::default()).collect();
+        let ports = Ports::new(topo.link_count());
         let mut queue_traces = LinkTraceMap::new();
         for l in 0..topo.link_count() {
             let link = topo.link(LinkId(l));
@@ -363,9 +398,10 @@ impl Engine {
             now: SimTime::ZERO,
             rng,
             ports,
-            senders: Vec::new(),
-            receivers: Vec::new(),
-            timer_expect: Vec::new(),
+            senders: SenderFlows::default(),
+            receivers: ReceiverFlows::default(),
+            packets: PacketArena::new(),
+            timer_ids: Vec::new(),
             queue_traces,
             rate_window_bytes: Vec::new(),
             rate_window_start: Vec::new(),
@@ -384,6 +420,7 @@ impl Engine {
             fault_drops: 0,
             fault_pauses: 0,
             faults_injected: 0,
+            events_processed: 0,
             cfg,
         }
     }
@@ -424,28 +461,23 @@ impl Engine {
                 format!("no route between hosts {} and {}", spec.src.0, spec.dst.0),
             ));
         }
-        let id = FlowId(self.senders.len());
         let start = spec.start;
-        self.senders.push(SenderFlow {
-            id,
-            src: spec.src,
-            dst: spec.dst,
-            size_bytes: spec.size_bytes,
-            start,
-            pacing: spec.pacing,
-            cc: spec.cc,
-            rate_bps: 0.0,
-            next_offset: 0,
-            sent_payload: 0,
-            next_tx: start,
-            chunk_remaining: 0,
-            chunk_started: start,
-            since_ack_request: 0,
-            ack_chunk_bytes: spec.ack_chunk_bytes.max(1),
-            completed: None,
-        });
-        self.receivers.push(ReceiverFlow::default());
-        self.timer_expect.push(Vec::new());
+        // Deterministic per-flow ECMP hash: a one-shot xoshiro draw keyed on
+        // the engine seed, the flow index, and the endpoints. Multipath
+        // topologies hash this into their equal-cost next-hop sets; the
+        // choice is fixed at registration, so routing never consumes runtime
+        // randomness (the marking RNG stream is untouched).
+        let path_hash = SimRng::new(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(self.senders.len() as u64)
+                ^ ((spec.src.0 as u64) << 32 | spec.dst.0 as u64),
+        )
+        .next_u64();
+        let id = self.senders.push(spec, path_hash);
+        self.receivers.push();
+        self.timer_ids.push(Vec::new());
         self.rate_window_bytes.push(0);
         self.rate_window_start.push(start);
         self.rate_traces.push(Vec::new());
@@ -627,6 +659,7 @@ impl Engine {
                 break; // unreachable: peek_time just returned Some
             };
             self.now = t;
+            self.events_processed += 1;
             self.handle(ev);
         }
         self.now = end;
@@ -639,13 +672,15 @@ impl Engine {
             data_packets: self.data_packets,
             cnps_sent: self.cnps_sent,
             first_mark_time_s: self.first_mark_time.map(SimTime::as_secs_f64),
-            pfc_pauses: self.ports.iter().map(|p| p.pauses).sum(),
+            pfc_pauses: self.ports.pauses.iter().sum(),
             pfc_paused_s: self
                 .ports
+                .paused_total
                 .iter()
-                .map(|p| {
-                    let mut d = p.paused_total;
-                    if let Some(since) = p.paused_since {
+                .zip(&self.ports.paused_since)
+                .map(|(&total, &since)| {
+                    let mut d = total;
+                    if let Some(since) = since {
                         d += end.saturating_since(since);
                     }
                     d.as_secs_f64()
@@ -665,6 +700,7 @@ impl Engine {
                 })
                 .sum(),
             faults_injected: self.faults_injected,
+            events_processed: self.events_processed,
             end_time_s: end.as_secs_f64(),
         }
     }
@@ -773,8 +809,8 @@ impl Engine {
                         self.cfg.red.kmax_bytes = scaled.max(self.cfg.red.kmin_bytes);
                     }
                     ParamTarget::CcRateIncrease => {
-                        for s in &mut self.senders {
-                            s.cc.perturb(target, scale);
+                        for cc in &mut self.senders.cc {
+                            cc.perturb(target, scale);
                         }
                     }
                 }
@@ -877,23 +913,25 @@ impl Engine {
             ) {
                 continue;
             }
-            let port = &mut self.ports[l];
-            let e_now = port.data_bytes as f64 - pi.q_ref_bytes as f64;
-            let e_old = port.pi_q_old as f64 - pi.q_ref_bytes as f64;
-            port.pi_p = (port.pi_p + pi.a_per_byte * e_now - pi.b_per_byte * e_old).clamp(0.0, 1.0);
-            port.pi_q_old = port.data_bytes;
+            let q_now = self.ports.data_bytes[l];
+            let e_now = q_now as f64 - pi.q_ref_bytes as f64;
+            let e_old = self.ports.pi_q_old[l] as f64 - pi.q_ref_bytes as f64;
+            self.ports.pi_p[l] = (self.ports.pi_p[l] + pi.a_per_byte * e_now
+                - pi.b_per_byte * e_old)
+                .clamp(0.0, 1.0);
+            self.ports.pi_q_old[l] = q_now;
         }
         let at = self.now + pi.update_interval;
         self.events.schedule(at, Ev::AqmTick);
     }
 
     fn flow_start(&mut self, f: FlowId) {
-        let line = self.line_rate(self.senders[f.0].src);
+        let line = self.line_rate(self.senders.src[f.0]);
         let now = self.now;
-        let update = self.senders[f.0].cc.on_start(now, line);
+        let update = self.senders.cc[f.0].on_start(now, line);
         self.apply_update(f, update);
-        if self.senders[f.0].rate_bps <= 0.0 {
-            self.senders[f.0].rate_bps = line;
+        if self.senders.rate_bps[f.0] <= 0.0 {
+            self.senders.rate_bps[f.0] = line;
         }
         self.events.schedule(self.now, Ev::Pacer(f));
     }
@@ -901,44 +939,45 @@ impl Engine {
     fn apply_update(&mut self, f: FlowId, update: CcUpdate) {
         if let Some(r) = update.new_rate_bps {
             desim::invariants::finite_rate("cc update rate", r);
-            self.senders[f.0].rate_bps = r.max(1e3);
+            self.senders.rate_bps[f.0] = r.max(1e3);
             obs::metrics::counter_inc("netsim.rate_updates");
             if obs::trace::enabled() {
                 obs::trace::record(
                     self.now.as_secs_f64(),
                     obs::Event::RateUpdate {
                         flow: f.0 as u64,
-                        rate_bps: self.senders[f.0].rate_bps,
+                        rate_bps: self.senders.rate_bps[f.0],
                     },
                 );
             }
         }
         for (kind, at) in update.timers {
             let at = at.max(self.now);
-            let slots = &mut self.timer_expect[f.0];
             let k = kind as usize;
+            let slots = &mut self.timer_ids[f.0];
             if slots.len() <= k {
                 slots.resize(k + 1, None);
             }
-            slots[k] = Some(at);
-            self.events.schedule(at, Ev::CcTimer(f, kind));
+            // Re-arming cancels the previous event (O(1) on the wheel), so
+            // the queue holds at most one live timer per (flow, kind) and a
+            // popped CcTimer is always the most recent arming.
+            if let Some(old) = slots[k].take() {
+                self.events.cancel(old);
+            }
+            slots[k] = Some(self.events.schedule(at, Ev::CcTimer(f, kind)));
         }
     }
 
     fn cc_timer(&mut self, f: FlowId, kind: u8) {
-        // A firing is valid only if it matches the most recent arming for
-        // (flow, kind); re-arming replaced the expected time, so stale heap
-        // entries fall through here.
+        // Cancellation-on-rearm guarantees this firing is the live arming
+        // for (flow, kind); just clear the slot.
         let k = kind as usize;
-        if self.timer_expect[f.0].get(k).copied().flatten() != Some(self.now) {
-            return;
-        }
-        self.timer_expect[f.0][k] = None;
-        if self.senders[f.0].completed.is_some() {
+        self.timer_ids[f.0][k] = None;
+        if self.senders.completed[f.0].is_some() {
             return;
         }
         let now = self.now;
-        let update = self.senders[f.0].cc.on_event(now, CcEvent::Timer { kind });
+        let update = self.senders.cc[f.0].on_event(now, CcEvent::Timer { kind });
         self.apply_update(f, update);
     }
 
@@ -949,32 +988,31 @@ impl Engine {
 
     /// Pacer: release the next packet (or chunk) of flow `f`.
     fn pacer_fire(&mut self, f: FlowId) {
-        let (src, fully_sent, completed) = {
-            let s = &self.senders[f.0];
-            (s.src, s.fully_sent(), s.completed.is_some())
-        };
-        if fully_sent || completed {
+        if self.senders.fully_sent(f) || self.senders.completed[f.0].is_some() {
             return;
         }
-        let Some(uplink) = self.topo.next_hop(src, self.senders[f.0].dst) else {
+        let src = self.senders.src[f.0];
+        let Some(uplink) =
+            self.topo
+                .next_hop_for(src, self.senders.dst[f.0], self.senders.path_hash[f.0])
+        else {
             // add_flow validated both endpoints are connected hosts; if the
             // route vanished it is a bug, but stalling the flow beats aborting.
             debug_assert!(false, "no route for registered flow");
             return;
         };
 
-        match self.senders[f.0].pacing {
+        match self.senders.pacing[f.0] {
             Pacing::PerPacket => {
                 let pkt = self.make_data_packet(f);
                 let wire = pkt.size_bytes;
-                self.enqueue(uplink, pkt);
-                let s = &mut self.senders[f.0];
-                let gap = SimDuration::serialization(wire as u64, s.rate_bps.max(1e3));
-                s.next_tx = self.now + gap;
-                let sent = s.next_offset.min(s.size_bytes.unwrap_or(u64::MAX));
-                let _ = sent;
-                if !s.fully_sent() {
-                    let at = s.next_tx;
+                let h = self.packets.alloc(pkt);
+                self.enqueue(uplink, h);
+                let gap =
+                    SimDuration::serialization(wire as u64, self.senders.rate_bps[f.0].max(1e3));
+                self.senders.next_tx[f.0] = self.now + gap;
+                if !self.senders.fully_sent(f) {
+                    let at = self.senders.next_tx[f.0];
                     self.events.schedule(at, Ev::Pacer(f));
                 }
                 let payload = wire.saturating_sub(self.cfg.header_bytes) as u64;
@@ -985,29 +1023,29 @@ impl Engine {
                 // serializes it at line rate), then idle until the average
                 // rate matches the target.
                 let mut chunk_payload = 0u64;
-                self.senders[f.0].chunk_started = self.now;
+                self.senders.chunk_started[f.0] = self.now;
                 let seg = seg_bytes.max(self.cfg.mtu_bytes) as u64;
-                while chunk_payload < seg && !self.senders[f.0].fully_sent() {
+                while chunk_payload < seg && !self.senders.fully_sent(f) {
                     let last_in_chunk = {
-                        let s = &self.senders[f.0];
-                        let next_payload = s.remaining().min(self.cfg.mtu_bytes as u64);
-                        chunk_payload + next_payload >= seg || s.remaining() <= next_payload
+                        let remaining = self.senders.remaining(f);
+                        let next_payload = remaining.min(self.cfg.mtu_bytes as u64);
+                        chunk_payload + next_payload >= seg || remaining <= next_payload
                     };
                     let pkt = self.make_chunk_packet(f, last_in_chunk);
                     chunk_payload += pkt.payload_bytes();
-                    self.enqueue(uplink, pkt);
+                    let h = self.packets.alloc(pkt);
+                    self.enqueue(uplink, h);
                 }
                 self.notify_sent(f, chunk_payload);
-                let s = &mut self.senders[f.0];
-                if !s.fully_sent() {
+                if !self.senders.fully_sent(f) {
                     let gap = SimDuration::serialization(
                         chunk_payload
                             + (chunk_payload / self.cfg.mtu_bytes as u64 + 1)
                                 * self.cfg.header_bytes as u64,
-                        s.rate_bps.max(1e3),
+                        self.senders.rate_bps[f.0].max(1e3),
                     );
-                    s.next_tx = self.now + gap;
-                    let at = s.next_tx;
+                    self.senders.next_tx[f.0] = self.now + gap;
+                    let at = self.senders.next_tx[f.0];
                     self.events.schedule(at, Ev::Pacer(f));
                 }
             }
@@ -1015,11 +1053,9 @@ impl Engine {
     }
 
     fn notify_sent(&mut self, f: FlowId, payload: u64) {
-        self.senders[f.0].sent_payload += payload;
+        self.senders.sent_payload[f.0] += payload;
         let now = self.now;
-        let update = self.senders[f.0]
-            .cc
-            .on_event(now, CcEvent::SentBytes { bytes: payload });
+        let update = self.senders.cc[f.0].on_event(now, CcEvent::SentBytes { bytes: payload });
         self.apply_update(f, update);
     }
 
@@ -1027,24 +1063,24 @@ impl Engine {
     /// ACK-request chunking state.
     fn make_data_packet(&mut self, f: FlowId) -> Packet {
         let id = self.next_packet_id();
-        let s = &mut self.senders[f.0];
-        let payload = s.remaining().min(self.cfg.mtu_bytes as u64) as u32;
-        let offset = s.next_offset;
-        s.next_offset += payload as u64;
-        let last_of_flow = s.fully_sent();
-        if s.since_ack_request == 0 {
-            s.chunk_started = self.now;
+        let s = &mut self.senders;
+        let payload = s.remaining(f).min(self.cfg.mtu_bytes as u64) as u32;
+        let offset = s.next_offset[f.0];
+        s.next_offset[f.0] += payload as u64;
+        let last_of_flow = s.fully_sent(f);
+        if s.since_ack_request[f.0] == 0 {
+            s.chunk_started[f.0] = self.now;
         }
-        s.since_ack_request += payload;
-        let ack_request = s.since_ack_request >= s.ack_chunk_bytes || last_of_flow;
+        s.since_ack_request[f.0] += payload;
+        let ack_request = s.since_ack_request[f.0] >= s.ack_chunk_bytes[f.0] || last_of_flow;
         if ack_request {
-            s.since_ack_request = 0;
+            s.since_ack_request[f.0] = 0;
         }
         Packet {
             id,
             flow: f,
-            src: s.src,
-            dst: s.dst,
+            src: s.src[f.0],
+            dst: s.dst[f.0],
             size_bytes: payload + self.cfg.header_bytes,
             kind: PacketKind::Data {
                 offset,
@@ -1064,46 +1100,50 @@ impl Engine {
     /// Build the next packet of a per-chunk burst.
     fn make_chunk_packet(&mut self, f: FlowId, last_in_chunk: bool) -> Packet {
         let id = self.next_packet_id();
-        let s = &mut self.senders[f.0];
-        let payload = s.remaining().min(self.cfg.mtu_bytes as u64) as u32;
-        let offset = s.next_offset;
-        s.next_offset += payload as u64;
-        let last_of_flow = s.fully_sent();
+        let s = &mut self.senders;
+        let payload = s.remaining(f).min(self.cfg.mtu_bytes as u64) as u32;
+        let offset = s.next_offset[f.0];
+        s.next_offset[f.0] += payload as u64;
+        let last_of_flow = s.fully_sent(f);
         Packet {
             id,
             flow: f,
-            src: s.src,
-            dst: s.dst,
+            src: s.src[f.0],
+            dst: s.dst[f.0],
             size_bytes: payload + self.cfg.header_bytes,
             kind: PacketKind::Data {
                 offset,
                 payload,
                 ack_request: last_in_chunk || last_of_flow,
                 last_of_flow,
-                chunk_sent_at: s.chunk_started,
+                chunk_sent_at: s.chunk_started[f.0],
             },
             ecn_marked: false,
             injected_at: self.now,
         }
     }
 
-    /// Enqueue a packet on a link's egress queue; start transmission if the
-    /// port is idle. Ingress marking happens here.
-    fn enqueue(&mut self, link: LinkId, mut pkt: Packet) {
+    /// Enqueue a packet (by handle) on a link's egress queue; start
+    /// transmission if the port is idle. Ingress marking happens here.
+    fn enqueue(&mut self, link: LinkId, h: PacketHandle) {
         let is_switch = matches!(self.topo.kind(self.topo.link(link).src), NodeKind::Switch);
-        let port = &mut self.ports[link.0];
-        if pkt.is_control() {
-            port.ctrl_q.push_back(pkt);
+        let (is_control, size_bytes, flow) = {
+            let pkt = self.packets.get(h);
+            (pkt.is_control(), pkt.size_bytes, pkt.flow)
+        };
+        if is_control {
+            self.ports.ctrl_q[link.0].push_back(h);
         } else {
-            port.data_bytes += pkt.size_bytes as u64;
+            self.ports.data_bytes[link.0] += size_bytes as u64;
+            let data_bytes = self.ports.data_bytes[link.0];
             if is_switch && self.cfg.marking == MarkingMode::Ingress {
                 let p = if self.cfg.pi_aqm.is_some() {
-                    port.pi_p
+                    self.ports.pi_p[link.0]
                 } else {
-                    self.cfg.red.probability(port.data_bytes)
+                    self.cfg.red.probability(data_bytes)
                 };
                 if p > 0.0 && self.rng.next_f64() < p {
-                    pkt.ecn_marked = true;
+                    self.packets.get_mut(h).ecn_marked = true;
                     self.marked_packets += 1;
                     self.first_mark_time.get_or_insert(self.now);
                     obs::metrics::counter_inc("netsim.ecn_marks");
@@ -1111,17 +1151,17 @@ impl Engine {
                         obs::trace::record(
                             self.now.as_secs_f64(),
                             obs::Event::EcnMark {
-                                flow: pkt.flow.0 as u64,
+                                flow: flow.0 as u64,
                                 link: link.0 as u64,
-                                queue_bytes: port.data_bytes,
+                                queue_bytes: data_bytes,
                             },
                         );
                     }
                 }
             }
-            port.data_q.push_back(pkt);
+            self.ports.data_q[link.0].push_back(h);
             if is_switch {
-                let bytes = port.data_bytes as f64;
+                let bytes = data_bytes as f64;
                 desim::invariants::bounded_queue("switch egress queue", bytes, f64::INFINITY);
                 if let Some(tr) = self.queue_traces.get_mut(link) {
                     tr.record(self.now, bytes);
@@ -1150,34 +1190,38 @@ impl Engine {
         if !link_up {
             return;
         }
-        let port = &mut self.ports[link.0];
-        if port.busy {
+        if self.ports.busy[link.0] {
             return;
         }
         // Strict priority: control queue first; PAUSE affects data only
         // (PFC pauses the lossless data class; control rides a separate
         // priority, as both protocols prioritize feedback).
-        let mut pkt = if let Some(p) = port.ctrl_q.pop_front() {
-            p
-        } else if !port.paused && !storm_paused {
-            match port.data_q.pop_front() {
-                Some(p) => p,
+        let h = if let Some(h) = self.ports.ctrl_q[link.0].pop_front() {
+            h
+        } else if !self.ports.paused[link.0] && !storm_paused {
+            match self.ports.data_q[link.0].pop_front() {
+                Some(h) => h,
                 None => return,
             }
         } else {
             return;
         };
 
-        if !pkt.is_control() {
+        let (is_control, size_bytes, flow) = {
+            let pkt = self.packets.get(h);
+            (pkt.is_control(), pkt.size_bytes, pkt.flow)
+        };
+        if !is_control {
             // Egress marking: the mark reflects the queue at departure time.
             if is_switch && self.cfg.marking == MarkingMode::Egress {
+                let data_bytes = self.ports.data_bytes[link.0];
                 let p = if self.cfg.pi_aqm.is_some() {
-                    port.pi_p
+                    self.ports.pi_p[link.0]
                 } else {
-                    self.cfg.red.probability(port.data_bytes)
+                    self.cfg.red.probability(data_bytes)
                 };
                 if p > 0.0 && self.rng.next_f64() < p {
-                    pkt.ecn_marked = true;
+                    self.packets.get_mut(h).ecn_marked = true;
                     self.marked_packets += 1;
                     self.first_mark_time.get_or_insert(self.now);
                     obs::metrics::counter_inc("netsim.ecn_marks");
@@ -1185,24 +1229,24 @@ impl Engine {
                         obs::trace::record(
                             self.now.as_secs_f64(),
                             obs::Event::EcnMark {
-                                flow: pkt.flow.0 as u64,
+                                flow: flow.0 as u64,
                                 link: link.0 as u64,
-                                queue_bytes: port.data_bytes,
+                                queue_bytes: data_bytes,
                             },
                         );
                     }
                 }
             }
-            port.data_bytes -= pkt.size_bytes as u64;
+            self.ports.data_bytes[link.0] -= size_bytes as u64;
             if is_switch {
-                let bytes = port.data_bytes as f64;
+                let bytes = self.ports.data_bytes[link.0] as f64;
                 if let Some(tr) = self.queue_traces.get_mut(link) {
                     tr.record(self.now, bytes);
                 }
             }
         }
-        port.busy = true;
-        let ser = SimDuration::serialization(pkt.size_bytes as u64, bw);
+        self.ports.busy[link.0] = true;
+        let ser = SimDuration::serialization(size_bytes as u64, bw);
         self.events.schedule(self.now + ser, Ev::TxDone(link));
         let mut deliver_at = self.now + ser + prop;
         if self.faults_active {
@@ -1221,12 +1265,12 @@ impl Engine {
                 }
             }
         }
-        self.events.schedule(deliver_at, Ev::Deliver(link, pkt));
+        self.events.schedule(deliver_at, Ev::Deliver(link, h));
         self.update_pfc(link);
     }
 
     fn tx_done(&mut self, link: LinkId) {
-        self.ports[link.0].busy = false;
+        self.ports.busy[link.0] = false;
         self.try_transmit(link);
     }
 
@@ -1239,7 +1283,7 @@ impl Engine {
             return;
         };
         let node = self.topo.link(link).src;
-        let backlog = self.ports[link.0].data_bytes;
+        let backlog = self.ports.data_bytes[link.0];
         let pause = backlog > pfc.pause_threshold_bytes;
         let resume = backlog < pfc.resume_threshold_bytes;
         if !pause && !resume {
@@ -1247,10 +1291,10 @@ impl Engine {
         }
         for l in 0..self.topo.link_count() {
             if self.topo.link(LinkId(l)).dst == node {
-                if pause && !self.ports[l].paused {
-                    self.ports[l].paused = true;
-                    self.ports[l].paused_since = Some(self.now);
-                    self.ports[l].pauses += 1;
+                if pause && !self.ports.paused[l] {
+                    self.ports.paused[l] = true;
+                    self.ports.paused_since[l] = Some(self.now);
+                    self.ports.pauses[l] += 1;
                     obs::metrics::counter_inc("netsim.pfc_pauses");
                     if obs::trace::enabled() {
                         obs::trace::record(
@@ -1258,11 +1302,11 @@ impl Engine {
                             obs::Event::PfcPause { link: l as u64 },
                         );
                     }
-                } else if resume && self.ports[l].paused {
-                    self.ports[l].paused = false;
-                    if let Some(since) = self.ports[l].paused_since.take() {
+                } else if resume && self.ports.paused[l] {
+                    self.ports.paused[l] = false;
+                    if let Some(since) = self.ports.paused_since[l].take() {
                         let d = self.now.saturating_since(since);
-                        self.ports[l].paused_total += d;
+                        self.ports.paused_total[l] += d;
                     }
                     obs::metrics::counter_inc("netsim.pfc_resumes");
                     if obs::trace::enabled() {
@@ -1277,23 +1321,33 @@ impl Engine {
         }
     }
 
-    fn deliver(&mut self, link: LinkId, pkt: Packet) {
+    fn deliver(&mut self, link: LinkId, h: PacketHandle) {
+        let pkt = *self.packets.get(h);
         if self.faults_active && self.fault_drop(link, &pkt) {
+            self.packets.free(h);
             return;
         }
         let node = self.topo.link(link).dst;
         if matches!(self.topo.kind(node), NodeKind::Switch) || node != pkt.dst {
-            // Forward toward the destination.
-            let Some(next) = self.topo.next_hop(node, pkt.dst) else {
+            // Forward toward the destination: the handle moves to the next
+            // port queue, the packet body never moves.
+            let Some(next) =
+                self.topo
+                    .next_hop_for(node, pkt.dst, self.senders.path_hash[pkt.flow.0])
+            else {
                 // Topology is connected by construction; a stray packet is a
                 // bug, but dropping it degrades gracefully in release builds.
                 debug_assert!(false, "unroutable packet destination");
+                self.packets.free(h);
                 return;
             };
-            self.enqueue(next, pkt);
+            self.enqueue(next, h);
             return;
         }
-        // Host consumption.
+        // Host consumption: the packet leaves the network, so its arena slot
+        // is recycled before any ACK/CNP response allocates (LIFO reuse keeps
+        // the response on the same hot cache line).
+        self.packets.free(h);
         match pkt.kind {
             PacketKind::Data {
                 payload,
@@ -1306,18 +1360,17 @@ impl Engine {
                 let f = pkt.flow;
                 self.delivered_bytes[f.0] += payload as u64;
                 self.record_rate_sample(f, payload as u64);
-                let recv = &mut self.receivers[f.0];
-                recv.received += payload as u64;
-                recv.last_byte_at = Some(self.now);
+                self.receivers.received[f.0] += payload as u64;
+                self.receivers.last_byte_at[f.0] = Some(self.now);
 
                 // DCQCN NP behaviour: CNP on marked packet, coalesced to τ.
                 if pkt.ecn_marked {
-                    let due = match recv.last_cnp {
+                    let due = match self.receivers.last_cnp[f.0] {
                         None => true,
                         Some(t) => self.now.saturating_since(t) >= self.cfg.cnp_interval,
                     };
                     if due {
-                        recv.last_cnp = Some(self.now);
+                        self.receivers.last_cnp[f.0] = Some(self.now);
                         self.cnps_sent += 1;
                         obs::metrics::counter_inc("netsim.cnps_sent");
                         if obs::trace::enabled() {
@@ -1348,7 +1401,7 @@ impl Engine {
                         size_bytes: self.cfg.control_packet_bytes,
                         kind: PacketKind::Ack {
                             chunk_sent_at,
-                            chunk_bytes: self.senders[f.0].ack_chunk_bytes,
+                            chunk_bytes: self.senders.ack_chunk_bytes[f.0],
                         },
                         ecn_marked: false,
                         injected_at: self.now,
@@ -1356,37 +1409,36 @@ impl Engine {
                     self.send_control(ack);
                 }
                 if last_of_flow {
-                    let s = &mut self.senders[f.0];
-                    if s.completed.is_none() {
-                        s.completed = Some(self.now);
+                    let s = &mut self.senders;
+                    if s.completed[f.0].is_none() {
+                        s.completed[f.0] = Some(self.now);
+                        let start = s.start[f.0];
                         self.fcts.push(FctRecord {
                             flow: f.0,
-                            size_bytes: s.size_bytes.unwrap_or(s.next_offset),
-                            start_s: s.start.as_secs_f64(),
-                            fct_s: self.now.saturating_since(s.start).as_secs_f64(),
+                            size_bytes: s.size_bytes[f.0].unwrap_or(s.next_offset[f.0]),
+                            start_s: start.as_secs_f64(),
+                            fct_s: self.now.saturating_since(start).as_secs_f64(),
                         });
                     }
                 }
             }
             PacketKind::Ack { chunk_sent_at, .. } => {
                 let f = pkt.flow;
-                if self.senders[f.0].completed.is_some() {
+                if self.senders.completed[f.0].is_some() {
                     return;
                 }
                 let rtt = self.now.saturating_since(chunk_sent_at);
                 let now = self.now;
-                let update = self.senders[f.0]
-                    .cc
-                    .on_event(now, CcEvent::RttSample { rtt });
+                let update = self.senders.cc[f.0].on_event(now, CcEvent::RttSample { rtt });
                 self.apply_update(f, update);
             }
             PacketKind::Cnp => {
                 let f = pkt.flow;
-                if self.senders[f.0].completed.is_some() {
+                if self.senders.completed[f.0].is_some() {
                     return;
                 }
                 let now = self.now;
-                let update = self.senders[f.0].cc.on_event(now, CcEvent::Cnp);
+                let update = self.senders.cc[f.0].on_event(now, CcEvent::Cnp);
                 self.apply_update(f, update);
             }
         }
@@ -1394,13 +1446,17 @@ impl Engine {
 
     /// Route a control packet from its source host toward its destination.
     fn send_control(&mut self, pkt: Packet) {
-        let Some(l) = self.topo.next_hop(pkt.src, pkt.dst) else {
+        let Some(l) = self
+            .topo
+            .next_hop_for(pkt.src, pkt.dst, self.senders.path_hash[pkt.flow.0])
+        else {
             // Control packets reverse a validated data route; losing one is
             // recoverable (feedback is periodic), aborting is not.
             debug_assert!(false, "no control route");
             return;
         };
-        self.enqueue(l, pkt);
+        let h = self.packets.alloc(pkt);
+        self.enqueue(l, h);
     }
 
     fn record_rate_sample(&mut self, f: FlowId, bytes: u64) {

@@ -1,4 +1,12 @@
 //! Topology: nodes, simplex links, and static shortest-path routing.
+//!
+//! Routing is equal-cost multipath (ECMP): for every `(node, destination)`
+//! pair the table stores *all* first links on shortest paths, flattened
+//! into one contiguous array (`route_offsets` + `route_links`) in ascending
+//! link-id order. Single-path topologies (the paper's validation setups)
+//! have one entry per pair and behave exactly as before; Clos fabrics
+//! ([`Topology::fat_tree`]) expose their full path diversity, and flows
+//! spread across it by a deterministic hash — see [`Topology::next_hop_for`].
 
 use desim::SimDuration;
 use faults::SimError;
@@ -41,8 +49,12 @@ pub struct Topology {
     links: Vec<Link>,
     /// Outgoing links per node.
     out_links: Vec<Vec<LinkId>>,
-    /// `route[src][dst]` = first link on a shortest path, or `None`.
-    route: Vec<Vec<Option<LinkId>>>,
+    /// ECMP route table, flattened: the equal-cost next hops from node `at`
+    /// toward `dst` are `route_links[route_offsets[dst·n + at] ..
+    /// route_offsets[dst·n + at + 1]]`, sorted by link id. One flat array
+    /// instead of n² `Vec`s keeps the table cache-dense and cheap to build.
+    route_offsets: Vec<u32>,
+    route_links: Vec<LinkId>,
 }
 
 impl Topology {
@@ -77,38 +89,59 @@ impl Topology {
             }
             out_links[l.src.0].push(LinkId(i));
         }
-        let mut route = vec![vec![None; n]; n];
-        // BFS from every destination over reversed edges, recording for each
-        // node the link that moves one hop closer to the destination.
+        // Reverse adjacency (links indexed by their receiving node) so each
+        // per-destination BFS is O(V + E) instead of rescanning every link
+        // per dequeued node — the difference between milliseconds and
+        // minutes on a k=16 fat-tree (1 344 nodes, 6 144 simplex links).
+        let mut in_links = vec![Vec::new(); n];
+        for (li, l) in links.iter().enumerate() {
+            in_links[l.dst.0].push(LinkId(li));
+        }
+        let mut route_offsets = Vec::with_capacity(n * n + 1);
+        route_offsets.push(0u32);
+        let mut route_links = Vec::new();
+        // Scratch buffers reused across destinations (capacity persists).
+        let mut dist = vec![u32::MAX; n];
+        let mut hops: Vec<Vec<LinkId>> = vec![Vec::new(); n];
         for dst in 0..n {
-            let mut dist = vec![usize::MAX; n];
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
             dist[dst] = 0;
             let mut queue = VecDeque::from([dst]);
             while let Some(v) = queue.pop_front() {
-                // Any link u -> v extends the tree to u.
-                for (li, l) in links.iter().enumerate() {
-                    if l.dst.0 == v && dist[l.src.0] == usize::MAX {
-                        dist[l.src.0] = dist[v] + 1;
-                        route[l.src.0][dst] = Some(LinkId(li));
-                        queue.push_back(l.src.0);
+                for &li in &in_links[v] {
+                    let u = links[li.0].src.0;
+                    if dist[u] == u32::MAX {
+                        dist[u] = dist[v] + 1;
+                        queue.push_back(u);
                     }
                 }
             }
-            for src in 0..n {
+            // Every link that steps one hop closer to `dst` is an equal-cost
+            // next hop; scanning links in id order keeps each set sorted.
+            for (li, l) in links.iter().enumerate() {
+                if dist[l.dst.0] != u32::MAX && dist[l.src.0] == dist[l.dst.0] + 1 {
+                    hops[l.src.0].push(LinkId(li));
+                }
+            }
+            for (src, h) in hops.iter_mut().enumerate() {
                 if src != dst
                     && matches!(nodes[src], NodeKind::Host)
                     && matches!(nodes[dst], NodeKind::Host)
-                    && route[src][dst].is_none()
+                    && h.is_empty()
                 {
                     return bad(format!("no route from host {src} to host {dst}"));
                 }
+                route_links.extend_from_slice(h);
+                route_offsets.push(route_links.len() as u32);
+                h.clear();
             }
         }
         Ok(Topology {
             nodes,
             links,
             out_links,
-            route,
+            route_offsets,
+            route_links,
         })
     }
 
@@ -132,9 +165,41 @@ impl Topology {
         &self.links[l.0]
     }
 
-    /// The next link from `at` toward `dst`.
+    /// All equal-cost next hops from `at` toward `dst`, sorted by link id.
+    pub fn ecmp_next_hops(&self, at: NodeId, dst: NodeId) -> &[LinkId] {
+        let idx = dst.0 * self.nodes.len() + at.0;
+        let lo = self.route_offsets[idx] as usize;
+        let hi = self.route_offsets[idx + 1] as usize;
+        &self.route_links[lo..hi]
+    }
+
+    /// The next link from `at` toward `dst` (lowest-id equal-cost hop).
     pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.route[at.0][dst.0]
+        self.ecmp_next_hops(at, dst).first().copied()
+    }
+
+    /// The next link from `at` toward `dst` for a flow whose ECMP hash is
+    /// `flow_hash`: deterministic hash-mod selection over the equal-cost
+    /// set, with the hop node mixed in so one flow's choices at successive
+    /// fan-out stages decorrelate (as switch-local hash functions do). On
+    /// single-path topologies this is exactly [`Topology::next_hop`].
+    pub fn next_hop_for(&self, at: NodeId, dst: NodeId, flow_hash: u64) -> Option<LinkId> {
+        let hops = self.ecmp_next_hops(at, dst);
+        match hops.len() {
+            0 => None,
+            // In-bounds: this arm matches exactly when `hops.len() == 1`.
+            1 => Some(hops[0]),
+            n => {
+                // murmur3-style finalizer over (flow hash, hop node).
+                let mut x = flow_hash ^ (at.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+                x ^= x >> 33;
+                Some(hops[(x % n as u64) as usize])
+            }
+        }
     }
 
     /// Outgoing links of a node.
@@ -290,6 +355,88 @@ impl Topology {
         let topo = Topology::new(nodes, links);
         (topo, long_src, long_dst, cross_pairs)
     }
+
+    /// A k-ary fat-tree (three-stage Clos, Al-Fares layout): `k` pods of
+    /// `k/2` edge and `k/2` aggregation switches, `(k/2)²` core switches,
+    /// and `k³/4` hosts — k=8 gives the 128-host fabric the datacenter
+    /// incast experiments run on, k=16 scales to 1 024 hosts. Every link
+    /// has the given rate and delay (no oversubscription), so any host pair
+    /// in distinct pods has `(k/2)²` equal-cost paths for ECMP to spread
+    /// flows over.
+    ///
+    /// Returns `(topology, hosts)`; hosts are numbered pod-major, so hosts
+    /// `[p·k²/4, (p+1)·k²/4)` share pod `p`.
+    ///
+    /// Node layout: hosts first, then edge switches (pod-major), then
+    /// aggregation switches (pod-major), then core switches.
+    ///
+    /// Panics unless `k` is even and within 4..=16 (k=16 already builds a
+    /// 1 344-node, 6 144-link fabric; larger fabrics want a sparser route
+    /// representation first).
+    pub fn fat_tree(
+        k: usize,
+        bandwidth_bps: f64,
+        prop_delay: SimDuration,
+    ) -> (Topology, Vec<NodeId>) {
+        assert!(
+            (4..=16).contains(&k) && k.is_multiple_of(2),
+            "fat_tree: k must be even and in 4..=16, got {k}"
+        );
+        let half = k / 2;
+        let n_hosts = k * k * k / 4;
+        let n_edge = k * half;
+        let n_agg = k * half;
+        let n_core = half * half;
+        let mut nodes = vec![NodeKind::Host; n_hosts];
+        for _ in 0..(n_edge + n_agg + n_core) {
+            nodes.push(NodeKind::Switch);
+        }
+        let edge = |pod: usize, i: usize| NodeId(n_hosts + pod * half + i);
+        let agg = |pod: usize, i: usize| NodeId(n_hosts + n_edge + pod * half + i);
+        let core = |j: usize| NodeId(n_hosts + n_edge + n_agg + j);
+        let mut links = Vec::new();
+        let mut duplex = |a: NodeId, b: NodeId| {
+            links.push(Link {
+                src: a,
+                dst: b,
+                bandwidth_bps,
+                prop_delay,
+            });
+            links.push(Link {
+                src: b,
+                dst: a,
+                bandwidth_bps,
+                prop_delay,
+            });
+        };
+        // Hosts → edge: host h sits under edge switch (h / (k/2)) of pod
+        // (h / (k²/4)).
+        for h in 0..n_hosts {
+            let pod = h / (k * k / 4);
+            let e = (h % (k * k / 4)) / half;
+            duplex(NodeId(h), edge(pod, e));
+        }
+        // Edge ↔ aggregation: full bipartite mesh within each pod.
+        for pod in 0..k {
+            for e in 0..half {
+                for a in 0..half {
+                    duplex(edge(pod, e), agg(pod, a));
+                }
+            }
+        }
+        // Aggregation ↔ core: aggregation switch a of every pod connects to
+        // core group a (cores a·k/2 .. (a+1)·k/2).
+        for pod in 0..k {
+            for a in 0..half {
+                for c in 0..half {
+                    duplex(agg(pod, a), core(a * half + c));
+                }
+            }
+        }
+        let topo = Topology::new(nodes, links);
+        let hosts = (0..n_hosts).map(NodeId).collect();
+        (topo, hosts)
+    }
 }
 
 #[cfg(test)]
@@ -436,5 +583,98 @@ mod tests {
     fn hosts_listed() {
         let (topo, _, _) = Topology::single_switch(2, 10e9, us(1));
         assert_eq!(topo.hosts().len(), 3);
+    }
+
+    #[test]
+    fn fat_tree_k4_shape() {
+        let (topo, hosts) = Topology::fat_tree(4, 10e9, us(1));
+        assert_eq!(hosts.len(), 16); // k³/4
+        assert_eq!(topo.node_count(), 16 + 8 + 8 + 4);
+        // 16 host cables + 4 pods × 4 edge-agg cables + 8 aggs × 2 core
+        // cables, two simplex links each.
+        assert_eq!(topo.link_count(), 2 * (16 + 16 + 16));
+        // Every switch has exactly k ports.
+        for n in 0..topo.node_count() {
+            let node = NodeId(n);
+            if matches!(topo.kind(node), NodeKind::Switch) {
+                assert_eq!(topo.out_links(node).len(), 4, "switch {n} port count");
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_path_diversity() {
+        let (topo, hosts) = Topology::fat_tree(4, 10e9, us(1));
+        // Hosts 0 and 15 sit in pods 0 and 3: the edge switch fans out to
+        // k/2 aggs, each agg to k/2 cores → (k/2)² = 4 distinct paths, and
+        // ECMP must expose the full fan-out at each stage.
+        let src = hosts[0];
+        let dst = hosts[15];
+        let uplink = topo.next_hop(src, dst).expect("routed");
+        let edge_sw = topo.link(uplink).dst;
+        assert_eq!(topo.ecmp_next_hops(edge_sw, dst).len(), 2);
+        let agg_sw = topo.link(topo.ecmp_next_hops(edge_sw, dst)[0]).dst;
+        assert_eq!(topo.ecmp_next_hops(agg_sw, dst).len(), 2);
+        // Same-pod pairs never leave the pod: path length 4 (host-edge-agg-
+        // edge-host) or 2 under the same edge.
+        let same_edge = topo.next_hop(hosts[0], hosts[1]).expect("routed");
+        assert_eq!(topo.link(same_edge).dst, edge_sw);
+    }
+
+    #[test]
+    fn fat_tree_hash_routing_is_deterministic_and_valid() {
+        let (topo, hosts) = Topology::fat_tree(4, 10e9, us(1));
+        let src = hosts[2];
+        let dst = hosts[13];
+        for flow_hash in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            // Walk the hash-selected path hop by hop; it must reach dst in
+            // exactly 6 hops (host-edge-agg-core-agg-edge-host) and repeat
+            // identically on a second walk.
+            let walk = || {
+                let mut at = src;
+                let mut path = Vec::new();
+                while at != dst {
+                    let l = topo.next_hop_for(at, dst, flow_hash).expect("routed");
+                    path.push(l);
+                    at = topo.link(l).dst;
+                    assert!(path.len() <= 6, "routing loop for hash {flow_hash}");
+                }
+                path
+            };
+            let path = walk();
+            assert_eq!(path.len(), 6);
+            assert_eq!(path, walk(), "hash routing must be deterministic");
+        }
+        // Distinct hashes do spread over distinct paths.
+        let distinct: std::collections::BTreeSet<Vec<usize>> = (0..32u64)
+            .map(|h| {
+                let mut at = src;
+                let mut path = Vec::new();
+                while at != dst {
+                    let l = topo.next_hop_for(at, dst, h).expect("routed");
+                    path.push(l.0);
+                    at = topo.link(l).dst;
+                }
+                path
+            })
+            .collect();
+        assert!(distinct.len() >= 3, "32 hashes must hit ≥3 of the 4 paths");
+    }
+
+    #[test]
+    fn single_path_topologies_ignore_the_hash() {
+        let (topo, senders, receiver) = Topology::single_switch(3, 10e9, us(1));
+        for &s in &senders {
+            let base = topo.next_hop(s, receiver);
+            for h in [0u64, 7, u64::MAX] {
+                assert_eq!(topo.next_hop_for(s, receiver, h), base);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn fat_tree_rejects_odd_k() {
+        Topology::fat_tree(5, 10e9, us(1));
     }
 }

@@ -1,0 +1,195 @@
+//! Incast generation: many synchronized senders converging on one receiver.
+//!
+//! The canonical datacenter stress pattern behind the paper's scale claims
+//! (§5–6): a partition/aggregate fan-in where N senders fire a fixed-size
+//! response at one aggregator within a tight window. The last-hop link is
+//! instantly oversubscribed N:1, so the scenario exercises exactly the
+//! machinery this repo models — PFC back-pressure, ECN marking depth, and
+//! the congestion control's recovery tail.
+//!
+//! The generator is purely descriptive (it emits [`FlowDescriptor`]s over a
+//! host index space) and fully deterministic: every choice — receiver,
+//! sender order, per-flow stagger — derives from the config seed via
+//! [`SimRng`], never from ambient randomness. Sender counts may exceed the
+//! host count: flow `i` is sourced from the `i mod (hosts − 1)`-th entry of
+//! a seeded permutation of the non-receiver hosts, so a 1024-sender incast
+//! runs fine on a 128-host k=8 fat-tree (8 flows per host).
+
+use crate::scenario::FlowDescriptor;
+use desim::{SimRng, SimTime};
+
+/// Configuration for one incast burst.
+#[derive(Debug, Clone)]
+pub struct IncastConfig {
+    /// Number of flows converging on the receiver. May exceed the host
+    /// count; hosts are then reused round-robin.
+    pub n_senders: usize,
+    /// Bytes each sender ships (the partition/aggregate response size).
+    pub bytes_per_sender: u64,
+    /// Burst epoch: earliest flow start (seconds).
+    pub start_s: f64,
+    /// Stagger window (seconds): each flow starts at `start_s + U[0, w)`,
+    /// modelling request-fanout skew. `0.0` fires all flows at the epoch.
+    pub stagger_s: f64,
+    /// Seed for receiver choice, sender permutation, and stagger draws.
+    pub seed: u64,
+}
+
+impl Default for IncastConfig {
+    fn default() -> Self {
+        IncastConfig {
+            n_senders: 32,
+            bytes_per_sender: 64_000,
+            start_s: 0.0,
+            stagger_s: 10e-6,
+            seed: 1,
+        }
+    }
+}
+
+/// The generated burst: a receiver index and the flows aimed at it.
+///
+/// Indices index a single host list (e.g. the hosts returned by
+/// `Topology::fat_tree`); `receiver_index` on each [`FlowDescriptor`] always
+/// equals [`IncastBurst::receiver`].
+#[derive(Debug, Clone)]
+pub struct IncastBurst {
+    /// Host index every flow converges on.
+    pub receiver: usize,
+    /// The flows, in start-time order (ties broken by generation order).
+    pub flows: Vec<FlowDescriptor>,
+}
+
+/// Generate an incast burst over `n_hosts` hosts.
+///
+/// # Panics
+///
+/// Panics if `n_hosts < 2` (an incast needs a receiver and at least one
+/// distinct sender) or `n_senders == 0`.
+pub fn generate_incast(cfg: &IncastConfig, n_hosts: usize) -> IncastBurst {
+    assert!(n_hosts >= 2, "incast needs at least 2 hosts, got {n_hosts}");
+    assert!(cfg.n_senders > 0, "incast needs at least one sender");
+    let mut rng = SimRng::new(cfg.seed);
+    let receiver = rng.next_below(n_hosts as u64) as usize;
+
+    // Seeded Fisher–Yates permutation of the non-receiver hosts: sender
+    // spread over the topology is uniform but reproducible.
+    let mut pool: Vec<usize> = (0..n_hosts).filter(|&h| h != receiver).collect();
+    for i in (1..pool.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        pool.swap(i, j);
+    }
+
+    let mut flows: Vec<FlowDescriptor> = (0..cfg.n_senders)
+        .map(|i| {
+            let jitter = if cfg.stagger_s > 0.0 {
+                rng.next_f64() * cfg.stagger_s
+            } else {
+                0.0
+            };
+            FlowDescriptor {
+                sender_index: pool[i % pool.len()],
+                receiver_index: receiver,
+                size_bytes: cfg.bytes_per_sender,
+                start: SimTime::from_secs_f64(cfg.start_s + jitter),
+            }
+        })
+        .collect();
+    // Start-time order with a stable tie-break so downstream flow ids are
+    // reproducible regardless of the stagger draw.
+    flows.sort_by(|a, b| {
+        a.start
+            .cmp(&b.start)
+            .then(a.sender_index.cmp(&b.sender_index))
+    });
+    IncastBurst { receiver, flows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = IncastConfig::default();
+        let a = generate_incast(&cfg, 16);
+        let b = generate_incast(&cfg, 16);
+        assert_eq!(a.receiver, b.receiver);
+        assert_eq!(a.flows.len(), b.flows.len());
+        for (x, y) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(x.sender_index, y.sender_index);
+            assert_eq!(x.start, y.start);
+        }
+    }
+
+    #[test]
+    fn senders_never_equal_receiver_and_spread() {
+        let cfg = IncastConfig {
+            n_senders: 15,
+            ..Default::default()
+        };
+        let burst = generate_incast(&cfg, 16);
+        let mut seen = [false; 16];
+        for f in &burst.flows {
+            assert_ne!(f.sender_index, burst.receiver);
+            assert_eq!(f.receiver_index, burst.receiver);
+            assert!(f.sender_index < 16);
+            seen[f.sender_index] = true;
+        }
+        // 15 flows over 15 candidate hosts: the permutation uses each once.
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 15);
+    }
+
+    #[test]
+    fn oversubscribed_sender_count_wraps_evenly() {
+        // 1024 flows on 128 hosts: every non-receiver host sources
+        // exactly 1024 / 127 or 1024 / 127 + 1 flows.
+        let cfg = IncastConfig {
+            n_senders: 1024,
+            ..Default::default()
+        };
+        let burst = generate_incast(&cfg, 128);
+        assert_eq!(burst.flows.len(), 1024);
+        let mut counts = vec![0usize; 128];
+        for f in &burst.flows {
+            counts[f.sender_index] += 1;
+        }
+        assert_eq!(counts[burst.receiver], 0);
+        for (h, &c) in counts.iter().enumerate() {
+            if h != burst.receiver {
+                assert!((8..=9).contains(&c), "host {h} sources {c} flows");
+            }
+        }
+    }
+
+    #[test]
+    fn stagger_bounds_and_sorted() {
+        let cfg = IncastConfig {
+            n_senders: 64,
+            start_s: 1e-3,
+            stagger_s: 50e-6,
+            ..Default::default()
+        };
+        let burst = generate_incast(&cfg, 32);
+        for f in &burst.flows {
+            let t = f.start.as_secs_f64();
+            assert!((1e-3..1e-3 + 50e-6).contains(&t), "start {t} out of window");
+        }
+        for w in burst.flows.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn zero_stagger_is_synchronized() {
+        let cfg = IncastConfig {
+            n_senders: 8,
+            stagger_s: 0.0,
+            ..Default::default()
+        };
+        let burst = generate_incast(&cfg, 16);
+        for f in &burst.flows {
+            assert_eq!(f.start, SimTime::ZERO);
+        }
+    }
+}

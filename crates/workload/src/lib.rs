@@ -13,6 +13,8 @@
 //!   log-linear interpolation and exact mean computation;
 //! * [`arrivals`] — Poisson arrival processes calibrated to a target load
 //!   on a bottleneck link;
+//! * [`incast`] — synchronized fan-in bursts (N senders → one receiver)
+//!   for the datacenter-scale fat-tree scenarios;
 //! * [`scenario`] — random sender/receiver pairing on the Figure 13
 //!   dumbbell, flow-list generation, and canned [`FaultProfile`]s that
 //!   compile to seeded `faults` schedules for degradation studies;
@@ -25,9 +27,11 @@
 pub mod arrivals;
 pub mod fct;
 pub mod flowsize;
+pub mod incast;
 pub mod scenario;
 
 pub use arrivals::PoissonArrivals;
 pub use fct::FctStats;
 pub use flowsize::FlowSizeDist;
+pub use incast::{generate_incast, IncastBurst, IncastConfig};
 pub use scenario::{fault_schedule, generate_flows, FaultProfile, FlowDescriptor, ScenarioConfig};
