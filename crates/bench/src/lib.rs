@@ -40,6 +40,7 @@
 
 pub mod harness;
 pub mod obs_cli;
+pub mod report;
 
 use std::path::PathBuf;
 

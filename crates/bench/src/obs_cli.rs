@@ -1,15 +1,25 @@
-//! `--trace <path>` / `--metrics <path>` support shared by every figure
-//! binary.
+//! `--trace` / `--metrics` / `--timeseries` / `--flight` support shared by
+//! every figure binary.
 //!
-//! Both flags are **off by default** — a figure run without them never
+//! All flags are **off by default** — a figure run without them never
 //! enables the `obs` layer, so the hot paths pay only the disabled-check
 //! load. With `--trace`, sim-time events captured during the run are written
 //! as JSONL (sorted by `(ctx, seq)`; byte-identical across `SIM_THREADS`
 //! settings). With `--metrics`, the deterministic name-sorted counter /
-//! gauge / histogram snapshot is written as JSON.
+//! gauge / histogram snapshot is written as JSON. With `--timeseries`, the
+//! windowed series and streaming log-histograms are written as JSONL
+//! (`kind: series | win | hist` lines, ordered by `(name, key, ctx)` —
+//! render or diff them with `simreport`). With `--flight <path>`, the
+//! causal flight recorder is armed: the bounded ring records
+//! schedule/dispatch/cancel entries with scheduled-by back-pointers, and on
+//! a `SimError` (e.g. a divergence watchdog trip) the ring is dumped to
+//! `path` as JSONL, headed by a `{"kind": "flight_dump", "reason": ...}`
+//! line. On a clean run `finish` writes the same dump so the recorder is
+//! inspectable without a failure.
 //!
-//! `all_figures` interprets the same flags as *directories* and fans them
-//! out per child figure (`<dir>/<fig>_trace.jsonl`, `<dir>/<fig>_metrics.json`).
+//! `all_figures` interprets `--trace`/`--metrics` as *directories* and fans
+//! them out per child figure (`<dir>/<fig>_trace.jsonl`,
+//! `<dir>/<fig>_metrics.json`).
 
 use std::path::PathBuf;
 
@@ -17,6 +27,8 @@ use std::path::PathBuf;
 pub struct ObsCli {
     trace_path: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
+    timeseries_path: Option<PathBuf>,
+    flight_path: Option<PathBuf>,
 }
 
 /// Parse `--trace` / `--metrics` from the process arguments and enable the
@@ -27,6 +39,8 @@ pub fn init() -> ObsCli {
     let mut argv = std::env::args().skip(1);
     let mut trace_path = None;
     let mut metrics_path = None;
+    let mut timeseries_path = None;
+    let mut flight_path = None;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--trace" => {
@@ -37,6 +51,16 @@ pub fn init() -> ObsCli {
             "--metrics" => {
                 metrics_path = Some(PathBuf::from(
                     argv.next().expect("--metrics requires a file path"),
+                ));
+            }
+            "--timeseries" => {
+                timeseries_path = Some(PathBuf::from(
+                    argv.next().expect("--timeseries requires a file path"),
+                ));
+            }
+            "--flight" => {
+                flight_path = Some(PathBuf::from(
+                    argv.next().expect("--flight requires a file path"),
                 ));
             }
             _ => {}
@@ -50,16 +74,33 @@ pub fn init() -> ObsCli {
         obs::metrics::reset();
         obs::metrics::enable();
     }
+    if timeseries_path.is_some() {
+        obs::timeseries::reset();
+        obs::timeseries::enable();
+    }
+    if let Some(p) = &flight_path {
+        obs::flight::reset();
+        obs::flight::enable();
+        // Arm dump-on-error immediately: if the run dies with a SimError the
+        // black box lands at the requested path even though `finish` (which
+        // also writes it on clean exit) never runs.
+        obs::flight::set_dump_path(p.clone());
+    }
     ObsCli {
         trace_path,
         metrics_path,
+        timeseries_path,
+        flight_path,
     }
 }
 
 impl ObsCli {
-    /// True when either flag was given (instrumentation is recording).
+    /// True when any flag was given (instrumentation is recording).
     pub fn active(&self) -> bool {
-        self.trace_path.is_some() || self.metrics_path.is_some()
+        self.trace_path.is_some()
+            || self.metrics_path.is_some()
+            || self.timeseries_path.is_some()
+            || self.flight_path.is_some()
     }
 
     /// Disable recording and write the requested artifacts.
@@ -85,6 +126,36 @@ impl ObsCli {
             std::fs::write(p, obs::metrics::snapshot_json())
                 .unwrap_or_else(|e| panic!("write {}: {e}", p.display()));
             println!("metrics -> {}", p.display());
+        }
+        if let Some(p) = &self.timeseries_path {
+            obs::timeseries::disable();
+            let jsonl = obs::timeseries::export_jsonl();
+            std::fs::write(p, &jsonl).unwrap_or_else(|e| panic!("write {}: {e}", p.display()));
+            println!(
+                "timeseries -> {} ({} lines)",
+                p.display(),
+                jsonl.lines().count()
+            );
+        }
+        if let Some(p) = &self.flight_path {
+            // A SimError mid-run already dumped a post-mortem to this path;
+            // never overwrite that with an end-of-run snapshot.
+            if let Some(reason) = obs::flight::last_dump_reason() {
+                obs::flight::disable();
+                println!("flight -> {} (post-mortem dump: {reason})", p.display());
+            } else {
+                let jsonl = format!(
+                    "{{\"kind\": \"flight_dump\", \"reason\": \"clean exit\"}}\n{}",
+                    obs::flight::export_jsonl()
+                );
+                obs::flight::disable();
+                std::fs::write(p, &jsonl).unwrap_or_else(|e| panic!("write {}: {e}", p.display()));
+                println!(
+                    "flight -> {} ({} lines)",
+                    p.display(),
+                    jsonl.lines().count()
+                );
+            }
         }
     }
 

@@ -74,6 +74,11 @@ pub struct IncastCell {
     pub goodput_gbps: f64,
     /// Events the run's event loop dispatched.
     pub events_processed: u64,
+    /// Wall-clock the engine run took (milliseconds). Machine-dependent by
+    /// nature: persisted to `results/ext_incast.json` as a scaling probe
+    /// next to `events_processed`, but excluded from stdout tables, digests
+    /// and every byte-identity comparison.
+    pub wall_ms: f64,
     /// Simulated horizon actually used (seconds).
     pub horizon_s: f64,
     /// Order-independent digest of the exact FCT bit patterns plus the
@@ -148,14 +153,17 @@ pub fn run_cell(cfg: &ExtIncastConfig, protocol: Protocol, n_senders: usize) -> 
         SimDuration::from_micros(1),
         engine_config(cfg),
     );
+    let sw = obs::span::Stopwatch::start();
     let report = eng.run(SimTime::from_secs_f64(horizon));
-    cell_from_report(protocol, n_senders, horizon, &report)
+    let wall_ms = sw.elapsed_ns() as f64 / 1e6;
+    cell_from_report(protocol, n_senders, horizon, wall_ms, &report)
 }
 
 fn cell_from_report(
     protocol: Protocol,
     n_senders: usize,
     horizon: f64,
+    wall_ms: f64,
     report: &SimReport,
 ) -> IncastCell {
     let mut fcts: Vec<f64> = report.fcts.iter().map(|r| r.fct_s).collect();
@@ -185,6 +193,7 @@ fn cell_from_report(
             0.0
         },
         events_processed: report.events_processed,
+        wall_ms,
         horizon_s: horizon,
         digest: report_digest(report),
     }
@@ -308,6 +317,7 @@ crate::impl_to_json!(IncastCell {
     p99_fct_ms,
     goodput_gbps,
     events_processed,
+    wall_ms,
     horizon_s,
     digest
 });

@@ -99,14 +99,89 @@ fn ext_incast_byte_identical_across_thread_counts() {
         bytes_per_sender: 8_000,
         ..Default::default()
     };
-    let serial = with_threads(1, || ext_incast::run(&cfg))
-        .to_json()
-        .render_pretty();
-    let par4 = with_threads(4, || ext_incast::run(&cfg))
-        .to_json()
-        .render_pretty();
+    // `wall_ms` is the one machine-dependent field in the result (persisted
+    // as a scaling probe, excluded from every identity contract) — zero it
+    // before rendering.
+    let scrub = |mut res: ext_incast::ExtIncastResult| {
+        for c in &mut res.cells {
+            c.wall_ms = 0.0;
+        }
+        res.to_json().render_pretty()
+    };
+    let serial = scrub(with_threads(1, || ext_incast::run(&cfg)));
+    let par4 = scrub(with_threads(4, || ext_incast::run(&cfg)));
     assert_eq!(
         serial, par4,
         "ext_incast JSON differs between 1 and 4 workers"
     );
+}
+
+/// The telemetry layer's own determinism contract: with time-series and the
+/// flight recorder enabled, their exported JSONL is byte-identical across
+/// worker counts.
+///
+/// The obs sinks are process-global and other tests in this binary run
+/// concurrently, so the sweep runs under a distinctive parent trace context
+/// and the comparison filters exported lines to this test's own context
+/// subtree (every timeseries/flight line carries `"ctx"` for exactly this
+/// reason). Metrics — global unfilterable sums — are deliberately out of
+/// scope here; `obs-smoke` in CI compares them across whole processes.
+#[test]
+fn telemetry_byte_identical_across_thread_counts() {
+    const PARENT: u64 = 7_777;
+    let cfg = ext_incast::ExtIncastConfig {
+        k: 4,
+        protocols: vec![ecn_delay_core::scenarios::Protocol::Dcqcn],
+        sender_counts: vec![8, 24],
+        bytes_per_sender: 8_000,
+        ..Default::default()
+    };
+    let ctx_of = |line: &str| -> Option<u64> {
+        let rest = line.split("\"ctx\": ").nth(1)?;
+        rest.split(|c: char| !c.is_ascii_digit())
+            .next()?
+            .parse()
+            .ok()
+    };
+    let lo = PARENT * obs::trace::CONTEXT_STRIDE + 1;
+    let hi = PARENT * obs::trace::CONTEXT_STRIDE + obs::trace::CONTEXT_STRIDE;
+    let mine = move |out: &str| -> String {
+        out.lines()
+            .filter(|l| ctx_of(l).is_some_and(|c| (lo..=hi).contains(&c)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let run_with = |threads: usize| -> (String, String) {
+        // Fresh sinks per run: the (name, key, ctx) aggregates would
+        // otherwise accumulate across the two sweeps.
+        obs::timeseries::reset();
+        obs::flight::reset();
+        obs::timeseries::enable();
+        obs::flight::enable();
+        with_threads(threads, || {
+            obs::trace::with_context(PARENT, || {
+                let _ = ext_incast::run(&cfg);
+            })
+        });
+        obs::timeseries::disable();
+        obs::flight::disable();
+        let ts = mine(&obs::timeseries::export_jsonl());
+        let fl = mine(&obs::flight::export_jsonl());
+        (ts, fl)
+    };
+    let (ts1, fl1) = run_with(1);
+    let (ts4, fl4) = run_with(4);
+    assert!(
+        ts1.contains("netsim.queue_bytes") && ts1.contains("\"kind\": \"hist\""),
+        "time-series capture must be non-trivial:\n{ts1}"
+    );
+    assert!(
+        fl1.contains("\"kind\": \"dispatch\"") && fl1.contains("\"by\": "),
+        "flight capture must carry causal back-pointers:\n{fl1}"
+    );
+    assert_eq!(
+        ts1, ts4,
+        "time-series JSONL differs between 1 and 4 workers"
+    );
+    assert_eq!(fl1, fl4, "flight JSONL differs between 1 and 4 workers");
 }

@@ -74,12 +74,14 @@ const LIVE_BIT: u64 = 1 << 63;
 const STAT_SCHEDULED: usize = 0;
 const STAT_POPPED: usize = 1;
 const STAT_CANCELLED: usize = 2;
+const STAT_CASCADES: usize = 3;
 
 /// Global metrics counter names, indexed like [`EventQueue::stats`].
-const STAT_NAMES: [&str; 3] = [
+const STAT_NAMES: [&str; 4] = [
     "desim.events_scheduled",
     "desim.events_popped",
     "desim.events_cancelled",
+    "desim.wheel_cascades",
 ];
 
 /// Opaque handle to a scheduled event, used for cancellation.
@@ -225,13 +227,18 @@ pub struct EventQueue<E> {
     next_seq: u64,
     len: usize,
     last_popped: SimTime,
-    /// Locally accumulated obs counts (scheduled, popped, cancelled),
-    /// flushed to the global metrics registry in one `counter_add` each
-    /// when the queue retires. Batching keeps the registry's totals exact
-    /// at every point a snapshot is actually taken (queues are dropped
-    /// before `ObsGuard::finish` writes metrics) while keeping the
-    /// per-event hot path free of atomic traffic.
-    stats: [u64; 3],
+    /// Locally accumulated obs counts (scheduled, popped, cancelled,
+    /// cascades), flushed to the global metrics registry in one
+    /// `counter_add` each when the queue retires. Batching keeps the
+    /// registry's totals exact at every point a snapshot is actually taken
+    /// (queues are dropped before `ObsGuard::finish` writes metrics) while
+    /// keeping the per-event hot path free of atomic traffic.
+    stats: [u64; 4],
+    /// Flight-recorder linkage: wheel sequence number of a pending event →
+    /// the flight sequence of its `schedule` entry, so the `dispatch` entry
+    /// recorded at pop can back-point to it. Touched only while the flight
+    /// recorder is enabled; empty (and cleared) otherwise.
+    flight_seq: std::collections::BTreeMap<u64, u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -287,7 +294,8 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             len: 0,
             last_popped: SimTime::ZERO,
-            stats: [0; 3],
+            stats: [0; 4],
+            flight_seq: std::collections::BTreeMap::new(),
         }
     }
 
@@ -341,6 +349,21 @@ impl<E> EventQueue<E> {
         self.link_in(idx, t_ns);
         self.len += 1;
         self.stats[STAT_SCHEDULED] += 1;
+        // Flight recorder: a `schedule` entry back-pointing to the dispatch
+        // being handled right now (the causal edge). The `enabled` guard
+        // keeps the disabled cost to one relaxed load and a branch — the
+        // arguments (a float conversion, a thread-local read) must not be
+        // evaluated on the hot path.
+        if obs::flight::enabled() {
+            if let Some(fseq) = obs::flight::record(
+                time.as_secs_f64(),
+                "schedule",
+                self.len as f64,
+                obs::flight::current_cause(),
+            ) {
+                self.flight_seq.insert(seq, fseq);
+            }
+        }
         EventId::pack(idx, generation)
     }
 
@@ -366,6 +389,19 @@ impl<E> EventQueue<E> {
         self.payloads[idx] = None;
         self.len -= 1;
         self.stats[STAT_CANCELLED] += 1;
+        if obs::flight::enabled() {
+            // seq() masks the live bit, so reading it after the clear is
+            // exact; keeping the read in here keeps the disabled path free
+            // of it.
+            let wheel_seq = self.hot[idx].seq();
+            let by = self.flight_seq.remove(&wheel_seq);
+            obs::flight::record(
+                self.last_popped.as_secs_f64(),
+                "cancel",
+                self.len as f64,
+                by,
+            );
+        }
         true
     }
 
@@ -393,7 +429,7 @@ impl<E> EventQueue<E> {
         while self.len > 0 {
             match self.earliest_slot() {
                 Slot::Level0(slot) => {
-                    if let Some((t_ns, payload)) = self.take_min_seq(slot) {
+                    if let Some((t_ns, wheel_seq, payload)) = self.take_min_seq(slot) {
                         let time = SimTime::from_nanos(t_ns);
                         crate::invariants::monotonic_time(
                             "EventQueue::pop",
@@ -404,6 +440,24 @@ impl<E> EventQueue<E> {
                         self.floor_ns = t_ns;
                         self.len -= 1;
                         self.stats[STAT_POPPED] += 1;
+                        // Flight recorder: a `dispatch` entry back-pointing
+                        // to this event's own `schedule`, then installed as
+                        // the cause of everything scheduled while handling
+                        // it.
+                        if obs::flight::enabled() {
+                            let by = self.flight_seq.remove(&wheel_seq);
+                            let d = obs::flight::record(
+                                time.as_secs_f64(),
+                                "dispatch",
+                                self.len as f64,
+                                by,
+                            );
+                            obs::flight::set_cause(d);
+                        } else if !self.flight_seq.is_empty() {
+                            // Recorder turned off mid-run: drop the stale
+                            // linkage instead of letting it accumulate.
+                            self.flight_seq.clear();
+                        }
                         return Some((time, payload));
                     }
                     // Slot held only cancelled entries (now recycled); rescan.
@@ -505,6 +559,18 @@ impl<E> EventQueue<E> {
     fn cascade(&mut self, level: usize, slot: usize) {
         let lv = &mut self.up[level];
         let mut batch = std::mem::take(&mut lv.slots[slot]);
+        self.stats[STAT_CASCADES] += 1;
+        // Wheel telemetry rides the cascade (rare) rather than the pop
+        // (per-event): occupancy and the re-filed batch size are exactly
+        // the quantities that explain cascade cost.
+        if obs::timeseries::enabled() {
+            obs::timeseries::observe("desim.wheel_occupancy", level as u64, self.len as f64);
+            obs::timeseries::observe(
+                "desim.wheel_cascade_batch",
+                level as u64,
+                batch.len() as f64,
+            );
+        }
         lv.occupied[slot >> 6] &= !(1u64 << (slot & 63));
         let span = up_shift(level);
         // Zero all digits at and below `level`, then set this level's digit
@@ -572,12 +638,13 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Remove and return the minimum-`seq` live entry of a level-0 slot
-    /// (the FIFO tie-break among same-time events), unlinking and recycling
-    /// any dead entries encountered in the same pass. Returns `None` if the
-    /// slot held only dead entries; the occupancy bit is cleared when the
-    /// slot empties.
-    fn take_min_seq(&mut self, slot: usize) -> Option<(u64, E)> {
+    /// Remove and return the minimum-`seq` live entry of a level-0 slot as
+    /// `(time_ns, wheel seq, payload)` (the seq is the FIFO tie-break among
+    /// same-time events; `pop` also uses it as the flight-recorder linkage
+    /// key), unlinking and recycling any dead entries encountered in the
+    /// same pass. Returns `None` if the slot held only dead entries; the
+    /// occupancy bit is cleared when the slot empties.
+    fn take_min_seq(&mut self, slot: usize) -> Option<(u64, u64, E)> {
         // All entries in a reachable level-0 slot share the slot's absolute
         // time, so the popped time is computable from the wheel position —
         // no arena read needed.
@@ -588,11 +655,12 @@ impl<E> EventQueue<E> {
         // bursts) — no tie scan, no predecessor bookkeeping.
         if h.next == NIL && h.is_live() {
             debug_assert_eq!(h.time_ns, t_ns, "level-0 slot time invariant");
+            let seq = h.seq();
             self.l0_heads[slot] = NIL;
             self.l0_clear(slot);
             let payload = self.payloads[head as usize].take();
             self.release(head);
-            return payload.map(|p| (t_ns, p));
+            return payload.map(|p| (t_ns, seq, p));
         }
         let mut prev = NIL;
         let mut cur = head;
@@ -643,7 +711,7 @@ impl<E> EventQueue<E> {
         if self.l0_heads[slot] == NIL {
             self.l0_clear(slot);
         }
-        payload.map(|p| (t_ns, p))
+        payload.map(|p| (t_ns, best_seq, p))
     }
 
     /// Reset the wheel to empty (occupancy-guided, so cost is proportional

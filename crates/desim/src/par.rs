@@ -84,7 +84,8 @@ where
             .map(|(idx, job)| {
                 obs::trace::with_context(
                     obs::trace::child_context(trace_parent, idx as u64),
-                    || worker(job),
+                    // Causal flight chains must not leak across jobs either.
+                    || obs::flight::with_clean_cause(|| worker(job)),
                 )
             })
             .collect();
@@ -115,7 +116,10 @@ where
                 let job = job.expect("job slot claimed twice");
                 let out = obs::trace::with_context(
                     obs::trace::child_context(trace_parent, idx as u64),
-                    || worker(job),
+                    // Worker threads are reused across jobs; start each job
+                    // with a clean causal chain so flight back-pointers stay
+                    // per-context (and thread-count independent).
+                    || obs::flight::with_clean_cause(|| worker(job)),
                 );
                 *result_slots[idx]
                     .lock()

@@ -60,10 +60,20 @@ impl TimeWeighted {
         self.min = self.min.min(value);
     }
 
-    /// Time-weighted mean over the observed interval, or `None` before two
-    /// updates have elapsed.
+    /// Time-weighted mean over the observed interval. A started collector
+    /// whose observations span zero duration (a single update, or several at
+    /// the same instant — e.g. a telemetry window that caught exactly one
+    /// event) degrades to the last observed value instead of `None`: the
+    /// signal *did* hold that value, there is just no interval to weight by.
+    /// Only a never-updated collector has no mean.
     pub fn mean(&self) -> Option<f64> {
-        (self.total_time_s > 0.0).then(|| self.weighted_sum / self.total_time_s)
+        if self.total_time_s > 0.0 {
+            Some(self.weighted_sum / self.total_time_s)
+        } else if self.started {
+            Some(self.last_value)
+        } else {
+            None
+        }
     }
 
     /// Maximum observed value.
@@ -239,11 +249,28 @@ mod tests {
     }
 
     #[test]
-    fn time_weighted_single_point_has_no_mean() {
+    fn time_weighted_single_point_degrades_to_last_value() {
+        // Regression (zero-duration window): a lone observation used to
+        // yield mean() == None, which telemetry rendered as a gap even
+        // though the signal's value was known. It now reports that value.
         let mut tw = TimeWeighted::new();
         tw.update(t(5), 1.0);
-        assert!(tw.mean().is_none());
+        assert_eq!(tw.mean(), Some(1.0));
         assert_eq!(tw.max(), Some(1.0));
+    }
+
+    #[test]
+    fn time_weighted_zero_duration_window_uses_last_value() {
+        // Several updates at the same instant still span zero time; the
+        // mean must be the latest value, not a 0/0 NaN or None.
+        let mut tw = TimeWeighted::new();
+        tw.update(t(3), 4.0);
+        tw.update(t(3), 8.0);
+        let m = tw.mean().unwrap();
+        assert!(m.to_bits() == 8.0f64.to_bits(), "got {m}");
+        // Once real time elapses, proper weighting resumes.
+        tw.update(t(5), 0.0);
+        assert!((tw.mean().unwrap() - 8.0).abs() < 1e-12);
     }
 
     #[test]

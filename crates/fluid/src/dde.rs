@@ -237,13 +237,19 @@ pub fn try_integrate_dde_with_prehistory<S: DdeSystem>(
                     },
                 );
             }
-            return Err(SimError::Divergence {
+            let err = SimError::Divergence {
                 context: "dde integration".into(),
                 t_s: t,
                 state_norm,
                 last_step_s: h,
                 step: step as u64,
-            });
+            };
+            // Flight-recorder post-mortem: mark the trip in the causal ring
+            // and, if a dump path is armed, write the black box to disk
+            // before the error propagates.
+            obs::flight::record(t, "watchdog", state_norm, obs::flight::current_cause());
+            obs::flight::dump_on_error(&err.to_string());
+            return Err(err);
         }
         hist.push(t, &x);
         if opts.history_horizon_s.is_finite() {
@@ -251,6 +257,18 @@ pub fn try_integrate_dde_with_prehistory<S: DdeSystem>(
         }
         if step % record_every == 0 || step == steps {
             trace.push(t, &x);
+            if obs::timeseries::enabled() {
+                // Downsampled trajectory envelope at the trace cadence: the
+                // window spans `record_every` steps' worth of recordings.
+                obs::timeseries::sample(
+                    "fluid.state_norm",
+                    0,
+                    (record_every as f64) * opts.step * 8.0,
+                    t,
+                    norm,
+                );
+                obs::timeseries::observe("fluid.state_norm", 0, norm);
+            }
         }
         obs::metrics::counter_inc("fluid.dde_steps");
         if obs::trace::enabled() {

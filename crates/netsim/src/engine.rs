@@ -647,6 +647,9 @@ impl Engine {
     }
 
     fn run_inner(&mut self, end: SimTime) -> SimReport {
+        // Each run starts a fresh causal chain: the first dispatches must
+        // not back-point into a previous run on the same thread.
+        obs::flight::set_cause(None);
         if let Some(pi) = &self.cfg.pi_aqm {
             let at = self.now + pi.update_interval;
             self.events.schedule(at, Ev::AqmTick);
@@ -941,6 +944,15 @@ impl Engine {
             desim::invariants::finite_rate("cc update rate", r);
             self.senders.rate_bps[f.0] = r.max(1e3);
             obs::metrics::counter_inc("netsim.rate_updates");
+            if obs::timeseries::enabled() {
+                obs::timeseries::sample(
+                    "netsim.rate_bps",
+                    f.0 as u64,
+                    self.cfg.queue_trace_resolution_s,
+                    self.now.as_secs_f64(),
+                    self.senders.rate_bps[f.0],
+                );
+            }
             if obs::trace::enabled() {
                 obs::trace::record(
                     self.now.as_secs_f64(),
@@ -1147,6 +1159,17 @@ impl Engine {
                     self.marked_packets += 1;
                     self.first_mark_time.get_or_insert(self.now);
                     obs::metrics::counter_inc("netsim.ecn_marks");
+                    if obs::timeseries::enabled() {
+                        // One 1.0-sample per mark: a window's count IS the
+                        // mark count, so count/window_s is the mark rate.
+                        obs::timeseries::sample(
+                            "netsim.ecn_mark",
+                            link.0 as u64,
+                            self.cfg.queue_trace_resolution_s,
+                            self.now.as_secs_f64(),
+                            1.0,
+                        );
+                    }
                     if obs::trace::enabled() {
                         obs::trace::record(
                             self.now.as_secs_f64(),
@@ -1165,6 +1188,18 @@ impl Engine {
                 desim::invariants::bounded_queue("switch egress queue", bytes, f64::INFINITY);
                 if let Some(tr) = self.queue_traces.get_mut(link) {
                     tr.record(self.now, bytes);
+                }
+                if obs::timeseries::enabled() {
+                    let t_s = self.now.as_secs_f64();
+                    let w = self.cfg.queue_trace_resolution_s;
+                    obs::timeseries::sample("netsim.queue_bytes", link.0 as u64, w, t_s, bytes);
+                    obs::timeseries::sample(
+                        "netsim.arrival_bytes",
+                        link.0 as u64,
+                        w,
+                        t_s,
+                        size_bytes as f64,
+                    );
                 }
             }
         }
@@ -1225,6 +1260,17 @@ impl Engine {
                     self.marked_packets += 1;
                     self.first_mark_time.get_or_insert(self.now);
                     obs::metrics::counter_inc("netsim.ecn_marks");
+                    if obs::timeseries::enabled() {
+                        // One 1.0-sample per mark: a window's count IS the
+                        // mark count, so count/window_s is the mark rate.
+                        obs::timeseries::sample(
+                            "netsim.ecn_mark",
+                            link.0 as u64,
+                            self.cfg.queue_trace_resolution_s,
+                            self.now.as_secs_f64(),
+                            1.0,
+                        );
+                    }
                     if obs::trace::enabled() {
                         obs::trace::record(
                             self.now.as_secs_f64(),
@@ -1242,6 +1288,18 @@ impl Engine {
                 let bytes = self.ports.data_bytes[link.0] as f64;
                 if let Some(tr) = self.queue_traces.get_mut(link) {
                     tr.record(self.now, bytes);
+                }
+                if obs::timeseries::enabled() {
+                    let t_s = self.now.as_secs_f64();
+                    let w = self.cfg.queue_trace_resolution_s;
+                    obs::timeseries::sample("netsim.queue_bytes", link.0 as u64, w, t_s, bytes);
+                    obs::timeseries::sample(
+                        "netsim.departure_bytes",
+                        link.0 as u64,
+                        w,
+                        t_s,
+                        size_bytes as f64,
+                    );
                 }
             }
         }
@@ -1296,6 +1354,15 @@ impl Engine {
                     self.ports.paused_since[l] = Some(self.now);
                     self.ports.pauses[l] += 1;
                     obs::metrics::counter_inc("netsim.pfc_pauses");
+                    if obs::timeseries::enabled() {
+                        obs::timeseries::sample(
+                            "netsim.pfc_paused",
+                            l as u64,
+                            self.cfg.queue_trace_resolution_s,
+                            self.now.as_secs_f64(),
+                            1.0,
+                        );
+                    }
                     if obs::trace::enabled() {
                         obs::trace::record(
                             self.now.as_secs_f64(),
@@ -1309,6 +1376,15 @@ impl Engine {
                         self.ports.paused_total[l] += d;
                     }
                     obs::metrics::counter_inc("netsim.pfc_resumes");
+                    if obs::timeseries::enabled() {
+                        obs::timeseries::sample(
+                            "netsim.pfc_paused",
+                            l as u64,
+                            self.cfg.queue_trace_resolution_s,
+                            self.now.as_secs_f64(),
+                            0.0,
+                        );
+                    }
                     if obs::trace::enabled() {
                         obs::trace::record(
                             self.now.as_secs_f64(),
@@ -1413,12 +1489,16 @@ impl Engine {
                     if s.completed[f.0].is_none() {
                         s.completed[f.0] = Some(self.now);
                         let start = s.start[f.0];
+                        let fct_s = self.now.saturating_since(start).as_secs_f64();
                         self.fcts.push(FctRecord {
                             flow: f.0,
                             size_bytes: s.size_bytes[f.0].unwrap_or(s.next_offset[f.0]),
                             start_s: start.as_secs_f64(),
-                            fct_s: self.now.saturating_since(start).as_secs_f64(),
+                            fct_s,
                         });
+                        // Streaming FCT percentiles: O(buckets) regardless
+                        // of flow count.
+                        obs::timeseries::observe("netsim.fct_ms", 0, fct_s * 1e3);
                     }
                 }
             }

@@ -13,7 +13,13 @@
 //!   (integrate / locate / compact / event-dispatch). This is the **only**
 //!   module in the sim layer allowed to read the wall clock (simlint exempts
 //!   `crates/obs/src/span.rs` from the `wall-clock` rule, exactly as
-//!   `desim/src/par.rs` is exempt from `thread-spawn`).
+//!   `desim/src/par.rs` is exempt from `thread-spawn`);
+//! * [`timeseries`] — windowed, downsampled time-series plus log-bucketed
+//!   streaming histograms (HDR-style) so queue/rate trajectories and FCT
+//!   percentiles at incast scale cost O(windows + buckets), not O(samples);
+//! * [`flight`] — the causal flight recorder: a bounded per-context ring of
+//!   recent event-core operations with scheduled-by back-pointers, dumped as
+//!   JSONL when a `SimError` site calls [`flight::dump_on_error`].
 //!
 //! Everything is **off by default**. A disabled instrumentation point costs
 //! one relaxed atomic load and a predictable branch — no locks, no
@@ -37,8 +43,10 @@
 
 #![deny(missing_docs)]
 
+pub mod flight;
 pub mod metrics;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use span::Phase;

@@ -70,6 +70,30 @@ impl Histogram {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Fold `other`'s counts into `self`. Merging is only meaningful when
+    /// both histograms share the exact same bucket bounds (compared by bit
+    /// pattern — merging across rounding-different bounds would silently
+    /// misattribute counts); otherwise an error naming the mismatch is
+    /// returned and `self` is left untouched.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        let same_bounds = self.bounds.len() == other.bounds.len()
+            && self
+                .bounds
+                .iter()
+                .zip(&other.bounds)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same_bounds {
+            return Err(format!(
+                "histogram bounds mismatch: {:?} vs {:?}",
+                self.bounds, other.bounds
+            ));
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        Ok(())
+    }
 }
 
 /// The metric store behind the global registry: name-sorted maps so the
@@ -296,6 +320,37 @@ mod tests {
             "{snap}"
         );
         reset();
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts_bucketwise() {
+        const B: &[f64] = &[1.0, 2.0];
+        let mut a = Histogram::new(B);
+        let mut b = Histogram::new(B);
+        a.observe(0.5);
+        a.observe(1.5);
+        b.observe(1.5);
+        b.observe(3.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts, vec![1, 2, 1]);
+        assert_eq!(a.total(), 4);
+        // The merged-from histogram is unchanged.
+        assert_eq!(b.total(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        // Different length.
+        let b = Histogram::new(&[1.0]);
+        assert!(a.merge(&b).is_err());
+        // Same length, bit-different bound.
+        let c = Histogram::new(&[1.0, 2.0 + 1e-12]);
+        let err = a.merge(&c).unwrap_err();
+        assert!(err.contains("bounds mismatch"), "{err}");
+        // A failed merge leaves the target untouched.
+        assert_eq!(a.counts, vec![1, 0, 0]);
     }
 
     #[test]

@@ -114,6 +114,27 @@ impl Drop for SpanGuard {
     }
 }
 
+/// A plain wall-clock stopwatch for result-side annotations (e.g. per-cell
+/// `wall_ms` in `results/ext_incast.json`). Lives here because span.rs is
+/// the one sim-layer file allowed to read the clock; callers elsewhere stay
+/// clean under simlint's `wall-clock` rule. Readings must never feed back
+/// into simulation state or byte-compared outputs — determinism gates scrub
+/// or skip them.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start a stopwatch now.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
 /// Drain the accumulators: returns `(phase, span count, total ns)` for every
 /// phase with at least one span, resetting the totals to zero.
 pub fn drain() -> Vec<(Phase, u64, u64)> {
@@ -171,6 +192,14 @@ mod tests {
         assert_eq!(compact.1, 1);
         // Drain resets.
         assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn stopwatch_elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
     }
 
     #[test]

@@ -280,7 +280,10 @@ pub struct Scope {
     pub determinism: bool,
     /// Wall-clock discipline (`wall-clock`). Tracks `determinism` everywhere
     /// except `obs/src/span.rs`, the sanctioned span-timer surface (the
-    /// wall-clock analogue of `desim::par` for `thread-spawn`).
+    /// wall-clock analogue of `desim::par` for `thread-spawn`). Also on for
+    /// `bench` library sources — telemetry parsing/rendering must not grow
+    /// timing reads — except `bench/src/harness.rs`, where wall time is the
+    /// measurement itself.
     pub wall_clock: bool,
     /// Panic discipline (`panic`).
     pub panic_discipline: bool,
@@ -379,11 +382,12 @@ pub fn scope_for(rel: &Path) -> Option<Scope> {
     }
     let is_par_executor = rel == Path::new("crates/desim/src/par.rs");
     let is_span_timer = rel == Path::new("crates/obs/src/span.rs");
+    let is_bench_harness = rel == Path::new("crates/bench/src/harness.rs");
     let sim = SIM_CRATES.contains(&krate.as_str());
     let lib = LIB_CRATES.contains(&krate.as_str());
     Some(Scope {
         determinism: sim,
-        wall_clock: sim && !is_span_timer,
+        wall_clock: (sim && !is_span_timer) || (krate == "bench" && !is_bench_harness),
         panic_discipline: lib,
         no_unwrap: sim,
         unit_suffix: sim || krate == "workload",
@@ -1024,6 +1028,25 @@ mod tests {
         // The rest of the obs crate gets the full sim-crate treatment.
         let scope = scope_for(Path::new("crates/obs/src/trace.rs")).unwrap();
         assert!(scope.wall_clock && scope.determinism);
+    }
+
+    #[test]
+    fn bench_lib_files_get_wall_clock_scope_except_harness() {
+        // Telemetry parsing / rendering in the bench library must stay free
+        // of timing reads; the harness is the one sanctioned wall-clock
+        // measurement surface (it times the benchmarks themselves).
+        let scope = scope_for(Path::new("crates/bench/src/report.rs")).unwrap();
+        assert!(scope.wall_clock);
+        assert!(
+            !scope.determinism && !scope.no_unwrap,
+            "bench stays outside the sim-crate rule families"
+        );
+        let scope = scope_for(Path::new("crates/bench/src/obs_cli.rs")).unwrap();
+        assert!(scope.wall_clock);
+        let scope = scope_for(Path::new("crates/bench/src/harness.rs")).unwrap();
+        assert!(!scope.wall_clock, "harness measures wall time by design");
+        // Figure binaries remain unlinted.
+        assert!(scope_for(Path::new("crates/bench/src/bin/simreport.rs")).is_none());
     }
 
     #[test]

@@ -271,37 +271,48 @@ fn cmd_selftest() -> ExitCode {
             }
         }
     }
-    // The span-timer allowlist: the real `obs/src/span.rs` must trip
-    // `wall-clock` under the strict (allowlist-free) scope — it genuinely
-    // reads `Instant::now` — yet lint clean under its workspace scope,
-    // proving the path-based exemption is what suppresses it (and that the
-    // determinism-taint pass accepts its measure-only dataflow).
-    let span = Path::new("crates/obs/src/span.rs");
-    let span_abs = workspace_root().join(span);
-    match std::fs::read_to_string(&span_abs) {
-        Ok(src) => {
-            let strict_hits = lint_path_strict(&span_abs)
-                .map(|vs| vs.iter().filter(|v| v.rule == Rule::WallClock).count())
-                .unwrap_or(0);
-            let scoped = scope_for(span).map_or_else(Vec::new, |s| lint_source(span, &src, s));
-            if strict_hits == 0 {
-                eprintln!("selftest FAIL: obs/src/span.rs no longer exercises wall-clock");
-                failed = true;
-            } else if !scoped.is_empty() {
-                eprintln!("selftest FAIL: obs/src/span.rs not clean under workspace scope:");
-                for v in &scoped {
-                    eprintln!("  {v}");
+    // The wall-clock allowlist, proven in both directions on the real
+    // exempted files: `obs/src/span.rs` (the span timer) and
+    // `bench/src/harness.rs` (the benchmark timer) must each trip
+    // `wall-clock` under the strict (allowlist-free) scope — they genuinely
+    // read `Instant::now` — yet lint clean under their workspace scopes,
+    // proving the path-based exemption is what suppresses the finding (and
+    // that the other passes accept their measure-only dataflow).
+    for rel in ["crates/obs/src/span.rs", "crates/bench/src/harness.rs"] {
+        let rel = Path::new(rel);
+        let abs = workspace_root().join(rel);
+        match std::fs::read_to_string(&abs) {
+            Ok(src) => {
+                let strict_hits = lint_path_strict(&abs)
+                    .map(|vs| vs.iter().filter(|v| v.rule == Rule::WallClock).count())
+                    .unwrap_or(0);
+                let scoped = scope_for(rel).map_or_else(Vec::new, |s| lint_source(rel, &src, s));
+                if strict_hits == 0 {
+                    eprintln!(
+                        "selftest FAIL: {} no longer exercises wall-clock",
+                        rel.display()
+                    );
+                    failed = true;
+                } else if !scoped.is_empty() {
+                    eprintln!(
+                        "selftest FAIL: {} not clean under workspace scope:",
+                        rel.display()
+                    );
+                    for v in &scoped {
+                        eprintln!("  {v}");
+                    }
+                    failed = true;
+                } else {
+                    println!(
+                        "selftest ok: {} -> wall-clock x{strict_hits} strict, exempt in scope",
+                        rel.display()
+                    );
                 }
-                failed = true;
-            } else {
-                println!(
-                    "selftest ok: obs/src/span.rs -> wall-clock x{strict_hits} strict, exempt in scope"
-                );
             }
-        }
-        Err(e) => {
-            eprintln!("selftest FAIL: read {}: {e}", span_abs.display());
-            failed = true;
+            Err(e) => {
+                eprintln!("selftest FAIL: read {}: {e}", abs.display());
+                failed = true;
+            }
         }
     }
     if failed {
