@@ -2,7 +2,8 @@
 //! patched-TIMELY systems, fixed-point solving, and phase-margin
 //! computation (the inner loops of Figures 3 and 11).
 
-use bench::harness::{bench, black_box, record_spans, write_report};
+use bench::harness::{bench, black_box, record_spans, record_value, write_report};
+use control::JacobianCache;
 use ecn_delay_core::experiments::fig3;
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
 use models::patched_timely::{PatchedTimelyFluid, PatchedTimelyParams};
@@ -44,6 +45,49 @@ fn main() {
     bench("dcqcn_dde_integrate_10flows_10ms", || {
         let mut m = DcqcnFluid::new(DcqcnParams::default_40g(), 10);
         black_box(m.simulate(0.01).len())
+    });
+
+    // Batched lockstep integration: 16 DCQCN configurations (a RED-profile
+    // sweep) advance as lanes of one SoA state block. The comparison row is
+    // 16 × `dcqcn_dde_integrate_10flows_10ms`; the batch target is ≥3× that.
+    {
+        let batch_models = || -> Vec<DcqcnFluid> {
+            (0..16)
+                .map(|i| {
+                    let mut p = DcqcnParams::default_40g();
+                    p.kmax_kb = 200.0 + 50.0 * f64::from(i);
+                    DcqcnFluid::new(p, 10)
+                })
+                .collect()
+        };
+        let rec = bench("dcqcn_dde_integrate_batch16_10ms", || {
+            black_box(DcqcnFluid::simulate_batch(batch_models(), 0.01).len())
+        });
+        // Derived throughput row: lane-steps per wall-clock second (16 lanes
+        // × the lockstep step count), from the median batch time.
+        let params = DcqcnParams::default_40g();
+        let step = (params.feedback_delay_s() / 4.0).min(1e-6);
+        let lane_steps = (0.01 / step).ceil() as u128 * 16;
+        record_value(
+            "fluid/lane_steps_per_sec_batch16",
+            lane_steps * 1_000_000_000 / rec.median_ns.max(1),
+            16,
+        );
+    }
+
+    // The margin-grid hot path with the cross-grid-point Jacobian cache: one
+    // cache serves a whole delay sweep at fixed N (the fig3 panel-(a)
+    // grouping), so only the first point pays the central-difference cost.
+    bench("margin_grid_jacobian_cache", || {
+        let mut cache: JacobianCache<models::dcqcn::DcqcnLinParts> = JacobianCache::new(0.0, 64);
+        let mut stable = 0usize;
+        for &d in &[4.0, 20.0, 50.0, 85.0, 100.0] {
+            let mut p = DcqcnParams::default_40g();
+            p.feedback_delay_us = d;
+            let m = DcqcnFluid::new(p, 10);
+            stable += usize::from(m.margin_report_cached(&mut cache).is_stable());
+        }
+        black_box(stable)
     });
 
     // Sweep-level benchmark: the Figure 3 margin grid (reduced) through the

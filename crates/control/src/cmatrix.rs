@@ -107,55 +107,70 @@ impl CMatrix {
     pub fn solve(&self, b: &[Complex64]) -> Option<Vec<Complex64>> {
         assert_eq!(self.rows, self.cols, "solve needs a square matrix");
         assert_eq!(b.len(), self.rows);
-        let n = self.rows;
         let mut a = self.data.clone();
         let mut x = b.to_vec();
-        let idx = |i: usize, j: usize| i * n + j;
-
-        for col in 0..n {
-            // Partial pivot.
-            let mut pivot = col;
-            let mut best = a[idx(col, col)].abs();
-            for r in col + 1..n {
-                let mag = a[idx(r, col)].abs();
-                if mag > best {
-                    best = mag;
-                    pivot = r;
-                }
-            }
-            if best < 1e-300 {
-                return None;
-            }
-            if pivot != col {
-                for j in 0..n {
-                    a.swap(idx(col, j), idx(pivot, j));
-                }
-                x.swap(col, pivot);
-            }
-            let inv = a[idx(col, col)].inv();
-            for r in col + 1..n {
-                let factor = a[idx(r, col)] * inv;
-                if factor.abs() == 0.0 {
-                    continue;
-                }
-                for j in col..n {
-                    let sub = factor * a[idx(col, j)];
-                    a[idx(r, j)] -= sub;
-                }
-                let sub = factor * x[col];
-                x[r] -= sub;
-            }
+        if solve_in_place(&mut a, &mut x, self.rows) {
+            Some(x)
+        } else {
+            None
         }
-        // Back substitution.
-        for col in (0..n).rev() {
-            let mut acc = x[col];
-            for j in col + 1..n {
-                acc -= a[idx(col, j)] * x[j];
-            }
-            x[col] = acc / a[idx(col, col)];
-        }
-        Some(x)
     }
+}
+
+/// Partial-pivoted LU solve of `a · x = x₀` in place, destroying `a` and
+/// overwriting `x` with the solution. `a` is row-major `n × n`. Returns
+/// `false` (with `a`/`x` in an unspecified state) when the matrix is
+/// numerically singular. This is the allocation-free core shared by
+/// [`CMatrix::solve`] and the reusable-buffer evaluator in
+/// [`crate::delay_lti`].
+pub fn solve_in_place(a: &mut [Complex64], x: &mut [Complex64], n: usize) -> bool {
+    assert_eq!(a.len(), n * n, "matrix buffer must be n*n");
+    assert_eq!(x.len(), n, "rhs must be length n");
+    let idx = |i: usize, j: usize| i * n + j;
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a[idx(col, col)].abs();
+        for r in col + 1..n {
+            let mag = a[idx(r, col)].abs();
+            if mag > best {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if best < 1e-300 {
+            return false;
+        }
+        if pivot != col {
+            for j in 0..n {
+                a.swap(idx(col, j), idx(pivot, j));
+            }
+            x.swap(col, pivot);
+        }
+        let inv = a[idx(col, col)].inv();
+        for r in col + 1..n {
+            let factor = a[idx(r, col)] * inv;
+            if factor.abs() == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let sub = factor * a[idx(col, j)];
+                a[idx(r, j)] -= sub;
+            }
+            let sub = factor * x[col];
+            x[r] -= sub;
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for j in col + 1..n {
+            acc -= a[idx(col, j)] * x[j];
+        }
+        x[col] = acc / a[idx(col, col)];
+    }
+    true
 }
 
 impl std::ops::Index<(usize, usize)> for CMatrix {

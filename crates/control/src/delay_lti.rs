@@ -19,7 +19,7 @@
 //! lengths. The loop is closed through the shared queue integrator `N/s` and
 //! the marking slope — assembled in [`crate::margins`].
 
-use crate::cmatrix::CMatrix;
+use crate::cmatrix::{solve_in_place, CMatrix};
 use crate::complex::Complex64;
 
 /// A single-input single-output delayed LTI system (see module docs).
@@ -103,6 +103,87 @@ impl DelayLti {
 
     /// Evaluate at `s = jω`.
     pub fn freq_response(&self, omega: f64) -> Option<Complex64> {
+        self.transfer(Complex64::j(omega))
+    }
+}
+
+/// A reusable-buffer evaluator for one [`DelayLti`] system.
+///
+/// [`DelayLti::transfer`] allocates the dense matrix, the right-hand side and
+/// the LU workspace on every call; a margin sweep evaluates the same small
+/// system at thousands of frequencies, so those allocations dominate. The
+/// evaluator owns the buffers and rebuilds them in place with the **same
+/// arithmetic in the same order** as `transfer`, so its results are
+/// bit-identical to the allocating path (asserted by this module's tests).
+#[derive(Debug, Clone)]
+pub struct DelayLtiEvaluator {
+    sys: DelayLti,
+    m: Vec<Complex64>,
+    rhs: Vec<Complex64>,
+}
+
+impl DelayLtiEvaluator {
+    /// Wrap a validated system.
+    pub fn new(sys: DelayLti) -> Self {
+        sys.validate();
+        let n = sys.dim();
+        DelayLtiEvaluator {
+            sys,
+            m: vec![Complex64::ZERO; n * n],
+            rhs: vec![Complex64::ZERO; n],
+        }
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &DelayLti {
+        &self.sys
+    }
+
+    /// Evaluate the transfer function `H(s)` without allocating.
+    ///
+    /// Returns `None` when `sI − A(s)` is numerically singular (a pole).
+    pub fn transfer(&mut self, s: Complex64) -> Option<Complex64> {
+        let sys = &self.sys;
+        let n = sys.dim();
+        // M = sI - A0 - Σ Ak e^{-s τk}
+        let m = &mut self.m;
+        m.fill(Complex64::ZERO);
+        for i in 0..n {
+            m[i * n + i] = s;
+            for j in 0..n {
+                m[i * n + j] -= Complex64::from_re(sys.a0[i][j]);
+            }
+        }
+        for (tau, a) in &sys.delayed_a {
+            let e = (-s * *tau).exp();
+            for i in 0..n {
+                for j in 0..n {
+                    let sub = e * a[i][j];
+                    m[i * n + j] -= sub;
+                }
+            }
+        }
+        // rhs = Σ bk e^{-s τk}
+        let rhs = &mut self.rhs;
+        rhs.fill(Complex64::ZERO);
+        for (tau, b) in &sys.b {
+            let e = (-s * *tau).exp();
+            for i in 0..n {
+                rhs[i] += e * b[i];
+            }
+        }
+        if !solve_in_place(m, rhs, n) {
+            return None;
+        }
+        let mut y = Complex64::from_re(sys.d);
+        for (ci, xi) in sys.c.iter().zip(rhs.iter()).take(n) {
+            y += Complex64::from_re(*ci) * *xi;
+        }
+        Some(y)
+    }
+
+    /// Evaluate at `s = jω` without allocating.
+    pub fn freq_response(&mut self, omega: f64) -> Option<Complex64> {
         self.transfer(Complex64::j(omega))
     }
 }
@@ -229,5 +310,43 @@ mod tests {
         sys.d = 2.0;
         let dc = sys.freq_response(0.0).unwrap();
         assert!((dc.re - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluator_is_bitwise_identical_to_allocating_path() {
+        // A system exercising every term: delayed A, two delayed b columns,
+        // feedthrough, 2 states.
+        let sys = DelayLti {
+            a0: vec![vec![-0.3, 1.2], vec![0.0, -2.0]],
+            delayed_a: vec![(0.05, vec![vec![-0.5, 0.0], vec![0.1, -0.2]])],
+            b: vec![(0.01, vec![1.0, 0.0]), (0.07, vec![0.0, 3.0])],
+            c: vec![1.0, -0.5],
+            d: 0.25,
+        };
+        let mut ev = DelayLtiEvaluator::new(sys.clone());
+        for k in 0..200 {
+            let omega = 1e-2 * 1.1f64.powi(k);
+            let a = sys.freq_response(omega);
+            let b = ev.freq_response(omega);
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits(), "re at omega={omega}");
+                    assert_eq!(x.im.to_bits(), y.im.to_bits(), "im at omega={omega}");
+                }
+                (None, None) => {}
+                _ => panic!("pole detection diverged at omega={omega}"),
+            }
+        }
+        // Pole case agrees too (integrator at s = 0).
+        let integ = DelayLti {
+            a0: vec![vec![0.0]],
+            delayed_a: vec![],
+            b: vec![(0.0, vec![1.0])],
+            c: vec![1.0],
+            d: 0.0,
+        };
+        let mut ev = DelayLtiEvaluator::new(integ.clone());
+        assert!(integ.freq_response(0.0).is_none());
+        assert!(ev.freq_response(0.0).is_none());
     }
 }

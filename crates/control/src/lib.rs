@@ -31,5 +31,6 @@ pub mod roots;
 
 pub use cmatrix::CMatrix;
 pub use complex::Complex64;
-pub use delay_lti::DelayLti;
-pub use margins::{phase_margin, BodePoint, MarginReport};
+pub use delay_lti::{DelayLti, DelayLtiEvaluator};
+pub use linearize::JacobianCache;
+pub use margins::{phase_margin, phase_margin_adaptive, BodePoint, MarginReport, NoCrossing};

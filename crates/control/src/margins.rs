@@ -27,24 +27,55 @@ pub struct BodePoint {
     pub phase_deg: f64,
 }
 
+/// Why a sweep found no unity-gain crossing (`phase_margin_deg == None`).
+///
+/// A silent `None` used to conflate two very different situations: a loop
+/// whose gain never reaches 0 dB (genuinely gain-stable for any phase) and a
+/// sweep whose `[omega_min, omega_max]` grid simply missed the crossing.
+/// The diagnostic makes the distinction explicit so callers can widen the
+/// grid instead of mistaking a truncated sweep for stability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoCrossing {
+    /// `|L| < 1` over the entire grid: the loop is gain-stable for any
+    /// phase. This is the only variant [`MarginReport::is_stable`] treats
+    /// as stable.
+    AllBelowUnity,
+    /// `|L| > 1` over the entire grid: the unity-gain crossing lies outside
+    /// `[omega_min, omega_max]`. The sweep says nothing about stability —
+    /// widen the grid. Reported as *not* stable.
+    AllAboveUnity,
+    /// The loop returned no finite samples on the grid at all (poles or
+    /// NaNs everywhere). Reported as *not* stable.
+    EmptyGrid,
+}
+
 /// Result of a margin analysis.
 #[derive(Debug, Clone)]
 pub struct MarginReport {
     /// Gain-crossover frequencies (rad/s) where |L| falls through 1.
     pub crossover_omegas: Vec<f64>,
-    /// Phase margin (degrees) at the worst crossover; `None` when the loop
-    /// never reaches 0 dB (then the loop is gain-stable for any phase).
+    /// Phase margin (degrees) at the worst crossover; `None` when the sweep
+    /// found no 0 dB crossing — see `no_crossing` for why.
     pub phase_margin_deg: Option<f64>,
     /// Gain margin (dB) at the first −180° phase crossing, if any.
     pub gain_margin_db: Option<f64>,
     /// Swept Bode points (for figure output).
     pub bode: Vec<BodePoint>,
+    /// Present exactly when `phase_margin_deg` is `None`: the reason the
+    /// grid bracketed no unity-gain crossing.
+    pub no_crossing: Option<NoCrossing>,
 }
 
 impl MarginReport {
-    /// A positive phase margin (or no crossover at all) means stable.
+    /// A positive phase margin means stable. With no crossover at all, only
+    /// the [`NoCrossing::AllBelowUnity`] diagnosis (gain below 0 dB on the
+    /// whole grid) counts as stable; a grid that sat entirely above 0 dB
+    /// missed the crossing and must not be reported as stable.
     pub fn is_stable(&self) -> bool {
-        self.phase_margin_deg.is_none_or(|pm| pm > 0.0)
+        match self.phase_margin_deg {
+            Some(pm) => pm > 0.0,
+            None => matches!(self.no_crossing, Some(NoCrossing::AllBelowUnity)),
+        }
     }
 }
 
@@ -99,6 +130,145 @@ where
         });
     }
 
+    report_from_bode(&l, bode)
+}
+
+/// Adaptive-grid variant of [`phase_margin`]: same report, far fewer `l`
+/// evaluations.
+///
+/// The uniform sweep spends almost all of its samples in regions where the
+/// gain curve is featureless. This walk starts at a coarse log-ω step
+/// (8× the uniform spacing implied by `points`) and subdivides only where it
+/// matters: any step that brackets a 0 dB crossing is refined down to ≤4×
+/// the base spacing before being accepted, steps near unity gain must keep
+/// the wrapped phase change ≤ 45° and the gain change ≤ 3 dB, and far-field
+/// steps only require the gain change ≤ 10 dB (phase aliasing far from 0 dB
+/// cannot affect the margins, exactly as in the uniform sweep at high ω).
+/// Accepted steps grow back geometrically up to 64× base.
+///
+/// Crossover bisection, branch selection and the gain-margin interpolation
+/// are shared with [`phase_margin`], so margins agree to the bisection
+/// tolerance (~1e-6°) though the recorded `bode` grid differs. `points`
+/// retains its meaning as the *resolution floor*: the walk never needs a
+/// step finer than the uniform sweep's spacing.
+pub fn phase_margin_adaptive<F>(l: F, omega_min: f64, omega_max: f64, points: usize) -> MarginReport
+where
+    F: Fn(f64) -> Option<Complex64>,
+{
+    assert!(omega_min > 0.0 && omega_max > omega_min && points >= 16);
+    let log_min = omega_min.ln();
+    let log_max = omega_max.ln();
+    let base = (log_max - log_min) / (points - 1) as f64;
+    let max_step = base * 64.0;
+
+    // A raw sample: (log ω, gain dB, wrapped phase deg), or None at a pole.
+    let sample = |lg: f64| -> Option<(f64, f64, f64)> {
+        let omega = lg.exp();
+        let z = l(omega)?;
+        if z.is_nan() {
+            return None;
+        }
+        Some((lg, 20.0 * z.abs().log10(), z.arg().to_degrees()))
+    };
+
+    // Seed: first finite sample at or after log_min (step by base like the
+    // uniform sweep does when it skips poles).
+    let mut raw = Vec::with_capacity(points / 4);
+    let mut lg = log_min;
+    let mut cur = loop {
+        if let Some(s) = sample(lg) {
+            break s;
+        }
+        lg += base;
+        if lg > log_max {
+            return report_from_bode(&l, Vec::new());
+        }
+    };
+    raw.push(cur);
+
+    let wrapped_delta = |a: f64, b: f64| {
+        let mut d = b - a;
+        while d > 180.0 {
+            d -= 360.0;
+        }
+        while d < -180.0 {
+            d += 360.0;
+        }
+        d
+    };
+
+    let mut step = base * 8.0;
+    while cur.0 < log_max - base * 1e-9 {
+        step = step.min(log_max - cur.0).max(base.min(log_max - cur.0));
+        let accepted = loop {
+            let lg_next = cur.0 + step;
+            let at_floor = step <= base * 1.000001;
+            match sample(lg_next) {
+                None => {
+                    // Pole/NaN: the uniform sweep would skip it; step over.
+                    cur = (lg_next, cur.1, cur.2);
+                    break None;
+                }
+                Some(next) => {
+                    let crossing = (cur.1 > 0.0) != (next.1 > 0.0);
+                    let near_unity = cur.1.abs().min(next.1.abs()) < 12.0;
+                    let dgain = (next.1 - cur.1).abs();
+                    let dphase = wrapped_delta(cur.2, next.2).abs();
+                    let ok = if crossing {
+                        step <= base * 4.000001
+                    } else if near_unity {
+                        dphase <= 45.0 && dgain <= 3.0
+                    } else {
+                        dgain <= 10.0
+                    };
+                    if ok || at_floor {
+                        break Some(next);
+                    }
+                    step = (step / 2.0).max(base);
+                }
+            }
+        };
+        if let Some(next) = accepted {
+            raw.push(next);
+            cur = next;
+            step = (step * 1.7).min(max_step);
+        }
+    }
+
+    // Unwrap the accepted samples exactly like the uniform sweep.
+    let mut bode = Vec::with_capacity(raw.len());
+    let mut prev_phase_raw: Option<f64> = None;
+    let mut unwrap_offset = 0.0;
+    for (lg, gain_db, raw_phase) in raw {
+        if let Some(prev) = prev_phase_raw {
+            let mut d = raw_phase - prev;
+            while d > 180.0 {
+                d -= 360.0;
+                unwrap_offset -= 360.0;
+            }
+            while d < -180.0 {
+                d += 360.0;
+                unwrap_offset += 360.0;
+            }
+        }
+        prev_phase_raw = Some(raw_phase);
+        bode.push(BodePoint {
+            omega: lg.exp(),
+            gain_db,
+            phase_deg: raw_phase + unwrap_offset,
+        });
+    }
+
+    report_from_bode(&l, bode)
+}
+
+/// Shared back half of the margin analysis: locate 0 dB crossings on an
+/// (already unwrapped) Bode grid, bisect each, read the gain margin, and
+/// diagnose the no-crossing case.
+fn report_from_bode<F>(l: &F, bode: Vec<BodePoint>) -> MarginReport
+where
+    F: Fn(f64) -> Option<Complex64>,
+{
     // Locate 0 dB crossings (gain falling or rising through 0).
     let mut crossover_omegas = Vec::new();
     let mut pms = Vec::new();
@@ -153,11 +323,24 @@ where
 
     let phase_margin_deg = pms.iter().copied().min_by(|a, b| a.total_cmp(b));
 
+    // Diagnose the no-crossing case so callers can tell "gain-stable" from
+    // "the grid missed the crossing".
+    let no_crossing = if phase_margin_deg.is_some() {
+        None
+    } else if bode.is_empty() {
+        Some(NoCrossing::EmptyGrid)
+    } else if bode.iter().all(|p| p.gain_db <= 0.0) {
+        Some(NoCrossing::AllBelowUnity)
+    } else {
+        Some(NoCrossing::AllAboveUnity)
+    };
+
     MarginReport {
         crossover_omegas,
         phase_margin_deg,
         gain_margin_db,
         bode,
+        no_crossing,
     }
 }
 
@@ -226,6 +409,90 @@ mod tests {
         assert!(rep.phase_margin_deg.is_none());
         assert!(rep.is_stable());
         assert!(rep.crossover_omegas.is_empty());
+        assert_eq!(rep.no_crossing, Some(NoCrossing::AllBelowUnity));
+    }
+
+    #[test]
+    fn grid_missing_the_crossing_is_diagnosed_not_silently_stable() {
+        // L = 100/(s+1) has its unity-gain crossing at ω ≈ 100, far outside
+        // the swept [1e-3, 1e-1] grid: |L| ≈ 40 dB over the whole sweep.
+        // This must NOT be reported as stable — the old silent `None` did.
+        let l =
+            |omega: f64| Some(Complex64::from_re(100.0) / (Complex64::j(omega) + Complex64::ONE));
+        for rep in [
+            phase_margin(l, 1e-3, 1e-1, 100),
+            phase_margin_adaptive(l, 1e-3, 1e-1, 100),
+        ] {
+            assert!(rep.phase_margin_deg.is_none());
+            assert!(rep.crossover_omegas.is_empty());
+            assert_eq!(rep.no_crossing, Some(NoCrossing::AllAboveUnity));
+            assert!(
+                !rep.is_stable(),
+                "a truncated sweep must not claim stability"
+            );
+        }
+        // Widening the grid to cover the crossing resolves the diagnosis.
+        let rep = phase_margin_adaptive(l, 1e-3, 1e4, 2000);
+        assert!(rep.phase_margin_deg.is_some());
+        assert!(rep.no_crossing.is_none());
+    }
+
+    #[test]
+    fn adaptive_matches_uniform_on_reference_loops() {
+        // Type-1 loop: analytic PM ≈ 51.83° at ω_c ≈ 0.7862.
+        let rep_u = phase_margin(type1(1.0), 1e-3, 1e3, 2000);
+        let rep_a = phase_margin_adaptive(type1(1.0), 1e-3, 1e3, 2000);
+        let pm_u = rep_u.phase_margin_deg.unwrap();
+        let pm_a = rep_a.phase_margin_deg.unwrap();
+        assert!(
+            (pm_a - pm_u).abs() < 1e-3,
+            "uniform {pm_u} vs adaptive {pm_a}"
+        );
+        assert!(
+            (rep_a.crossover_omegas[0] - rep_u.crossover_omegas[0]).abs() < 1e-6,
+            "crossover frequency must agree"
+        );
+        // The adaptive grid must actually be much smaller.
+        assert!(
+            rep_a.bode.len() * 3 < rep_u.bode.len(),
+            "adaptive used {} points vs uniform {}",
+            rep_a.bode.len(),
+            rep_u.bode.len()
+        );
+
+        // Delay loop with a negative margin (the regime fig3 lives in).
+        let with_delay = |t: f64| {
+            move |omega: f64| {
+                let s = Complex64::j(omega);
+                Some((-s * t).exp() / (s * (s + Complex64::ONE)))
+            }
+        };
+        let pm_u = phase_margin(with_delay(5.0), 1e-3, 1e3, 2000)
+            .phase_margin_deg
+            .unwrap();
+        let pm_a = phase_margin_adaptive(with_delay(5.0), 1e-3, 1e3, 2000)
+            .phase_margin_deg
+            .unwrap();
+        assert!(pm_a < 0.0, "delay loop must stay unstable: {pm_a}");
+        assert!(
+            (pm_a - pm_u).abs() < 1e-3,
+            "uniform {pm_u} vs adaptive {pm_a}"
+        );
+
+        // Multiple crossovers: L = K(s+1)/(s²) style resonant dip — use the
+        // third-order loop and check gain margin survives adaptivity too.
+        let l3 = |omega: f64| {
+            let den = Complex64::j(omega) + Complex64::ONE;
+            Some(Complex64::from_re(2.0) / (den * den * den))
+        };
+        let gm_u = phase_margin(l3, 1e-3, 1e3, 4000).gain_margin_db.unwrap();
+        let gm_a = phase_margin_adaptive(l3, 1e-3, 1e3, 4000)
+            .gain_margin_db
+            .unwrap();
+        assert!(
+            (gm_a - gm_u).abs() < 0.2,
+            "uniform {gm_u} vs adaptive {gm_a}"
+        );
     }
 
     #[test]

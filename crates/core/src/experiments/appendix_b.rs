@@ -80,8 +80,13 @@ fn cut_times(trace: &[(f64, f64)], frac: f64, from: f64) -> Vec<f64> {
 /// Run the cross-layer cycle-length comparison. Each flow count is an
 /// independent (analytic + packet-sim) job, run in parallel with ordered
 /// results.
+///
+/// When [`desim::par::batch_enabled`], the sweep dispatches through
+/// [`desim::par::par_map_chunked`] (packet engines can't share lanes, so
+/// chunked dispatch is the batching story here); per-row arithmetic is
+/// unchanged, so both paths produce byte-identical rows.
 pub fn run(cfg: &AppendixBConfig) -> AppendixBResult {
-    let rows = desim::par::par_map(cfg.flow_counts.clone(), |n| {
+    let run_one = |n: usize| {
         // --- analytic prediction -----------------------------------------
         let mut params = DcqcnParams::default_40g();
         params.capacity_gbps = cfg.bandwidth_gbps;
@@ -118,7 +123,14 @@ pub fn run(cfg: &AppendixBConfig) -> AppendixBResult {
             measured_cycle_us,
             cuts_measured: cuts.len(),
         }
-    });
+    };
+    let rows = if desim::par::batch_enabled() {
+        desim::par::par_map_chunked(cfg.flow_counts.clone(), 2, |chunk| {
+            chunk.into_iter().map(run_one).collect()
+        })
+    } else {
+        desim::par::par_map(cfg.flow_counts.clone(), run_one)
+    };
     AppendixBResult { rows }
 }
 

@@ -6,7 +6,8 @@
 //! at high delay it dips (often below zero near N ≈ 10) and recovers for
 //! large N, "very different from TCP's behavior".
 
-use models::dcqcn::{DcqcnFluid, DcqcnParams};
+use control::JacobianCache;
+use models::dcqcn::{DcqcnFluid, DcqcnLinParts, DcqcnParams};
 
 /// Configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +69,13 @@ fn margin(params: &DcqcnParams, n: usize) -> f64 {
 /// the whole figure is one flat [`desim::par::par_map`] job list; curves are
 /// reassembled from the ordered results, making the output byte-identical
 /// to the serial sweep regardless of `SIM_THREADS`.
+///
+/// When [`desim::par::batch_enabled`] (the default; `SIM_BATCH=0` opts out),
+/// grid points are grouped by flow count across curves and each group shares
+/// one [`JacobianCache`]: panels (a) and (c) vary only the delay and RED
+/// profile, which the DCQCN linearization never reads, so all their curves
+/// reuse one set of Jacobian blocks per `N`. The cache uses exact
+/// (`tol = 0`) keys, so both paths produce bitwise-identical margins.
 pub fn run(cfg: &Fig3Config) -> Fig3Result {
     let base = DcqcnParams::default_40g();
 
@@ -95,7 +103,48 @@ pub fn run(cfg: &Fig3Config) -> Fig3Result {
         push_curve(p, format!("Kmax={k}KB"));
     }
 
-    let margins = desim::par::par_map(jobs, |(p, n)| margin(&p, n));
+    let margins = if desim::par::batch_enabled() {
+        // Regroup the curve-major job list by position-within-curve (= flow
+        // count): group k holds job c·|N| + k of every curve c. Each group
+        // runs under one Jacobian cache, and results scatter back to their
+        // original flat indices, preserving the output order exactly.
+        let n_pos = cfg.flow_counts.len();
+        let n_curves = labels.len();
+        let mut slots: Vec<Option<(DcqcnParams, usize)>> = jobs.into_iter().map(Some).collect();
+        let groups: Vec<Vec<(usize, DcqcnParams, usize)>> = (0..n_pos)
+            .map(|k| {
+                (0..n_curves)
+                    .map(|c| {
+                        let idx = c * n_pos + k;
+                        // simlint: allow(panic, no-unwrap-sim) — idx enumerates each slot exactly once
+                        let (p, n) = slots[idx].take().expect("job regrouped twice");
+                        (idx, p, n)
+                    })
+                    .collect()
+            })
+            .collect();
+        let group_margins =
+            desim::par::par_map(groups, |group: Vec<(usize, DcqcnParams, usize)>| {
+                let mut cache: JacobianCache<DcqcnLinParts> = JacobianCache::new(0.0, 1024);
+                group
+                    .into_iter()
+                    .map(|(idx, p, n)| {
+                        let pm = DcqcnFluid::new(p, n)
+                            .margin_report_cached(&mut cache)
+                            .phase_margin_deg
+                            .unwrap_or(180.0);
+                        (idx, pm)
+                    })
+                    .collect::<Vec<(usize, f64)>>()
+            });
+        let mut margins = vec![0.0; n_pos * n_curves];
+        for (idx, pm) in group_margins.into_iter().flatten() {
+            margins[idx] = pm;
+        }
+        margins
+    } else {
+        desim::par::par_map(jobs, |(p, n)| margin(&p, n))
+    };
 
     let mut curves: Vec<MarginCurve> = labels
         .into_iter()
@@ -175,6 +224,27 @@ mod tests {
             "dip should become stable with R_AI=10: {:.1}",
             small_rai.points[dip].1
         );
+    }
+
+    #[test]
+    fn batched_and_scalar_paths_are_bitwise_identical() {
+        let cfg = quick_cfg();
+        let a = desim::par::with_batch(true, || run(&cfg));
+        let b = desim::par::with_batch(false, || run(&cfg));
+        let flatten = |r: &Fig3Result| -> Vec<(String, Vec<(usize, u64)>)> {
+            r.by_delay
+                .iter()
+                .chain(&r.by_r_ai)
+                .chain(&r.by_kmax)
+                .map(|c| {
+                    (
+                        c.label.clone(),
+                        c.points.iter().map(|&(n, pm)| (n, pm.to_bits())).collect(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(flatten(&a), flatten(&b), "cached path must match exactly");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! the N = 10 case oscillates while N = 2 and N = 64 settle.
 
 use crate::experiments::Series;
+use fluid::Trace;
 use models::dcqcn::{DcqcnFluid, DcqcnParams};
 
 /// Configuration.
@@ -50,8 +51,30 @@ pub struct Fig4Result {
     pub panels: Vec<Fig4Panel>,
 }
 
+fn make_panel(fluid: DcqcnFluid, d: f64, n: usize, duration_s: f64, trace: &Trace) -> Fig4Panel {
+    let fp = fluid.fixed_point();
+    let predicted_stable = fluid.margin_report().is_stable();
+    let tail = duration_s * 0.6;
+    let osc = trace.peak_to_peak_from(0, tail) / fp.q_star_pkts.max(1.0);
+    Fig4Panel {
+        delay_us: d,
+        n_flows: n,
+        rate_gbps: fluid.rates_gbps(trace, 0),
+        queue_kb: fluid.queue_kb(trace),
+        queue_oscillation: osc,
+        predicted_stable,
+    }
+}
+
 /// Run the grid: each `(delay, N)` panel is an independent DDE integration,
 /// run through [`desim::par::par_map`] with ordered results.
+///
+/// When [`desim::par::batch_enabled`] (the default; `SIM_BATCH=0` opts out),
+/// panels sharing `(N, derived step)` integrate as lanes of one
+/// [`DcqcnFluid::simulate_batch`] call — both paper delays derive the same
+/// 1 µs step, so the grid batches by flow count. Per-lane results are
+/// bit-identical to solo integrations (the `fluid::batch` oracle tests), so
+/// the two paths produce byte-identical panels.
 pub fn run(cfg: &Fig4Config) -> Fig4Result {
     let mut jobs: Vec<(f64, usize)> = Vec::new();
     for &d in &cfg.delays_us {
@@ -59,24 +82,65 @@ pub fn run(cfg: &Fig4Config) -> Fig4Result {
             jobs.push((d, n));
         }
     }
-    let panels = desim::par::par_map(jobs, |(d, n)| {
+
+    let model_for = |d: f64, n: usize| {
         let mut params = DcqcnParams::default_40g();
         params.feedback_delay_us = d;
-        let mut fluid = DcqcnFluid::new(params, n);
-        let fp = fluid.fixed_point();
-        let predicted_stable = fluid.margin_report().is_stable();
-        let trace = fluid.simulate(cfg.duration_s);
-        let tail = cfg.duration_s * 0.6;
-        let osc = trace.peak_to_peak_from(0, tail) / fp.q_star_pkts.max(1.0);
-        Fig4Panel {
-            delay_us: d,
-            n_flows: n,
-            rate_gbps: fluid.rates_gbps(&trace, 0),
-            queue_kb: fluid.queue_kb(&trace),
-            queue_oscillation: osc,
-            predicted_stable,
+        DcqcnFluid::new(params, n)
+    };
+
+    let panels = if desim::par::batch_enabled() {
+        // Group panel indices by (N, step bits): lanes of one batch must
+        // share the state dimension and the derived integration step.
+        let mut groups: Vec<((usize, u64), Vec<usize>)> = Vec::new();
+        for (idx, &(d, n)) in jobs.iter().enumerate() {
+            let step_bits = (model_for(d, n).params.feedback_delay_s() / 4.0)
+                .min(1e-6)
+                .to_bits();
+            let key = (n, step_bits);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, idxs)) => idxs.push(idx),
+                None => groups.push((key, vec![idx])),
+            }
         }
-    });
+        let duration_s = cfg.duration_s;
+        let jobs_ref = &jobs;
+        let out = desim::par::par_map(groups, |(_, idxs): ((usize, u64), Vec<usize>)| {
+            let models: Vec<DcqcnFluid> = idxs
+                .iter()
+                .map(|&idx| {
+                    let (d, n) = jobs_ref[idx];
+                    model_for(d, n)
+                })
+                .collect();
+            let traces = DcqcnFluid::simulate_batch(models.clone(), duration_s);
+            idxs.into_iter()
+                .zip(models)
+                .zip(traces)
+                .map(|((idx, fluid), trace)| {
+                    let (d, n) = jobs_ref[idx];
+                    // simlint: allow(panic, no-unwrap-sim) — mirrors the scalar path, which panics on divergence
+                    let trace = trace.unwrap_or_else(|e| panic!("fig4 lane diverged: {e}"));
+                    (idx, make_panel(fluid, d, n, duration_s, &trace))
+                })
+                .collect::<Vec<(usize, Fig4Panel)>>()
+        });
+        let mut slots: Vec<Option<Fig4Panel>> = (0..jobs.len()).map(|_| None).collect();
+        for (idx, panel) in out.into_iter().flatten() {
+            slots[idx] = Some(panel);
+        }
+        slots
+            .into_iter()
+            // simlint: allow(panic, no-unwrap-sim) — every input index appears in exactly one group
+            .map(|s| s.expect("panel slot unfilled"))
+            .collect()
+    } else {
+        desim::par::par_map(jobs, |(d, n)| {
+            let mut fluid = model_for(d, n);
+            let trace = fluid.simulate(cfg.duration_s);
+            make_panel(fluid, d, n, cfg.duration_s, &trace)
+        })
+    };
     Fig4Result { panels }
 }
 
@@ -113,6 +177,34 @@ mod tests {
             p10 > 2.0 * p2 && p10 > 1.5 * p64,
             "N=10 must be the unstable one: {p2:.2} / {p10:.2} / {p64:.2}"
         );
+    }
+
+    #[test]
+    fn batched_and_scalar_paths_are_bitwise_identical() {
+        // Two delays at N=2 share (dim, step) → one 2-lane batch vs two
+        // scalar integrations; every series must agree to the bit.
+        let cfg = Fig4Config {
+            delays_us: vec![4.0, 85.0],
+            flow_counts: vec![2],
+            duration_s: 0.005,
+        };
+        let a = desim::par::with_batch(true, || run(&cfg));
+        let b = desim::par::with_batch(false, || run(&cfg));
+        assert_eq!(a.panels.len(), b.panels.len());
+        for (pa, pb) in a.panels.iter().zip(&b.panels) {
+            assert_eq!(pa.delay_us, pb.delay_us);
+            assert_eq!(pa.n_flows, pb.n_flows);
+            assert_eq!(pa.predicted_stable, pb.predicted_stable);
+            assert_eq!(
+                pa.queue_oscillation.to_bits(),
+                pb.queue_oscillation.to_bits()
+            );
+            let bits = |s: &Series| -> Vec<(u64, u64)> {
+                s.iter().map(|&(t, v)| (t.to_bits(), v.to_bits())).collect()
+            };
+            assert_eq!(bits(&pa.rate_gbps), bits(&pb.rate_gbps));
+            assert_eq!(bits(&pa.queue_kb), bits(&pb.queue_kb));
+        }
     }
 
     #[test]

@@ -56,8 +56,14 @@ pub struct Fig5Result {
 
 /// Run the packet-level stability contrast: one independent engine per flow
 /// count, in parallel with ordered results.
+///
+/// Packet-level runs have no shared fluid state to batch, so when
+/// [`desim::par::batch_enabled`] the sweep dispatches through
+/// [`desim::par::par_map_chunked`] — consecutive flow counts share one
+/// worker dispatch, amortizing spawn overhead without touching the per-run
+/// arithmetic (results are byte-identical either way).
 pub fn run(cfg: &Fig5Config) -> Fig5Result {
-    let panels = desim::par::par_map(cfg.flow_counts.clone(), |n| {
+    let run_one = |n: usize| {
         let (mut eng, bottleneck) = single_switch_longlived(
             Protocol::Dcqcn,
             n,
@@ -89,7 +95,14 @@ pub fn run(cfg: &Fig5Config) -> Fig5Result {
             rate_gbps,
             queue_p2p_kb: p2p,
         }
-    });
+    };
+    let panels = if desim::par::batch_enabled() {
+        desim::par::par_map_chunked(cfg.flow_counts.clone(), 2, |chunk| {
+            chunk.into_iter().map(run_one).collect()
+        })
+    } else {
+        desim::par::par_map(cfg.flow_counts.clone(), run_one)
+    };
     Fig5Result { panels }
 }
 

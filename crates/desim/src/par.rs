@@ -39,6 +39,36 @@ pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
     out
 }
 
+thread_local! {
+    /// Scoped batch-path override installed by [`with_batch`].
+    static BATCH_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Run `f` with the batched-integration path forced on or off on this
+/// thread. Identity tests use this to compare the batch path against the
+/// scalar path without mutating process-global environment.
+pub fn with_batch<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
+    let prev = BATCH_OVERRIDE.with(|c| c.replace(Some(enabled)));
+    let out = f();
+    BATCH_OVERRIDE.with(|c| c.set(prev));
+    out
+}
+
+/// Whether sweep drivers should use the batched lockstep DDE path: a
+/// [`with_batch`] override if one is active, else `SIM_BATCH` from the
+/// environment (`0` disables), else on. The batch path is proven
+/// bit-identical to the scalar path, so this knob exists for A/B checks and
+/// emergency rollback, not correctness.
+pub fn batch_enabled() -> bool {
+    if let Some(b) = BATCH_OVERRIDE.with(Cell::get) {
+        return b;
+    }
+    if let Ok(v) = std::env::var("SIM_BATCH") {
+        return v.trim() != "0";
+    }
+    true
+}
+
 /// The worker count [`par_map`] will use: a [`with_threads`] override if one
 /// is active, else `SIM_THREADS` from the environment, else
 /// `available_parallelism()`. Always at least 1.
@@ -137,6 +167,47 @@ where
                 .expect("scope joined with an unfilled result slot")
         })
         .collect()
+}
+
+/// Chunked [`par_map`]: split `jobs` into consecutive chunks of (at most)
+/// `chunk` items, map `worker` over whole chunks in parallel, and flatten
+/// the per-chunk outputs back into input order. `worker` must return exactly
+/// one output per input (checked).
+///
+/// This is the dispatch shape for batched lockstep integration: each chunk
+/// becomes one batch of lanes integrated simultaneously, while chunks still
+/// spread over the [`par_map`] pool. Because chunk boundaries depend only on
+/// `jobs.len()` and `chunk`, the output is byte-identical across worker
+/// counts, exactly like [`par_map`].
+pub fn par_map_chunked<I, O, F>(jobs: Vec<I>, chunk: usize, worker: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(Vec<I>) -> Vec<O> + Sync,
+{
+    assert!(chunk >= 1, "chunk size must be at least 1");
+    let n_jobs = jobs.len();
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(n_jobs.div_ceil(chunk));
+    let mut it = jobs.into_iter();
+    loop {
+        let c: Vec<I> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let sizes: Vec<usize> = chunks.iter().map(Vec::len).collect();
+    let outs = par_map(chunks, &worker);
+    let mut flat = Vec::with_capacity(n_jobs);
+    for (out, expect) in outs.into_iter().zip(sizes) {
+        assert_eq!(
+            out.len(),
+            expect,
+            "chunk worker must return one output per input"
+        );
+        flat.extend(out);
+    }
+    flat
 }
 
 /// [`par_map`] for fallible workers: every job runs to completion — a failed
@@ -253,6 +324,42 @@ mod tests {
         let offset = 100u64;
         let out = with_threads(4, || par_map((0..10).collect(), |i: u64| i + offset));
         assert_eq!(out[9], 109);
+    }
+
+    #[test]
+    fn chunked_map_preserves_order_across_thread_counts() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = jobs.iter().map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 4] {
+            for chunk in [1usize, 5, 16, 64] {
+                let out = with_threads(threads, || {
+                    par_map_chunked(jobs.clone(), chunk, |c: Vec<u64>| {
+                        c.into_iter().map(|i| i * 3 + 1).collect()
+                    })
+                });
+                assert_eq!(out, expect, "threads={threads} chunk={chunk}");
+            }
+        }
+        // Empty input stays empty.
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map_chunked(empty, 8, |c: Vec<u64>| c).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one output per input")]
+    fn chunked_map_rejects_wrong_arity() {
+        let _ = par_map_chunked(vec![1u64, 2, 3], 2, |_c: Vec<u64>| vec![0u64]);
+    }
+
+    #[test]
+    fn batch_override_scopes_and_restores() {
+        // Note: no SIM_BATCH manipulation here (env is process-global);
+        // the override path is what tests exercise.
+        with_batch(false, || {
+            assert!(!batch_enabled());
+            with_batch(true, || assert!(batch_enabled()));
+            assert!(!batch_enabled());
+        });
     }
 
     #[test]

@@ -61,17 +61,21 @@ impl Default for DdeOptions {
     }
 }
 
-/// `tmp = x + coeff·k`: the RK intermediate-stage state.
+/// `tmp = x + coeff·k`: the RK intermediate-stage state. Elementwise over
+/// the flat slice, so the same kernel serves the scalar path and the batched
+/// `[state_dim × B]` struct-of-arrays block (lanes are adjacent in memory,
+/// which is what lets rustc auto-vectorize across the batch).
 #[inline]
-fn stage_state(tmp: &mut [f64], x: &[f64], coeff: f64, k: &[f64]) {
+pub(crate) fn stage_state(tmp: &mut [f64], x: &[f64], coeff: f64, k: &[f64]) {
     for ((t, &xi), &ki) in tmp.iter_mut().zip(x).zip(k) {
         *t = xi + coeff * ki;
     }
 }
 
 /// `x += h/6 · (k1 + 2k2 + 2k3 + k4)`: the classic RK4 combination.
+/// Elementwise like [`stage_state`], shared by the scalar and batched paths.
 #[inline]
-fn rk4_combine(x: &mut [f64], h: f64, k1: &[f64], k2: &[f64], k3: &[f64], k4: &[f64]) {
+pub(crate) fn rk4_combine(x: &mut [f64], h: f64, k1: &[f64], k2: &[f64], k3: &[f64], k4: &[f64]) {
     let w = h / 6.0;
     for i in 0..x.len() {
         x[i] += w * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);

@@ -146,6 +146,70 @@ impl History {
         }
     }
 
+    /// Interpolate the `count` components `offset, offset + stride,
+    /// offset + 2·stride, …` at time `t` into `out[..count]`, locating the
+    /// bracketing knot pair **once** for the whole strided slice.
+    ///
+    /// This is the batched-lane access pattern (see `fluid::batch`): a lane's
+    /// state lives at components `lane, lane + B, lane + 2B, …` of a
+    /// `[state_dim × B]` struct-of-arrays history row, so one call fetches a
+    /// full per-lane delayed state with a single search. Bit-identical to
+    /// calling [`History::eval`] per component — the interpolation arithmetic
+    /// is the same.
+    pub fn eval_strided(
+        &self,
+        t: f64,
+        offset: usize,
+        stride: usize,
+        count: usize,
+        out: &mut [f64],
+    ) {
+        assert!(stride >= 1, "stride must be at least 1");
+        assert!(
+            count == 0 || offset + (count - 1) * stride < self.dim,
+            "strided component range out of bounds"
+        );
+        assert!(out.len() >= count, "output slice too short");
+        // A dense full-row request (the scalar path: stride 1 over every
+        // component) takes the contiguous-zip loop of `eval_all` — same
+        // per-component arithmetic, better codegen than indexed gathers.
+        if stride == 1 && offset == 0 && count == self.dim {
+            return self.eval_all(t, &mut out[..count]);
+        }
+        let _span = obs::span::enter(obs::Phase::Locate);
+        if t <= self.times[self.front] {
+            // front < times.len() by construction
+            for (k, o) in out[..count].iter_mut().enumerate() {
+                *o = self.pre[offset + k * stride];
+            }
+            return;
+        }
+        let n = self.times.len();
+        if t >= self.times[n - 1] {
+            // non-empty by construction
+            let r = self.row(n - 1);
+            for (k, o) in out[..count].iter_mut().enumerate() {
+                *o = r[offset + k * stride];
+            }
+            return;
+        }
+        let idx = self.locate(t);
+        let (t0, t1) = (self.times[idx], self.times[idx + 1]);
+        let (r0, r1) = (self.row(idx), self.row(idx + 1));
+        if t1 == t0 {
+            for (k, o) in out[..count].iter_mut().enumerate() {
+                *o = r1[offset + k * stride];
+            }
+            return;
+        }
+        let w = (t - t0) / (t1 - t0);
+        for (k, o) in out[..count].iter_mut().enumerate() {
+            let c = offset + k * stride;
+            let (v0, v1) = (r0[c], r1[c]);
+            *o = v0 + w * (v1 - v0);
+        }
+    }
+
     /// Find physical `idx` with `times[idx] <= t < times[idx+1]`, exploiting
     /// monotone query locality via a cursor, falling back to binary search.
     fn locate(&self, t: f64) -> usize {
@@ -359,6 +423,42 @@ mod tests {
                         o.to_bits() == direct.to_bits(),
                         "t={tq} c={c}: {o} vs {direct}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_strided_matches_eval_per_component() {
+        // Strided lane access must agree with per-component eval to the last
+        // bit, across pre-history, interior and extrapolation regions, and
+        // after trims — this is the oracle for the batched SoA lane layout.
+        let mut rng = desim::SimRng::new(0xBA7C);
+        let lanes = 4;
+        let lane_dim = 3;
+        let dim = lanes * lane_dim;
+        let init: Vec<f64> = (0..dim).map(|_| rng.next_f64()).collect();
+        let mut h = History::new(0.0, &init);
+        let mut t = 0.0;
+        let mut out = vec![0.0; lane_dim];
+        for step in 0..300 {
+            t += rng.next_f64() * 0.1;
+            let state: Vec<f64> = (0..dim).map(|_| rng.next_f64() * 100.0 - 50.0).collect();
+            h.push(t, &state);
+            if step % 83 == 0 {
+                h.trim_before(t - 1.0);
+            }
+            for _ in 0..3 {
+                let tq = rng.next_f64() * (t + 1.0) - 0.5;
+                for lane in 0..lanes {
+                    h.eval_strided(tq, lane, lanes, lane_dim, &mut out);
+                    for (k, &o) in out.iter().enumerate() {
+                        let direct = h.eval(tq, lane + k * lanes);
+                        assert!(
+                            o.to_bits() == direct.to_bits(),
+                            "t={tq} lane={lane} k={k}: {o} vs {direct}"
+                        );
+                    }
                 }
             }
         }

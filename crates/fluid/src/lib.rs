@@ -16,6 +16,10 @@
 //!   steps: delayed values are read from the accumulated history, with the
 //!   pre-`t0` segment supplied by a user initial function (constant initial
 //!   state by default, matching the paper's "flows start at line rate");
+//! * [`LaneSystem`] / [`LaneBatch`] + a batched lockstep RK4 DDE integrator
+//!   ([`try_integrate_dde_batch`]): B sweep configs integrate simultaneously
+//!   over one `[state_dim × B]` struct-of-arrays block with per-lane
+//!   divergence reporting, bit-identical to the scalar path at B = 1;
 //! * [`Trace`] — a recorded solution with per-component series extraction
 //!   and decimation, the common currency of every figure runner.
 //!
@@ -26,11 +30,16 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod dde;
 pub mod history;
 pub mod ode;
 pub mod trace;
 
+pub use batch::{
+    batch_stride, integrate_dde_batch, lane_of, pack_lanes, try_integrate_dde_batch,
+    BatchDdeSystem, LaneBatch, LaneSystem,
+};
 pub use dde::{integrate_dde, DdeSystem};
 pub use history::History;
 pub use ode::{integrate_ode, integrate_ode_adaptive, OdeSystem};

@@ -22,12 +22,16 @@
 use crate::jitter::Jitter;
 use crate::units;
 use control::complex::Complex64;
-use control::linearize;
-use control::margins::{phase_margin, MarginReport};
+use control::linearize::{self, JacobianCache};
+use control::margins::{phase_margin_adaptive, MarginReport};
 use control::roots;
+use control::DelayLtiEvaluator;
+use faults::SimError;
+use fluid::batch::{lane_of, pack_lanes, try_integrate_dde_batch, LaneBatch, LaneSystem};
 use fluid::dde::{integrate_dde_with_prehistory, DdeOptions, DdeSystem};
 use fluid::history::History;
 use fluid::trace::Trace;
+use std::cell::RefCell;
 
 /// DCQCN parameters (Table 1), stored in human units and converted to packet
 /// units on demand.
@@ -176,23 +180,41 @@ impl DcqcnParams {
 
 /// `(1 − p)^e` computed stably for small `p`.
 fn pow1m(p: f64, e: f64) -> f64 {
+    pow1m_ln(p, (-p).ln_1p(), e)
+}
+
+/// [`pow1m`] with the log `l = ln(1 − p)` precomputed. Every power helper is
+/// a function of `e · l`, so an N-flow RHS evaluation hoists the single
+/// `ln_1p` out of the per-flow loop; the product multiplies in the same
+/// order as the fused form, so the result is bitwise unchanged.
+fn pow1m_ln(p: f64, l: f64, e: f64) -> f64 {
     if p >= 1.0 {
         return 0.0;
     }
-    (e * (-p).ln_1p()).exp()
+    (e * l).exp()
 }
 
 /// `1 − (1 − p)^e` computed stably for small `p`.
 fn one_minus_pow(p: f64, e: f64) -> f64 {
+    one_minus_pow_ln(p, (-p).ln_1p(), e)
+}
+
+/// [`one_minus_pow`] with `l = ln(1 − p)` precomputed (see [`pow1m_ln`]).
+fn one_minus_pow_ln(p: f64, l: f64, e: f64) -> f64 {
     if p >= 1.0 {
         return 1.0;
     }
-    -(e * (-p).ln_1p()).exp_m1()
+    -(e * l).exp_m1()
 }
 
 /// `p / ((1 − p)^{−e} − 1)`, the expected per-event probability factor in
 /// the rate-increase terms (Eq 12's `b` and `d`). Limit `1/e` as `p → 0`.
 fn rate_event_factor(p: f64, e: f64) -> f64 {
+    rate_event_factor_ln(p, (-p).ln_1p(), e)
+}
+
+/// [`rate_event_factor`] with `l = ln(1 − p)` precomputed (see [`pow1m_ln`]).
+fn rate_event_factor_ln(p: f64, l: f64, e: f64) -> f64 {
     let e = e.max(1e-9);
     if p < 1e-12 {
         return 1.0 / e;
@@ -200,8 +222,73 @@ fn rate_event_factor(p: f64, e: f64) -> f64 {
     if p >= 1.0 {
         return 0.0;
     }
-    let denom = (-e * (-p).ln_1p()).exp_m1();
+    let denom = (-e * l).exp_m1();
     p / denom
+}
+
+/// Marking terms shared by every flow at one delayed time: the log
+/// `l = ln(1 − p_delayed)` plus the byte-counter event factors `b` and `c`
+/// of Eq 12, which depend only on `p_delayed` (never on the flow's own
+/// rate). Hoisting them out of the per-flow loop removes most of the
+/// transcendental calls from an N-flow RHS evaluation without changing a
+/// bit of the arithmetic.
+struct MarkTerms {
+    /// Delayed marking probability `p(t − τ*)`.
+    p_delayed: f64,
+    /// `ln(1 − p_delayed)`.
+    l: f64,
+    /// Eq 12's `b`: byte-counter event factor.
+    b: f64,
+    /// Eq 12's `c`: post-fast-recovery byte-counter increase factor.
+    c: f64,
+}
+
+/// The per-flow transcendental factors of Eqs 5–7, functions of the flow's
+/// delayed rate only (given the shared [`MarkTerms`]). Flows with the
+/// bitwise-same delayed rate — e.g. every flow of a symmetric run — share
+/// one computation; see the memo in the RHS flow loop.
+struct FlowTerms {
+    /// Delayed rate clamped non-negative, as used by every factor.
+    rcd: f64,
+    /// Eq 7's CNP-window cut probability `1 − (1 − p)^{τ·R_C(t−τ*)}`.
+    a: f64,
+    /// Eq 12's `d`: timer event factor.
+    d: f64,
+    /// Eq 12's `e`: post-fast-recovery timer increase factor.
+    e: f64,
+    /// Eq 5's marking estimate `1 − (1 − p)^{τ'·R_C(t−τ*)}`.
+    alpha_pow: f64,
+}
+
+impl FlowTerms {
+    fn new(p: &DcqcnParams, mk: &MarkTerms, rc_delayed: f64) -> Self {
+        let tau = p.cnp_timer_s();
+        let tau_prime = p.alpha_timer_s();
+        let f = p.fast_recovery_steps;
+        let t_tmr = p.timer_s();
+        let rcd = rc_delayed.max(0.0);
+        let a = one_minus_pow_ln(mk.p_delayed, mk.l, tau * rcd);
+        let d = rate_event_factor_ln(mk.p_delayed, mk.l, t_tmr * rcd);
+        let e = pow1m_ln(mk.p_delayed, mk.l, f * t_tmr * rcd) * d;
+        let alpha_pow = one_minus_pow_ln(mk.p_delayed, mk.l, tau_prime * rcd);
+        FlowTerms {
+            rcd,
+            a,
+            d,
+            e,
+            alpha_pow,
+        }
+    }
+}
+
+impl MarkTerms {
+    fn new(p: &DcqcnParams, p_delayed: f64) -> Self {
+        let l = (-p_delayed).ln_1p();
+        let b_cnt = p.byte_counter_pkts();
+        let b = rate_event_factor_ln(p_delayed, l, b_cnt);
+        let c = pow1m_ln(p_delayed, l, p.fast_recovery_steps * b_cnt) * b;
+        MarkTerms { p_delayed, l, b, c }
+    }
 }
 
 /// The unique fixed point of Theorem 1.
@@ -225,6 +312,25 @@ pub struct DcqcnFixedPoint {
     /// linear region (queue pinned near `K_max`). The linearized analysis
     /// still uses the RED slope, following the paper.
     pub saturated: bool,
+}
+
+/// The delay-independent half of the DCQCN linearization: fixed point plus
+/// central-difference Jacobian blocks of the per-flow subsystem. See
+/// [`DcqcnFluid::lin_parts`] for what the parts depend on (and, crucially,
+/// what they don't), and [`DcqcnFluid::margin_report_cached`] for the grid
+/// sweeps that reuse them through a [`JacobianCache`].
+#[derive(Debug, Clone)]
+pub struct DcqcnLinParts {
+    /// Fixed-point per-flow state `[R_C*, R_T*, α*]`.
+    pub x_star: [f64; 3],
+    /// Fixed-point marking probability `p*` (Eq 11).
+    pub p_star: f64,
+    /// `A₀ = ∂f/∂(R_C, R_T, α)` at the fixed point (3×3).
+    pub a0: Vec<Vec<f64>>,
+    /// Delayed-rate column `∂f/∂R_C(t−τ*)`.
+    pub a1_col: Vec<f64>,
+    /// Delayed-marking column `∂f/∂p(t−τ*)`.
+    pub b_col: Vec<f64>,
 }
 
 /// The DCQCN fluid model for `N` flows over one bottleneck.
@@ -306,28 +412,56 @@ impl DcqcnFluid {
         p_delayed: f64,
         out: &mut [f64],
     ) {
+        Self::flow_rhs_terms(
+            p,
+            &MarkTerms::new(p, p_delayed),
+            rc,
+            rt,
+            alpha,
+            rc_delayed,
+            out,
+        )
+    }
+
+    /// [`DcqcnFluid::flow_rhs`] with the flow-independent marking terms
+    /// precomputed, so an N-flow RHS evaluation shares one [`MarkTerms`].
+    #[allow(clippy::too_many_arguments)]
+    fn flow_rhs_terms(
+        p: &DcqcnParams,
+        mk: &MarkTerms,
+        rc: f64,
+        rt: f64,
+        alpha: f64,
+        rc_delayed: f64,
+        out: &mut [f64],
+    ) {
+        let ft = FlowTerms::new(p, mk, rc_delayed);
+        Self::flow_rhs_from_terms(p, mk, &ft, rc, rt, alpha, out);
+    }
+
+    /// The Eq 5–7 combination step: all transcendental factors arrive
+    /// precomputed in `mk` (per delayed time) and `ft` (per delayed rate),
+    /// leaving only multiply-adds per flow.
+    fn flow_rhs_from_terms(
+        p: &DcqcnParams,
+        mk: &MarkTerms,
+        ft: &FlowTerms,
+        rc: f64,
+        rt: f64,
+        alpha: f64,
+        out: &mut [f64],
+    ) {
         let tau = p.cnp_timer_s();
         let tau_prime = p.alpha_timer_s();
-        let f = p.fast_recovery_steps;
-        let b_cnt = p.byte_counter_pkts();
-        let t_tmr = p.timer_s();
         let r_ai = p.r_ai_pps();
-
-        let rcd = rc_delayed.max(0.0);
-        let a = one_minus_pow(p_delayed, tau * rcd);
-        let b = rate_event_factor(p_delayed, b_cnt);
-        let c = pow1m(p_delayed, f * b_cnt) * b;
-        let d = rate_event_factor(p_delayed, t_tmr * rcd);
-        let e = pow1m(p_delayed, f * t_tmr * rcd) * d;
-
         // Eq 7: rate decrease (CNP-driven) + averaging toward target on
         // byte-counter and timer events.
-        out[0] = -rc * alpha / (2.0 * tau) * a + (rt - rc) / 2.0 * rcd * (b + d);
+        out[0] = -rc * alpha / (2.0 * tau) * ft.a + (rt - rc) / 2.0 * ft.rcd * (mk.b + ft.d);
         // Eq 6: target collapses to R_C on decrease; additive increase after
         // fast recovery on both byte-counter and timer events.
-        out[1] = -(rt - rc) / tau * a + r_ai * rcd * (c + e);
+        out[1] = -(rt - rc) / tau * ft.a + r_ai * ft.rcd * (mk.c + ft.e);
         // Eq 5: α tracks the marking probability seen over τ'.
-        out[2] = p.g / tau_prime * (one_minus_pow(p_delayed, tau_prime * rcd) - alpha);
+        out[2] = p.g / tau_prime * (ft.alpha_pow - alpha);
     }
 
     /// Public access to the per-flow dynamics for composition (the PI
@@ -406,18 +540,17 @@ impl DcqcnFluid {
         }
     }
 
-    /// Open-loop transfer function `L(jω)` of the linearized system around
-    /// the fixed point (Appendix A, computed numerically).
+    /// The fixed-point and Jacobian blocks that feed [`Self::loop_transfer`].
     ///
-    /// The loop is broken at the marking probability: the per-flow (R_C,
-    /// R_T, α) subsystem responds to `δp(t − τ*)` (and to its own delayed
-    /// rate `δR_C(t − τ*)`); N flows feed the queue integrator `N/s`; RED
-    /// closes the loop with slope `P_max/(K_max − K_min)`.
-    pub fn loop_transfer(&self) -> impl Fn(f64) -> Option<Complex64> {
+    /// These depend on `(N, C, R_AI, τ, τ', F, B, T, g)` but **not** on the
+    /// RED profile or the feedback delay (Eq 11 never references them), so
+    /// grid sweeps that vary only delay / `K_max` / `P_max` can share one
+    /// `DcqcnLinParts` across many margin evaluations — that is exactly what
+    /// [`Self::margin_report_cached`] does via a [`JacobianCache`] keyed on
+    /// [`Self::lin_parts_key`].
+    pub fn lin_parts(&self) -> DcqcnLinParts {
         let fp = self.fixed_point();
         let p = self.params.clone();
-        let n = self.n_flows as f64;
-        let tau_star = p.feedback_delay_s();
 
         let x_star = [fp.rate_per_flow_pps, fp.target_rate_pps, fp.alpha_star];
         let rcd_star = fp.rate_per_flow_pps;
@@ -433,7 +566,7 @@ impl DcqcnFluid {
             &x_star,
             3,
         );
-        // A1 (delay τ*): only the delayed R_C column is nonzero.
+        // A1 column (delay τ*): only the delayed R_C column is nonzero.
         let p_a1 = p.clone();
         let x0 = x_star;
         let a1_col = linearize::derivative_column(
@@ -444,10 +577,6 @@ impl DcqcnFluid {
             rcd_star,
             3,
         );
-        let mut a1 = vec![vec![0.0; 3]; 3];
-        for i in 0..3 {
-            a1[i][0] = a1_col[i]; // column 0 = the delayed R_C state
-        }
         // b (delay τ*): ∂f/∂p_delayed.
         let p_b = p.clone();
         let b_col = linearize::derivative_column(
@@ -459,28 +588,90 @@ impl DcqcnFluid {
             3,
         );
 
-        let sys = control::DelayLti {
+        DcqcnLinParts {
+            x_star,
+            p_star,
             a0,
+            a1_col,
+            b_col,
+        }
+    }
+
+    /// Cache key for [`Self::lin_parts`]: every parameter the linearization
+    /// actually reads. Two configs with equal keys have bitwise-equal parts.
+    pub fn lin_parts_key(&self) -> Vec<f64> {
+        let p = &self.params;
+        vec![
+            self.n_flows as f64,
+            p.capacity_pps(),
+            p.r_ai_pps(),
+            p.cnp_timer_s(),
+            p.alpha_timer_s(),
+            p.fast_recovery_steps,
+            p.byte_counter_pkts(),
+            p.timer_s(),
+            p.g,
+        ]
+    }
+
+    /// Assemble the open-loop transfer closure from precomputed parts (see
+    /// [`Self::lin_parts`]); delay and RED slope come from `self`.
+    fn loop_transfer_from_parts(&self, parts: DcqcnLinParts) -> impl Fn(f64) -> Option<Complex64> {
+        let n = self.n_flows as f64;
+        let tau_star = self.params.feedback_delay_s();
+        let k_red = self.params.red_slope();
+
+        let mut a1 = vec![vec![0.0; 3]; 3];
+        for (row, &v) in a1.iter_mut().zip(&parts.a1_col) {
+            row[0] = v; // column 0 = the delayed R_C state
+        }
+        let sys = control::DelayLti {
+            a0: parts.a0,
             delayed_a: vec![(tau_star, a1)],
-            b: vec![(tau_star, b_col)],
+            b: vec![(tau_star, parts.b_col)],
             c: vec![1.0, 0.0, 0.0],
             d: 0.0,
         };
-        sys.validate();
-        let k_red = p.red_slope();
+        // The margin sweep evaluates L at thousands of frequencies; reuse
+        // the LU buffers across calls (bit-identical to the allocating
+        // path). RefCell because phase_margin wants Fn, not FnMut.
+        let ev = RefCell::new(DelayLtiEvaluator::new(sys));
 
         move |omega: f64| {
-            let h = sys.freq_response(omega)?; // δR_C / δp
+            let h = ev.borrow_mut().freq_response(omega)?; // δR_C / δp
             let integ = Complex64::from_re(n) / Complex64::j(omega); // δq/δR_C
                                                                      // Negative-feedback convention: L = −(RED slope)·(N/s)·H.
             Some(-(h * integ).scale(k_red))
         }
     }
 
+    /// Open-loop transfer function `L(jω)` of the linearized system around
+    /// the fixed point (Appendix A, computed numerically).
+    ///
+    /// The loop is broken at the marking probability: the per-flow (R_C,
+    /// R_T, α) subsystem responds to `δp(t − τ*)` (and to its own delayed
+    /// rate `δR_C(t − τ*)`); N flows feed the queue integrator `N/s`; RED
+    /// closes the loop with slope `P_max/(K_max − K_min)`.
+    pub fn loop_transfer(&self) -> impl Fn(f64) -> Option<Complex64> {
+        self.loop_transfer_from_parts(self.lin_parts())
+    }
+
     /// Phase-margin report for this configuration (one point of Figure 3).
     pub fn margin_report(&self) -> MarginReport {
         let l = self.loop_transfer();
-        phase_margin(l, 1e1, 1e7, 3000)
+        phase_margin_adaptive(l, 1e1, 1e7, 3000)
+    }
+
+    /// [`Self::margin_report`] with the linearization served from `cache`.
+    ///
+    /// Used by grid sweeps (fig3) where neighboring grid points share
+    /// `(N, C, R_AI, …)` and differ only in delay or RED profile. With the
+    /// cache's `tol = 0.0` the result is bitwise identical to the uncached
+    /// path.
+    pub fn margin_report_cached(&self, cache: &mut JacobianCache<DcqcnLinParts>) -> MarginReport {
+        let parts = cache.get_or_insert_with(&self.lin_parts_key(), || self.lin_parts());
+        let l = self.loop_transfer_from_parts(parts);
+        phase_margin_adaptive(l, 1e1, 1e7, 3000)
     }
 
     /// Integrate the fluid model (Eqs 3–7) for `duration_s` seconds.
@@ -517,6 +708,64 @@ impl DcqcnFluid {
         integrate_dde_with_prehistory(self, &x0.clone(), &pre, 0.0, duration_s, &opts)
     }
 
+    /// Integrate a batch of DCQCN configurations in lockstep over one
+    /// struct-of-arrays state block (see [`fluid::batch`]).
+    ///
+    /// Every lane starts at line rate with `α = 1` and an empty queue,
+    /// exactly like [`DcqcnFluid::simulate`], and each lane's trace (or
+    /// [`SimError::Divergence`]) is bit-identical to the scalar
+    /// `simulate` of the same config — a diverging lane never aborts its
+    /// batchmates. Lanes must share the flow count and derive the same
+    /// lockstep step size from their feedback delays (callers group sweep
+    /// points accordingly); the history horizon is the maximum over lanes,
+    /// which affects only memory, never values.
+    pub fn simulate_batch(
+        models: Vec<DcqcnFluid>,
+        duration_s: f64,
+    ) -> Vec<Result<Trace, SimError>> {
+        assert!(!models.is_empty(), "batch needs at least one lane");
+        let lane_step = |m: &DcqcnFluid| (m.params.feedback_delay_s() / 4.0).min(1e-6);
+        // `models[0]` is safe: non-emptiness asserted above.
+        let step_s = lane_step(&models[0]);
+        for m in &models {
+            assert!(
+                lane_step(m).to_bits() == step_s.to_bits(),
+                "lanes must share the lockstep step size"
+            );
+        }
+        let record_every = ((duration_s / step_s) / 4000.0).ceil().max(1.0) as usize;
+        let horizon = models
+            .iter()
+            .map(|m| {
+                (m.params.feedback_delay_s() + m.jitter.as_ref().map_or(0.0, Jitter::max_extra))
+                    * 4.0
+                    + 10.0 * step_s
+            })
+            .fold(0.0, f64::max);
+        let x0s: Vec<Vec<f64>> = models
+            .iter()
+            .map(|m| {
+                let line_rate = m.params.capacity_pps();
+                let mut x0 = vec![0.0; m.state_dim()];
+                for i in 0..m.n_flows {
+                    x0[m.rc_index(i)] = line_rate;
+                    x0[m.rt_index(i)] = line_rate;
+                    x0[m.alpha_index(i)] = 1.0;
+                }
+                x0
+            })
+            .collect();
+        let packed = pack_lanes(&x0s);
+        let opts = DdeOptions {
+            step: step_s,
+            record_every,
+            history_horizon_s: horizon,
+        };
+        let mut batch = LaneBatch::new(models);
+        try_integrate_dde_batch(&mut batch, &packed, &packed, 0.0, duration_s, &opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Convenience: extract per-flow rates in Gbps and queue in KB from a
     /// trace produced by [`DcqcnFluid::simulate`].
     pub fn rates_gbps(&self, trace: &Trace, flow: usize) -> Vec<(f64, f64)> {
@@ -537,46 +786,31 @@ impl DcqcnFluid {
     }
 }
 
-impl DdeSystem for DcqcnFluid {
-    fn dim(&self) -> usize {
+impl LaneSystem for DcqcnFluid {
+    fn lane_dim(&self) -> usize {
         self.state_dim()
     }
 
-    fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+    /// The DCQCN RHS as a batch-lane kernel: this lane's component `c` lives
+    /// at `lane_of(c, lane, stride)` of the strided block. The scalar
+    /// [`DdeSystem`] path is the `lane = 0, stride = 1` call of this same
+    /// code, which is what makes the batched integrator bit-identical at
+    /// B = 1.
+    fn lane_rhs(
+        &mut self,
+        t: f64,
+        x: &[f64],
+        lane: usize,
+        stride: usize,
+        hist: &History,
+        dxdt: &mut [f64],
+    ) {
         // All delayed quantities (queue + every flow's rate) live at the same
-        // delayed time, so fetch the whole state row with one knot search.
+        // delayed time, so fetch the whole lane row with one knot search.
         let mut delayed = std::mem::take(&mut self.scratch);
-        let p = &self.params;
-        let cap = p.capacity_pps();
-        let extra = self.jitter.as_ref().map_or(0.0, |j| j.extra(t));
-        let delay = p.feedback_delay_s() + extra;
-        let td = t - delay;
-
-        hist.eval_all(td, &mut delayed);
-        let q_delayed = delayed[0].max(0.0); // component 0 is the queue
-        let p_delayed = p.red_probability(q_delayed);
-
-        // Eq 4: queue integrates excess arrival rate (projection keeps q ≥ 0).
-        let sum_rates: f64 = (0..self.n_flows).map(|i| x[self.rc_index(i)]).sum();
-        // State component 0 is the shared queue.
-        dxdt[0] = if x[0] <= 0.0 && sum_rates < cap {
-            0.0
-        } else {
-            sum_rates - cap
-        };
-
-        let mut out = [0.0; 3];
-        for i in 0..self.n_flows {
-            let rc = x[self.rc_index(i)];
-            let rt = x[self.rt_index(i)];
-            let alpha = x[self.alpha_index(i)];
-            let rc_delayed = delayed[self.rc_index(i)];
-            DcqcnFluid::flow_rhs(p, rc, rt, alpha, rc_delayed, p_delayed, &mut out);
-            let [d_rc, d_rt, d_alpha] = out;
-            dxdt[self.rc_index(i)] = d_rc;
-            dxdt[self.rt_index(i)] = d_rt;
-            dxdt[self.alpha_index(i)] = d_alpha;
-        }
+        let td = self.delayed_instant(t);
+        hist.eval_strided(td, lane, stride, self.state_dim(), &mut delayed);
+        self.lane_rhs_with_delayed(x, lane, stride, &delayed, dxdt);
         self.scratch = delayed;
     }
 
@@ -585,20 +819,130 @@ impl DdeSystem for DcqcnFluid {
         self.params.feedback_delay_s()
     }
 
-    fn project(&mut self, _t: f64, x: &mut [f64]) {
+    fn lane_delay_at(&self, t: f64) -> Option<f64> {
+        Some(self.delayed_instant(t))
+    }
+
+    fn lane_rhs_prefetched(
+        &mut self,
+        _t: f64,
+        x: &[f64],
+        lane: usize,
+        stride: usize,
+        _hist: &History,
+        delayed: &[f64],
+        dxdt: &mut [f64],
+    ) {
+        // Gather this lane's slice of the prefetched block row (hot in
+        // cache, unlike the wide history rows the strided eval walks); the
+        // values are bit-identical to an `eval_strided` at the same instant.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (c, s) in scratch.iter_mut().enumerate() {
+            *s = delayed[lane_of(c, lane, stride)];
+        }
+        self.lane_rhs_with_delayed(x, lane, stride, &scratch, dxdt);
+        self.scratch = scratch;
+    }
+
+    fn lane_project(&mut self, _t: f64, x: &mut [f64], lane: usize, stride: usize) {
         let line = self.params.capacity_pps();
         let floor = self.params.min_rate_pps();
-        x[0] = x[0].max(0.0); // component 0 is the queue
+        let q = lane_of(0, lane, stride);
+        x[q] = x[q].max(0.0); // component 0 is the queue
         for i in 0..self.n_flows {
-            let rc = self.rc_index(i);
-            let rt = self.rt_index(i);
-            let al = self.alpha_index(i);
+            let rc = lane_of(self.rc_index(i), lane, stride);
+            let rt = lane_of(self.rt_index(i), lane, stride);
+            let al = lane_of(self.alpha_index(i), lane, stride);
             x[rc] = x[rc].clamp(floor, line);
             x[rt] = x[rt].clamp(floor, line);
             x[al] = x[al].clamp(0.0, 1.0);
             desim::invariants::unit_interval("dcqcn fluid alpha", x[al]);
             desim::invariants::finite_rate("dcqcn fluid rc_pps", x[rc]);
         }
+    }
+}
+
+impl DcqcnFluid {
+    /// The single delayed instant every lookup at time `t` uses.
+    fn delayed_instant(&self, t: f64) -> f64 {
+        let extra = self.jitter.as_ref().map_or(0.0, |j| j.extra(t));
+        let delay = self.params.feedback_delay_s() + extra;
+        t - delay
+    }
+
+    /// The RHS arithmetic after the delayed lane row has been fetched
+    /// (`delayed` is lane-local dense, length `state_dim`); shared by the
+    /// history-querying and block-prefetched paths so they cannot drift.
+    fn lane_rhs_with_delayed(
+        &self,
+        x: &[f64],
+        lane: usize,
+        stride: usize,
+        delayed: &[f64],
+        dxdt: &mut [f64],
+    ) {
+        let p = &self.params;
+        let cap = p.capacity_pps();
+        let q_delayed = delayed[0].max(0.0); // component 0 is the queue
+        let p_delayed = p.red_probability(q_delayed);
+        let mk = MarkTerms::new(p, p_delayed);
+
+        // Eq 4: queue integrates excess arrival rate (projection keeps q ≥ 0).
+        let sum_rates: f64 = (0..self.n_flows)
+            .map(|i| x[lane_of(self.rc_index(i), lane, stride)])
+            .sum();
+        // State component 0 is the shared queue.
+        let q = x[lane_of(0, lane, stride)];
+        dxdt[lane_of(0, lane, stride)] = if q <= 0.0 && sum_rates < cap {
+            0.0
+        } else {
+            sum_rates - cap
+        };
+
+        // The FlowTerms factors depend only on the flow's delayed rate, and
+        // symmetric flows carry bitwise-identical trajectories, so memoize
+        // on the exact rate bits: an N-flow symmetric run pays the
+        // transcendental cost once instead of N times, with unchanged bits.
+        let mut out = [0.0; 3];
+        let mut memo: Option<(u64, FlowTerms)> = None;
+        for i in 0..self.n_flows {
+            let rc = x[lane_of(self.rc_index(i), lane, stride)];
+            let rt = x[lane_of(self.rt_index(i), lane, stride)];
+            let alpha = x[lane_of(self.alpha_index(i), lane, stride)];
+            let rc_delayed = delayed[self.rc_index(i)];
+            let ft = match &memo {
+                Some((bits, ft)) if *bits == rc_delayed.to_bits() => ft,
+                _ => {
+                    &memo
+                        .insert((rc_delayed.to_bits(), FlowTerms::new(p, &mk, rc_delayed)))
+                        .1
+                }
+            };
+            DcqcnFluid::flow_rhs_from_terms(p, &mk, ft, rc, rt, alpha, &mut out);
+            let [d_rc, d_rt, d_alpha] = out;
+            dxdt[lane_of(self.rc_index(i), lane, stride)] = d_rc;
+            dxdt[lane_of(self.rt_index(i), lane, stride)] = d_rt;
+            dxdt[lane_of(self.alpha_index(i), lane, stride)] = d_alpha;
+        }
+    }
+}
+
+impl DdeSystem for DcqcnFluid {
+    fn dim(&self) -> usize {
+        self.state_dim()
+    }
+
+    fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+        // The scalar path is the single-lane special case of the lane kernel.
+        self.lane_rhs(t, x, 0, 1, hist, dxdt);
+    }
+
+    fn min_delay(&self) -> f64 {
+        LaneSystem::min_delay(self)
+    }
+
+    fn project(&mut self, t: f64, x: &mut [f64]) {
+        self.lane_project(t, x, 0, 1);
     }
 }
 

@@ -21,10 +21,13 @@ use crate::timely::TimelyParams;
 use crate::units;
 use control::complex::Complex64;
 use control::linearize;
-use control::margins::{phase_margin, MarginReport};
+use control::margins::{phase_margin_adaptive, MarginReport};
+use control::DelayLtiEvaluator;
+use fluid::batch::{lane_of, LaneSystem};
 use fluid::dde::{integrate_dde_with_prehistory, DdeOptions, DdeSystem};
 use fluid::history::History;
 use fluid::trace::Trace;
+use std::cell::RefCell;
 
 /// Parameters for Patched TIMELY: the TIMELY set with the paper's overrides
 /// (`β = 0.008`, `Seg = 16 KB`) plus the reference queue `q′`.
@@ -231,10 +234,13 @@ impl PatchedTimelyFluid {
             c: vec![1.0, 0.0],
             d: 0.0,
         };
-        sys.validate();
+        // Reuse the LU buffers across the margin sweep's thousands of
+        // evaluations (bit-identical to the allocating path). RefCell
+        // because phase_margin wants Fn, not FnMut.
+        let ev = RefCell::new(DelayLtiEvaluator::new(sys));
 
         move |omega: f64| {
-            let h = sys.freq_response(omega)?; // δR/δq
+            let h = ev.borrow_mut().freq_response(omega)?; // δR/δq
             let integ = Complex64::from_re(n) / Complex64::j(omega);
             Some(-(h * integ))
         }
@@ -242,7 +248,7 @@ impl PatchedTimelyFluid {
 
     /// Phase-margin report (one point of Figure 11).
     pub fn margin_report(&self) -> MarginReport {
-        phase_margin(self.loop_transfer(), 1e1, 1e7, 3000)
+        phase_margin_adaptive(self.loop_transfer(), 1e1, 1e7, 3000)
     }
 
     /// Per-flow rate series in Gbps.
@@ -264,21 +270,34 @@ impl PatchedTimelyFluid {
     }
 }
 
-impl DdeSystem for PatchedTimelyFluid {
-    fn dim(&self) -> usize {
+impl LaneSystem for PatchedTimelyFluid {
+    fn lane_dim(&self) -> usize {
         self.state_dim()
     }
 
-    fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+    fn lane_rhs(
+        &mut self,
+        t: f64,
+        x: &[f64],
+        lane: usize,
+        stride: usize,
+        hist: &History,
+        dxdt: &mut [f64],
+    ) {
         let base = &self.params.base;
         let c = base.capacity_pps();
         let extra = self.jitter.as_ref().map_or(0.0, |j| j.extra(t));
-        let tau_fb = base.tau_feedback(x[0]) + extra; // component 0 is the queue
-        let qd1 = hist.eval(t - tau_fb, 0).max(0.0);
+        let q_lane = lane_of(0, lane, stride);
+        // Component 0 is the queue; the delayed lookup time is per-lane
+        // because Eq 24's feedback delay depends on the lane's own queue.
+        let tau_fb = base.tau_feedback(x[q_lane]) + extra;
+        let qd1 = hist.eval(t - tau_fb, q_lane).max(0.0);
 
-        let sum_rates: f64 = (0..self.n_flows).map(|i| x[self.rate_index(i)]).sum();
+        let sum_rates: f64 = (0..self.n_flows)
+            .map(|i| x[lane_of(self.rate_index(i), lane, stride)])
+            .sum();
         // State component 0 is the shared queue.
-        dxdt[0] = if x[0] <= 0.0 && sum_rates < c {
+        dxdt[q_lane] = if x[q_lane] <= 0.0 && sum_rates < c {
             0.0
         } else {
             sum_rates - c
@@ -290,8 +309,8 @@ impl DdeSystem for PatchedTimelyFluid {
         // distinct delayed time instead of one per flow.
         let mut qd2_cache = (f64::NAN, 0.0);
         for i in 0..self.n_flows {
-            let ri = self.rate_index(i);
-            let gi = self.grad_index(i);
+            let ri = lane_of(self.rate_index(i), lane, stride);
+            let gi = lane_of(self.grad_index(i), lane, stride);
             let r = x[ri];
             let g = x[gi];
             let tau_i = base.tau_star(r);
@@ -300,7 +319,7 @@ impl DdeSystem for PatchedTimelyFluid {
             let qd2 = if t2 == qd2_cache.0 {
                 qd2_cache.1
             } else {
-                let v = hist.eval(t2, 0).max(0.0);
+                let v = hist.eval(t2, q_lane).max(0.0);
                 qd2_cache = (t2, v);
                 v
             };
@@ -315,17 +334,36 @@ impl DdeSystem for PatchedTimelyFluid {
         self.params.base.tau_feedback(0.0)
     }
 
-    fn project(&mut self, _t: f64, x: &mut [f64]) {
+    fn lane_project(&mut self, _t: f64, x: &mut [f64], lane: usize, stride: usize) {
         let base = &self.params.base;
         let line = base.capacity_pps();
         let floor = base.min_rate_pps();
-        x[0] = x[0].max(0.0); // component 0 is the queue
+        let q = lane_of(0, lane, stride);
+        x[q] = x[q].max(0.0); // component 0 is the queue
         for i in 0..self.n_flows {
-            let ri = self.rate_index(i);
+            let ri = lane_of(self.rate_index(i), lane, stride);
             x[ri] = x[ri].clamp(floor, line);
-            let gi = self.grad_index(i);
+            let gi = lane_of(self.grad_index(i), lane, stride);
             x[gi] = x[gi].clamp(-10.0, 10.0);
         }
+    }
+}
+
+impl DdeSystem for PatchedTimelyFluid {
+    fn dim(&self) -> usize {
+        self.state_dim()
+    }
+
+    fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+        self.lane_rhs(t, x, 0, 1, hist, dxdt);
+    }
+
+    fn min_delay(&self) -> f64 {
+        LaneSystem::min_delay(self)
+    }
+
+    fn project(&mut self, t: f64, x: &mut [f64]) {
+        self.lane_project(t, x, 0, 1);
     }
 }
 

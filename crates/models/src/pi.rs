@@ -18,6 +18,7 @@
 use crate::dcqcn::{DcqcnFluid, DcqcnParams};
 use crate::patched_timely::PatchedTimelyParams;
 use crate::units;
+use fluid::batch::{lane_of, LaneSystem};
 use fluid::dde::{integrate_dde_with_prehistory, DdeOptions, DdeSystem};
 use fluid::history::History;
 use fluid::trace::Trace;
@@ -113,51 +114,66 @@ impl DcqcnPiFluid {
     }
 }
 
-impl DdeSystem for DcqcnPiFluid {
-    fn dim(&self) -> usize {
+impl LaneSystem for DcqcnPiFluid {
+    fn lane_dim(&self) -> usize {
         self.state_dim()
     }
 
-    fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
-        // All delayed lookups share the time `td`: fetch the whole delayed
-        // state with one `locate` instead of one per component.
+    fn lane_rhs(
+        &mut self,
+        t: f64,
+        x: &[f64],
+        lane: usize,
+        stride: usize,
+        hist: &History,
+        dxdt: &mut [f64],
+    ) {
+        // All delayed lookups share the time `td`: fetch the lane's whole
+        // delayed state with one `locate` instead of one per component.
         let mut delayed = std::mem::take(&mut self.scratch);
         let p = &self.params;
         let cap = p.capacity_pps();
         let td = t - p.feedback_delay_s();
-        hist.eval_all(td, &mut delayed);
+        hist.eval_strided(td, lane, stride, self.state_dim(), &mut delayed);
         let p_delayed = delayed[1].clamp(0.0, 1.0); // component 1 is p
 
-        let sum_rates: f64 = (0..self.n_flows).map(|i| x[self.rc_index(i)]).sum();
+        let q = lane_of(0, lane, stride);
+        let pp = lane_of(1, lane, stride);
+        let sum_rates: f64 = (0..self.n_flows)
+            .map(|i| x[lane_of(self.rc_index(i), lane, stride)])
+            .sum();
         // State layout: component 0 is the queue, component 1 is p.
-        let dq = if x[0] <= 0.0 && sum_rates < cap {
+        let dq = if x[q] <= 0.0 && sum_rates < cap {
             0.0
         } else {
             sum_rates - cap
         };
-        dxdt[0] = dq; // component 0 is the queue
+        dxdt[q] = dq; // component 0 is the queue
                       // Eq 32: PI marking replaces RED. Anti-windup: freeze integration
                       // against the [0,1] bounds.
-        let e = x[0] - self.gains.q_ref_pkts; // component 0 is the queue
+        let e = x[q] - self.gains.q_ref_pkts; // component 0 is the queue
         let mut dp = self.gains.k1 * dq + self.gains.k2 * e;
         // Component 1 is p.
-        if (x[1] >= 1.0 && dp > 0.0) || (x[1] <= 0.0 && dp < 0.0) {
+        if (x[pp] >= 1.0 && dp > 0.0) || (x[pp] <= 0.0 && dp < 0.0) {
             dp = 0.0;
         }
-        dxdt[1] = dp; // component 1 is p
+        dxdt[pp] = dp; // component 1 is p
 
         let mut out = [0.0; 3];
         for i in 0..self.n_flows {
-            let rc = x[self.rc_index(i)];
-            let rt = x[self.rt_index(i)];
-            let alpha = x[self.alpha_index(i)];
+            let rci = lane_of(self.rc_index(i), lane, stride);
+            let rti = lane_of(self.rt_index(i), lane, stride);
+            let ali = lane_of(self.alpha_index(i), lane, stride);
+            let rc = x[rci];
+            let rt = x[rti];
+            let alpha = x[ali];
             let rc_delayed = delayed[self.rc_index(i)];
             // Reuse the DCQCN per-flow dynamics with the PI-supplied p.
             DcqcnFluid::flow_rhs_pub(p, rc, rt, alpha, rc_delayed, p_delayed, &mut out);
             let [d_rc, d_rt, d_alpha] = out;
-            dxdt[self.rc_index(i)] = d_rc;
-            dxdt[self.rt_index(i)] = d_rt;
-            dxdt[self.alpha_index(i)] = d_alpha;
+            dxdt[rci] = d_rc;
+            dxdt[rti] = d_rt;
+            dxdt[ali] = d_alpha;
         }
         self.scratch = delayed;
     }
@@ -166,19 +182,39 @@ impl DdeSystem for DcqcnPiFluid {
         self.params.feedback_delay_s()
     }
 
-    fn project(&mut self, _t: f64, x: &mut [f64]) {
+    fn lane_project(&mut self, _t: f64, x: &mut [f64], lane: usize, stride: usize) {
         let line = self.params.capacity_pps();
         let floor = self.params.min_rate_pps();
-        x[0] = x[0].max(0.0); // component 0 is the queue
-        x[1] = x[1].clamp(0.0, 1.0); // component 1 is p
+        let q = lane_of(0, lane, stride);
+        let pp = lane_of(1, lane, stride);
+        x[q] = x[q].max(0.0); // component 0 is the queue
+        x[pp] = x[pp].clamp(0.0, 1.0); // component 1 is p
         for i in 0..self.n_flows {
-            let rc = self.rc_index(i);
-            let rt = self.rt_index(i);
-            let al = self.alpha_index(i);
+            let rc = lane_of(self.rc_index(i), lane, stride);
+            let rt = lane_of(self.rt_index(i), lane, stride);
+            let al = lane_of(self.alpha_index(i), lane, stride);
             x[rc] = x[rc].clamp(floor, line);
             x[rt] = x[rt].clamp(floor, line);
             x[al] = x[al].clamp(0.0, 1.0);
         }
+    }
+}
+
+impl DdeSystem for DcqcnPiFluid {
+    fn dim(&self) -> usize {
+        self.state_dim()
+    }
+
+    fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+        self.lane_rhs(t, x, 0, 1, hist, dxdt);
+    }
+
+    fn min_delay(&self) -> f64 {
+        LaneSystem::min_delay(self)
+    }
+
+    fn project(&mut self, t: f64, x: &mut [f64]) {
+        self.lane_project(t, x, 0, 1);
     }
 }
 
@@ -270,21 +306,34 @@ impl PatchedTimelyPiFluid {
     }
 }
 
-impl DdeSystem for PatchedTimelyPiFluid {
-    fn dim(&self) -> usize {
+impl LaneSystem for PatchedTimelyPiFluid {
+    fn lane_dim(&self) -> usize {
         self.state_dim()
     }
 
-    fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+    fn lane_rhs(
+        &mut self,
+        t: f64,
+        x: &[f64],
+        lane: usize,
+        stride: usize,
+        hist: &History,
+        dxdt: &mut [f64],
+    ) {
         let p = &self.params;
         let base = &p.base;
         let c = base.capacity_pps();
-        let tau_fb = base.tau_feedback(x[0]); // component 0 is the queue
-        let qd1 = hist.eval(t - tau_fb, 0).max(0.0);
+        let q = lane_of(0, lane, stride);
+        // Component 0 is the queue; the delayed lookup time is per-lane
+        // because Eq 24's feedback delay depends on the lane's own queue.
+        let tau_fb = base.tau_feedback(x[q]);
+        let qd1 = hist.eval(t - tau_fb, q).max(0.0);
 
-        let sum_rates: f64 = (0..self.n_flows).map(|i| x[self.rate_index(i)]).sum();
+        let sum_rates: f64 = (0..self.n_flows)
+            .map(|i| x[lane_of(self.rate_index(i), lane, stride)])
+            .sum();
         // State component 0 is the shared queue.
-        dxdt[0] = if x[0] <= 0.0 && sum_rates < c {
+        dxdt[q] = if x[q] <= 0.0 && sum_rates < c {
             0.0
         } else {
             sum_rates - c
@@ -299,9 +348,9 @@ impl DdeSystem for PatchedTimelyPiFluid {
         // distinct delayed time instead of one per flow.
         let mut qd2_cache = (f64::NAN, 0.0);
         for i in 0..self.n_flows {
-            let ri = self.rate_index(i);
-            let gi = self.grad_index(i);
-            let pi = self.p_index(i);
+            let ri = lane_of(self.rate_index(i), lane, stride);
+            let gi = lane_of(self.grad_index(i), lane, stride);
+            let pi = lane_of(self.p_index(i), lane, stride);
             let r = x[ri];
             let g = x[gi];
             let p_i = x[pi];
@@ -311,7 +360,7 @@ impl DdeSystem for PatchedTimelyPiFluid {
             let qd2 = if t2 == qd2_cache.0 {
                 qd2_cache.1
             } else {
-                let v = hist.eval(t2, 0).max(0.0);
+                let v = hist.eval(t2, q).max(0.0);
                 qd2_cache = (t2, v);
                 v
             };
@@ -339,21 +388,40 @@ impl DdeSystem for PatchedTimelyPiFluid {
         self.params.base.tau_feedback(0.0)
     }
 
-    fn project(&mut self, _t: f64, x: &mut [f64]) {
+    fn lane_project(&mut self, _t: f64, x: &mut [f64], lane: usize, stride: usize) {
         let base = &self.params.base;
         let line = base.capacity_pps();
         let floor = base.min_rate_pps();
-        x[0] = x[0].max(0.0); // component 0 is the queue
+        let q = lane_of(0, lane, stride);
+        x[q] = x[q].max(0.0); // component 0 is the queue
         for i in 0..self.n_flows {
-            let ri = self.rate_index(i);
+            let ri = lane_of(self.rate_index(i), lane, stride);
             x[ri] = x[ri].clamp(floor, line);
-            let gi = self.grad_index(i);
+            let gi = lane_of(self.grad_index(i), lane, stride);
             x[gi] = x[gi].clamp(-10.0, 10.0);
             // p_i is an internal feedback variable; keep it bounded like a
             // probability-scaled signal.
-            let pi = self.p_index(i);
+            let pi = lane_of(self.p_index(i), lane, stride);
             x[pi] = x[pi].clamp(-100.0, 100.0);
         }
+    }
+}
+
+impl DdeSystem for PatchedTimelyPiFluid {
+    fn dim(&self) -> usize {
+        self.state_dim()
+    }
+
+    fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+        self.lane_rhs(t, x, 0, 1, hist, dxdt);
+    }
+
+    fn min_delay(&self) -> f64 {
+        LaneSystem::min_delay(self)
+    }
+
+    fn project(&mut self, t: f64, x: &mut [f64]) {
+        self.lane_project(t, x, 0, 1);
     }
 }
 

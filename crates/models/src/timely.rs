@@ -22,6 +22,7 @@
 
 use crate::jitter::Jitter;
 use crate::units;
+use fluid::batch::{lane_of, LaneSystem};
 use fluid::dde::{integrate_dde_with_prehistory, DdeOptions, DdeSystem};
 use fluid::history::History;
 use fluid::trace::Trace;
@@ -262,27 +263,37 @@ impl TimelyFluid {
     }
 }
 
-impl DdeSystem for TimelyFluid {
-    fn dim(&self) -> usize {
+impl LaneSystem for TimelyFluid {
+    fn lane_dim(&self) -> usize {
         self.state_dim()
     }
 
-    fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+    fn lane_rhs(
+        &mut self,
+        t: f64,
+        x: &[f64],
+        lane: usize,
+        stride: usize,
+        hist: &History,
+        dxdt: &mut [f64],
+    ) {
         let p = &self.params;
         let c = p.capacity_pps();
         let extra = self.jitter.as_ref().map_or(0.0, |j| j.extra(t));
-        // Eq 24: feedback delay includes the *current* queueing delay.
-        let tau_fb = p.tau_feedback(x[0]) + extra;
-        let qd1 = hist.eval(t - tau_fb, 0).max(0.0);
+        let q_lane = lane_of(0, lane, stride);
+        // Eq 24: feedback delay includes the *current* queueing delay — the
+        // delayed lookup time is per-lane because each lane has its own queue.
+        let tau_fb = p.tau_feedback(x[q_lane]) + extra;
+        let qd1 = hist.eval(t - tau_fb, q_lane).max(0.0);
 
         let mut sum_rates = 0.0;
         for i in 0..self.n_flows {
             if t >= self.start_times[i] {
-                sum_rates += x[self.rate_index(i)];
+                sum_rates += x[lane_of(self.rate_index(i), lane, stride)];
             }
         }
         // State component 0 is the shared queue.
-        dxdt[0] = if x[0] <= 0.0 && sum_rates < c {
+        dxdt[q_lane] = if x[q_lane] <= 0.0 && sum_rates < c {
             0.0
         } else {
             sum_rates - c
@@ -293,8 +304,8 @@ impl DdeSystem for TimelyFluid {
         // distinct delayed time instead of one per flow.
         let mut qd2_cache = (f64::NAN, 0.0);
         for i in 0..self.n_flows {
-            let ri = self.rate_index(i);
-            let gi = self.grad_index(i);
+            let ri = lane_of(self.rate_index(i), lane, stride);
+            let gi = lane_of(self.grad_index(i), lane, stride);
             if t < self.start_times[i] {
                 dxdt[ri] = 0.0;
                 dxdt[gi] = 0.0;
@@ -308,7 +319,7 @@ impl DdeSystem for TimelyFluid {
             let qd2 = if t2 == qd2_cache.0 {
                 qd2_cache.1
             } else {
-                let v = hist.eval(t2, 0).max(0.0);
+                let v = hist.eval(t2, q_lane).max(0.0);
                 qd2_cache = (t2, v);
                 v
             };
@@ -323,18 +334,37 @@ impl DdeSystem for TimelyFluid {
         self.params.tau_feedback(0.0)
     }
 
-    fn project(&mut self, _t: f64, x: &mut [f64]) {
+    fn lane_project(&mut self, _t: f64, x: &mut [f64], lane: usize, stride: usize) {
         let p = &self.params;
         let line = p.capacity_pps();
         let floor = p.min_rate_pps();
-        x[0] = x[0].max(0.0); // component 0 is the queue
+        let q = lane_of(0, lane, stride);
+        x[q] = x[q].max(0.0); // component 0 is the queue
         for i in 0..self.n_flows {
-            let ri = self.rate_index(i);
+            let ri = lane_of(self.rate_index(i), lane, stride);
             x[ri] = x[ri].clamp(floor, line);
             // Gradient is a normalized dimensionless signal; keep it sane.
-            let gi = self.grad_index(i);
+            let gi = lane_of(self.grad_index(i), lane, stride);
             x[gi] = x[gi].clamp(-10.0, 10.0);
         }
+    }
+}
+
+impl DdeSystem for TimelyFluid {
+    fn dim(&self) -> usize {
+        self.state_dim()
+    }
+
+    fn rhs(&mut self, t: f64, x: &[f64], hist: &History, dxdt: &mut [f64]) {
+        self.lane_rhs(t, x, 0, 1, hist, dxdt);
+    }
+
+    fn min_delay(&self) -> f64 {
+        LaneSystem::min_delay(self)
+    }
+
+    fn project(&mut self, t: f64, x: &mut [f64]) {
+        self.lane_project(t, x, 0, 1);
     }
 }
 

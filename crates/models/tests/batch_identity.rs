@@ -1,0 +1,362 @@
+//! Oracle tests for the batched lockstep DDE path: every protocol's
+//! batch-lane kernel must be **bit-identical** to its scalar `DdeSystem`
+//! path, and lane results must not depend on the batch width.
+//!
+//! Both properties fall out of the single-code-path design — the scalar
+//! `rhs` delegates to `lane_rhs` at `(lane = 0, stride = 1)`, and per-lane
+//! arithmetic only ever touches that lane's strided components — but these
+//! tests pin them as executable contracts so a future "optimization" that
+//! reorders lane arithmetic fails loudly.
+
+use fluid::batch::{pack_lanes, try_integrate_dde_batch, LaneBatch, LaneSystem};
+use fluid::dde::{integrate_dde_with_prehistory, DdeOptions, DdeSystem};
+use fluid::Trace;
+use models::dcqcn::{DcqcnFluid, DcqcnParams};
+use models::pi::{DcqcnPiFluid, PatchedTimelyPiFluid};
+use models::{PatchedTimelyFluid, PatchedTimelyParams, TimelyFluid, TimelyParams};
+
+/// Every recorded knot of a trace, as raw bits: `t` then the state row.
+fn trace_bits(tr: &Trace) -> Vec<u64> {
+    let mut bits = Vec::with_capacity(tr.len() * (tr.dim() + 1));
+    for (i, &t) in tr.times().iter().enumerate() {
+        bits.push(t.to_bits());
+        bits.extend(tr.state(i).iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+/// Shared lockstep options: one step for all lanes (≤ every lane's smallest
+/// delay), knots recorded every step, and a history horizon generous enough
+/// that no in-run lookback can fall off the back (horizon ≥ duration +
+/// slack, and the deepest lookback any model makes during `duration` is far
+/// smaller than `duration` itself at these time scales).
+fn shared_opts<M: LaneSystem>(models: &[M], duration_s: f64) -> DdeOptions {
+    let min_delay = models
+        .iter()
+        .map(LaneSystem::min_delay)
+        .fold(f64::INFINITY, f64::min);
+    DdeOptions {
+        step: (min_delay / 4.0).min(1e-6),
+        record_every: 1,
+        history_horizon_s: duration_s + 0.01,
+    }
+}
+
+/// The oracle: integrate each model solo through the scalar path and as a
+/// lane of one batch, under identical options and initial states, and
+/// require bitwise-equal traces.
+fn assert_lanes_match_scalar<M>(models: Vec<M>, x0s: Vec<Vec<f64>>, duration_s: f64)
+where
+    M: LaneSystem + DdeSystem + Clone,
+{
+    let opts = shared_opts(&models, duration_s);
+    let scalar: Vec<Trace> = models
+        .iter()
+        .zip(&x0s)
+        .map(|(m, x0)| {
+            integrate_dde_with_prehistory(&mut m.clone(), x0, x0, 0.0, duration_s, &opts)
+        })
+        .collect();
+    let packed = pack_lanes(&x0s);
+    let mut batch = LaneBatch::new(models);
+    let lanes = try_integrate_dde_batch(&mut batch, &packed, &packed, 0.0, duration_s, &opts)
+        .expect("valid batch configuration");
+    assert_eq!(lanes.len(), scalar.len());
+    for (lane, (solo, x0)) in lanes.into_iter().zip(scalar.iter().zip(&x0s)) {
+        let lane = lane.unwrap_or_else(|e| panic!("lane x0={x0:?} diverged: {e}"));
+        assert_eq!(
+            trace_bits(&lane),
+            trace_bits(solo),
+            "batch lane must match the scalar integration bit-for-bit"
+        );
+    }
+}
+
+/// Batch-width invariance: integrating the first `narrow` models as a small
+/// batch must reproduce, bit-for-bit, the same lanes of the full batch.
+fn assert_width_invariant<M>(models: Vec<M>, x0s: Vec<Vec<f64>>, narrow: usize, duration_s: f64)
+where
+    M: LaneSystem + Clone,
+{
+    let opts = shared_opts(&models, duration_s);
+    let run = |ms: Vec<M>, xs: &[Vec<f64>]| -> Vec<Trace> {
+        let packed = pack_lanes(xs);
+        let mut batch = LaneBatch::new(ms);
+        try_integrate_dde_batch(&mut batch, &packed, &packed, 0.0, duration_s, &opts)
+            .expect("valid batch configuration")
+            .into_iter()
+            .map(|r| r.expect("lane diverged"))
+            .collect()
+    };
+    let wide = run(models.clone(), &x0s);
+    let thin = run(models[..narrow].to_vec(), &x0s[..narrow]);
+    for (lane, (a, b)) in thin.iter().zip(&wide).enumerate() {
+        assert_eq!(
+            trace_bits(a),
+            trace_bits(b),
+            "lane {lane} must not depend on batch width"
+        );
+    }
+}
+
+// --- DCQCN -----------------------------------------------------------------
+
+/// 16 DCQCN configs sharing flow count and derived step but sweeping the
+/// RED profile (which the step derivation never reads).
+fn dcqcn_models(b: usize) -> Vec<DcqcnFluid> {
+    (0..b)
+        .map(|i| {
+            let mut p = DcqcnParams::default_40g();
+            p.kmax_kb = 200.0 + 100.0 * i as f64;
+            DcqcnFluid::new(p, 4)
+        })
+        .collect()
+}
+
+#[test]
+fn dcqcn_batch_of_one_matches_simulate() {
+    // The public entry points themselves: `simulate_batch` at B = 1 against
+    // `simulate`, no shared scaffolding between the two call sites.
+    let duration = 0.004;
+    let mut scalar = DcqcnFluid::new(DcqcnParams::default_40g(), 4);
+    let solo = scalar.simulate(duration);
+    let batched = DcqcnFluid::simulate_batch(vec![scalar.clone()], duration)
+        .pop()
+        .unwrap()
+        .expect("lane diverged");
+    assert_eq!(trace_bits(&batched), trace_bits(&solo));
+}
+
+#[test]
+fn dcqcn_batch_width_invariant_b4_vs_b16() {
+    let duration = 0.003;
+    let models = dcqcn_models(16);
+    let wide = DcqcnFluid::simulate_batch(models.clone(), duration);
+    let thin = DcqcnFluid::simulate_batch(models[..4].to_vec(), duration);
+    for (lane, (a, b)) in thin.iter().zip(&wide).enumerate() {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(
+            trace_bits(a),
+            trace_bits(b),
+            "DCQCN lane {lane} must not depend on batch width"
+        );
+    }
+}
+
+// --- TIMELY ----------------------------------------------------------------
+
+fn timely_setup(b: usize) -> (Vec<TimelyFluid>, Vec<Vec<f64>>) {
+    let models: Vec<TimelyFluid> = (0..b)
+        .map(|_| TimelyFluid::new(TimelyParams::default_10g(), 4))
+        .collect();
+    let x0s = models
+        .iter()
+        .enumerate()
+        .map(|(lane, m)| {
+            let mut x0 = vec![0.0; m.state_dim()];
+            // Distinct per-lane starting rates around the fair share.
+            let r0 = m.params.capacity_pps() / m.n_flows as f64;
+            for i in 0..m.n_flows {
+                x0[m.rate_index(i)] = r0 * (0.8 + 0.05 * lane as f64);
+            }
+            x0
+        })
+        .collect();
+    (models, x0s)
+}
+
+#[test]
+fn timely_batch_lane_matches_scalar() {
+    let (models, x0s) = timely_setup(3);
+    assert_lanes_match_scalar(models, x0s, 0.002);
+}
+
+#[test]
+fn timely_batch_width_invariant() {
+    let (models, x0s) = timely_setup(16);
+    assert_width_invariant(models, x0s, 4, 0.0015);
+}
+
+// --- patched TIMELY --------------------------------------------------------
+
+fn patched_timely_setup(b: usize) -> (Vec<PatchedTimelyFluid>, Vec<Vec<f64>>) {
+    let models: Vec<PatchedTimelyFluid> = (0..b)
+        .map(|_| PatchedTimelyFluid::new(PatchedTimelyParams::default_10g(), 4))
+        .collect();
+    let x0s = models
+        .iter()
+        .enumerate()
+        .map(|(lane, m)| {
+            let mut x0 = vec![0.0; m.state_dim()];
+            let r0 = m.params.base.capacity_pps() / m.n_flows as f64;
+            for i in 0..m.n_flows {
+                x0[m.rate_index(i)] = r0 * (0.85 + 0.04 * lane as f64);
+            }
+            x0
+        })
+        .collect();
+    (models, x0s)
+}
+
+#[test]
+fn patched_timely_batch_lane_matches_scalar() {
+    let (models, x0s) = patched_timely_setup(3);
+    assert_lanes_match_scalar(models, x0s, 0.002);
+}
+
+#[test]
+fn patched_timely_batch_width_invariant() {
+    let (models, x0s) = patched_timely_setup(16);
+    assert_width_invariant(models, x0s, 4, 0.0015);
+}
+
+// --- DCQCN + PI ------------------------------------------------------------
+
+fn dcqcn_pi_setup(b: usize) -> (Vec<DcqcnPiFluid>, Vec<Vec<f64>>) {
+    let models: Vec<DcqcnPiFluid> = (0..b)
+        .map(|i| {
+            let params = DcqcnParams::default_40g();
+            let gains = DcqcnPiFluid::default_gains(&params, 100.0 + 20.0 * i as f64);
+            DcqcnPiFluid::new(params, gains, 4)
+        })
+        .collect();
+    let x0s = models
+        .iter()
+        .map(|m| {
+            let line = m.params.capacity_pps();
+            let mut x0 = vec![0.0; m.state_dim()];
+            for i in 0..m.n_flows {
+                x0[m.rc_index(i)] = line;
+                x0[m.rt_index(i)] = line;
+                x0[m.alpha_index(i)] = 1.0;
+            }
+            x0
+        })
+        .collect();
+    (models, x0s)
+}
+
+#[test]
+fn dcqcn_pi_batch_lane_matches_scalar() {
+    let (models, x0s) = dcqcn_pi_setup(3);
+    assert_lanes_match_scalar(models, x0s, 0.002);
+}
+
+#[test]
+fn dcqcn_pi_batch_width_invariant() {
+    let (models, x0s) = dcqcn_pi_setup(16);
+    assert_width_invariant(models, x0s, 4, 0.001);
+}
+
+// --- patched TIMELY + PI ---------------------------------------------------
+
+fn patched_timely_pi_setup(b: usize) -> (Vec<PatchedTimelyPiFluid>, Vec<Vec<f64>>) {
+    let models: Vec<PatchedTimelyPiFluid> = (0..b)
+        .map(|_| {
+            let params = PatchedTimelyParams::default_10g();
+            let gains = PatchedTimelyPiFluid::default_gains(&params, 300.0);
+            PatchedTimelyPiFluid::new(params, gains, 4)
+        })
+        .collect();
+    let x0s = models
+        .iter()
+        .enumerate()
+        .map(|(lane, m)| {
+            let mut x0 = vec![0.0; m.state_dim()];
+            let r0 = m.params.base.capacity_pps() / m.n_flows as f64;
+            for i in 0..m.n_flows {
+                x0[m.rate_index(i)] = r0 * (0.9 + 0.02 * lane as f64);
+                x0[m.p_index(i)] = 0.3;
+            }
+            x0
+        })
+        .collect();
+    (models, x0s)
+}
+
+#[test]
+fn patched_timely_pi_batch_lane_matches_scalar() {
+    let (models, x0s) = patched_timely_pi_setup(3);
+    assert_lanes_match_scalar(models, x0s, 0.002);
+}
+
+#[test]
+fn patched_timely_pi_batch_width_invariant() {
+    let (models, x0s) = patched_timely_pi_setup(16);
+    assert_width_invariant(models, x0s, 4, 0.001);
+}
+
+// --- divergence isolation --------------------------------------------------
+
+/// A one-component exponential `x' = g·x`. Every protocol model projects
+/// its state into a bounded box, so real lanes cannot trip the watchdog;
+/// this synthetic lane is how the divergence contract is exercised (the CI
+/// smoke uses the same `gain = 4000/s` convention).
+#[derive(Clone)]
+struct Exponential {
+    gain_per_s: f64,
+}
+
+impl LaneSystem for Exponential {
+    fn lane_dim(&self) -> usize {
+        1
+    }
+
+    fn lane_rhs(
+        &mut self,
+        _t: f64,
+        x: &[f64],
+        lane: usize,
+        stride: usize,
+        _hist: &fluid::History,
+        dxdt: &mut [f64],
+    ) {
+        let c = fluid::batch::lane_of(0, lane, stride);
+        dxdt[c] = self.gain_per_s * x[c];
+    }
+
+    fn min_delay(&self) -> f64 {
+        f64::INFINITY
+    }
+}
+
+#[test]
+fn poisoned_lane_fails_alone() {
+    // A lane driven past the watchdog norm must come back as
+    // `Err(Divergence)` while its batchmates' traces stay bit-identical to
+    // a batch that never contained it.
+    let duration = 0.01; // gain 4000/s crosses the 1e12 watchdog by ~6.9 ms
+    let lanes = |gains: &[f64]| {
+        let models: Vec<Exponential> = gains
+            .iter()
+            .map(|&g| Exponential { gain_per_s: g })
+            .collect();
+        let x0s: Vec<Vec<f64>> = gains.iter().map(|_| vec![1.0]).collect();
+        let opts = DdeOptions {
+            step: 1e-5,
+            record_every: 1,
+            history_horizon_s: 1e-3,
+        };
+        let packed = pack_lanes(&x0s);
+        let mut batch = LaneBatch::new(models);
+        try_integrate_dde_batch(&mut batch, &packed, &packed, 0.0, duration, &opts)
+            .expect("valid batch configuration")
+    };
+    let mixed = lanes(&[-5.0, 4000.0, -9.0]);
+    assert!(
+        mixed[1].is_err(),
+        "poisoned lane must report divergence, got Ok"
+    );
+    assert!(mixed[0].is_ok() && mixed[2].is_ok());
+    let healthy = lanes(&[-5.0, -9.0]);
+    assert_eq!(
+        trace_bits(mixed[0].as_ref().unwrap()),
+        trace_bits(healthy[0].as_ref().unwrap()),
+        "healthy lane 0 must be unaffected by a diverging batchmate"
+    );
+    assert_eq!(
+        trace_bits(mixed[2].as_ref().unwrap()),
+        trace_bits(healthy[1].as_ref().unwrap()),
+        "healthy lane 2 must be unaffected by a diverging batchmate"
+    );
+}

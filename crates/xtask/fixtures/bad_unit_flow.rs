@@ -14,3 +14,25 @@ pub fn mixed_accumulate(rate_bps: f64, budget_pps: f64) -> f64 {
     acc_bps += budget_pps;
     acc_bps
 }
+
+pub fn lane_of(component: usize, lane: usize, stride: usize) -> usize {
+    component * stride + lane
+}
+
+pub fn skewed_lane_read(block: &[f64], lane: usize, stride: usize, skew_s: f64) -> f64 {
+    // Physical time mixed into SoA address arithmetic: `lane_of` yields a
+    // lane index, `skew_s` is seconds.
+    block[lane_of(0, lane, stride) + skew_s as usize]
+}
+
+pub fn lane_index_as_queue(lane: usize, stride: usize) -> f64 {
+    // A lane address stored in a unit-suffixed local.
+    let depth_kb = lane_of(2, lane, stride) as f64;
+    depth_kb
+}
+
+pub fn strided_read_mislabeled(rates_mbps: &[f64], flow: usize, lane: usize, stride: usize) -> f64 {
+    // The strided read keeps the block's `_mbps`; binding it `_kb` must fire.
+    let q_kb = rates_mbps[lane_of(flow, lane, stride)];
+    q_kb
+}

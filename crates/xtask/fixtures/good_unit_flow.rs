@@ -25,3 +25,24 @@ pub fn feedback_delay_s(queue_pkts: f64, capacity_pps: f64, prop_s: f64) -> f64 
     // sum below is seconds + seconds, not pps + seconds.
     queue_pkts / capacity_pps + 1.0 / capacity_pps + prop_s
 }
+
+pub fn lane_of(component: usize, lane: usize, stride: usize) -> usize {
+    component * stride + lane
+}
+
+pub fn batch_stride(lanes: usize) -> usize {
+    lanes
+}
+
+pub fn lane_rate_mbps(block_mbps: &[f64], flow: usize, lane: usize, lanes: usize) -> f64 {
+    // A strided SoA read addresses through the batch accessors but keeps
+    // the block's unit: `_mbps` in, `_mbps` out, and unitless index
+    // arithmetic around `lane_of`/`batch_stride` stays quiet.
+    let idx = lane_of(flow, lane, batch_stride(lanes));
+    let rate_mbps = if idx < block_mbps.len() {
+        block_mbps[idx]
+    } else {
+        0.0
+    };
+    rate_mbps
+}

@@ -4,8 +4,12 @@
 //!   conventions (`_s`, `_us`, `_gbps`, `_pps`, `_bytes`, …) on parameters,
 //!   locals and field names, propagated through `let` bindings, assignment
 //!   and arithmetic inside one function body, and re-typed by sanctioned
-//!   `*_to_<unit>` conversion calls (`models::units`). Cross-unit `+`/`-`,
-//!   comparisons and assignments are flagged.
+//!   `*_to_<unit>` conversion calls (`models::units`). The strided batch
+//!   accessors (`fluid::batch::lane_of`, `batch_stride`) are typed as lane
+//!   addresses, so a SoA read `block_mbps[lane_of(c, lane, stride)]` keeps
+//!   the block's unit while physical quantities mixed into the address
+//!   arithmetic are flagged. Cross-unit `+`/`-`, comparisons and
+//!   assignments are flagged.
 //! * **`determinism-taint`** — wall-clock taint. Values derived from
 //!   `Instant::now()`, `SystemTime::now()` or `.elapsed()` are tracked the
 //!   same way and flagged when they flow into sim-state writes (field
@@ -42,6 +46,12 @@ pub(crate) enum Unit {
     Pkts,
     Dimless,
     Deg,
+    /// Result of the strided batch accessors (`fluid::batch::lane_of`,
+    /// `batch_stride`): a struct-of-arrays lane address. Not reachable from
+    /// any name suffix — only the accessor calls produce it — so physical
+    /// quantities mixed into address arithmetic are flagged while the read
+    /// `block_mbps[lane_of(c, lane, stride)]` keeps the block's unit.
+    LaneIdx,
 }
 
 impl Unit {
@@ -63,6 +73,7 @@ impl Unit {
             Unit::Pkts => "_pkts",
             Unit::Dimless => "_frac/_ratio",
             Unit::Deg => "_deg",
+            Unit::LaneIdx => "lane-index",
         }
     }
 }
@@ -1126,6 +1137,14 @@ impl Scan<'_, '_, '_> {
                     ),
                 );
             }
+        }
+        // Strided batch accessors yield SoA lane addresses, never physical
+        // quantities: typing them lets the pass flag a `_s`/`_kb`/… value
+        // leaking into address arithmetic without losing the unit a
+        // suffix-named block carries through the indexed read itself.
+        if matches!(last, "lane_of" | "batch_stride") {
+            info.unit = Some(Unit::LaneIdx);
+            return info;
         }
         // Sanctioned conversions re-type their result.
         if let Some(u) = conv_target(last) {
