@@ -140,5 +140,26 @@ fn main() {
         black_box(desim::par::par_map((0u64..64).collect(), |i| i * i).len())
     });
 
+    // Store fast path: open + keyed hit lookup, the per-cell cost a resumed
+    // sweep pays for every already-computed cell.
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "bench_store_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let st = store::Store::open(&root).expect("open bench store");
+        let key = st.key("bench/kernel", "{\"cell\": 1}").expect("key");
+        st.put(&key, &[0xa5u8; 4096]).expect("seed record");
+        bench("store/open_hit_lookup_4k", || {
+            let st = store::Store::open(&root).expect("open");
+            let key = st.key("bench/kernel", "{\"cell\": 1}").expect("key");
+            black_box(st.get(&key).map(|b| b.len()))
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
     write_report("BENCH_kernel.json");
 }

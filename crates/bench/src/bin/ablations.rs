@@ -58,6 +58,12 @@ fn dcqcn_run(mk: impl Fn(&mut DcqcnCcParams), n: usize) -> (f64, f64) {
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Ablations");
+    let store = bench::store_cli::init("ablations", "{}");
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
     let mut report = AblationReport {
         fast_recovery: Vec::new(),
         cnp_timer: Vec::new(),
@@ -148,6 +154,8 @@ fn main() {
     let path = bench::results_dir().join("ablations.json");
     write_json(&path, &report).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }
 

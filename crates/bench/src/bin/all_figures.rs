@@ -11,32 +11,61 @@
 //! figure binaries, but interpreted as *directories*: each child figure is
 //! launched with `--trace <dir>/<fig>_trace.jsonl` and/or
 //! `--metrics <dir>/<fig>_metrics.json`.
+//!
+//! `--store <dir>` / `--no-store` are forwarded verbatim: the children share
+//! one store directory (records are keyed by experiment id, so they never
+//! collide), which makes the whole regeneration resumable — kill it halfway
+//! and rerun, and the finished figures are served from disk.
 
 use std::path::PathBuf;
 use std::process::Command;
 
-/// Parse `--trace <dir>` / `--metrics <dir>` and create the directories.
-fn obs_dirs() -> (Option<PathBuf>, Option<PathBuf>) {
+/// Parsed pass-through flags for the child figures.
+struct Dirs {
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    store: Option<PathBuf>,
+    no_store: bool,
+}
+
+/// Parse `--trace`/`--metrics`/`--store` directories (created up front) and
+/// the `--no-store` override.
+fn obs_dirs() -> Dirs {
     let mut argv = std::env::args().skip(1);
-    let mut trace_dir = None;
-    let mut metrics_dir = None;
+    let mut dirs = Dirs {
+        trace: None,
+        metrics: None,
+        store: None,
+        no_store: false,
+    };
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "--trace" => trace_dir = Some(PathBuf::from(argv.next().expect("--trace needs a dir"))),
-            "--metrics" => {
-                metrics_dir = Some(PathBuf::from(argv.next().expect("--metrics needs a dir")));
+            "--trace" => {
+                dirs.trace = Some(PathBuf::from(argv.next().expect("--trace needs a dir")))
             }
+            "--metrics" => {
+                dirs.metrics = Some(PathBuf::from(argv.next().expect("--metrics needs a dir")));
+            }
+            "--store" => {
+                dirs.store = Some(PathBuf::from(argv.next().expect("--store needs a dir")))
+            }
+            "--no-store" => dirs.no_store = true,
             _ => {}
         }
     }
-    for d in [&trace_dir, &metrics_dir].into_iter().flatten() {
+    for d in [&dirs.trace, &dirs.metrics, &dirs.store]
+        .into_iter()
+        .flatten()
+    {
         std::fs::create_dir_all(d).unwrap_or_else(|e| panic!("create {}: {e}", d.display()));
     }
-    (trace_dir, metrics_dir)
+    dirs
 }
 
 fn main() {
-    let (trace_dir, metrics_dir) = obs_dirs();
+    let dirs = obs_dirs();
+    let (trace_dir, metrics_dir) = (dirs.trace, dirs.metrics);
+    let (store_dir, no_store) = (dirs.store, dirs.no_store);
     let figs = [
         "eq14",
         "fig2",
@@ -79,6 +108,12 @@ fn main() {
         if let Some(d) = &metrics_dir {
             cmd.arg("--metrics")
                 .arg(d.join(format!("{f}_metrics.json")));
+        }
+        if let Some(d) = &store_dir {
+            cmd.arg("--store").arg(d);
+        }
+        if no_store {
+            cmd.arg("--no-store");
         }
         let out = cmd
             .output()

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Appendix B: Eq 40 AIMD cycle length vs packet measurement");
-    let res = run(&AppendixBConfig::default());
+    let cfg = AppendixBConfig::default();
+    let store = bench::store_cli::init(
+        "appendix_b",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "{:>6} {:>10} {:>20} {:>20} {:>8}",
         "N", "alpha*", "predicted (us)", "measured (us)", "cuts"
@@ -20,5 +30,7 @@ fn main() {
     let path = bench::results_dir().join("appendix_b.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Eq 14: p* approximation vs exact fixed point");
-    let res = run(&Eq14Config::default());
+    let cfg = Eq14Config::default();
+    let store = bench::store_cli::init(
+        "eq14",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "{:>8} {:>6} {:>12} {:>12} {:>10} {:>10} {:>6}",
         "C (Gbps)", "N", "p* exact", "p* approx", "rel err", "q* (KB)", "sat?"
@@ -26,5 +36,7 @@ fn main() {
     let path = bench::results_dir().join("eq14.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -98,6 +98,15 @@ fn main() {
         obs.finish();
         return;
     }
+    let store = bench::store_cli::init(
+        "ext_faults",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
     let res = run(&cfg);
     println!(
         "degradation matrix ({} flows, {:.0} ms, fault window = middle 60%):",
@@ -133,5 +142,7 @@ fn main() {
     let path = bench::results_dir().join("ext_faults.json");
     write_json(&path, &res).expect("write results");
     println!("results -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -6,63 +6,194 @@
 //! of its exact FCT bit patterns; the CI `incast-smoke` job compares these
 //! digests (and full `--trace` output) across `SIM_THREADS` settings.
 //!
-//! Flags (all optional, combinable with `--trace` / `--metrics`):
+//! The sweep runs under the supervised executor: a cell that panics or
+//! exceeds `--deadline-s` is isolated into its own slot (reported in the
+//! `failed` table, exit status 4) while its batchmates complete normally.
+//! With `--store <dir>` each *cell* is cached individually, so a killed
+//! sweep resumes from its finished cells on rerun.
+//!
+//! Flags (all optional, combinable with `--trace` / `--metrics` /
+//! `--store` / `--no-store`):
 //!
 //! * `--k <arity>` — fat-tree arity (even, 4..=16; default 8, k³/4 hosts);
-//! * `--senders <csv>` — fan-in degrees to sweep (default `64,256,1024`);
-//! * `--bytes <n>` — response size per sender (default 32000);
+//! * `--senders <csv>` — fan-in degrees to sweep (default `64,256,1024`;
+//!   senders beyond the k³/4 hosts wrap round-robin, bounded at 64 flows
+//!   per host);
+//! * `--bytes <n>` — response size per sender (default 32000, ≥ 1);
 //! * `--seed <n>` — burst/engine seed (default 1);
+//! * `--deadline-s <secs>` — per-cell watchdog deadline (default: none);
+//! * `--inject-panic <i>` / `--inject-hang <i>` — fault-injection hooks for
+//!   the CI supervision job: sweep cell `i` panics (or hangs) instead of
+//!   simulating;
 //! * `--identity-check` — additionally run the zero-fault bit-identity
 //!   probe (engine with no fault plane vs an installed empty schedule) on
 //!   the smallest fan-in; a digest mismatch exits with status 3.
+//!
+//! Malformed or out-of-range flags exit with status 2 after printing a
+//! one-line JSON diagnostic (`{"error": "invalid_usage", ...}`) to stderr.
 
-use ecn_delay_core::experiments::ext_incast::{run, run_zero_fault_identity, ExtIncastConfig};
+use ecn_delay_core::experiments::ext_incast::{
+    run_supervised, run_zero_fault_identity, ExtIncastConfig, SuperviseOpts,
+};
 use ecn_delay_core::write_json;
 
+/// Senders wrap round-robin over the fat-tree's hosts, but a fan-in past
+/// this many flows per host is rejected as out of range.
+const MAX_FLOWS_PER_HOST: usize = 64;
+
 /// Minimal flag parser over the process arguments; unknown flags are left
-/// for `bench::obs_cli` (which has already consumed `--trace`/`--metrics`).
+/// for `bench::obs_cli` / `bench::store_cli`.
 struct Flags {
     k: usize,
     senders: Vec<usize>,
     bytes: u64,
     seed: u64,
     identity_check: bool,
+    supervise: SuperviseOpts,
 }
 
-fn parse_flags() -> Flags {
+/// A rejected invocation: which flag and why. Rendered as a structured
+/// one-line diagnostic so scripts can tell usage errors from sim failures.
+struct Usage {
+    flag: &'static str,
+    reason: String,
+}
+
+impl Usage {
+    fn new(flag: &'static str, reason: impl Into<String>) -> Self {
+        Usage {
+            flag,
+            reason: reason.into(),
+        }
+    }
+}
+
+fn parse_flags() -> Result<Flags, Usage> {
     let mut flags = Flags {
         k: 8,
         senders: vec![64, 256, 1024],
         bytes: 32_000,
         seed: 1,
         identity_check: false,
+        supervise: SuperviseOpts::default(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
-        let mut value = |name: &str| {
-            argv.next()
-                .unwrap_or_else(|| panic!("{name} needs a value"))
-        };
-        match a.as_str() {
-            "--k" => flags.k = value("--k").parse().expect("--k: integer arity"),
-            "--senders" => {
-                flags.senders = value("--senders")
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("--senders: csv of integers"))
-                    .collect();
+        // `--store <dir>` takes a value that must not be mistaken for a
+        // flag; skip the pair here (store_cli parses it for real).
+        if a == "--store" || a == "--trace" || a == "--metrics" {
+            argv.next();
+            continue;
+        }
+        let flag: &'static str = match a.as_str() {
+            "--k" => "--k",
+            "--senders" => "--senders",
+            "--bytes" => "--bytes",
+            "--seed" => "--seed",
+            "--deadline-s" => "--deadline-s",
+            "--inject-panic" => "--inject-panic",
+            "--inject-hang" => "--inject-hang",
+            "--identity-check" => {
+                flags.identity_check = true;
+                continue;
             }
-            "--bytes" => flags.bytes = value("--bytes").parse().expect("--bytes: integer"),
-            "--seed" => flags.seed = value("--seed").parse().expect("--seed: integer"),
-            "--identity-check" => flags.identity_check = true,
-            _ => {} // obs flags, handled by bench::obs_cli::init
+            _ => continue, // obs/store flags without values, or unknown
+        };
+        let raw = argv
+            .next()
+            .ok_or_else(|| Usage::new(flag, "missing value"))?;
+        let int = |what: &'static str| -> Result<u64, Usage> {
+            raw.parse::<u64>()
+                .map_err(|_| Usage::new(what, format!("expected an integer, got {raw:?}")))
+        };
+        match flag {
+            "--k" => flags.k = int("--k")? as usize,
+            "--senders" => {
+                let mut senders = Vec::new();
+                for part in raw.split(',') {
+                    let n: u64 = part.trim().parse().map_err(|_| {
+                        Usage::new(
+                            "--senders",
+                            format!("expected a csv of integers, got {part:?}"),
+                        )
+                    })?;
+                    senders.push(n as usize);
+                }
+                flags.senders = senders;
+            }
+            "--bytes" => flags.bytes = int("--bytes")?,
+            "--seed" => flags.seed = int("--seed")?,
+            "--deadline-s" => {
+                let d: f64 = raw.parse().map_err(|_| {
+                    Usage::new("--deadline-s", format!("expected seconds, got {raw:?}"))
+                })?;
+                if !(d.is_finite() && d > 0.0) {
+                    return Err(Usage::new(
+                        "--deadline-s",
+                        format!("deadline must be a positive finite number of seconds, got {raw}"),
+                    ));
+                }
+                flags.supervise.deadline_s = Some(d);
+            }
+            "--inject-panic" => {
+                flags.supervise.inject_panic = Some(int("--inject-panic")? as usize)
+            }
+            "--inject-hang" => flags.supervise.inject_hang = Some(int("--inject-hang")? as usize),
+            _ => unreachable!("flag list above is exhaustive"),
         }
     }
-    flags
+
+    // Semantic validation: keep impossible sweeps out of the engine.
+    if flags.k < 4 || flags.k > 16 || !flags.k.is_multiple_of(2) {
+        return Err(Usage::new(
+            "--k",
+            format!("fat-tree arity must be even and in 4..=16, got {}", flags.k),
+        ));
+    }
+    if flags.senders.is_empty() {
+        return Err(Usage::new("--senders", "at least one fan-in is required"));
+    }
+    // Senders beyond the host count wrap round-robin over the hosts (a
+    // host can source several response flows), but only up to a bounded
+    // oversubscription — past that the "sweep" is a typo, not a scenario.
+    let hosts = flags.k * flags.k * flags.k / 4;
+    let capacity = hosts * MAX_FLOWS_PER_HOST;
+    for &n in &flags.senders {
+        if n < 1 || n > capacity {
+            return Err(Usage::new(
+                "--senders",
+                format!(
+                    "fan-in {n} exceeds the k={} fat-tree's capacity: {hosts} hosts \
+                     source at most {capacity} wrapped senders \
+                     ({MAX_FLOWS_PER_HOST} flows per host); need 1..={capacity}",
+                    flags.k
+                ),
+            ));
+        }
+    }
+    if flags.bytes == 0 {
+        return Err(Usage::new(
+            "--bytes",
+            "response size must be at least 1 byte",
+        ));
+    }
+    Ok(flags)
 }
 
 fn main() {
     let obs = bench::obs_cli::init();
-    let flags = parse_flags();
+    let flags = match parse_flags() {
+        Ok(f) => f,
+        Err(u) => {
+            let reason = u.reason.replace('\\', "\\\\").replace('"', "\\\"");
+            eprintln!("ext_incast: {}: {}", u.flag, u.reason);
+            eprintln!(
+                "{{\"error\": \"invalid_usage\", \"flag\": \"{}\", \"reason\": \"{}\"}}",
+                u.flag, reason
+            );
+            std::process::exit(2);
+        }
+    };
     let cfg = ExtIncastConfig {
         k: flags.k,
         sender_counts: flags.senders.clone(),
@@ -70,13 +201,19 @@ fn main() {
         seed: flags.seed,
         ..Default::default()
     };
+    // The sweep caches per cell, not per figure: pass the raw store through
+    // and let `run_supervised` key each (protocol, fan-in) cell separately.
+    let store = bench::store_cli::init(
+        "ext_incast",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
     bench::banner("Extension: fat-tree incast FCT at scale");
     let hosts = flags.k * flags.k * flags.k / 4;
     println!(
         "k={} fat-tree ({hosts} hosts), {} B/sender, seed {}\n",
         cfg.k, cfg.bytes_per_sender, cfg.seed
     );
-    let res = run(&cfg);
+    let res = run_supervised(&cfg, &flags.supervise, store.store());
     println!(
         "{:<15} {:>7} {:>6} {:>11} {:>11} {:>9} {:>10}  digest",
         "protocol", "fan-in", "done", "median (ms)", "p99 (ms)", "Gbps", "events"
@@ -94,9 +231,19 @@ fn main() {
             c.digest
         );
     }
+    if !res.failed.is_empty() {
+        println!("\nfailed cells (isolated by the supervisor):");
+        for f in &res.failed {
+            println!(
+                "{:<15} {:>7}  {:<12} {}",
+                f.protocol, f.n_senders, f.kind, f.error
+            );
+        }
+    }
     let path = bench::results_dir().join("ext_incast.json");
     write_json(&path, &res).expect("write results");
     println!("results -> {}", path.display());
+    store.finish();
 
     if flags.identity_check {
         let n = flags.senders.iter().copied().min().unwrap_or(64);
@@ -109,5 +256,10 @@ fn main() {
         }
         println!("zero-fault identity: ok");
     }
+    let n_failed = res.failed.len();
     obs.finish();
+    if n_failed > 0 {
+        eprintln!("ext_incast: {n_failed} cell(s) failed under supervision (see table above)");
+        std::process::exit(4);
+    }
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Extension: DCQCN on a 3-hop parking lot");
-    let res = run(&ParkingLotConfig::default());
+    let cfg = ParkingLotConfig::default();
+    let store = bench::store_cli::init(
+        "ext_parking_lot",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!("long flow tail rate : {:.2} Gbps", res.long_tail_gbps);
     for (h, &c) in res.cross_tail_gbps.iter().enumerate() {
         println!(
@@ -19,5 +29,7 @@ fn main() {
     let path = bench::results_dir().join("ext_parking_lot.json");
     write_json(&path, &res).expect("write results");
     println!("results -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Extension: ECN-before-PFC vs PFC-only (4 flows, 10 Gbps)");
-    let res = run(&ExtPfcConfig::default());
+    let cfg = ExtPfcConfig::default();
+    let store = bench::store_cli::init(
+        "ext_pfc",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "{:<16} {:>8} {:>14} {:>16} {:>14}",
         "config", "pauses", "paused (s)", "max queue (KB)", "goodput (Gbps)"
@@ -22,5 +32,7 @@ fn main() {
     let path = bench::results_dir().join("ext_pfc.json");
     write_json(&path, &res).expect("write results");
     println!("results -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

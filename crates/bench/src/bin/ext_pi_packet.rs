@@ -6,10 +6,20 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Extension: packet-level DCQCN + PI AQM vs RED");
-    let res = run(&ExtPiPacketConfig {
+    let cfg = ExtPiPacketConfig {
         duration_s: 0.25,
         ..Default::default()
-    });
+    };
+    let store = bench::store_cli::init(
+        "ext_pi_packet",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "{:>6} {:>18} {:>18} {:>18}",
         "N", "RED queue (KB)", "PI queue (KB)", "PI worst rate err"
@@ -27,5 +37,7 @@ fn main() {
     let path = bench::results_dir().join("ext_pi_packet.json");
     write_json(&path, &res).expect("write results");
     println!("results -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 10: impact of per-burst pacing on TIMELY");
-    let res = run(&Fig10Config::default());
+    let cfg = Fig10Config::default();
+    let store = bench::store_cli::init(
+        "fig10",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     for p in &res.panels {
         println!(
             "Seg = {:>6} B: early (0-50ms) aggregate {:6.2} Gbps | tail aggregate {:6.2} Gbps",
@@ -17,5 +27,7 @@ fn main() {
     let path = bench::results_dir().join("fig10.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

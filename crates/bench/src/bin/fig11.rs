@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 11: Patched TIMELY phase margin vs N");
-    let res = run(&Fig11Config::default());
+    let cfg = Fig11Config::default();
+    let store = bench::store_cli::init(
+        "fig11",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "{:>6} {:>14} {:>12} {:>16}",
         "N", "margin (deg)", "q* (KB)", "fb delay (us)"
@@ -21,5 +31,7 @@ fn main() {
     let path = bench::results_dir().join("fig11.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 12: Patched TIMELY convergence and stability");
-    let res = run(&Fig12Config::default());
+    let cfg = Fig12Config::default();
+    let store = bench::store_cli::init(
+        "fig12",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "(a) 7 vs 3 Gbps start -> tail share of flow 0 = {:.3} (0.5 = fair)",
         res.panel_a_share
@@ -24,5 +34,7 @@ fn main() {
     let path = bench::results_dir().join("fig12.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

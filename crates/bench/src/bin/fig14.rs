@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 14: small-flow FCT vs load (dumbbell, 10 Gbps)");
-    let res = run(&Fig14Config::default());
+    let cfg = Fig14Config::default();
+    let store = bench::store_cli::init(
+        "fig14",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "{:<16} {:>6} {:>14} {:>14} {:>8} {:>8}",
         "protocol", "load", "median (ms)", "p90 (ms)", "flows", "util"
@@ -27,5 +37,7 @@ fn main() {
     let path = bench::results_dir().join("fig14.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

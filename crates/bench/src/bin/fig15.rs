@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 15: CDF of small-flow FCT, load = 0.8");
-    let res = run(&Fig15Config::default());
+    let cfg = Fig15Config::default();
+    let store = bench::store_cli::init(
+        "fig15",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     for (name, cdf) in &res.cdfs {
         let q = |p: f64| {
             cdf.iter()
@@ -25,5 +35,7 @@ fn main() {
     let path = bench::results_dir().join("fig15.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::{write_json, write_series_csv};
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 16: bottleneck queue, load = 0.8");
-    let res = run(&Fig16Config::default());
+    let cfg = Fig16Config::default();
+    let store = bench::store_cli::init(
+        "fig16",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     for (name, mean, p99, max) in &res.summary {
         println!("{name:<16}: mean={mean:8.1} KB  p99={p99:8.1} KB  max={max:8.1} KB");
     }
@@ -20,5 +30,11 @@ fn main() {
         write_series_csv(&csv, "t_s", &[("queue_kb", series.as_slice())]).expect("write csv");
     }
     println!("\nresults -> {}", path.display());
+    let mut artifacts = vec![path.clone()];
+    for (name, _) in &res.queues_kb {
+        artifacts.push(bench::results_dir().join(format!("fig16_{}.csv", name.to_lowercase())));
+    }
+    store.record(&artifacts);
+    store.finish();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 17: DCQCN with egress vs ingress marking (85 us loop)");
-    let res = run(&Fig17Config::default());
+    let cfg = Fig17Config::default();
+    let store = bench::store_cli::init(
+        "fig17",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "tail queue std-dev: egress {:8.1} KB | ingress {:8.1} KB",
         res.queue_stddev_kb.0, res.queue_stddev_kb.1
@@ -16,5 +26,7 @@ fn main() {
     let path = bench::results_dir().join("fig17.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 18: DCQCN + PI controller (q_ref = 100 KB)");
-    let res = run(&Fig18Config::default());
+    let cfg = Fig18Config::default();
+    let store = bench::store_cli::init(
+        "fig18",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "{:>6} {:>16} {:>22}",
         "N", "tail queue (KB)", "worst rate error"
@@ -21,5 +31,7 @@ fn main() {
     let path = bench::results_dir().join("fig18.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

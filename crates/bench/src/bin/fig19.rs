@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 19: Patched TIMELY + end-host PI (q_ref = 300 KB)");
-    let res = run(&Fig19Config::default());
+    let cfg = Fig19Config::default();
+    let store = bench::store_cli::init(
+        "fig19",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "tail queue      = {:8.1} KB (target 300)",
         res.tail_queue_kb
@@ -17,5 +27,7 @@ fn main() {
     let path = bench::results_dir().join("fig19.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

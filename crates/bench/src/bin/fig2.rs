@@ -7,6 +7,15 @@ fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 2: DCQCN fluid model vs packet simulation (40 Gbps)");
     let cfg = Fig2Config::default();
+    let store = bench::store_cli::init(
+        "fig2",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
     let res = run(&cfg);
     for p in &res.panels {
         println!("\nN = {} flows:", p.n_flows);
@@ -38,5 +47,11 @@ fn main() {
         .expect("write csv");
     }
     println!("\nresults -> {} (+ per-N CSV)", path.display());
+    let mut artifacts = vec![path.clone()];
+    for p in &res.panels {
+        artifacts.push(bench::results_dir().join(format!("fig2_n{}_queue.csv", p.n_flows)));
+    }
+    store.record(&artifacts);
+    store.finish();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 20: uniform [0,100us] feedback jitter");
-    let res = run(&Fig20Config::default());
+    let cfg = Fig20Config::default();
+    let store = bench::store_cli::init(
+        "fig20",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     for p in &res.panels {
         println!(
             "{:<16}: queue oscillation x q* — clean {:6.3} | jittered {:6.3}",
@@ -17,5 +27,7 @@ fn main() {
     let path = bench::results_dir().join("fig20.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

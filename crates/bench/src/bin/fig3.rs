@@ -7,6 +7,15 @@ fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 3: DCQCN phase margin (degrees) vs number of flows");
     let cfg = Fig3Config::default();
+    let store = bench::store_cli::init(
+        "fig3",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
     let res = run(&cfg);
     let table = |title: &str, curves: &[ecn_delay_core::experiments::fig3::MarginCurve]| {
         println!("\n{title}");
@@ -31,6 +40,8 @@ fn main() {
     println!("\nresults -> {}", path.display());
     // Fig 3 itself is pure frequency-domain analysis; give traces/metrics
     // the packet-level dynamics at the figure's operating point.
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.dcqcn_companion_run();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 4: DCQCN fluid stability grid (tau* x N)");
-    let res = run(&Fig4Config::default());
+    let cfg = Fig4Config::default();
+    let store = bench::store_cli::init(
+        "fig4",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!(
         "{:>10} {:>6} {:>18} {:>18}",
         "tau* (us)", "N", "queue osc (q*)", "margin predicts"
@@ -27,5 +37,7 @@ fn main() {
     let path = bench::results_dir().join("fig4.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

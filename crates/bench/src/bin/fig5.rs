@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 5: packet-level DCQCN instability (85 us loop)");
-    let res = run(&Fig5Config::default());
+    let cfg = Fig5Config::default();
+    let store = bench::store_cli::init(
+        "fig5",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     for p in &res.panels {
         println!(
             "N = {:>3}: tail queue peak-to-peak = {:8.1} KB",
@@ -17,5 +27,7 @@ fn main() {
     let path = bench::results_dir().join("fig5.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

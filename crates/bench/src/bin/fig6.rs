@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 6 / Theorem 2: discrete AIMD convergence");
-    let res = run(&Fig6Config::default());
+    let cfg = Fig6Config::default();
+    let store = bench::store_cli::init(
+        "fig6",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     println!("alpha* (Eq 42)              = {:.5}", res.alpha_star);
     println!("contraction bound (1-a*/2)  = {:.5}", res.contraction_bound);
     println!("measured per-cycle decay    = {:.5}", res.measured_decay);
@@ -20,5 +30,7 @@ fn main() {
     let path = bench::results_dir().join("fig6.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 8: TIMELY fluid model vs packet simulation (10 Gbps)");
-    let res = run(&Fig8Config::default());
+    let cfg = Fig8Config::default();
+    let store = bench::store_cli::init(
+        "fig8",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     for p in &res.panels {
         println!("\nN = {} flows:", p.n_flows);
         println!(
@@ -23,5 +33,7 @@ fn main() {
     let path = bench::results_dir().join("fig8.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -6,7 +6,17 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Figure 9: TIMELY multi-equilibria (2 flows, fluid)");
-    let res = run(&Fig9Config::default());
+    let cfg = Fig9Config::default();
+    let store = bench::store_cli::init(
+        "fig9",
+        &ecn_delay_core::json::ToJson::to_json(&cfg).render_pretty(),
+    );
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
+    let res = run(&cfg);
     for p in &res.panels {
         println!(
             "{:<34} tail share of flow 0 = {:.3}",
@@ -20,5 +30,7 @@ fn main() {
     let path = bench::results_dir().join("fig9.json");
     write_json(&path, &res).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

@@ -6,6 +6,12 @@ use ecn_delay_core::write_json;
 fn main() {
     let obs = bench::obs_cli::init();
     bench::banner("Theorem 2: exponential convergence of DCQCN rates");
+    let store = bench::store_cli::init("thm2", "{}");
+    if !obs.active() && store.try_serve().is_some() {
+        store.finish();
+        obs.finish();
+        return;
+    }
     let mut rows = Vec::new();
     for fractions in [
         vec![0.9, 0.1],
@@ -33,5 +39,7 @@ fn main() {
     let path = bench::results_dir().join("thm2.json");
     write_json(&path, &rows).expect("write results");
     println!("\nresults -> {}", path.display());
+    store.record(std::slice::from_ref(&path));
+    store.finish();
     obs.finish();
 }

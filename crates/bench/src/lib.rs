@@ -35,12 +35,19 @@
 //! run's sim-time event trace as JSONL and its counter/gauge/histogram
 //! snapshot as JSON. `all_figures` treats both as directories and fans
 //! them out per child figure.
+//!
+//! `--store <dir>` / `--no-store` (see [`store_cli`]) make any figure run
+//! resumable: results are cached in a crash-safe content-addressed store
+//! keyed by the figure's canonical config, and a rerun with the same spec
+//! is served byte-identically from disk. `all_figures` forwards both flags
+//! to every child.
 
 #![warn(missing_docs)]
 
 pub mod harness;
 pub mod obs_cli;
 pub mod report;
+pub mod store_cli;
 
 use std::path::PathBuf;
 

@@ -91,6 +91,22 @@ pub struct IncastCell {
 pub struct ExtIncastResult {
     /// Sweep cells, protocol-major, fan-in ascending.
     pub cells: Vec<IncastCell>,
+    /// Cells whose jobs failed under supervision (panic, timeout, typed
+    /// error), in job order. Empty for unsupervised runs.
+    pub failed: Vec<FailedCell>,
+}
+
+/// One failed `(protocol, fan-in)` cell of a supervised sweep.
+#[derive(Debug, Clone)]
+pub struct FailedCell {
+    /// Protocol label.
+    pub protocol: String,
+    /// Fan-in degree.
+    pub n_senders: usize,
+    /// Machine-readable error class (`faults::SimError::kind`).
+    pub kind: String,
+    /// Human-readable error.
+    pub error: String,
 }
 
 /// Fold a run's externally visible outcome into a 64-bit FNV-1a digest:
@@ -210,7 +226,190 @@ pub fn run(cfg: &ExtIncastConfig) -> ExtIncastResult {
         }
     }
     let cells = desim::par::par_map(jobs, |(proto, n)| run_cell(cfg, proto, n));
-    ExtIncastResult { cells }
+    ExtIncastResult {
+        cells,
+        failed: Vec::new(),
+    }
+}
+
+/// Supervision and fault-injection options for [`run_supervised`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuperviseOpts {
+    /// Per-cell wall-clock deadline (seconds); `None` disables the watchdog.
+    pub deadline_s: Option<f64>,
+    /// Testing hook: panic inside the cell at this job index.
+    pub inject_panic: Option<usize>,
+    /// Testing hook: hang forever inside the cell at this job index.
+    pub inject_hang: Option<usize>,
+}
+
+/// The content-addressed spec of one sweep cell — everything that affects
+/// the cell's bytes, and nothing that doesn't (supervision knobs and
+/// injection hooks deliberately excluded).
+#[derive(Debug, Clone)]
+struct CellSpec {
+    protocol: String,
+    n_senders: usize,
+    k: usize,
+    bytes_per_sender: u64,
+    bandwidth_bps: f64,
+    stagger_s: f64,
+    seed: u64,
+}
+
+/// Store experiment id for per-cell records.
+const CELL_EXPERIMENT: &str = "ext_incast/cell";
+
+fn cell_spec_json(cfg: &ExtIncastConfig, protocol: Protocol, n_senders: usize) -> String {
+    use crate::json::ToJson as _;
+    CellSpec {
+        protocol: protocol.label().to_string(),
+        n_senders,
+        k: cfg.k,
+        bytes_per_sender: cfg.bytes_per_sender,
+        bandwidth_bps: cfg.bandwidth_bps,
+        stagger_s: cfg.stagger_s,
+        seed: cfg.seed,
+    }
+    .to_json()
+    .render_pretty()
+}
+
+/// Parse a stored cell record back. `None` means the record does not match
+/// the current schema (treated as a miss and recomputed, never an error).
+fn cell_from_stored_json(text: &str) -> Option<IncastCell> {
+    let v = store::json::parse(text).ok()?;
+    Some(IncastCell {
+        protocol: v.get("protocol")?.as_str()?.to_string(),
+        n_senders: usize::try_from(v.get("n_senders")?.as_u64()?).ok()?,
+        completed: usize::try_from(v.get("completed")?.as_u64()?).ok()?,
+        median_fct_ms: v.get("median_fct_ms")?.as_f64()?,
+        p99_fct_ms: v.get("p99_fct_ms")?.as_f64()?,
+        goodput_gbps: v.get("goodput_gbps")?.as_f64()?,
+        events_processed: v.get("events_processed")?.as_u64()?,
+        wall_ms: v.get("wall_ms")?.as_f64()?,
+        horizon_s: v.get("horizon_s")?.as_f64()?,
+        digest: v.get("digest")?.as_str()?.to_string(),
+    })
+}
+
+/// Run the sweep under supervision, optionally backed by a content-addressed
+/// result store.
+///
+/// Per cell: compute the spec key from `(experiment id, canonical config)`;
+/// a valid stored record is served as a hit (bit-identical to a fresh
+/// compute — the simulation is deterministic and floats round-trip through
+/// the JSON layer exactly); misses run through
+/// [`desim::supervise::par_map_supervised`], so a panicking or hung cell
+/// lands in [`ExtIncastResult::failed`] while its batchmates complete and
+/// are persisted. Failed cells leave a quarantine note (the structured
+/// `SimError` JSON) next to the store rather than a result record, so a
+/// rerun retries them.
+pub fn run_supervised(
+    cfg: &ExtIncastConfig,
+    opts: &SuperviseOpts,
+    store: Option<&store::Store>,
+) -> ExtIncastResult {
+    use faults::SimError;
+
+    let mut jobs = Vec::new();
+    for &proto in &cfg.protocols {
+        for &n in &cfg.sender_counts {
+            jobs.push((proto, n));
+        }
+    }
+
+    // Phase 1: serve hits. A record that unframes but no longer matches the
+    // cell schema (or names a different cell) is treated as a miss.
+    let mut served: Vec<Option<IncastCell>> = vec![None; jobs.len()];
+    let mut keys: Vec<Option<store::SpecKey>> = vec![None; jobs.len()];
+    if let Some(st) = store {
+        for (i, &(proto, n)) in jobs.iter().enumerate() {
+            let spec = cell_spec_json(cfg, proto, n);
+            let Ok(key) = store::spec_key(CELL_EXPERIMENT, &spec) else {
+                continue;
+            };
+            keys[i] = Some(key);
+            let cell = st
+                .get(&key)
+                .and_then(|bytes| String::from_utf8(bytes).ok())
+                .and_then(|text| cell_from_stored_json(&text))
+                .filter(|c| c.protocol == proto.label() && c.n_senders == n);
+            served[i] = cell;
+        }
+    }
+
+    // Phase 2: run the misses under supervision. Jobs carry their original
+    // sweep index so injection hooks and error records name sweep cells,
+    // not positions within the miss subset.
+    let misses: Vec<(usize, Protocol, usize)> = jobs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| served[*i].is_none())
+        .map(|(i, &(proto, n))| (i, proto, n))
+        .collect();
+    let policy = desim::supervise::SupervisePolicy {
+        deadline_s: opts.deadline_s,
+        max_attempts: 1,
+    };
+    let run_cfg = cfg.clone();
+    let run_opts = *opts;
+    let outcomes = desim::supervise::par_map_supervised(
+        misses.clone(),
+        policy,
+        // Simulation failures are deterministic: retrying an identical
+        // job yields an identical failure, so nothing is retryable here.
+        |_: &SimError| false,
+        move |(sweep_idx, proto, n)| -> Result<IncastCell, SimError> {
+            if run_opts.inject_panic == Some(sweep_idx) {
+                panic!("injected panic in cell {sweep_idx}");
+            }
+            if run_opts.inject_hang == Some(sweep_idx) {
+                // A genuine hang for the watchdog to catch (sleep keeps the
+                // spin from burning a core while it waits to be abandoned).
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            }
+            Ok(run_cell(&run_cfg, proto, n))
+        },
+    );
+
+    // Phase 3: merge, persist, and split successes from failures in job
+    // order.
+    let mut miss_results: Vec<Option<Result<IncastCell, SimError>>> =
+        outcomes.results.into_iter().map(Some).collect();
+    let mut cells = Vec::new();
+    let mut failed = Vec::new();
+    for (slot, (sweep_idx, proto, n)) in misses.iter().enumerate() {
+        let Some(outcome) = miss_results.get_mut(slot).and_then(Option::take) else {
+            continue;
+        };
+        match outcome {
+            Ok(cell) => {
+                if let (Some(st), Some(key)) = (store, keys[*sweep_idx]) {
+                    use crate::json::ToJson as _;
+                    let _ = st.put(&key, cell.to_json().render_pretty().as_bytes());
+                }
+                served[*sweep_idx] = Some(cell);
+            }
+            Err(e) => {
+                if let (Some(st), Some(key)) = (store, keys[*sweep_idx]) {
+                    let _ = st.put_quarantine_note(&key, &e.to_json());
+                }
+                failed.push(FailedCell {
+                    protocol: proto.label().to_string(),
+                    n_senders: *n,
+                    kind: e.kind().to_string(),
+                    error: e.to_string(),
+                });
+            }
+        }
+    }
+    for cell in served.into_iter().flatten() {
+        cells.push(cell);
+    }
+    ExtIncastResult { cells, failed }
 }
 
 /// The zero-fault bit-identity probe: run one cell with `faults: None` and
@@ -286,6 +485,118 @@ mod tests {
         assert_eq!(none, empty, "idle fault plane must be invisible");
     }
 
+    fn tmp_store(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "ext_incast_store_{tag}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn supervised_without_store_matches_plain_run() {
+        use crate::json::ToJson as _;
+        let mut cfg = small();
+        cfg.sender_counts = vec![8, 16];
+        let plain = run(&cfg);
+        let sup = run_supervised(&cfg, &SuperviseOpts::default(), None);
+        assert!(sup.failed.is_empty());
+        // wall_ms differs between runs by nature; compare per-cell digests
+        // and the layout instead of whole-result bytes.
+        assert_eq!(plain.cells.len(), sup.cells.len());
+        for (a, b) in plain.cells.iter().zip(&sup.cells) {
+            assert_eq!(a.digest, b.digest);
+            assert_eq!(a.n_senders, b.n_senders);
+        }
+        assert!(plain.to_json().render_pretty().contains("\"failed\": []"));
+    }
+
+    #[test]
+    fn store_serves_cells_bit_identically_on_rerun() {
+        use crate::json::ToJson as _;
+        let root = tmp_store("hits");
+        let mut cfg = small();
+        cfg.sender_counts = vec![8, 16];
+        let st = store::Store::open(&root).expect("open store");
+        store::reset_counters();
+        let first = run_supervised(&cfg, &SuperviseOpts::default(), Some(&st));
+        assert_eq!(store::counters().hits, 0);
+        assert_eq!(first.cells.len(), 2);
+        let again = run_supervised(&cfg, &SuperviseOpts::default(), Some(&st));
+        assert_eq!(store::counters().hits, 2, "rerun must be all hits");
+        assert_eq!(
+            first.to_json().render_pretty(),
+            again.to_json().render_pretty(),
+            "served cells must be byte-identical to computed ones"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_panic_isolates_to_its_cell() {
+        let mut cfg = small();
+        cfg.sender_counts = vec![8, 12, 16];
+        let opts = SuperviseOpts {
+            inject_panic: Some(1),
+            ..Default::default()
+        };
+        let res = run_supervised(&cfg, &opts, None);
+        assert_eq!(res.cells.len(), 2, "batchmates must complete");
+        assert_eq!(res.failed.len(), 1);
+        assert_eq!(res.failed[0].kind, "job_panicked");
+        assert_eq!(res.failed[0].n_senders, 12);
+        assert!(res.failed[0].error.contains("injected panic"));
+        let survivors: Vec<usize> = res.cells.iter().map(|c| c.n_senders).collect();
+        assert_eq!(
+            survivors,
+            vec![8, 16],
+            "job order preserved around the hole"
+        );
+    }
+
+    #[test]
+    fn injected_hang_times_out_and_leaves_a_quarantine_note() {
+        let root = tmp_store("hang");
+        let mut cfg = small();
+        cfg.sender_counts = vec![8, 16];
+        let opts = SuperviseOpts {
+            deadline_s: Some(0.25),
+            inject_hang: Some(0),
+            ..Default::default()
+        };
+        let st = store::Store::open(&root).expect("open store");
+        let res = run_supervised(&cfg, &opts, Some(&st));
+        assert_eq!(res.failed.len(), 1);
+        assert_eq!(res.failed[0].kind, "timeout");
+        assert_eq!(res.cells.len(), 1);
+        assert_eq!(res.cells[0].n_senders, 16);
+        let notes = std::fs::read_dir(root.join("quarantine"))
+            .map(|d| d.count())
+            .unwrap_or(0);
+        assert_eq!(notes, 1, "timeout must leave a structured quarantine note");
+        // The quarantined cell is retried on the next run; without the hang
+        // it completes and fills the store.
+        let res2 = run_supervised(&cfg, &SuperviseOpts::default(), Some(&st));
+        assert!(res2.failed.is_empty());
+        assert_eq!(res2.cells.len(), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stored_cell_json_round_trips_exactly() {
+        use crate::json::ToJson as _;
+        let cfg = small();
+        let cell = run_cell(&cfg, Protocol::Dcqcn, 8);
+        let text = cell.to_json().render_pretty();
+        let back = cell_from_stored_json(&text).expect("schema round-trip");
+        assert_eq!(back.to_json().render_pretty(), text);
+        // Schema drift reads as a miss, not an error.
+        assert!(cell_from_stored_json("{\"protocol\": \"dcqcn\"}").is_none());
+        assert!(cell_from_stored_json("not json").is_none());
+    }
+
     #[test]
     fn sweep_covers_all_cells_in_order() {
         let mut cfg = small();
@@ -321,4 +632,19 @@ crate::impl_to_json!(IncastCell {
     horizon_s,
     digest
 });
-crate::impl_to_json!(ExtIncastResult { cells });
+crate::impl_to_json!(FailedCell {
+    protocol,
+    n_senders,
+    kind,
+    error
+});
+crate::impl_to_json!(CellSpec {
+    protocol,
+    n_senders,
+    k,
+    bytes_per_sender,
+    bandwidth_bps,
+    stagger_s,
+    seed
+});
+crate::impl_to_json!(ExtIncastResult { cells, failed });

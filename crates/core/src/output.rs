@@ -1,17 +1,17 @@
 //! Result output helpers: JSON dumps and CSV series.
+//!
+//! Both writers go through `store::atomic::write_atomic`, so a `kill -9`
+//! mid-run can never leave a torn figure artifact under its final name —
+//! the file is either the previous whole version or the new whole version.
 
 use crate::json::ToJson;
-use std::fs;
-use std::io::Write;
+use std::fmt::Write as _;
 use std::path::Path;
 
 /// Serialize `value` as pretty JSON into `path`, creating parent
-/// directories as needed.
+/// directories as needed. The write is atomic (temp + fsync + rename).
 pub fn write_json<T: ToJson + ?Sized>(path: &Path, value: &T) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
-    fs::write(path, value.to_json().render_pretty())
+    store::atomic::write_atomic(path, value.to_json().render_pretty().as_bytes())
 }
 
 /// Write one or more named `(x, y)` series as CSV: header `x,name1,name2…`,
@@ -22,31 +22,30 @@ pub fn write_series_csv(
     x_label: &str,
     series: &[(&str, &[(f64, f64)])],
 ) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
-    let mut f = fs::File::create(path)?;
-    write!(f, "{x_label}")?;
+    let mut out = String::new();
+    let _ = write!(out, "{x_label}");
     for (name, _) in series {
-        write!(f, ",{name}")?;
+        let _ = write!(out, ",{name}");
     }
-    writeln!(f)?;
+    out.push('\n');
     let n = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
     for i in 0..n {
         let x = series
             .iter()
             .find_map(|(_, s)| s.get(i).map(|&(x, _)| x))
             .unwrap_or(f64::NAN);
-        write!(f, "{x}")?;
+        let _ = write!(out, "{x}");
         for (_, s) in series {
             match s.get(i) {
-                Some(&(_, y)) => write!(f, ",{y}")?,
-                None => write!(f, ",")?,
+                Some(&(_, y)) => {
+                    let _ = write!(out, ",{y}");
+                }
+                None => out.push(','),
             }
         }
-        writeln!(f)?;
+        out.push('\n');
     }
-    Ok(())
+    store::atomic::write_atomic(path, out.as_bytes())
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ pub mod invariants;
 pub mod par;
 pub mod rng;
 pub mod stats;
+pub mod supervise;
 pub mod time;
 
 pub use event::{EventId, EventQueue};

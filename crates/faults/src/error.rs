@@ -60,6 +60,23 @@ pub enum SimError {
         /// Index of the failing step.
         step: u64,
     },
+    /// A supervised sweep job exceeded its wall-clock deadline and was
+    /// abandoned by the executor watchdog.
+    Timeout {
+        /// Input-order index of the job within its sweep.
+        job_index: usize,
+        /// The *configured* per-job deadline — never a measured elapsed
+        /// time, so supervision verdicts stay deterministic artifacts.
+        deadline_s: f64,
+    },
+    /// A supervised sweep job panicked; the panic was caught and converted
+    /// into this per-slot error instead of aborting the sweep.
+    JobPanicked {
+        /// Input-order index of the job within its sweep.
+        job_index: usize,
+        /// The panic message (payload rendered to text).
+        payload: String,
+    },
 }
 
 impl SimError {
@@ -94,11 +111,216 @@ impl SimError {
         }
     }
 
+    /// Shorthand for [`SimError::Timeout`].
+    pub fn timeout(job_index: usize, deadline_s: f64) -> Self {
+        SimError::Timeout {
+            job_index,
+            deadline_s,
+        }
+    }
+
+    /// Shorthand for [`SimError::JobPanicked`].
+    pub fn job_panicked(job_index: usize, payload: impl Into<String>) -> Self {
+        SimError::JobPanicked {
+            job_index,
+            payload: payload.into(),
+        }
+    }
+
     /// True for the watchdog variant — sweep drivers use this to separate
     /// "bad input" (a bug in the sweep) from "this point diverged" (a
     /// legitimate result to record).
     pub fn is_divergence(&self) -> bool {
         matches!(self, SimError::Divergence { .. })
+    }
+
+    /// True for the supervised-executor verdicts ([`SimError::Timeout`],
+    /// [`SimError::JobPanicked`]) — failures of a *job*, not of its spec.
+    pub fn is_supervision(&self) -> bool {
+        matches!(
+            self,
+            SimError::Timeout { .. } | SimError::JobPanicked { .. }
+        )
+    }
+
+    /// Stable machine-readable tag for each variant (the JSON `"kind"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::InvalidConfig { .. } => "invalid_config",
+            SimError::InvalidTopology { .. } => "invalid_topology",
+            SimError::InvalidFlow { .. } => "invalid_flow",
+            SimError::InvalidSpec { .. } => "invalid_spec",
+            SimError::Divergence { .. } => "divergence",
+            SimError::Timeout { .. } => "timeout",
+            SimError::JobPanicked { .. } => "job_panicked",
+        }
+    }
+
+    /// Render as a single-line JSON object (`{"kind": ..., ...fields}`),
+    /// the durable form used by quarantine notes and failed-cell records.
+    /// [`SimError::from_json`] inverts it exactly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        push_str_field(&mut out, "kind", self.kind());
+        match self {
+            SimError::InvalidConfig { context, detail }
+            | SimError::InvalidTopology { context, detail }
+            | SimError::InvalidFlow { context, detail } => {
+                push_str_field(&mut out, "context", context);
+                push_str_field(&mut out, "detail", detail);
+            }
+            SimError::InvalidSpec { detail } => {
+                push_str_field(&mut out, "detail", detail);
+            }
+            SimError::Divergence {
+                context,
+                t_s,
+                state_norm,
+                last_step_s,
+                step,
+            } => {
+                push_str_field(&mut out, "context", context);
+                push_num_field(&mut out, "t_s", *t_s);
+                push_num_field(&mut out, "state_norm", *state_norm);
+                push_num_field(&mut out, "last_step_s", *last_step_s);
+                out.push_str(&format!("\"step\": {step}, "));
+            }
+            SimError::Timeout {
+                job_index,
+                deadline_s,
+            } => {
+                out.push_str(&format!("\"job_index\": {job_index}, "));
+                push_num_field(&mut out, "deadline_s", *deadline_s);
+            }
+            SimError::JobPanicked { job_index, payload } => {
+                out.push_str(&format!("\"job_index\": {job_index}, "));
+                push_str_field(&mut out, "payload", payload);
+            }
+        }
+        // Every field writer leaves a trailing ", ".
+        out.truncate(out.len() - 2);
+        out.push('}');
+        out
+    }
+
+    /// Parse the [`SimError::to_json`] form back. Unknown kinds and missing
+    /// fields come back as [`SimError::InvalidSpec`] describing the defect.
+    pub fn from_json(text: &str) -> SimResult<SimError> {
+        let doc = crate::spec::parse_document(text)?;
+        let obj = doc.as_object("error record")?;
+        let kind = obj.get_str("kind")?;
+        let job_index = |o: &crate::spec::Obj| -> SimResult<usize> {
+            let n = o.get_num("job_index")?;
+            // simlint: allow(float-cmp) — exact-by-design: fract()==0.0 is the definition of integrality
+            if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+                return Err(SimError::spec(format!(
+                    "job_index must be a non-negative integer, got {n}"
+                )));
+            }
+            Ok(n as usize)
+        };
+        match kind {
+            "invalid_config" => Ok(SimError::config(
+                obj.get_str("context")?,
+                obj.get_str("detail")?,
+            )),
+            "invalid_topology" => Ok(SimError::topology(
+                obj.get_str("context")?,
+                obj.get_str("detail")?,
+            )),
+            "invalid_flow" => Ok(SimError::flow(
+                obj.get_str("context")?,
+                obj.get_str("detail")?,
+            )),
+            "invalid_spec" => Ok(SimError::spec(obj.get_str("detail")?)),
+            "divergence" => Ok(SimError::Divergence {
+                context: obj.get_str("context")?.to_string(),
+                t_s: num_or_nan(obj, "t_s")?,
+                state_norm: num_or_nan(obj, "state_norm")?,
+                last_step_s: num_or_nan(obj, "last_step_s")?,
+                step: {
+                    let n = obj.get_num("step")?;
+                    // simlint: allow(float-cmp) — exact-by-design: fract()==0.0 is the definition of integrality
+                    if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+                        return Err(SimError::spec(format!(
+                            "step must be a non-negative integer, got {n}"
+                        )));
+                    }
+                    n as u64
+                },
+            }),
+            "timeout" => Ok(SimError::Timeout {
+                job_index: job_index(obj)?,
+                deadline_s: obj.get_num("deadline_s")?,
+            }),
+            "job_panicked" => Ok(SimError::JobPanicked {
+                job_index: job_index(obj)?,
+                payload: obj.get_str("payload")?.to_string(),
+            }),
+            other => Err(SimError::spec(format!("unknown error kind {other:?}"))),
+        }
+    }
+}
+
+/// Read a float field where the emitter writes non-finite values as
+/// `null` (read back as NaN).
+fn num_or_nan(obj: &crate::spec::Obj, key: &str) -> SimResult<f64> {
+    match obj.get(key) {
+        Some(crate::spec::Value::Null) => Ok(f64::NAN),
+        _ => obj.get_num(key),
+    }
+}
+
+/// Append `"key": "escaped", ` to a JSON object under construction.
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": \"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            // Other control characters have no escape in the in-tree
+            // reader; they cannot appear in our own messages, so a space
+            // keeps the record parseable if one sneaks in via a panic.
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\", ");
+}
+
+/// Append `"key": number, ` — shortest round-trip float with forced `.0`
+/// (the workspace JSON float convention); non-finite renders as `null` and
+/// reads back as NaN.
+fn push_num_field(out: &mut String, key: &str, value: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": ");
+    if value.is_finite() {
+        let s = format!("{value}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+    out.push_str(", ");
+}
+
+impl desim::supervise::SupervisedError for SimError {
+    fn job_panicked(job_index: usize, payload: String) -> Self {
+        SimError::JobPanicked { job_index, payload }
+    }
+    fn job_timeout(job_index: usize, deadline_s: f64) -> Self {
+        SimError::Timeout {
+            job_index,
+            deadline_s,
+        }
     }
 }
 
@@ -126,6 +348,16 @@ impl fmt::Display for SimError {
                 "numeric divergence in {context}: t={t_s:.6e} s, state norm {state_norm:.3e}, \
                  last step {last_step_s:.3e} s, step {step}"
             ),
+            SimError::Timeout {
+                job_index,
+                deadline_s,
+            } => write!(
+                f,
+                "job {job_index} exceeded its {deadline_s} s deadline and was abandoned"
+            ),
+            SimError::JobPanicked { job_index, payload } => {
+                write!(f, "job {job_index} panicked: {payload}")
+            }
         }
     }
 }
@@ -160,6 +392,87 @@ mod tests {
         assert!(s.contains("step 42"), "{s}");
         assert!(e.is_divergence());
         assert!(!SimError::spec("x").is_divergence());
+    }
+
+    #[test]
+    fn supervision_variants_display_and_classify() {
+        let t = SimError::timeout(7, 30.0);
+        assert_eq!(
+            t.to_string(),
+            "job 7 exceeded its 30 s deadline and was abandoned"
+        );
+        let p = SimError::job_panicked(3, "index out of bounds");
+        assert!(p.to_string().contains("job 3 panicked"), "{p}");
+        assert!(t.is_supervision() && p.is_supervision());
+        assert!(!t.is_divergence());
+        assert!(!SimError::spec("x").is_supervision());
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        let cases = vec![
+            SimError::config("EngineConfig", "bandwidth_bps must be > 0"),
+            SimError::topology("Topology::new", "no route \"a\" -> \"b\"\nline 2"),
+            SimError::flow("add_flow", "endpoints\tmust differ"),
+            SimError::spec("unknown key \"bogus\" at byte 17"),
+            SimError::Divergence {
+                context: "dde integration".to_string(),
+                t_s: 0.125,
+                state_norm: 3.5e13,
+                last_step_s: 1e-5,
+                step: 42,
+            },
+            SimError::timeout(11, 120.5),
+            SimError::job_panicked(0, "panicked with \\backslash\\ and \"quotes\""),
+        ];
+        for e in cases {
+            let j = e.to_json();
+            let back = SimError::from_json(&j).expect(&j);
+            assert_eq!(back, e, "{j}");
+            // Idempotent: re-serializing the parsed form is a fixpoint.
+            assert_eq!(back.to_json(), j);
+        }
+    }
+
+    #[test]
+    fn json_non_finite_norm_round_trips_as_null() {
+        let e = SimError::Divergence {
+            context: "pi".to_string(),
+            t_s: 1.0,
+            state_norm: f64::NAN,
+            last_step_s: 1e-6,
+            step: 9,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"state_norm\": null"), "{j}");
+        match SimError::from_json(&j).expect("parses") {
+            SimError::Divergence { state_norm, .. } => assert!(state_norm.is_nan()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_rejects_malformed_records() {
+        for doc in [
+            "not json",
+            "{\"kind\": \"mystery\"}",
+            "{\"kind\": \"timeout\", \"job_index\": 1.5, \"deadline_s\": 3.0}",
+            "{\"kind\": \"timeout\", \"deadline_s\": 3.0}",
+            "{\"kind\": \"job_panicked\", \"job_index\": 2}",
+            "[]",
+        ] {
+            assert!(SimError::from_json(doc).is_err(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn executor_trait_constructs_the_faults_variants() {
+        use desim::supervise::SupervisedError as _;
+        assert_eq!(SimError::job_timeout(4, 2.5), SimError::timeout(4, 2.5));
+        assert_eq!(
+            <SimError as desim::supervise::SupervisedError>::job_panicked(1, "boom".to_string()),
+            SimError::job_panicked(1, "boom")
+        );
     }
 
     #[test]

@@ -164,7 +164,7 @@ fn parse_event(v: &Value) -> Result<(f64, FaultKind), SimError> {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Null,
     Bool(bool),
     Num(f64),
@@ -174,10 +174,10 @@ enum Value {
 }
 
 #[derive(Debug, Clone, PartialEq, Default)]
-struct Obj(Vec<(String, Value)>);
+pub(crate) struct Obj(Vec<(String, Value)>);
 
 impl Value {
-    fn as_object(&self, what: &str) -> Result<&Obj, SimError> {
+    pub(crate) fn as_object(&self, what: &str) -> Result<&Obj, SimError> {
         match self {
             Value::Obj(o) => Ok(o),
             _ => Err(SimError::spec(format!("{what} must be an object"))),
@@ -208,18 +208,18 @@ impl<'a> IntoIterator for &'a Obj {
 }
 
 impl Obj {
-    fn get(&self, key: &str) -> Option<&Value> {
+    pub(crate) fn get(&self, key: &str) -> Option<&Value> {
         self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
-    fn get_num(&self, key: &str) -> Result<f64, SimError> {
+    pub(crate) fn get_num(&self, key: &str) -> Result<f64, SimError> {
         match self.get(key) {
             Some(v) => v.as_number(key),
             None => Err(SimError::spec(format!("missing required key {key:?}"))),
         }
     }
 
-    fn get_str(&self, key: &str) -> Result<&str, SimError> {
+    pub(crate) fn get_str(&self, key: &str) -> Result<&str, SimError> {
         match self.get(key) {
             Some(Value::Str(s)) => Ok(s),
             Some(_) => Err(SimError::spec(format!("{key} must be a string"))),
@@ -254,7 +254,7 @@ struct Reader<'a> {
     pos: usize,
 }
 
-fn parse_document(text: &str) -> Result<Value, SimError> {
+pub(crate) fn parse_document(text: &str) -> Result<Value, SimError> {
     let mut r = Reader {
         bytes: text.as_bytes(),
         pos: 0,

@@ -1,0 +1,23 @@
+//! Fixture: bare filesystem writes that tear under crash — both banned
+//! spellings, plus the fully-qualified forms.
+
+use std::fs;
+use std::fs::File;
+use std::io::Write as _;
+
+fn dump_report(path: &std::path::Path, body: &str) {
+    fs::write(path, body).ok();
+}
+
+fn dump_report_qualified(path: &std::path::Path, body: &str) {
+    std::fs::write(path, body).ok();
+}
+
+fn open_sink(path: &std::path::Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+fn open_sink_qualified(path: &std::path::Path, body: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body)
+}

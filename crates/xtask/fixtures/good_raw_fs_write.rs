@@ -1,0 +1,33 @@
+//! Fixture: crash-safe write discipline that must stay quiet under
+//! `no-raw-fs-write` — the sanctioned atomic writer, read-only file use,
+//! and test-module scratch files.
+
+use std::fs;
+use std::path::Path;
+
+fn persist_record(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    // The sanctioned surface: temp + fsync + rename.
+    store::atomic::write_atomic(path, bytes)
+}
+
+fn load_record(path: &Path) -> std::io::Result<Vec<u8>> {
+    // Reads are fine; only the write side can tear.
+    fs::read(path)
+}
+
+fn open_for_reading(path: &Path) -> std::io::Result<fs::File> {
+    // `File::open` is not `File::create`.
+    fs::File::open(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_files_in_tests_have_no_durability_contract() {
+        let p = std::env::temp_dir().join("fixture_scratch");
+        std::fs::write(&p, b"scratch").ok();
+        assert!(load_record(&p).is_ok());
+    }
+}

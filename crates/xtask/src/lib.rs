@@ -110,6 +110,9 @@ pub enum Rule {
     UnitFlow,
     /// Wall-clock-derived value flowing into simulation state.
     DetTaint,
+    /// Bare `std::fs::write` / `File::create` outside the sanctioned
+    /// atomic writer (`store::atomic`).
+    RawFsWrite,
     /// `simlint: allow(...)` directive that suppresses nothing.
     StaleAllow,
 }
@@ -126,6 +129,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::FloatCmp,
     Rule::UnitFlow,
     Rule::DetTaint,
+    Rule::RawFsWrite,
     Rule::StaleAllow,
 ];
 
@@ -143,6 +147,7 @@ impl Rule {
             Rule::FloatCmp => "float-cmp",
             Rule::UnitFlow => "unit-flow",
             Rule::DetTaint => "determinism-taint",
+            Rule::RawFsWrite => "no-raw-fs-write",
             Rule::StaleAllow => "stale-allow",
         }
     }
@@ -227,6 +232,14 @@ impl Rule {
                  trace payloads (record) or SimTime/SimDuration/SimRng constructors. Profiling \
                  may *measure* the simulation; it must never *steer* it."
             }
+            Rule::RawFsWrite => {
+                "Bare std::fs::write / File::create tears under crash or concurrent writers: a \
+                 reader can observe a half-written file under its final name. Durable artifacts \
+                 in simulation crates go through store::atomic::write_atomic (temp file + fsync \
+                 + rename + directory fsync), the one sanctioned raw-write surface. A \
+                 best-effort diagnostic sink can document itself with \
+                 `// simlint: allow(no-raw-fs-write) — why`."
+            }
             Rule::StaleAllow => {
                 "A `simlint: allow(<rule>)` directive that no longer suppresses any finding is \
                  dead weight that hides future regressions of the same rule at that site. \
@@ -303,6 +316,11 @@ pub struct Scope {
     /// applies to `obs/src/span.rs` too: the span timer may *read* the wall
     /// clock but its readings must never flow back into simulation state.
     pub det_taint: bool,
+    /// Crash-safe write discipline (`no-raw-fs-write`):
+    /// `store::atomic::write_atomic` is the one sanctioned raw-write surface
+    /// in the simulation crates, exactly as `desim::par`/`desim::supervise`
+    /// are for `thread-spawn`.
+    pub fs_write: bool,
 }
 
 impl Scope {
@@ -317,6 +335,7 @@ impl Scope {
         float_cmp: true,
         unit_flow: true,
         det_taint: true,
+        fs_write: true,
     };
 
     /// Is `rule` enabled under this scope? (`stale-allow` is a meta rule and
@@ -332,6 +351,7 @@ impl Scope {
             Rule::FloatCmp => self.float_cmp,
             Rule::UnitFlow => self.unit_flow,
             Rule::DetTaint => self.det_taint,
+            Rule::RawFsWrite => self.fs_write,
             Rule::StaleAllow => true,
         }
     }
@@ -348,6 +368,7 @@ pub const SIM_CRATES: &[&str] = &[
     "models",
     "obs",
     "faults",
+    "store",
 ];
 /// Crates held to library panic discipline and dimensional flow analysis.
 pub const LIB_CRATES: &[&str] = &[
@@ -358,6 +379,7 @@ pub const LIB_CRATES: &[&str] = &[
     "models",
     "obs",
     "faults",
+    "store",
     "workload",
     "control",
 ];
@@ -380,14 +402,22 @@ pub fn scope_for(rel: &Path) -> Option<Scope> {
     if krate == "xtask" {
         return None;
     }
-    let is_par_executor = rel == Path::new("crates/desim/src/par.rs");
+    let is_par_executor = rel == Path::new("crates/desim/src/par.rs")
+        || rel == Path::new("crates/desim/src/supervise.rs");
     let is_span_timer = rel == Path::new("crates/obs/src/span.rs");
+    let is_supervisor = rel == Path::new("crates/desim/src/supervise.rs");
     let is_bench_harness = rel == Path::new("crates/bench/src/harness.rs");
+    let is_atomic_writer = rel == Path::new("crates/store/src/atomic.rs");
     let sim = SIM_CRATES.contains(&krate.as_str());
     let lib = LIB_CRATES.contains(&krate.as_str());
     Some(Scope {
         determinism: sim,
-        wall_clock: (sim && !is_span_timer) || (krate == "bench" && !is_bench_harness),
+        // `desim/src/supervise.rs` joins the span timer on the wall-clock
+        // allowlist: deadline supervision must read real time to detect a
+        // hang, but its `determinism-taint` scope stays on — readings may
+        // trigger abandonment, never enter results.
+        wall_clock: (sim && !is_span_timer && !is_supervisor)
+            || (krate == "bench" && !is_bench_harness),
         panic_discipline: lib,
         no_unwrap: sim,
         unit_suffix: sim || krate == "workload",
@@ -395,6 +425,7 @@ pub fn scope_for(rel: &Path) -> Option<Scope> {
         float_cmp: sim,
         unit_flow: lib,
         det_taint: sim,
+        fs_write: sim && !is_atomic_writer,
     })
 }
 
@@ -1120,6 +1151,49 @@ mod tests {
         assert!(scope_for(Path::new("examples/quickstart.rs")).is_none());
         assert!(scope_for(Path::new("crates/core/src/output.rs"))
             .is_some_and(|s| !s.determinism && !s.panic_discipline && !s.unit_suffix));
+    }
+
+    #[test]
+    fn flags_raw_fs_writes() {
+        let v = strict("fn f(p: &std::path::Path) { std::fs::write(p, b\"x\").ok(); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::RawFsWrite);
+        let v = strict("fn f(p: &std::path::Path) { let _ = std::fs::File::create(p); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::RawFsWrite);
+    }
+
+    #[test]
+    fn raw_fs_write_quiet_on_reads_tests_and_allows() {
+        assert!(strict("fn f(p: &std::path::Path) { let _ = std::fs::read(p); }\n").is_empty());
+        assert!(
+            strict("fn f(p: &std::path::Path) { let _ = std::fs::File::open(p); }\n").is_empty()
+        );
+        assert!(strict(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::fs::write(\"/tmp/x\", b\"s\").ok(); }\n}\n"
+        )
+        .is_empty());
+        let v = strict(
+            "fn f(p: &std::path::Path) {\n    // simlint: allow(no-raw-fs-write) — diagnostic sink\n    std::fs::write(p, b\"x\").ok();\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // A raw-string or comment mention must not fire (token stream, not text).
+        assert!(strict("// std::fs::write is banned\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn store_crate_is_in_scope_with_atomic_writer_exempt() {
+        assert!(scope_for(Path::new("crates/store/src/lib.rs"))
+            .is_some_and(|s| s.fs_write && s.determinism && s.no_unwrap && s.panic_discipline));
+        assert!(scope_for(Path::new("crates/store/src/atomic.rs"))
+            .is_some_and(|s| !s.fs_write && s.determinism && s.wall_clock));
+        assert!(
+            scope_for(Path::new("crates/desim/src/supervise.rs"))
+                .is_some_and(|s| !s.wall_clock && !s.thread_spawn && s.det_taint && s.fs_write)
+        );
+        // The pre-existing executor exemption is unchanged.
+        assert!(scope_for(Path::new("crates/desim/src/par.rs"))
+            .is_some_and(|s| s.wall_clock && !s.thread_spawn));
     }
 
     #[test]

@@ -129,6 +129,37 @@ pub(crate) fn token_rules(ctx: &Ctx, scope: Scope, sink: &mut Sink) {
             }
         }
 
+        // Bare file writes (`fs::write`, `File::create`) outside the
+        // sanctioned atomic writer. Test modules are exempt: fixtures and
+        // scratch files in tests have no crash-durability contract.
+        if scope.fs_write && !ctx.is_test_line(line) {
+            let raw = if is_ident(t, "fs")
+                && code.get(i + 1).is_some_and(|n| is_punct(n, "::"))
+                && code.get(i + 2).is_some_and(|n| is_ident(n, "write"))
+            {
+                Some("fs::write")
+            } else if is_ident(t, "File")
+                && code.get(i + 1).is_some_and(|n| is_punct(n, "::"))
+                && code.get(i + 2).is_some_and(|n| is_ident(n, "create"))
+            {
+                Some("File::create")
+            } else {
+                None
+            };
+            if let Some(tok) = raw {
+                sink.push(
+                    line,
+                    col,
+                    Rule::RawFsWrite,
+                    format!(
+                        "{tok} can leave a torn file under its final name after a crash; \
+                         route durable artifacts through store::atomic::write_atomic \
+                         (temp + fsync + rename)"
+                    ),
+                );
+            }
+        }
+
         // Literal indexing `xs[0]` without a bound-justifying comment.
         if scope.determinism
             && is_punct(t, "[")
